@@ -1,0 +1,56 @@
+#ifndef SYSDS_BENCH_BENCH_COMMON_H_
+#define SYSDS_BENCH_BENCH_COMMON_H_
+
+// Shared scaffolding for the figure-regeneration benchmarks. The paper ran
+// on a 24-vcore/128GB node with 100K x 1K inputs; the default scale here is
+// sized for a small CI machine and preserves the workload *shape* (who
+// wins, by what factor, where crossovers fall). Set SYSDS_BENCH_SCALE=paper
+// for paper-sized inputs, SYSDS_BENCH_SCALE=tiny for smoke runs.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace sysds_bench {
+
+struct Scale {
+  int64_t rows;
+  int64_t cols;
+  std::vector<int> model_counts;       // k grid (Fig 5a-c x-axis)
+  std::vector<int64_t> row_counts;     // nrow grid (Fig 5d x-axis)
+  int repetitions;
+};
+
+inline Scale GetScale() {
+  const char* env = std::getenv("SYSDS_BENCH_SCALE");
+  std::string s = env == nullptr ? "small" : env;
+  if (s == "paper") {
+    return {100000, 1000, {1, 10, 20, 30, 40, 50, 60, 70},
+            {33000, 100000, 330000, 1000000, 3300000}, 3};
+  }
+  if (s == "tiny") {
+    return {1000, 40, {1, 4, 8}, {500, 1000, 2000}, 1};
+  }
+  // small (default)
+  return {8000, 100, {1, 4, 8, 12, 16, 20, 24},
+          {2000, 4000, 8000, 16000, 32000}, 1};
+}
+
+inline void PrintHeader(const char* title, const char* xlabel,
+                        const std::vector<std::string>& series) {
+  std::printf("# %s\n", title);
+  std::printf("%-12s", xlabel);
+  for (const std::string& name : series) std::printf("%14s", name.c_str());
+  std::printf("\n");
+}
+
+inline void PrintRow(double x, const std::vector<double>& values) {
+  std::printf("%-12g", x);
+  for (double v : values) std::printf("%14.4f", v);
+  std::printf("\n");
+}
+
+}  // namespace sysds_bench
+
+#endif  // SYSDS_BENCH_BENCH_COMMON_H_

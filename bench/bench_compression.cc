@@ -1,0 +1,81 @@
+// Ablation A7 (§3.4 research direction, after Elgohary et al. CLA):
+// lossless compressed linear algebra. Compression ratio and operation
+// throughput on low-cardinality (encoded/categorical) data vs. the
+// uncompressed kernels — compressed ops should be competitive or faster
+// while shrinking the memory footprint by ~8x for one-byte codes.
+
+#include <cstdio>
+#include <functional>
+
+#include "bench/bench_common.h"
+#include "common/util.h"
+#include "runtime/compress/compressed_block.h"
+#include "runtime/matrix/lib_agg.h"
+#include "runtime/matrix/lib_datagen.h"
+#include "runtime/matrix/lib_matmult.h"
+
+using namespace sysds;
+
+namespace {
+
+MatrixBlock Categorical(int64_t rows, int64_t cols, int card,
+                        uint64_t seed) {
+  auto m = RandMatrix(rows, cols, 0, 1, 1.0, seed, RandPdf::kUniform, 1);
+  MatrixBlock out = MatrixBlock::Dense(rows, cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      out.DenseRow(r)[c] =
+          static_cast<double>(static_cast<int>(m->Get(r, c) * card) % card);
+    }
+  }
+  out.MarkNnzDirty();
+  return out;
+}
+
+double TimeIt(const std::function<void()>& fn, int reps = 5) {
+  Timer t;
+  for (int i = 0; i < reps; ++i) fn();
+  return t.ElapsedSeconds() / reps;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sysds_bench;
+  Scale scale = GetScale();
+  int64_t rows = scale.rows * 4, cols = scale.cols / 2;
+
+  std::printf("# A7 compressed linear algebra (%lld x %lld)\n",
+              static_cast<long long>(rows), static_cast<long long>(cols));
+  std::printf("%-14s%12s%14s%14s%14s%14s\n", "cardinality", "ratio",
+              "sum_u[s]", "sum_c[s]", "tXy_u[s]", "tXy_c[s]");
+  for (int card : {2, 16, 128}) {
+    MatrixBlock m = Categorical(rows, cols, card, card);
+    auto y = RandMatrix(rows, 1, -1, 1, 1.0, 99, RandPdf::kUniform, 1);
+    Timer tc;
+    CompressedMatrixBlock c = CompressedMatrixBlock::Compress(m);
+    double compress_s = tc.ElapsedSeconds();
+    double sum_u = TimeIt([&] {
+      auto s = AggregateAll(AggOpCode::kSum, m, 1);
+      (void)s;
+    });
+    double sum_c = TimeIt([&] { volatile double s = c.Sum(); (void)s; });
+    double txy_u = TimeIt([&] {
+      auto r = TransposeLeftMatMult(m, *y, 1);
+      (void)r;
+    });
+    double txy_c = TimeIt([&] {
+      auto r = c.VecMatLeft(*y);
+      (void)r;
+    });
+    std::printf("%-14d%12.2f%14.5f%14.5f%14.5f%14.5f\n", card,
+                c.CompressionRatio(), sum_u, sum_c, txy_u, txy_c);
+    if (card == 2) {
+      std::printf("  (compress time %.4fs, %lld/%lld columns DDC)\n",
+                  compress_s,
+                  static_cast<long long>(c.NumCompressedColumns()),
+                  static_cast<long long>(cols));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation A4 (§3.3): federated linear regression with push-down
+// instructions vs. centralizing the raw data, for 1..8 sites. Push-down
+// ships only cols x cols aggregates per site; centralize ships the full
+// row partition of X. The bytes-over-the-wire ratio is the exchange-
+// constraint argument of the paper.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/util.h"
+#include "fed/federated.h"
+#include "runtime/matrix/lib_datagen.h"
+#include "runtime/matrix/lib_matmult.h"
+#include "runtime/matrix/lib_solve.h"
+
+using namespace sysds;
+
+int main() {
+  using namespace sysds_bench;
+  Scale scale = GetScale();
+  int64_t rows = scale.rows, cols = std::min<int64_t>(scale.cols, 64);
+
+  auto x = RandMatrix(rows, cols, 0.0, 1.0, 1.0, 7, RandPdf::kUniform, 1);
+  auto w = RandMatrix(cols, 1, -1.0, 1.0, 1.0, 8, RandPdf::kUniform, 1);
+  auto y = MatMult(*x, *w, 1);
+
+  std::printf("# A4 federated lmDS: push-down vs centralize (%lld x %lld)\n",
+              static_cast<long long>(rows), static_cast<long long>(cols));
+  std::printf("%-8s%14s%14s%16s%16s%12s\n", "sites", "pushdown_s",
+              "central_s", "pushdown_MB", "central_MB", "max_err");
+  for (int sites : {1, 2, 4, 8}) {
+    FederatedRegistry registry(sites);
+    auto fx = FederatedMatrix::Distribute(&registry, *x, "X");
+    auto fy = FederatedMatrix::Distribute(&registry, *y, "y");
+    if (!fx.ok() || !fy.ok()) return 1;
+    int64_t base = registry.TotalBytesTransferred();
+
+    Timer t1;
+    auto fb = FederatedLmDS(*fx, *fy, 1e-8);
+    double pushdown_s = t1.ElapsedSeconds();
+    int64_t pushdown_bytes = registry.TotalBytesTransferred() - base;
+    if (!fb.ok()) {
+      std::fprintf(stderr, "federated failed: %s\n",
+                   fb.status().ToString().c_str());
+      return 1;
+    }
+
+    // Centralize: pull all partitions, then solve locally.
+    int64_t before = registry.TotalBytesTransferred();
+    Timer t2;
+    auto xc = fx->Collect();
+    auto yc = fy->Collect();
+    auto xtx = TransposeSelfMatMult(*xc, true, 1);
+    auto xty = TransposeLeftMatMult(*xc, *yc, 1);
+    xtx->ToDense();
+    for (int64_t i = 0; i < cols; ++i) xtx->DenseRow(i)[i] += 1e-8;
+    auto local = Solve(*xtx, *xty);
+    double central_s = t2.ElapsedSeconds();
+    int64_t central_bytes = registry.TotalBytesTransferred() - before;
+
+    double max_err = 0;
+    for (int64_t i = 0; i < cols; ++i) {
+      max_err = std::max(max_err,
+                         std::abs(fb->Get(i, 0) - local->Get(i, 0)));
+    }
+    std::printf("%-8d%14.4f%14.4f%16.3f%16.3f%12.2e\n", sites, pushdown_s,
+                central_s, pushdown_bytes / 1e6, central_bytes / 1e6,
+                max_err);
+  }
+  return 0;
+}

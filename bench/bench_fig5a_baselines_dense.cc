@@ -1,0 +1,63 @@
+// Figure 5(a): baseline comparison on DENSE data. End-to-end runtime
+// (including CSV I/O) of the hyper-parameter sweep — k ridge models over a
+// dense X — for TF (eager), TF-G (single graph), Julia (native eager
+// kernels), SysDS (portable kernel), and SysDS-B (native-BLAS-style
+// kernel). Expected shape (paper): SysDS-B <= Julia < SysDS < TF ~ TF-G;
+// all grow linearly in k because none of the baselines eliminates the
+// redundant t(X)X / t(X)y across models.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "baselines/baselines.h"
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace sysds;
+  using namespace sysds_bench;
+  Scale scale = GetScale();
+
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "sysds_bench_fig5a";
+  std::filesystem::create_directories(dir);
+  std::string x_csv = (dir / "X.csv").string();
+  std::string y_csv = (dir / "y.csv").string();
+  std::string out_csv = (dir / "B.csv").string();
+
+  Status gen = GenerateSweepData(scale.rows, scale.cols, /*sparsity=*/1.0,
+                                 42, x_csv, y_csv);
+  if (!gen.ok()) {
+    std::fprintf(stderr, "datagen failed: %s\n", gen.ToString().c_str());
+    return 1;
+  }
+
+  PrintHeader("Figure 5(a): baselines dense, end-to-end seconds incl. I/O",
+              "k_models", {"TF", "TF-G", "Julia", "SysDS", "SysDS-B"});
+  for (int k : scale.model_counts) {
+    SweepWorkload w;
+    w.x_csv = x_csv;
+    w.y_csv = y_csv;
+    w.out_csv = out_csv;
+    for (int i = 0; i < k; ++i) {
+      w.lambdas.push_back(0.001 * (i + 1));
+    }
+    std::vector<double> row;
+    auto record = [&](StatusOr<SweepTimings> t) {
+      if (!t.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     t.status().ToString().c_str());
+        row.push_back(-1);
+      } else {
+        row.push_back(t->total_seconds);
+      }
+    };
+    record(RunSweepTF(w, /*graph_mode=*/false));
+    record(RunSweepTF(w, /*graph_mode=*/true));
+    record(RunSweepJulia(w));
+    record(RunSweepSysDS(w, /*native_blas=*/false, /*reuse=*/false));
+    record(RunSweepSysDS(w, /*native_blas=*/true, /*reuse=*/false));
+    PrintRow(k, row);
+  }
+  std::filesystem::remove_all(dir);
+  return 0;
+}

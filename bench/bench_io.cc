@@ -1,0 +1,85 @@
+// Ablation A6 (§3.2 / §4.2 observation 1): data ingestion. Multi-threaded
+// CSV parsing vs single-threaded (string-to-double parsing is compute-
+// intensive), the binary block format, and the generated readers from
+// format descriptors.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench/bench_common.h"
+#include "common/thread_pool.h"
+#include "common/util.h"
+#include "io/format_descriptor.h"
+#include "io/matrix_io.h"
+#include "runtime/matrix/lib_datagen.h"
+
+using namespace sysds;
+
+int main() {
+  using namespace sysds_bench;
+  Scale scale = GetScale();
+  int64_t rows = scale.rows * 4, cols = scale.cols;
+
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / "sysds_bench_io";
+  std::filesystem::create_directories(dir);
+  std::string csv = (dir / "X.csv").string();
+  std::string bin = (dir / "X.bin").string();
+
+  auto x = RandMatrix(rows, cols, 0.0, 1.0, 1.0, 1, RandPdf::kUniform, 1);
+  if (!WriteMatrixCsv(*x, csv).ok() || !WriteMatrixBinary(*x, bin).ok()) {
+    return 1;
+  }
+  double csv_mb =
+      static_cast<double>(std::filesystem::file_size(csv)) / 1e6;
+
+  std::printf("# A6 I/O: %lld x %lld matrix, csv %.1f MB\n",
+              static_cast<long long>(rows), static_cast<long long>(cols),
+              csv_mb);
+  std::printf("%-34s%14s%14s\n", "reader", "seconds", "MB/s");
+
+  auto report = [&](const char* name, double secs) {
+    std::printf("%-34s%14.4f%14.1f\n", name, secs,
+                secs > 0 ? csv_mb / secs : 0.0);
+  };
+
+  {
+    CsvOptions opts;
+    opts.num_threads = 1;
+    Timer t;
+    auto m = ReadMatrixCsv(csv, opts);
+    report("csv single-threaded", t.ElapsedSeconds());
+    if (!m->EqualsApprox(*x, 1e-9)) return 1;
+  }
+  {
+    CsvOptions opts;
+    opts.num_threads = DefaultParallelism();
+    Timer t;
+    auto m = ReadMatrixCsv(csv, opts);
+    report("csv multi-threaded", t.ElapsedSeconds());
+    if (!m->EqualsApprox(*x, 1e-9)) return 1;
+  }
+  {
+    Timer t;
+    auto m = ReadMatrixBinary(bin);
+    report("binary block format", t.ElapsedSeconds());
+    if (!m->EqualsApprox(*x, 1e-9)) return 1;
+  }
+  {
+    // Generated reader from a format descriptor (typed columns).
+    std::string desc_json = R"({"kind":"delimited","delimiter":",","columns":[)";
+    for (int64_t c = 0; c < cols; ++c) {
+      if (c > 0) desc_json += ",";
+      desc_json += R"({"name":"c)" + std::to_string(c) + R"(","type":"fp64"})";
+    }
+    desc_json += "]}";
+    auto desc = ParseFormatDescriptor(desc_json);
+    auto reader = GenerateReader(*desc);
+    Timer t;
+    auto frame = (*reader)(csv);
+    report("generated reader (frame)", t.ElapsedSeconds());
+    if (!frame.ok()) return 1;
+  }
+  std::filesystem::remove_all(dir);
+  return 0;
+}

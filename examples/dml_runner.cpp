@@ -1,0 +1,81 @@
+// Command-line DML runner (the `java -jar systemds` equivalent):
+//   dml_runner script.dml [-stats] [-lineage] [-reuse full|partial]
+//              [-explain] [-threads N]
+// Executes the script and prints script output; with -stats, prints the
+// heavy-hitter instruction profile afterwards.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "api/systemds_context.h"
+#include "common/statistics.h"
+
+int main(int argc, char** argv) {
+  using namespace sysds;
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0]
+              << " script.dml [-stats] [-lineage] [-reuse full|partial]"
+                 " [-threads N]\n";
+    return 2;
+  }
+
+  DMLConfig config;
+  std::string path;
+  bool explain = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-explain") {
+      explain = true;
+    } else if (arg == "-stats") {
+      config.statistics = true;
+    } else if (arg == "-lineage") {
+      config.lineage_tracing = true;
+    } else if (arg == "-reuse" && i + 1 < argc) {
+      std::string policy = argv[++i];
+      config.reuse_policy = policy == "partial" ? ReusePolicy::kPartial
+                                                : ReusePolicy::kFull;
+    } else if (arg == "-threads" && i + 1 < argc) {
+      config.num_threads = std::atoi(argv[++i]);
+    } else if (!arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "no script given\n";
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  Statistics::Get().Reset();
+  SystemDSContext ctx(config);
+  if (explain) {
+    auto plan = ctx.Explain(buf.str());
+    if (!plan.ok()) {
+      std::cerr << "error: " << plan.status() << "\n";
+      return 1;
+    }
+    std::cout << *plan;
+  }
+  auto result = ctx.Execute(buf.str(), {}, {});
+  if (!result.ok()) {
+    std::cerr << "error: " << result.status() << "\n";
+    return 1;
+  }
+  std::cout << result->Output();
+  if (config.statistics) {
+    std::cout << "\n" << Statistics::Get().Report();
+  }
+  return 0;
+}

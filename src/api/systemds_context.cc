@@ -1,0 +1,195 @@
+#include "api/systemds_context.h"
+
+#include <sstream>
+
+#include "compiler/compiler.h"
+
+namespace sysds {
+
+StatusOr<MatrixBlock> ScriptResult::GetMatrix(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return NotFound("output '" + name + "' not found");
+  SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, AsMatrix(it->second, name));
+  MatrixBlock copy = m->AcquireRead();
+  m->Release();
+  return copy;
+}
+
+StatusOr<double> ScriptResult::GetDouble(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return NotFound("output '" + name + "' not found");
+  SYSDS_ASSIGN_OR_RETURN(ScalarObject * s, AsScalar(it->second, name));
+  return s->AsDouble();
+}
+
+StatusOr<std::string> ScriptResult::GetString(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return NotFound("output '" + name + "' not found");
+  SYSDS_ASSIGN_OR_RETURN(ScalarObject * s, AsScalar(it->second, name));
+  return s->AsString();
+}
+
+StatusOr<std::string> ScriptResult::GetLineage(const std::string& name) const {
+  auto it = lineage_.find(name);
+  if (it == lineage_.end()) {
+    return NotFound("no lineage for '" + name +
+                    "' (enable lineage_tracing or reuse)");
+  }
+  return it->second;
+}
+
+StatusOr<FrameBlock> ScriptResult::GetFrame(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return NotFound("output '" + name + "' not found");
+  SYSDS_ASSIGN_OR_RETURN(FrameObject * f, AsFrame(it->second, name));
+  return f->Frame();
+}
+
+namespace {
+
+SymbolInfo InfoOf(const DataPtr& d) {
+  SymbolInfo info;
+  if (auto* m = dynamic_cast<MatrixObject*>(d.get())) {
+    info.dt = DataType::kMatrix;
+    info.vt = ValueType::kFP64;
+    info.dim1 = m->Rows();
+    info.dim2 = m->Cols();
+    info.nnz = m->NonZeros();
+  } else if (auto* f = dynamic_cast<FrameObject*>(d.get())) {
+    info.dt = DataType::kFrame;
+    info.vt = ValueType::kString;
+    info.dim1 = f->Frame().Rows();
+    info.dim2 = f->Frame().Cols();
+  } else if (auto* s = dynamic_cast<ScalarObject*>(d.get())) {
+    info.dt = DataType::kScalar;
+    info.vt = s->GetValueType();
+    info.dim1 = 0;
+    info.dim2 = 0;
+  }
+  return info;
+}
+
+StatusOr<ScriptResult> RunProgram(Program* program, const DMLConfig* config,
+                                  LineageCache* cache, BufferPool* pool,
+                                  const std::map<std::string, DataPtr>& inputs,
+                                  const std::vector<std::string>& outputs) {
+  MatrixObject::SetBufferPool(pool);
+  ExecutionContext ec(program, config);
+  ec.SetCache(cache);
+  std::ostringstream out;
+  ec.SetOut(&out);
+  for (const auto& [name, value] : inputs) {
+    ec.Vars().Set(name, value);
+  }
+  SYSDS_RETURN_IF_ERROR(program->Execute(&ec));
+  ScriptResult result;
+  for (const std::string& name : outputs) {
+    SYSDS_ASSIGN_OR_RETURN(DataPtr d, ec.Vars().Get(name));
+    result.SetValue(name, std::move(d));
+    if (ec.TracingEnabled()) {
+      LineageItemPtr item = ec.Lineage()->GetOrNull(name);
+      if (item != nullptr) result.SetLineageText(name, item->Serialize());
+    }
+  }
+  result.SetOutputText(out.str());
+  return result;
+}
+
+}  // namespace
+
+SystemDSContext::SystemDSContext() : SystemDSContext(DMLConfig()) {}
+
+SystemDSContext::SystemDSContext(DMLConfig config) : config_(config) {
+  pool_ = std::make_unique<BufferPool>(config_.buffer_pool_limit);
+  cache_ = std::make_unique<LineageCache>(config_.lineage_cache_limit,
+                                          config_.reuse_policy);
+  MatrixObject::SetBufferPool(pool_.get());
+}
+
+SystemDSContext::~SystemDSContext() {
+  MatrixObject::SetBufferPool(nullptr);
+}
+
+DataPtr SystemDSContext::Matrix(MatrixBlock m) {
+  return std::make_shared<MatrixObject>(std::move(m));
+}
+DataPtr SystemDSContext::Frame(FrameBlock f) {
+  return std::make_shared<FrameObject>(std::move(f));
+}
+DataPtr SystemDSContext::Scalar(double v) {
+  return ScalarObject::MakeDouble(v);
+}
+DataPtr SystemDSContext::ScalarInt(int64_t v) {
+  return ScalarObject::MakeInt(v);
+}
+DataPtr SystemDSContext::ScalarString(std::string v) {
+  return ScalarObject::MakeString(std::move(v));
+}
+DataPtr SystemDSContext::ScalarBool(bool v) {
+  return ScalarObject::MakeBool(v);
+}
+
+StatusOr<ScriptResult> SystemDSContext::Execute(
+    const std::string& script, const std::map<std::string, DataPtr>& inputs,
+    const std::vector<std::string>& outputs) {
+  // The lineage cache holds values from prior executions; its policy is
+  // refreshed from the current config (benchmarks toggle reuse).
+  if (cache_->policy() != config_.reuse_policy) {
+    cache_ = std::make_unique<LineageCache>(config_.lineage_cache_limit,
+                                            config_.reuse_policy);
+  }
+  SymbolInfoMap infos;
+  for (const auto& [name, value] : inputs) infos[name] = InfoOf(value);
+  SYSDS_ASSIGN_OR_RETURN(std::unique_ptr<Program> program,
+                         CompileDML(script, config_, infos));
+  return RunProgram(program.get(), &config_, cache_.get(), pool_.get(),
+                    inputs, outputs);
+}
+
+StatusOr<std::unique_ptr<PreparedScript>> SystemDSContext::Prepare(
+    const std::string& script,
+    const std::map<std::string, SymbolInfo>& input_infos) {
+  SYSDS_ASSIGN_OR_RETURN(std::unique_ptr<Program> program,
+                         CompileDML(script, config_, input_infos));
+  auto prepared = std::make_unique<PreparedScript>();
+  prepared->program_ = std::move(program);
+  prepared->config_ = &config_;
+  prepared->cache_ = cache_.get();
+  prepared->pool_ = pool_.get();
+  return prepared;
+}
+
+StatusOr<std::string> SystemDSContext::Explain(
+    const std::string& script,
+    const std::map<std::string, SymbolInfo>& input_infos) {
+  SYSDS_ASSIGN_OR_RETURN(std::unique_ptr<Program> program,
+                         CompileDML(script, config_, input_infos));
+  return program->Explain();
+}
+
+void PreparedScript::BindMatrix(const std::string& name, MatrixBlock value) {
+  bindings_[name] = std::make_shared<MatrixObject>(std::move(value));
+}
+void PreparedScript::BindFrame(const std::string& name, FrameBlock value) {
+  bindings_[name] = std::make_shared<FrameObject>(std::move(value));
+}
+void PreparedScript::BindDouble(const std::string& name, double value) {
+  bindings_[name] = ScalarObject::MakeDouble(value);
+}
+void PreparedScript::BindInt(const std::string& name, int64_t value) {
+  bindings_[name] = ScalarObject::MakeInt(value);
+}
+void PreparedScript::BindBool(const std::string& name, bool value) {
+  bindings_[name] = ScalarObject::MakeBool(value);
+}
+void PreparedScript::BindString(const std::string& name, std::string value) {
+  bindings_[name] = ScalarObject::MakeString(std::move(value));
+}
+
+StatusOr<ScriptResult> PreparedScript::Execute(
+    const std::vector<std::string>& outputs) {
+  return RunProgram(program_.get(), config_, cache_, pool_, bindings_,
+                    outputs);
+}
+
+}  // namespace sysds

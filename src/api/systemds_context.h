@@ -1,0 +1,119 @@
+#ifndef SYSDS_API_SYSTEMDS_CONTEXT_H_
+#define SYSDS_API_SYSTEMDS_CONTEXT_H_
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "compiler/compiler.h"
+#include "lineage/lineage.h"
+#include "runtime/bufferpool/buffer_pool.h"
+#include "runtime/controlprog/program.h"
+
+namespace sysds {
+
+/// Results of one script execution: the requested output variables.
+class ScriptResult {
+ public:
+  StatusOr<MatrixBlock> GetMatrix(const std::string& name) const;
+  StatusOr<double> GetDouble(const std::string& name) const;
+  StatusOr<std::string> GetString(const std::string& name) const;
+  StatusOr<FrameBlock> GetFrame(const std::string& name) const;
+  /// Everything print()ed during execution.
+  const std::string& Output() const { return output_; }
+
+  /// Serialized lineage trace of an output variable (§3.1: the surface for
+  /// model versioning, reproducibility, and debugging via queries over
+  /// traces). Available when lineage tracing or reuse was enabled.
+  StatusOr<std::string> GetLineage(const std::string& name) const;
+
+  // Internal: populated by the execution layer.
+  void SetValue(const std::string& name, DataPtr value) {
+    values_[name] = std::move(value);
+  }
+  void SetOutputText(std::string text) { output_ = std::move(text); }
+  void SetLineageText(const std::string& name, std::string trace) {
+    lineage_[name] = std::move(trace);
+  }
+
+ private:
+  std::map<std::string, DataPtr> values_;
+  std::map<std::string, std::string> lineage_;
+  std::string output_;
+};
+
+/// JMLC-style prepared script (paper §2.2(1)): compile once, bind in-memory
+/// inputs, execute repeatedly with low latency. Each Execute runs on a
+/// fresh symbol table; the lineage reuse cache persists across executions.
+class PreparedScript {
+ public:
+  void BindMatrix(const std::string& name, MatrixBlock value);
+  void BindFrame(const std::string& name, FrameBlock value);
+  void BindDouble(const std::string& name, double value);
+  void BindInt(const std::string& name, int64_t value);
+  void BindBool(const std::string& name, bool value);
+  void BindString(const std::string& name, std::string value);
+
+  /// Executes the precompiled program and collects `outputs`.
+  StatusOr<ScriptResult> Execute(const std::vector<std::string>& outputs);
+
+ private:
+  friend class SystemDSContext;
+  std::shared_ptr<Program> program_;
+  const DMLConfig* config_ = nullptr;
+  LineageCache* cache_ = nullptr;
+  BufferPool* pool_ = nullptr;
+  std::map<std::string, DataPtr> bindings_;
+};
+
+/// The MLContext-like entry point: owns configuration, the buffer pool, and
+/// the lineage reuse cache; compiles and executes DML scripts.
+class SystemDSContext {
+ public:
+  SystemDSContext();
+  explicit SystemDSContext(DMLConfig config);
+  ~SystemDSContext();
+
+  DMLConfig& Config() { return config_; }
+  LineageCache* Cache() { return cache_.get(); }
+  BufferPool* Pool() { return pool_.get(); }
+
+  /// One-shot execution: compile + run, returning requested outputs.
+  /// Inputs are bound under their names before execution.
+  StatusOr<ScriptResult> Execute(
+      const std::string& script,
+      const std::map<std::string, DataPtr>& inputs = {},
+      const std::vector<std::string>& outputs = {});
+
+  /// Precompiles a script for repeated low-latency execution (JMLC).
+  StatusOr<std::unique_ptr<PreparedScript>> Prepare(
+      const std::string& script,
+      const std::map<std::string, SymbolInfo>& input_infos);
+
+  /// Compiles the script and renders the runtime plan — program blocks and
+  /// their instruction sequences (the `explain` facility; SystemDS prints
+  /// the analogous HOP/runtime plans).
+  StatusOr<std::string> Explain(
+      const std::string& script,
+      const std::map<std::string, SymbolInfo>& input_infos = {});
+
+  /// Convenience helpers to build input bindings.
+  static DataPtr Matrix(MatrixBlock m);
+  static DataPtr Frame(FrameBlock f);
+  static DataPtr Scalar(double v);
+  static DataPtr ScalarInt(int64_t v);
+  static DataPtr ScalarString(std::string v);
+  static DataPtr ScalarBool(bool v);
+
+ private:
+  DMLConfig config_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<LineageCache> cache_;
+};
+
+}  // namespace sysds
+
+#endif  // SYSDS_API_SYSTEMDS_CONTEXT_H_

@@ -1,0 +1,60 @@
+#ifndef SYSDS_BASELINES_BASELINES_H_
+#define SYSDS_BASELINES_BASELINES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/matrix/matrix_block.h"
+
+namespace sysds {
+
+/// The evaluation workload of the paper (§4.1): read X and y from CSV,
+/// train k ridge-regression models B_i = solve(t(X)X + lambda_i I, t(X)y)
+/// (lmDS), and write all models to a single CSV.
+struct SweepWorkload {
+  std::string x_csv;
+  std::string y_csv;
+  std::vector<double> lambdas;
+  std::string out_csv;
+};
+
+struct SweepTimings {
+  double total_seconds = 0.0;
+  double io_seconds = 0.0;
+  int64_t matmults = 0;     // number of large matrix multiplies executed
+  int64_t transposes = 0;   // number of materialized transposes
+};
+
+/// TensorFlow-1.x-style baseline (§4.2). Eager mode (graph_mode=false):
+/// per-model execution; for sparse inputs every model pays a materialized
+/// transpose because the sparse-dense matmul lacks a fused t(X)%*%X call
+/// (dense uses the fused call, matching the paper's manually rewritten
+/// script). Graph mode (TF-G, graph_mode=true): one graph for the whole
+/// sweep — the transpose is a common subexpression executed once, but the
+/// per-model matrix multiplies remain (the paper's observation 4: none of
+/// the baselines eliminates the redundant matmuls). Single-threaded CSV
+/// parsing (observation 1).
+StatusOr<SweepTimings> RunSweepTF(const SweepWorkload& workload,
+                                  bool graph_mode);
+
+/// Julia-style baseline: best-in-class native eager kernels with fused
+/// t(X)%*%X / t(X)%*%y dispatch, no cross-model reuse, single-threaded CSV
+/// parse.
+StatusOr<SweepTimings> RunSweepJulia(const SweepWorkload& workload);
+
+/// SystemDS execution of the same workload through the DML stack
+/// (hyper-parameter sweep script using lmDS). `native_blas` selects the
+/// SysDS-B kernel; `reuse` enables lineage-based reuse of intermediates.
+StatusOr<SweepTimings> RunSweepSysDS(const SweepWorkload& workload,
+                                     bool native_blas, bool reuse);
+
+/// Generates and writes the synthetic sweep inputs (dense or sparse X with
+/// the given sparsity; y = X w + noise), returning the lambda grid.
+Status GenerateSweepData(int64_t rows, int64_t cols, double sparsity,
+                         uint64_t seed, const std::string& x_csv,
+                         const std::string& y_csv);
+
+}  // namespace sysds
+
+#endif  // SYSDS_BASELINES_BASELINES_H_

@@ -1,0 +1,457 @@
+#include "builtins/registry.h"
+
+#include <map>
+
+namespace sysds {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// ML training builtins (Figure 2 of the paper): lm dispatches on the number
+// of features between the closed-form direct solve (lmDS) and conjugate
+// gradient (lmCG).
+// ---------------------------------------------------------------------------
+
+const char* kLm = R"dml(
+lm = function(Matrix[Double] X, Matrix[Double] y, Double icpt = 0,
+              Double reg = 1e-7, Double tol = 1e-7, Integer maxi = 0,
+              Boolean verbose = FALSE)
+    return (Matrix[Double] B) {
+  if (ncol(X) <= 1024) {
+    B = lmDS(X, y, icpt, reg, verbose)
+  } else {
+    B = lmCG(X, y, icpt, reg, tol, maxi, verbose)
+  }
+}
+)dml";
+
+const char* kLmDS = R"dml(
+lmDS = function(Matrix[Double] X, Matrix[Double] y, Double icpt = 0,
+                Double reg = 1e-7, Boolean verbose = FALSE)
+    return (Matrix[Double] B) {
+  if (icpt > 0) {
+    ones = matrix(1, nrow(X), 1)
+    X = cbind(X, ones)
+  }
+  l = matrix(reg, ncol(X), 1)
+  A = t(X) %*% X + diag(l)
+  b = t(X) %*% y
+  B = solve(A, b)
+}
+)dml";
+
+const char* kLmCG = R"dml(
+lmCG = function(Matrix[Double] X, Matrix[Double] y, Double icpt = 0,
+                Double reg = 1e-7, Double tol = 1e-7, Integer maxi = 0,
+                Boolean verbose = FALSE)
+    return (Matrix[Double] B) {
+  if (icpt > 0) {
+    ones = matrix(1, nrow(X), 1)
+    X = cbind(X, ones)
+  }
+  m = ncol(X)
+  imax = maxi
+  if (imax == 0) { imax = m }
+  B = matrix(0, m, 1)
+  r = -(t(X) %*% y)
+  p = -r
+  norm_r2 = sum(r^2)
+  norm_r2_tgt = norm_r2 * tol^2
+  i = 0
+  while (i < imax & norm_r2 > norm_r2_tgt) {
+    q = t(X) %*% (X %*% p) + reg * p
+    alpha = norm_r2 / sum(p * q)
+    B = B + alpha * p
+    r = r + alpha * q
+    old_norm_r2 = norm_r2
+    norm_r2 = sum(r^2)
+    p = -r + (norm_r2 / old_norm_r2) * p
+    i = i + 1
+  }
+}
+)dml";
+
+// Stepwise linear regression (paper Example 1): greedy forward feature
+// selection by AIC; the parfor over candidate features is the workload that
+// exercises lineage-based partial reuse (§3.1).
+const char* kSteplm = R"dml(
+aicScore = function(Matrix[Double] X, Matrix[Double] y, Matrix[Double] B)
+    return (Double aic) {
+  n = nrow(X)
+  r = X %*% B - y
+  rss = sum(r^2)
+  aic = n * log(rss / n + 1e-300) + 2 * ncol(X)
+}
+
+steplm = function(Matrix[Double] X, Matrix[Double] y, Double icpt = 0,
+                  Double reg = 1e-7, Double thr = 0.001)
+    return (Matrix[Double] B, Matrix[Double] S) {
+  n = nrow(X)
+  m = ncol(X)
+  fixed = matrix(0, 1, m)
+  Xg = matrix(1, n, 1)
+  Bg = lmDS(Xg, y, 0, reg)
+  aic_best = aicScore(Xg, y, Bg)
+  S = matrix(0, 1, m)
+  continue = TRUE
+  nsel = 0
+  while (continue & nsel < m) {
+    aics = matrix(1e308, 1, m)
+    parfor (i in 1:m) {
+      if (as.scalar(fixed[1, i]) == 0) {
+        Xi = cbind(Xg, X[, i])
+        Bi = lmDS(Xi, y, 0, reg)
+        aics[1, i] = aicScore(Xi, y, Bi)
+      }
+    }
+    aic_min = min(aics)
+    best = as.scalar(rowIndexMax(-aics))
+    if (aic_min < aic_best - thr) {
+      aic_best = aic_min
+      fixed[1, best] = 1
+      nsel = nsel + 1
+      S[1, best] = nsel
+      Xg = cbind(Xg, X[, best])
+    } else {
+      continue = FALSE
+    }
+  }
+  B = lmDS(Xg, y, 0, reg)
+}
+)dml";
+
+// ---------------------------------------------------------------------------
+// Data preparation and cleaning builtins (§3.2).
+// ---------------------------------------------------------------------------
+
+const char* kScale = R"dml(
+scale = function(Matrix[Double] X, Boolean center = TRUE,
+                 Boolean scale = TRUE)
+    return (Matrix[Double] Y, Matrix[Double] ColMean, Matrix[Double] ColSD) {
+  ColMean = colMeans(X)
+  if (center) {
+    X = X - ColMean
+  }
+  ColSD = colSds(X)
+  if (scale) {
+    X = X / ifelse(ColSD == 0, 1, ColSD)
+  }
+  Y = X
+}
+)dml";
+
+const char* kNormalize = R"dml(
+normalize = function(Matrix[Double] X)
+    return (Matrix[Double] Y, Matrix[Double] cmin, Matrix[Double] cmax) {
+  cmin = colMins(X)
+  cmax = colMaxs(X)
+  span = cmax - cmin
+  Y = (X - cmin) / ifelse(span == 0, 1, span)
+}
+)dml";
+
+const char* kImputeByMean = R"dml(
+imputeByMean = function(Matrix[Double] X) return (Matrix[Double] Y) {
+  nan = X != X
+  Xz = replace(target = X, pattern = 0 / 0, replacement = 0)
+  counts = colSums(1 - nan)
+  means = colSums(Xz) / max(counts, 1)
+  Y = Xz + nan * means
+}
+)dml";
+
+const char* kWinsorize = R"dml(
+winsorize = function(Matrix[Double] X, Double lo = 0.05, Double up = 0.95)
+    return (Matrix[Double] Y) {
+  Y = X
+  for (j in 1:ncol(X)) {
+    q1 = quantile(X[, j], lo)
+    q2 = quantile(X[, j], up)
+    Y[, j] = min(max(X[, j], q1), q2)
+  }
+}
+)dml";
+
+// Caps per-column outliers outside [Q1 - k*IQR, Q3 + k*IQR] (repair by
+// capping, the default repair method of the SystemDS builtin).
+const char* kOutlierByIQR = R"dml(
+outlierByIQR = function(Matrix[Double] X, Double k = 1.5)
+    return (Matrix[Double] Y) {
+  Y = X
+  for (j in 1:ncol(X)) {
+    q1 = quantile(X[, j], 0.25)
+    q3 = quantile(X[, j], 0.75)
+    iqr = q3 - q1
+    Y[, j] = min(max(X[, j], q1 - k * iqr), q3 + k * iqr)
+  }
+}
+)dml";
+
+const char* kOutlierBySd = R"dml(
+outlierBySd = function(Matrix[Double] X, Double k = 3)
+    return (Matrix[Double] Y) {
+  mu = colMeans(X)
+  sig = colSds(X)
+  lower = mu - k * sig
+  upper = mu + k * sig
+  Y = min(max(X, lower), upper)
+}
+)dml";
+
+// ---------------------------------------------------------------------------
+// Model selection / validation builtins (§2.2: hyper-parameter tuning and
+// cross validation on top of parfor).
+// ---------------------------------------------------------------------------
+
+const char* kGridSearch = R"dml(
+gridSearch = function(Matrix[Double] X, Matrix[Double] y,
+                      Matrix[Double] params)
+    return (Matrix[Double] B, Double opt) {
+  k = nrow(params)
+  losses = matrix(1e308, k, 1)
+  parfor (i in 1:k) {
+    regi = as.scalar(params[i, 1])
+    Bi = lmDS(X, y, 0, regi)
+    r = X %*% Bi - y
+    losses[i, 1] = sum(r^2)
+  }
+  opt_i = as.scalar(rowIndexMax(t(-losses)))
+  opt = as.scalar(params[opt_i, 1])
+  B = lmDS(X, y, 0, opt)
+}
+)dml";
+
+const char* kCrossV = R"dml(
+crossV = function(Matrix[Double] X, Matrix[Double] y, Integer k = 4,
+                  Double reg = 1e-7)
+    return (Double meanLoss, Matrix[Double] losses) {
+  n = nrow(X)
+  fs = n %/% k
+  losses = matrix(0, k, 1)
+  parfor (i in 1:k) {
+    lo = (i - 1) * fs + 1
+    hi = i * fs
+    if (i == k) {
+      hi = n
+    }
+    Xte = X[lo:hi, ]
+    yte = y[lo:hi, ]
+    if (lo == 1) {
+      Xtr = X[(hi + 1):n, ]
+      ytr = y[(hi + 1):n, ]
+    } else if (hi == n) {
+      Xtr = X[1:(lo - 1), ]
+      ytr = y[1:(lo - 1), ]
+    } else {
+      Xtr = rbind(X[1:(lo - 1), ], X[(hi + 1):n, ])
+      ytr = rbind(y[1:(lo - 1), ], y[(hi + 1):n, ])
+    }
+    B = lmDS(Xtr, ytr, 0, reg)
+    r = Xte %*% B - yte
+    losses[i, 1] = sum(r^2) / nrow(Xte)
+  }
+  meanLoss = mean(losses)
+}
+)dml";
+
+// ---------------------------------------------------------------------------
+// Additional ML algorithms (L3: diversity beyond mini-batch DNNs).
+// ---------------------------------------------------------------------------
+
+const char* kKmeans = R"dml(
+kmeans = function(Matrix[Double] X, Integer k = 3, Integer maxi = 20,
+                  Integer seed = 42)
+    return (Matrix[Double] C, Matrix[Double] labels) {
+  n = nrow(X)
+  m = ncol(X)
+  idx = sample(n, k, FALSE, seed)
+  C = matrix(0, k, m)
+  for (i in 1:k) {
+    C[i, ] = X[as.scalar(idx[i, 1]), ]
+  }
+  labels = matrix(0, n, 1)
+  for (iter in 1:maxi) {
+    D = -2 * (X %*% t(C)) + t(rowSums(C^2))
+    labels = rowIndexMax(-D)
+    P = table(seq(1, n, 1), labels)
+    if (ncol(P) < k) {
+      P = cbind(P, matrix(0, n, k - ncol(P)))
+    }
+    counts = t(colSums(P))
+    C = (t(P) %*% X) / max(counts, 1)
+  }
+}
+)dml";
+
+const char* kPca = R"dml(
+pca = function(Matrix[Double] X, Integer k = 2, Integer iters = 50)
+    return (Matrix[Double] Xr, Matrix[Double] V, Matrix[Double] evals) {
+  n = nrow(X)
+  m = ncol(X)
+  Xc = X - colMeans(X)
+  A = (t(Xc) %*% Xc) / (n - 1)
+  V = matrix(0, m, k)
+  evals = matrix(0, k, 1)
+  for (j in 1:k) {
+    v = rand(rows = m, cols = 1, seed = j)
+    v = v / sqrt(sum(v^2))
+    for (it in 1:iters) {
+      v = A %*% v
+      v = v / sqrt(sum(v^2))
+    }
+    lambda = as.scalar(t(v) %*% A %*% v)
+    A = A - lambda * (v %*% t(v))
+    V[, j] = v
+    evals[j, 1] = lambda
+  }
+  Xr = Xc %*% V
+}
+)dml";
+
+const char* kL2svm = R"dml(
+l2svm = function(Matrix[Double] X, Matrix[Double] Y, Double reg = 1,
+                 Double step = 1.0, Integer maxi = 40)
+    return (Matrix[Double] w) {
+  n = nrow(X)
+  m = ncol(X)
+  w = matrix(0, m, 1)
+  for (i in 1:maxi) {
+    margin = 1 - Y * (X %*% w)
+    active = margin > 0
+    g = -(t(X) %*% (Y * active)) / n + reg * w
+    w = w - step * g
+    step = step * 0.9
+  }
+}
+)dml";
+
+const char* kGlmIrls = R"dml(
+logisticRegression = function(Matrix[Double] X, Matrix[Double] y,
+                              Double reg = 1e-6, Integer maxi = 12)
+    return (Matrix[Double] B) {
+  m = ncol(X)
+  B = matrix(0, m, 1)
+  for (i in 1:maxi) {
+    eta = X %*% B
+    p = 1 / (1 + exp(-eta))
+    W = p * (1 - p) + 1e-10
+    z = eta + (y - p) / W
+    A = t(X) %*% (X * W) + diag(matrix(reg, m, 1))
+    b = t(X) %*% (W * z)
+    B = solve(A, b)
+  }
+}
+)dml";
+
+// ---------------------------------------------------------------------------
+// Statistics and model-validation builtins (§2.2 model validation /
+// debugging abstractions).
+// ---------------------------------------------------------------------------
+
+const char* kCovCor = R"dml(
+cov = function(Matrix[Double] x, Matrix[Double] y) return (Double c) {
+  n = nrow(x)
+  c = sum((x - mean(x)) * (y - mean(y))) / (n - 1)
+}
+
+cor = function(Matrix[Double] x, Matrix[Double] y) return (Double r) {
+  r = cov(x, y) / (sd(x) * sd(y))
+}
+)dml";
+
+const char* kMetrics = R"dml(
+mse = function(Matrix[Double] yhat, Matrix[Double] y) return (Double e) {
+  e = sum((yhat - y)^2) / nrow(y)
+}
+
+rmse = function(Matrix[Double] yhat, Matrix[Double] y) return (Double e) {
+  e = sqrt(mse(yhat, y))
+}
+
+r2 = function(Matrix[Double] yhat, Matrix[Double] y) return (Double r) {
+  ss_res = sum((y - yhat)^2)
+  ss_tot = sum((y - mean(y))^2)
+  r = 1 - ss_res / max(ss_tot, 1e-300)
+}
+)dml";
+
+// Confusion matrix over 1-based integer class labels; pads to the larger
+// of the two label ranges so rows (actual) and columns (predicted) align.
+const char* kConfusionMatrix = R"dml(
+confusionMatrix = function(Matrix[Double] pred, Matrix[Double] y)
+    return (Matrix[Double] cm, Double acc) {
+  k = max(max(pred), max(y))
+  cm = table(y, pred)
+  if (nrow(cm) < k) {
+    cm = rbind(cm, matrix(0, k - nrow(cm), ncol(cm)))
+  }
+  if (ncol(cm) < k) {
+    cm = cbind(cm, matrix(0, nrow(cm), k - ncol(cm)))
+  }
+  acc = trace(cm) / nrow(y)
+}
+)dml";
+
+// Deterministic train/test split by row ranges (no shuffling; callers can
+// permute via order/sample first).
+const char* kSplit = R"dml(
+trainTestSplit = function(Matrix[Double] X, Matrix[Double] y,
+                          Double train_frac = 0.8)
+    return (Matrix[Double] Xtr, Matrix[Double] ytr,
+            Matrix[Double] Xte, Matrix[Double] yte) {
+  n = nrow(X)
+  ntr = max(1, floor(n * train_frac))
+  if (ntr >= n) {
+    ntr = n - 1
+  }
+  Xtr = X[1:ntr, ]
+  ytr = y[1:ntr, ]
+  Xte = X[(ntr + 1):n, ]
+  yte = y[(ntr + 1):n, ]
+}
+)dml";
+
+const std::map<std::string, const char*>& Registry() {
+  static const auto* registry = new std::map<std::string, const char*>{
+      {"lm", kLm},
+      {"lmDS", kLmDS},
+      {"lmCG", kLmCG},
+      {"steplm", kSteplm},
+      {"aicScore", kSteplm},
+      {"scale", kScale},
+      {"normalize", kNormalize},
+      {"imputeByMean", kImputeByMean},
+      {"winsorize", kWinsorize},
+      {"outlierByIQR", kOutlierByIQR},
+      {"outlierBySd", kOutlierBySd},
+      {"gridSearch", kGridSearch},
+      {"crossV", kCrossV},
+      {"kmeans", kKmeans},
+      {"pca", kPca},
+      {"l2svm", kL2svm},
+      {"logisticRegression", kGlmIrls},
+      {"cov", kCovCor},
+      {"cor", kCovCor},
+      {"mse", kMetrics},
+      {"rmse", kMetrics},
+      {"r2", kMetrics},
+      {"confusionMatrix", kConfusionMatrix},
+      {"trainTestSplit", kSplit},
+  };
+  return *registry;
+}
+
+}  // namespace
+
+const char* GetBuiltinScript(const std::string& name) {
+  auto it = Registry().find(name);
+  return it == Registry().end() ? nullptr : it->second;
+}
+
+std::vector<std::string> BuiltinNames() {
+  std::vector<std::string> names;
+  for (const auto& [name, script] : Registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace sysds

@@ -1,0 +1,21 @@
+#ifndef SYSDS_BUILTINS_REGISTRY_H_
+#define SYSDS_BUILTINS_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+namespace sysds {
+
+/// Registry of DML-bodied builtin functions (paper §2.2): lifecycle
+/// abstractions implemented in the DSL itself so the compiler can collapse
+/// them (Example 1: steplm -> lm -> lmDS/lmCG -> linear algebra). Returns
+/// nullptr if `name` is not a registered builtin. The returned script may
+/// define several functions (helpers are registered under their own names).
+const char* GetBuiltinScript(const std::string& name);
+
+/// All registered builtin names (docs and tests).
+std::vector<std::string> BuiltinNames();
+
+}  // namespace sysds
+
+#endif  // SYSDS_BUILTINS_REGISTRY_H_

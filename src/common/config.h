@@ -1,0 +1,56 @@
+#ifndef SYSDS_COMMON_CONFIG_H_
+#define SYSDS_COMMON_CONFIG_H_
+
+#include <cstdint>
+
+namespace sysds {
+
+/// How lineage-based reuse of intermediates operates (paper §3.1).
+enum class ReusePolicy {
+  kNone,         // trace only (if tracing enabled), never reuse
+  kFull,         // reuse only exact lineage matches
+  kPartial,      // full + compensation-plan based partial reuse
+};
+
+/// Global execution configuration. One instance is attached to each
+/// SystemDSContext; the defaults model the paper's driver configuration
+/// (local CP with optional distributed/federated operations chosen by
+/// memory estimates).
+struct DMLConfig {
+  // Degree of parallelism for multi-threaded CP kernels and parfor.
+  int num_threads = 0;  // 0 = DefaultParallelism()
+
+  // CP memory budget in bytes; operations whose memory estimate exceeds
+  // this are compiled to the distributed (SPARK-sim) backend, mirroring the
+  // memory-estimate-driven operator selection of §2.3(2).
+  int64_t cp_memory_budget = 2LL * 1024 * 1024 * 1024;
+
+  // Buffer-pool limit (bytes of cached matrix data before eviction).
+  int64_t buffer_pool_limit = 1LL * 1024 * 1024 * 1024;
+
+  // Block size (rows==cols) of the distributed blocking scheme.
+  int64_t block_size = 1024;
+
+  // Lineage tracing & reuse.
+  bool lineage_tracing = false;
+  ReusePolicy reuse_policy = ReusePolicy::kNone;
+  int64_t lineage_cache_limit = 512LL * 1024 * 1024;
+  // Loop deduplication (§3.1): per loop iteration, replace each changed
+  // variable's per-instruction trace by a single node referencing the
+  // distinct control-flow path taken, bounding trace growth to
+  // O(loop-carried variables) instead of O(instructions) per iteration.
+  bool lineage_dedup = false;
+
+  // Force all matrix operations to a backend (testing / benchmarking).
+  bool force_spark = false;
+
+  // Dynamic recompilation of basic blocks when sizes were unknown (§2.3(3)).
+  bool dynamic_recompilation = true;
+
+  // Print instruction-level statistics at the end of a script run.
+  bool statistics = false;
+};
+
+}  // namespace sysds
+
+#endif  // SYSDS_COMMON_CONFIG_H_

@@ -1,0 +1,242 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace sysds {
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+JsonValue JsonValue::MakeNumber(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+JsonValue JsonValue::MakeArray() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+JsonValue JsonValue::MakeObject() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::Dump() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kNull: os << "null"; break;
+    case Kind::kBool: os << (bool_ ? "true" : "false"); break;
+    case Kind::kNumber: os << number_; break;
+    case Kind::kString: os << '"' << string_ << '"'; break;
+    case Kind::kArray: {
+      os << '[';
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) os << ',';
+        os << array_[i].Dump();
+      }
+      os << ']';
+      break;
+    }
+    case Kind::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [k, v] : object_) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << k << "\":" << v.Dump();
+      }
+      os << '}';
+      break;
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    SkipWs();
+    SYSDS_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return ParseError("json: trailing characters at position " +
+                        std::to_string(pos_));
+    }
+    return v;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status Err(const std::string& msg) {
+    return ParseError("json: " + msg + " at position " + std::to_string(pos_));
+  }
+
+  StatusOr<JsonValue> ParseValue() {
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      SYSDS_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue::MakeString(std::move(s));
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return JsonValue::MakeBool(true);
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return JsonValue::MakeBool(false);
+    }
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue();
+    }
+    return ParseNumber();
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("invalid value");
+    char* endp = nullptr;
+    std::string tok = text_.substr(start, pos_ - start);
+    double d = std::strtod(tok.c_str(), &endp);
+    if (endp != tok.c_str() + tok.size()) return Err("invalid number");
+    return JsonValue::MakeNumber(d);
+  }
+
+  StatusOr<std::string> ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char e = text_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= text_.size()) return Err("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  StatusOr<JsonValue> ParseArray() {
+    ++pos_;  // '['
+    JsonValue arr = JsonValue::MakeArray();
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      SkipWs();
+      SYSDS_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      arr.MutableArray().push_back(std::move(v));
+      SkipWs();
+      if (pos_ >= text_.size()) return Err("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return arr;
+      }
+      return Err("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<JsonValue> ParseObject() {
+    ++pos_;  // '{'
+    JsonValue obj = JsonValue::MakeObject();
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Err("expected object key");
+      }
+      SYSDS_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return Err("expected ':'");
+      ++pos_;
+      SkipWs();
+      SYSDS_ASSIGN_OR_RETURN(JsonValue v, ParseValue());
+      obj.MutableObject()[key] = std::move(v);
+      SkipWs();
+      if (pos_ >= text_.size()) return Err("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return obj;
+      }
+      return Err("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+}  // namespace sysds

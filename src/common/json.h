@@ -1,0 +1,58 @@
+#ifndef SYSDS_COMMON_JSON_H_
+#define SYSDS_COMMON_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sysds {
+
+/// Minimal JSON value used for transform specs (§3.2 feature
+/// transformations) and data-format descriptors (generated readers). Not a
+/// general-purpose JSON library: no unicode escapes beyond \uXXXX pass-
+/// through, numbers are doubles.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray();
+  static JsonValue MakeObject();
+
+  Kind kind() const { return kind_; }
+  bool IsNull() const { return kind_ == Kind::kNull; }
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<JsonValue>& AsArray() const { return array_; }
+  std::vector<JsonValue>& MutableArray() { return array_; }
+  const std::map<std::string, JsonValue>& AsObject() const { return object_; }
+  std::map<std::string, JsonValue>& MutableObject() { return object_; }
+
+  /// Object field lookup; returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  std::string Dump() const;
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses a JSON document; returns ParseError with position info on bad
+/// input.
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace sysds
+
+#endif  // SYSDS_COMMON_JSON_H_

@@ -1,0 +1,62 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace sysds {
+
+Statistics& Statistics::Get() {
+  static Statistics* instance = new Statistics();
+  return *instance;
+}
+
+void Statistics::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  instructions_.clear();
+  counters_.clear();
+}
+
+void Statistics::IncInstruction(const std::string& opcode, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& entry = instructions_[opcode];
+  entry.first += 1;
+  entry.second += seconds;
+}
+
+void Statistics::IncCounter(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+int64_t Statistics::GetCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::string Statistics::Report(int top_k) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  std::vector<std::pair<std::string, std::pair<int64_t, double>>> entries(
+      instructions_.begin(), instructions_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              return a.second.second > b.second.second;
+            });
+  os << "Heavy hitter instructions (count, time[s]):\n";
+  int shown = 0;
+  for (const auto& [op, ct] : entries) {
+    if (shown++ >= top_k) break;
+    os << "  " << op << "\t" << ct.first << "\t" << ct.second << "\n";
+  }
+  if (!counters_.empty()) {
+    os << "Counters:\n";
+    for (const auto& [name, v] : counters_) {
+      os << "  " << name << "\t" << v << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace sysds

@@ -1,0 +1,40 @@
+#ifndef SYSDS_COMMON_STATISTICS_H_
+#define SYSDS_COMMON_STATISTICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace sysds {
+
+/// Process-wide runtime statistics, modeled after SystemDS's Statistics
+/// output (instruction counts/times, cache hits, I/O, federated traffic).
+/// All counters are thread-safe; Reset() is called per script execution
+/// when statistics are enabled.
+class Statistics {
+ public:
+  static Statistics& Get();
+
+  void Reset();
+
+  void IncInstruction(const std::string& opcode, double seconds);
+  void IncCounter(const std::string& name, int64_t delta = 1);
+  int64_t GetCounter(const std::string& name) const;
+
+  /// Heavy-hitter style report: top-k instructions by total time plus all
+  /// named counters.
+  std::string Report(int top_k = 15) const;
+
+ private:
+  Statistics() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::pair<int64_t, double>> instructions_;
+  std::map<std::string, int64_t> counters_;
+};
+
+}  // namespace sysds
+
+#endif  // SYSDS_COMMON_STATISTICS_H_

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace sysds {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kValidateError: return "ValidateError";
+    case StatusCode::kCompileError: return "CompileError";
+    case StatusCode::kRuntimeError: return "RuntimeError";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeName(code_);
+  s += ": ";
+  s += message_;
+  return s;
+}
+
+Status InvalidArgument(std::string m) { return Status(StatusCode::kInvalidArgument, std::move(m)); }
+Status ParseError(std::string m) { return Status(StatusCode::kParseError, std::move(m)); }
+Status ValidateError(std::string m) { return Status(StatusCode::kValidateError, std::move(m)); }
+Status CompileError(std::string m) { return Status(StatusCode::kCompileError, std::move(m)); }
+Status RuntimeError(std::string m) { return Status(StatusCode::kRuntimeError, std::move(m)); }
+Status IoError(std::string m) { return Status(StatusCode::kIoError, std::move(m)); }
+Status NotFound(std::string m) { return Status(StatusCode::kNotFound, std::move(m)); }
+Status Unimplemented(std::string m) { return Status(StatusCode::kUnimplemented, std::move(m)); }
+Status OutOfRange(std::string m) { return Status(StatusCode::kOutOfRange, std::move(m)); }
+Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
+
+}  // namespace sysds

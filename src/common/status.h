@@ -1,0 +1,112 @@
+#ifndef SYSDS_COMMON_STATUS_H_
+#define SYSDS_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace sysds {
+
+// Error categories used across the compiler and runtime. The library is
+// exception-free on its public surface; all fallible operations return a
+// Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,      // DML syntax errors (carry line/column in the message)
+  kValidateError,   // semantic/type errors found during validation
+  kCompileError,    // HOP/LOP construction or instruction generation failures
+  kRuntimeError,    // instruction execution failures
+  kIoError,         // file read/write/parse failures
+  kNotFound,
+  kUnimplemented,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code, e.g. "ParseError".
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error result, modeled after absl::Status.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "<CodeName>: <message>"; "OK" when ok().
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+Status InvalidArgument(std::string message);
+Status ParseError(std::string message);
+Status ValidateError(std::string message);
+Status CompileError(std::string message);
+Status RuntimeError(std::string message);
+Status IoError(std::string message);
+Status NotFound(std::string message);
+Status Unimplemented(std::string message);
+Status OutOfRange(std::string message);
+Status Internal(std::string message);
+
+/// Either a value of type T or an error Status. Accessing value() on an
+/// error is a programming bug and aborts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(const T& value) : value_(value) {}            // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}      // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates errors to the caller, mirroring the usual RETURN_IF_ERROR /
+// ASSIGN_OR_RETURN idiom.
+#define SYSDS_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::sysds::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+#define SYSDS_CONCAT_IMPL(a, b) a##b
+#define SYSDS_CONCAT(a, b) SYSDS_CONCAT_IMPL(a, b)
+
+#define SYSDS_ASSIGN_OR_RETURN(lhs, expr)                        \
+  auto SYSDS_CONCAT(_statusor_, __LINE__) = (expr);              \
+  if (!SYSDS_CONCAT(_statusor_, __LINE__).ok())                  \
+    return SYSDS_CONCAT(_statusor_, __LINE__).status();          \
+  lhs = std::move(SYSDS_CONCAT(_statusor_, __LINE__)).value()
+
+}  // namespace sysds
+
+#endif  // SYSDS_COMMON_STATUS_H_

@@ -1,0 +1,103 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+namespace sysds {
+
+namespace {
+// Set while executing a task on a pool worker thread. Nested ParallelFor
+// calls from inside a worker (e.g. matrix kernels invoked by parfor body
+// instructions) run inline instead of enqueueing into — and then waiting
+// on — an already saturated pool, which would deadlock.
+thread_local bool t_in_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    t_in_pool_worker = true;
+    task();
+    t_in_pool_worker = false;
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t num_chunks,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  int64_t n = end - begin;
+  if (n <= 0) return;
+  num_chunks = std::max<int64_t>(1, std::min(num_chunks, n));
+  if (num_chunks == 1 || t_in_pool_worker) {
+    fn(begin, end);
+    return;
+  }
+  std::atomic<int64_t> remaining(num_chunks - 1);
+  std::promise<void> done;
+  int64_t chunk = (n + num_chunks - 1) / num_chunks;
+  for (int64_t c = 1; c < num_chunks; ++c) {
+    int64_t b = begin + c * chunk;
+    int64_t e = std::min(end, b + chunk);
+    if (b >= e) {
+      if (remaining.fetch_sub(1) == 1) done.set_value();
+      continue;
+    }
+    Submit([&, b, e] {
+      fn(b, e);
+      if (remaining.fetch_sub(1) == 1) done.set_value();
+    });
+  }
+  fn(begin, std::min(end, begin + chunk));
+  done.get_future().wait();
+}
+
+int DefaultParallelism() {
+  static int k = [] {
+    if (const char* env = std::getenv("SYSDS_NUM_THREADS")) {
+      int v = std::atoi(env);
+      if (v > 0) return v;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }();
+  return k;
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(
+      static_cast<size_t>(std::max(1, DefaultParallelism())));
+  return *pool;
+}
+
+}  // namespace sysds

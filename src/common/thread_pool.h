@@ -1,0 +1,58 @@
+#ifndef SYSDS_COMMON_THREAD_POOL_H_
+#define SYSDS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sysds {
+
+/// A fixed-size worker pool used by the multi-threaded kernels, the parfor
+/// backend, and the distributed-executor simulator. Tasks are plain
+/// std::function<void()>; ParallelFor provides a blocking range helper with
+/// static chunking (deterministic assignment of ranges to chunk indexes).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(chunk_begin, chunk_end) over [begin, end) split into
+  /// `num_chunks` contiguous chunks, blocking until all complete. Chunk 0 is
+  /// executed on the calling thread so a pool of size N uses N+1 workers.
+  void ParallelFor(int64_t begin, int64_t end, int64_t num_chunks,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Process-wide pool sized by SYSDS_NUM_THREADS (default: hardware
+  /// concurrency). Intentionally leaked to avoid shutdown ordering issues.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Number of threads the runtime should use for data-parallel kernels,
+/// honoring the SYSDS_NUM_THREADS environment variable.
+int DefaultParallelism();
+
+}  // namespace sysds
+
+#endif  // SYSDS_COMMON_THREAD_POOL_H_

@@ -1,0 +1,72 @@
+#ifndef SYSDS_COMMON_UTIL_H_
+#define SYSDS_COMMON_UTIL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sysds {
+
+/// Wall-clock stopwatch used by benches and the statistics module.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+  void Reset() { start_ = Clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// String helpers shared by the parser, I/O, and instruction encoding.
+std::vector<std::string> SplitString(const std::string& s, char delim);
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& sep);
+std::string TrimString(const std::string& s);
+std::string ToLower(const std::string& s);
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+/// 64-bit FNV-1a style hash combiner used for lineage DAG hashing.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  // splitmix64-style mixing for good avalanche behaviour.
+  v += 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return seed ^ (v ^ (v >> 31));
+}
+
+uint64_t HashString(const std::string& s);
+
+/// A small xorshift-based RNG with an explicit seed, so that datagen results
+/// are reproducible and lineage can record the seed (paper §3.1 traces
+/// non-determinism like generated seeds).
+class Xoshiro {
+ public:
+  explicit Xoshiro(uint64_t seed);
+  uint64_t NextUint64();
+  /// Uniform in [0,1).
+  double NextDouble();
+  /// Uniform in [lo,hi).
+  double NextDouble(double lo, double hi);
+  /// Standard normal via Box-Muller.
+  double NextGaussian();
+
+ private:
+  uint64_t s_[4];
+  bool have_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+/// Returns a fresh pseudo-random seed (time + counter based); callers that
+/// need reproducibility must pass explicit seeds instead.
+uint64_t GenerateSeed();
+
+}  // namespace sysds
+
+#endif  // SYSDS_COMMON_UTIL_H_

@@ -1,0 +1,38 @@
+#ifndef SYSDS_COMPILER_COMPILER_H_
+#define SYSDS_COMPILER_COMPILER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "runtime/controlprog/program.h"
+
+namespace sysds {
+
+/// Compile-time information about a variable (used for size propagation
+/// across statement blocks, §2.3(2)). dims/nnz use -1 for unknown.
+struct SymbolInfo {
+  DataType dt = DataType::kUnknown;
+  ValueType vt = ValueType::kFP64;
+  int64_t dim1 = -1;
+  int64_t dim2 = -1;
+  int64_t nnz = -1;
+};
+
+using SymbolInfoMap = std::map<std::string, SymbolInfo>;
+
+/// Compiles a DML script into an executable runtime program: parsing,
+/// statement-block construction, HOP DAGs, rewrites, size propagation,
+/// operator selection, and instruction generation. `inputs` describes
+/// variables that will be bound externally before execution (MLContext /
+/// JMLC style).
+StatusOr<std::unique_ptr<Program>> CompileDML(const std::string& source,
+                                              const DMLConfig& config,
+                                              const SymbolInfoMap& inputs = {});
+
+}  // namespace sysds
+
+#endif  // SYSDS_COMPILER_COMPILER_H_

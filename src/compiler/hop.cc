@@ -1,0 +1,422 @@
+#include "compiler/hop.h"
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "runtime/matrix/matrix_block.h"
+
+namespace sysds {
+
+const char* HopOpName(HopOp op) {
+  switch (op) {
+    case HopOp::kLiteral: return "literal";
+    case HopOp::kTransientRead: return "tread";
+    case HopOp::kTransientWrite: return "twrite";
+    case HopOp::kPersistentRead: return "pread";
+    case HopOp::kPersistentWrite: return "pwrite";
+    case HopOp::kDataGen: return "datagen";
+    case HopOp::kBinary: return "binary";
+    case HopOp::kUnary: return "unary";
+    case HopOp::kAggUnary: return "aggunary";
+    case HopOp::kCumAgg: return "cumagg";
+    case HopOp::kMatMult: return "ba+*";
+    case HopOp::kTsmm: return "tsmm";
+    case HopOp::kTmm: return "tmm";
+    case HopOp::kReorg: return "reorg";
+    case HopOp::kIndexing: return "rightIndex";
+    case HopOp::kLeftIndexing: return "leftIndex";
+    case HopOp::kNary: return "nary";
+    case HopOp::kTernary: return "ternary";
+    case HopOp::kParamBuiltin: return "parambuiltin";
+    case HopOp::kCast: return "cast";
+    case HopOp::kSolve: return "solve";
+    case HopOp::kFunctionCall: return "fcall";
+    case HopOp::kFedInit: return "fedinit";
+  }
+  return "?";
+}
+
+LitValue LitValue::Double(double v) {
+  LitValue l;
+  l.vt = ValueType::kFP64;
+  l.d = v;
+  return l;
+}
+LitValue LitValue::Int(int64_t v) {
+  LitValue l;
+  l.vt = ValueType::kInt64;
+  l.i = v;
+  return l;
+}
+LitValue LitValue::Bool(bool v) {
+  LitValue l;
+  l.vt = ValueType::kBoolean;
+  l.b = v;
+  return l;
+}
+LitValue LitValue::String(std::string v) {
+  LitValue l;
+  l.vt = ValueType::kString;
+  l.s = std::move(v);
+  return l;
+}
+
+double LitValue::AsDouble() const {
+  switch (vt) {
+    case ValueType::kFP64: return d;
+    case ValueType::kInt64: return static_cast<double>(i);
+    case ValueType::kBoolean: return b ? 1.0 : 0.0;
+    default: return s.empty() ? 0.0 : std::stod(s);
+  }
+}
+int64_t LitValue::AsInt() const {
+  switch (vt) {
+    case ValueType::kFP64: return static_cast<int64_t>(d);
+    case ValueType::kInt64: return i;
+    case ValueType::kBoolean: return b ? 1 : 0;
+    default: return s.empty() ? 0 : std::stoll(s);
+  }
+}
+bool LitValue::AsBool() const {
+  switch (vt) {
+    case ValueType::kFP64: return d != 0.0;
+    case ValueType::kInt64: return i != 0;
+    case ValueType::kBoolean: return b;
+    default: return s == "TRUE" || s == "true";
+  }
+}
+std::string LitValue::AsString() const {
+  switch (vt) {
+    case ValueType::kFP64: {
+      std::ostringstream os;
+      os << d;
+      return os.str();
+    }
+    case ValueType::kInt64: return std::to_string(i);
+    case ValueType::kBoolean: return b ? "TRUE" : "FALSE";
+    default: return s;
+  }
+}
+
+int64_t Hop::NextId() {
+  static std::atomic<int64_t> counter{1};
+  return counter.fetch_add(1);
+}
+
+Hop::Hop(HopOp op, std::string opcode, DataType dt, ValueType vt)
+    : id_(NextId()), op_(op), opcode_(std::move(opcode)), dt_(dt), vt_(vt) {}
+
+double Hop::Sparsity() const {
+  if (!DimsKnown() || nnz_ < 0 || dim1_ * dim2_ == 0) return 1.0;
+  return static_cast<double>(nnz_) / (dim1_ * dim2_);
+}
+
+namespace {
+int64_t ScaledNnz(int64_t in_nnz, int64_t in_cells, int64_t out_cells) {
+  if (in_nnz < 0 || in_cells <= 0) return -1;
+  double sp = static_cast<double>(in_nnz) / in_cells;
+  return static_cast<int64_t>(sp * out_cells);
+}
+}  // namespace
+
+void Hop::RefreshSizeInformation() {
+  auto in = [&](size_t k) -> Hop* {
+    return k < inputs_.size() ? inputs_[k].get() : nullptr;
+  };
+  switch (op_) {
+    case HopOp::kLiteral:
+      dim1_ = 0;
+      dim2_ = 0;
+      break;
+    case HopOp::kTransientRead:
+    case HopOp::kPersistentRead:
+    case HopOp::kFedInit:
+      break;  // dims set externally (symbol info / metadata)
+    case HopOp::kTransientWrite:
+    case HopOp::kPersistentWrite:
+    case HopOp::kCumAgg:
+      if (in(0)) {
+        dim1_ = in(0)->dim1();
+        dim2_ = in(0)->dim2();
+        nnz_ = op_ == HopOp::kCumAgg ? -1 : in(0)->nnz();
+        dt_ = in(0)->data_type();
+        vt_ = in(0)->value_type();
+        if (op_ == HopOp::kCumAgg) { dt_ = DataType::kMatrix; }
+      }
+      break;
+    case HopOp::kDataGen:
+      // dims set by the builder from rows/cols argument hops when literal.
+      break;
+    case HopOp::kBinary: {
+      if (dt_ == DataType::kScalar) {
+        dim1_ = 0;
+        dim2_ = 0;
+        break;
+      }
+      Hop* a = in(0);
+      Hop* b = in(1);
+      const Hop* m = nullptr;
+      if (a && a->data_type() == DataType::kMatrix) m = a;
+      if (b && b->data_type() == DataType::kMatrix) {
+        // Pick the larger (broadcast target).
+        if (m == nullptr || (b->DimsKnown() && m->DimsKnown() &&
+                             b->dim1() * b->dim2() > m->dim1() * m->dim2())) {
+          m = b;
+        }
+      }
+      if (m != nullptr) {
+        dim1_ = m->dim1();
+        dim2_ = m->dim2();
+        // Sparsity: only '*' guaranteed to keep zeros of either side.
+        if (opcode_ == "*" && a && b) {
+          nnz_ = std::min(a->nnz() < 0 ? INT64_MAX : a->nnz(),
+                          b->nnz() < 0 ? INT64_MAX : b->nnz());
+          if (nnz_ == INT64_MAX) nnz_ = -1;
+        } else {
+          nnz_ = -1;
+        }
+      }
+      break;
+    }
+    case HopOp::kUnary:
+      if (dt_ == DataType::kScalar) {
+        dim1_ = 0;
+        dim2_ = 0;
+      } else if (in(0)) {
+        dim1_ = in(0)->dim1();
+        dim2_ = in(0)->dim2();
+        nnz_ = (opcode_ == "uminus" || opcode_ == "sqrt" ||
+                opcode_ == "abs" || opcode_ == "sign")
+                   ? in(0)->nnz()
+                   : -1;
+      }
+      break;
+    case HopOp::kAggUnary: {
+      // Direction encoded in the opcode prefix: ua (all), uar (row), uac (col).
+      if (opcode_.rfind("uar", 0) == 0) {
+        dim1_ = in(0) ? in(0)->dim1() : -1;
+        dim2_ = 1;
+      } else if (opcode_.rfind("uac", 0) == 0) {
+        dim1_ = 1;
+        dim2_ = in(0) ? in(0)->dim2() : -1;
+      } else {
+        dim1_ = 0;
+        dim2_ = 0;
+      }
+      nnz_ = -1;
+      break;
+    }
+    case HopOp::kMatMult:
+      if (in(0) && in(1)) {
+        dim1_ = in(0)->dim1();
+        dim2_ = in(1)->dim2();
+        nnz_ = -1;
+      }
+      break;
+    case HopOp::kTsmm:
+      if (in(0)) {
+        int64_t n = opcode_ == "right" ? in(0)->dim1() : in(0)->dim2();
+        dim1_ = n;
+        dim2_ = n;
+        nnz_ = -1;
+      }
+      break;
+    case HopOp::kTmm:
+      if (in(0) && in(1)) {
+        dim1_ = in(0)->dim2();
+        dim2_ = in(1)->dim2();
+        nnz_ = -1;
+      }
+      break;
+    case HopOp::kReorg:
+      if (in(0)) {
+        if (opcode_ == "t") {
+          dim1_ = in(0)->dim2();
+          dim2_ = in(0)->dim1();
+          nnz_ = in(0)->nnz();
+        } else if (opcode_ == "rev" || opcode_ == "sort") {
+          dim1_ = in(0)->dim1();
+          dim2_ = in(0)->dim2();
+          nnz_ = in(0)->nnz();
+        } else if (opcode_ == "rdiag") {
+          // vector->matrix or matrix->vector
+          if (in(0)->dim2() == 1) {
+            dim1_ = in(0)->dim1();
+            dim2_ = in(0)->dim1();
+            nnz_ = in(0)->nnz();
+          } else {
+            dim1_ = in(0)->dim1();
+            dim2_ = 1;
+            nnz_ = -1;
+          }
+        } else if (opcode_ == "reshape") {
+          // dims from literal inputs 1, 2 when available
+          if (inputs_.size() >= 3 && in(1)->op() == HopOp::kLiteral &&
+              in(2)->op() == HopOp::kLiteral) {
+            dim1_ = in(1)->literal().AsInt();
+            dim2_ = in(2)->literal().AsInt();
+          }
+          nnz_ = in(0)->nnz();
+        }
+      }
+      break;
+    case HopOp::kIndexing: {
+      // inputs: X, rl, ru, cl, cu; literal upper bound -1 means "to end".
+      auto lit = [&](size_t k) -> int64_t {
+        Hop* h = in(k);
+        if (h == nullptr || h->op() != HopOp::kLiteral) return INT64_MIN;
+        return h->literal().AsInt();
+      };
+      int64_t rl = lit(1), ru = lit(2), cl = lit(3), cu = lit(4);
+      int64_t in_rows = in(0) ? in(0)->dim1() : -1;
+      int64_t in_cols = in(0) ? in(0)->dim2() : -1;
+      if (ru == -1 && in_rows >= 0) ru = in_rows;
+      if (cu == -1 && in_cols >= 0) cu = in_cols;
+      dim1_ = (rl > 0 && ru > 0) ? ru - rl + 1 : -1;
+      dim2_ = (cl > 0 && cu > 0) ? cu - cl + 1 : -1;
+      nnz_ = -1;
+      break;
+    }
+    case HopOp::kLeftIndexing:
+      if (in(0)) {
+        dim1_ = in(0)->dim1();
+        dim2_ = in(0)->dim2();
+        nnz_ = -1;
+      }
+      break;
+    case HopOp::kNary: {
+      if (opcode_ == "cbind") {
+        int64_t rows = -1, cols = 0;
+        bool all_known = true;
+        for (const HopPtr& h : inputs_) {
+          if (h->dim1() >= 0) rows = h->dim1();
+          if (h->dim2() < 0) all_known = false;
+          else cols += h->dim2();
+        }
+        dim1_ = rows;
+        dim2_ = all_known ? cols : -1;
+      } else if (opcode_ == "rbind") {
+        int64_t rows = 0, cols = -1;
+        bool all_known = true;
+        for (const HopPtr& h : inputs_) {
+          if (h->dim2() >= 0) cols = h->dim2();
+          if (h->dim1() < 0) all_known = false;
+          else rows += h->dim1();
+        }
+        dim1_ = all_known ? rows : -1;
+        dim2_ = cols;
+      }
+      nnz_ = -1;
+      break;
+    }
+    case HopOp::kTernary:
+      if (opcode_ == "ifelse" && in(0)) {
+        dim1_ = in(0)->dim1();
+        dim2_ = in(0)->dim2();
+      }
+      nnz_ = -1;
+      break;
+    case HopOp::kParamBuiltin:
+      nnz_ = -1;
+      break;
+    case HopOp::kCast:
+      if (opcode_ == "as.scalar" || opcode_ == "as.double" ||
+          opcode_ == "as.integer" || opcode_ == "as.logical") {
+        dim1_ = 0;
+        dim2_ = 0;
+      } else if (in(0)) {
+        dim1_ = in(0)->dim1();
+        dim2_ = in(0)->dim2();
+        nnz_ = in(0)->nnz();
+      }
+      break;
+    case HopOp::kSolve:
+      if (opcode_ == "det") {
+        dim1_ = 0;
+        dim2_ = 0;
+      } else if (in(0) && in(1)) {
+        dim1_ = in(0)->dim2();
+        dim2_ = in(1)->dim2();
+      } else if (in(0)) {
+        dim1_ = in(0)->dim1();
+        dim2_ = in(0)->dim2();
+      }
+      nnz_ = -1;
+      break;
+    case HopOp::kFunctionCall:
+      break;  // outputs typed at call boundary
+  }
+}
+
+int64_t Hop::OutputMemEstimate() const {
+  if (dt_ == DataType::kScalar) return 64;
+  if (!DimsKnown()) return 8LL * 1024 * 1024 * 1024;  // pessimistic unknown
+  double sp = nnz_ >= 0 && dim1_ * dim2_ > 0
+                  ? static_cast<double>(nnz_) / (dim1_ * dim2_)
+                  : 1.0;
+  return MatrixBlock::EstimateSizeInBytes(dim1_, dim2_, sp);
+}
+
+int64_t Hop::MemEstimate() const {
+  int64_t total = OutputMemEstimate();
+  for (const HopPtr& h : inputs_) total += h->OutputMemEstimate();
+  return total;
+}
+
+std::string Hop::DebugString() const {
+  std::ostringstream os;
+  os << "h" << id_ << " " << HopOpName(op_) << "(" << opcode_ << ")";
+  if (!name_.empty()) os << " '" << name_ << "'";
+  os << " [" << dim1_ << "x" << dim2_ << ", nnz=" << nnz_ << "] "
+     << DataTypeName(dt_) << "/" << ValueTypeName(vt_) << " <-";
+  for (const HopPtr& h : inputs_) os << " h" << h->id();
+  return os.str();
+}
+
+HopPtr MakeLiteralHop(const LitValue& v) {
+  auto h = std::make_shared<Hop>(HopOp::kLiteral, "lit", DataType::kScalar,
+                                 v.vt);
+  h->literal() = v;
+  h->set_dims(0, 0);
+  return h;
+}
+
+HopPtr MakeTransientRead(const std::string& name, DataType dt, ValueType vt,
+                         int64_t dim1, int64_t dim2, int64_t nnz) {
+  auto h = std::make_shared<Hop>(HopOp::kTransientRead, "tread", dt, vt);
+  h->set_name(name);
+  h->set_dims(dim1, dim2);
+  h->set_nnz(nnz);
+  return h;
+}
+
+HopPtr MakeTransientWrite(const std::string& name, HopPtr input) {
+  auto h = std::make_shared<Hop>(HopOp::kTransientWrite, "twrite",
+                                 input->data_type(), input->value_type());
+  h->set_name(name);
+  h->AddInput(std::move(input));
+  h->RefreshSizeInformation();
+  return h;
+}
+
+namespace {
+void TopoVisit(Hop* h, std::set<int64_t>* seen, std::vector<Hop*>* order) {
+  if (!seen->insert(h->id()).second) return;
+  for (const HopPtr& in : h->inputs()) TopoVisit(in.get(), seen, order);
+  order->push_back(h);
+}
+}  // namespace
+
+std::vector<Hop*> TopoOrder(const std::vector<HopPtr>& roots) {
+  std::set<int64_t> seen;
+  std::vector<Hop*> order;
+  for (const HopPtr& r : roots) TopoVisit(r.get(), &seen, &order);
+  return order;
+}
+
+void PropagateSizes(const std::vector<HopPtr>& roots) {
+  for (Hop* h : TopoOrder(roots)) h->RefreshSizeInformation();
+}
+
+}  // namespace sysds

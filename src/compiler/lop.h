@@ -1,0 +1,33 @@
+#ifndef SYSDS_COMPILER_LOP_H_
+#define SYSDS_COMPILER_LOP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "compiler/hop.h"
+#include "runtime/controlprog/instruction.h"
+
+namespace sysds {
+
+/// Low-level (physical) operator (paper §2.3(2)): the result of operator
+/// selection over a HOP. A LOP fixes the execution backend (CP/SPARK/FED)
+/// and the physical opcode, and carries resolved operands; instruction
+/// generation is a direct translation of the LOP DAG in topological order.
+struct Lop {
+  const Hop* hop = nullptr;     // originating logical operator
+  std::string opcode;           // physical opcode (e.g. "tsmm", "ba+*")
+  ExecType exec_type = ExecType::kCP;
+  std::vector<Operand> inputs;
+  std::vector<Operand> outputs;
+  // Extra physical parameters (e.g. format/header for reads, param names
+  // for parameterized builtins, function arg names).
+  std::vector<std::string> param_names;
+
+  std::string ToString() const;
+};
+
+}  // namespace sysds
+
+#endif  // SYSDS_COMPILER_LOP_H_

@@ -1,0 +1,33 @@
+#include "compiler/recompiler.h"
+
+#include "common/statistics.h"
+#include "compiler/codegen.h"
+#include "compiler/hop.h"
+#include "runtime/controlprog/program.h"
+
+namespace sysds {
+
+Status RecompileBasicBlock(BasicBlock* block, ExecutionContext* ec) {
+  if (block->HopRoots().empty()) return Status::Ok();
+  Statistics::Get().IncCounter("compiler.recompilations");
+
+  for (Hop* hop : TopoOrder(block->HopRoots())) {
+    if (hop->op() != HopOp::kTransientRead) continue;
+    DataPtr d = ec->Vars().GetOrNull(hop->name());
+    if (d == nullptr) continue;
+    if (auto* m = dynamic_cast<MatrixObject*>(d.get())) {
+      hop->set_dims(m->Rows(), m->Cols());
+      hop->set_nnz(m->NonZeros());
+    } else if (auto* f = dynamic_cast<FrameObject*>(d.get())) {
+      hop->set_dims(f->Frame().Rows(), f->Frame().Cols());
+    }
+  }
+  PropagateSizes(block->HopRoots());
+  SYSDS_ASSIGN_OR_RETURN(
+      std::vector<InstructionPtr> instructions,
+      GenerateInstructions(block->HopRoots(), ec->Config()));
+  block->Instructions() = std::move(instructions);
+  return Status::Ok();
+}
+
+}  // namespace sysds

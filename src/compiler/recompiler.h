@@ -1,0 +1,20 @@
+#ifndef SYSDS_COMPILER_RECOMPILER_H_
+#define SYSDS_COMPILER_RECOMPILER_H_
+
+#include "common/status.h"
+
+namespace sysds {
+
+class BasicBlock;
+class ExecutionContext;
+
+/// Dynamic recompilation (paper §2.3(3)): before executing a basic block
+/// whose HOP DAG had unknown sizes at compile time, refresh the transient-
+/// read sizes from the live symbol table, re-propagate sizes, re-select
+/// execution types, and regenerate the instruction sequence — mitigating
+/// initial unknowns the way adaptive query processing does.
+Status RecompileBasicBlock(BasicBlock* block, ExecutionContext* ec);
+
+}  // namespace sysds
+
+#endif  // SYSDS_COMPILER_RECOMPILER_H_

@@ -1,0 +1,331 @@
+#include "compiler/rewrites.h"
+
+#include <cmath>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/util.h"
+#include "runtime/matrix/op_codes.h"
+
+namespace sysds {
+
+namespace {
+
+// Applies fn to every hop bottom-up; fn may replace inputs of the visited
+// hop (returning a replacement for a child via the rewrite map).
+void ForEachHopBottomUp(std::vector<HopPtr>* roots,
+                        const std::function<HopPtr(const HopPtr&)>& rewrite) {
+  std::map<int64_t, HopPtr> memo;
+  std::function<HopPtr(const HopPtr&)> visit =
+      [&](const HopPtr& hop) -> HopPtr {
+    auto it = memo.find(hop->id());
+    if (it != memo.end()) return it->second;
+    for (HopPtr& in : hop->inputs()) {
+      HopPtr replaced = visit(in);
+      if (replaced != in) in = replaced;
+    }
+    HopPtr result = rewrite(hop);
+    memo[hop->id()] = result != nullptr ? result : hop;
+    return memo[hop->id()];
+  };
+  for (HopPtr& root : *roots) {
+    HopPtr replaced = visit(root);
+    if (replaced != root) root = replaced;
+  }
+}
+
+bool IsLiteral(const HopPtr& h) { return h->op() == HopOp::kLiteral; }
+
+bool IsLiteralValue(const HopPtr& h, double v) {
+  return IsLiteral(h) && h->literal().vt != ValueType::kString &&
+         h->literal().AsDouble() == v;
+}
+
+HopPtr FoldBinaryLiteral(const Hop& hop) {
+  const LitValue& a = hop.inputs()[0]->literal();
+  const LitValue& b = hop.inputs()[1]->literal();
+  const std::string& op = hop.opcode();
+  if (a.vt == ValueType::kString || b.vt == ValueType::kString) {
+    if (op == "+") {
+      return MakeLiteralHop(LitValue::String(a.AsString() + b.AsString()));
+    }
+    return nullptr;
+  }
+  BinaryOpCode code;
+  if (op == "+") code = BinaryOpCode::kAdd;
+  else if (op == "-") code = BinaryOpCode::kSub;
+  else if (op == "*") code = BinaryOpCode::kMul;
+  else if (op == "/") code = BinaryOpCode::kDiv;
+  else if (op == "^") code = BinaryOpCode::kPow;
+  else if (op == "%%") code = BinaryOpCode::kMod;
+  else if (op == "%/%") code = BinaryOpCode::kIntDiv;
+  else if (op == "min") code = BinaryOpCode::kMin;
+  else if (op == "max") code = BinaryOpCode::kMax;
+  else if (op == "==") code = BinaryOpCode::kEqual;
+  else if (op == "!=") code = BinaryOpCode::kNotEqual;
+  else if (op == "<") code = BinaryOpCode::kLess;
+  else if (op == "<=") code = BinaryOpCode::kLessEqual;
+  else if (op == ">") code = BinaryOpCode::kGreater;
+  else if (op == ">=") code = BinaryOpCode::kGreaterEqual;
+  else if (op == "&") code = BinaryOpCode::kAnd;
+  else if (op == "|") code = BinaryOpCode::kOr;
+  else return nullptr;
+  double r = ApplyBinary(code, a.AsDouble(), b.AsDouble());
+  switch (code) {
+    case BinaryOpCode::kEqual:
+    case BinaryOpCode::kNotEqual:
+    case BinaryOpCode::kLess:
+    case BinaryOpCode::kLessEqual:
+    case BinaryOpCode::kGreater:
+    case BinaryOpCode::kGreaterEqual:
+    case BinaryOpCode::kAnd:
+    case BinaryOpCode::kOr:
+      return MakeLiteralHop(LitValue::Bool(r != 0.0));
+    default:
+      break;
+  }
+  if (a.vt == ValueType::kInt64 && b.vt == ValueType::kInt64 &&
+      code != BinaryOpCode::kDiv && code != BinaryOpCode::kPow &&
+      r == std::floor(r) && std::isfinite(r)) {
+    return MakeLiteralHop(LitValue::Int(static_cast<int64_t>(r)));
+  }
+  return MakeLiteralHop(LitValue::Double(r));
+}
+
+HopPtr FoldUnaryLiteral(const Hop& hop) {
+  const LitValue& a = hop.inputs()[0]->literal();
+  if (a.vt == ValueType::kString) return nullptr;
+  const std::string& op = hop.opcode();
+  if (op == "uminus") {
+    if (a.vt == ValueType::kInt64) return MakeLiteralHop(LitValue::Int(-a.i));
+    return MakeLiteralHop(LitValue::Double(-a.AsDouble()));
+  }
+  if (op == "!") return MakeLiteralHop(LitValue::Bool(!a.AsBool()));
+  UnaryOpCode code;
+  if (op == "exp") code = UnaryOpCode::kExp;
+  else if (op == "log") code = UnaryOpCode::kLog;
+  else if (op == "sqrt") code = UnaryOpCode::kSqrt;
+  else if (op == "abs") code = UnaryOpCode::kAbs;
+  else if (op == "round") code = UnaryOpCode::kRound;
+  else if (op == "floor") code = UnaryOpCode::kFloor;
+  else if (op == "ceil") code = UnaryOpCode::kCeil;
+  else if (op == "sin") code = UnaryOpCode::kSin;
+  else if (op == "cos") code = UnaryOpCode::kCos;
+  else if (op == "tan") code = UnaryOpCode::kTan;
+  else if (op == "sign") code = UnaryOpCode::kSign;
+  else return nullptr;
+  return MakeLiteralHop(LitValue::Double(ApplyUnary(code, a.AsDouble())));
+}
+
+}  // namespace
+
+void RewriteConstantFolding(std::vector<HopPtr>* roots) {
+  ForEachHopBottomUp(roots, [](const HopPtr& hop) -> HopPtr {
+    if (hop->data_type() != DataType::kScalar) return hop;
+    if (hop->op() == HopOp::kBinary && hop->inputs().size() == 2 &&
+        IsLiteral(hop->inputs()[0]) && IsLiteral(hop->inputs()[1])) {
+      HopPtr folded = FoldBinaryLiteral(*hop);
+      if (folded != nullptr) return folded;
+    }
+    if (hop->op() == HopOp::kUnary && hop->inputs().size() == 1 &&
+        IsLiteral(hop->inputs()[0])) {
+      HopPtr folded = FoldUnaryLiteral(*hop);
+      if (folded != nullptr) return folded;
+    }
+    return hop;
+  });
+}
+
+void RewriteAlgebraicSimplification(std::vector<HopPtr>* roots) {
+  ForEachHopBottomUp(roots, [](const HopPtr& hop) -> HopPtr {
+    // Double transpose elimination: t(t(X)) -> X.
+    if (hop->op() == HopOp::kReorg && hop->opcode() == "t" &&
+        hop->inputs()[0]->op() == HopOp::kReorg &&
+        hop->inputs()[0]->opcode() == "t") {
+      return hop->inputs()[0]->inputs()[0];
+    }
+    if (hop->op() == HopOp::kBinary &&
+        hop->data_type() == DataType::kMatrix &&
+        hop->inputs().size() == 2) {
+      const HopPtr& a = hop->inputs()[0];
+      const HopPtr& b = hop->inputs()[1];
+      const std::string& op = hop->opcode();
+      bool a_matrix = a->data_type() == DataType::kMatrix;
+      bool b_matrix = b->data_type() == DataType::kMatrix;
+      // X*1, X/1, X+0, X-0, X^1 -> X ; 1*X, 0+X -> X.
+      if (a_matrix && ((op == "*" && IsLiteralValue(b, 1.0)) ||
+                       (op == "/" && IsLiteralValue(b, 1.0)) ||
+                       (op == "+" && IsLiteralValue(b, 0.0)) ||
+                       (op == "-" && IsLiteralValue(b, 0.0)) ||
+                       (op == "^" && IsLiteralValue(b, 1.0)))) {
+        return a;
+      }
+      if (b_matrix && ((op == "*" && IsLiteralValue(a, 1.0)) ||
+                       (op == "+" && IsLiteralValue(a, 0.0)))) {
+        return b;
+      }
+    }
+    return hop;
+  });
+}
+
+void RewriteFusedOps(std::vector<HopPtr>* roots) {
+  ForEachHopBottomUp(roots, [](const HopPtr& hop) -> HopPtr {
+    if (hop->op() != HopOp::kMatMult || hop->inputs().size() != 2) return hop;
+    const HopPtr& a = hop->inputs()[0];
+    const HopPtr& b = hop->inputs()[1];
+    bool a_t = a->op() == HopOp::kReorg && a->opcode() == "t";
+    bool b_t = b->op() == HopOp::kReorg && b->opcode() == "t";
+    // t(X) %*% X -> tsmm(X, left)
+    if (a_t && a->inputs()[0].get() == b.get()) {
+      auto tsmm = std::make_shared<Hop>(HopOp::kTsmm, "left",
+                                        DataType::kMatrix, ValueType::kFP64);
+      tsmm->AddInput(b);
+      tsmm->RefreshSizeInformation();
+      return tsmm;
+    }
+    // X %*% t(X) -> tsmm(X, right)
+    if (b_t && b->inputs()[0].get() == a.get()) {
+      auto tsmm = std::make_shared<Hop>(HopOp::kTsmm, "right",
+                                        DataType::kMatrix, ValueType::kFP64);
+      tsmm->AddInput(a);
+      tsmm->RefreshSizeInformation();
+      return tsmm;
+    }
+    // t(A) %*% B -> tmm(A, B): avoids materializing the transpose (the
+    // fused call the paper notes TF lacks, §4.2).
+    if (a_t) {
+      auto tmm = std::make_shared<Hop>(HopOp::kTmm, "tmm", DataType::kMatrix,
+                                       ValueType::kFP64);
+      tmm->AddInput(a->inputs()[0]);
+      tmm->AddInput(b);
+      tmm->RefreshSizeInformation();
+      return tmm;
+    }
+    return hop;
+  });
+}
+
+namespace {
+
+// Structural signature for CSE. Non-deterministic datagen (seed -1) and
+// reads are excluded by returning a unique signature.
+std::string HopSignature(const Hop& hop,
+                         const std::map<int64_t, int64_t>& canon) {
+  std::ostringstream os;
+  switch (hop.op()) {
+    case HopOp::kPersistentRead:
+    case HopOp::kFunctionCall:
+    case HopOp::kParamBuiltin:
+    case HopOp::kPersistentWrite:
+      os << "unique#" << hop.id();
+      return os.str();
+    case HopOp::kDataGen:
+      for (const HopPtr& in : hop.inputs()) {
+        if (in->op() == HopOp::kLiteral &&
+            in->literal().vt == ValueType::kInt64 && in->literal().i == -1) {
+          os << "unique#" << hop.id();
+          return os.str();
+        }
+      }
+      break;
+    default:
+      break;
+  }
+  os << HopOpName(hop.op()) << "|" << hop.opcode() << "|" << hop.name()
+     << "|";
+  if (hop.op() == HopOp::kLiteral) {
+    os << ValueTypeName(hop.literal().vt) << ":" << hop.literal().AsString();
+  }
+  for (const auto& [k, v] : hop.params()) os << k << "=" << v << ";";
+  os << "|";
+  for (const HopPtr& in : hop.inputs()) {
+    auto it = canon.find(in->id());
+    os << (it != canon.end() ? it->second : in->id()) << ",";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+void RewriteCommonSubexpressionElimination(std::vector<HopPtr>* roots) {
+  std::map<std::string, HopPtr> seen;
+  std::map<int64_t, int64_t> canon;  // hop id -> canonical id
+  ForEachHopBottomUp(roots, [&](const HopPtr& hop) -> HopPtr {
+    if (hop->op() == HopOp::kTransientWrite) return hop;
+    std::string sig = HopSignature(*hop, canon);
+    auto it = seen.find(sig);
+    if (it != seen.end()) {
+      canon[hop->id()] = it->second->id();
+      return it->second;
+    }
+    seen[sig] = hop;
+    canon[hop->id()] = hop->id();
+    return hop;
+  });
+}
+
+void RewriteMatMultChains(std::vector<HopPtr>* roots) {
+  // Collects left/right-deep chains of pure matmults with known dims and
+  // reorders them via the classic dynamic-programming parenthesization.
+  ForEachHopBottomUp(roots, [](const HopPtr& hop) -> HopPtr {
+    if (hop->op() != HopOp::kMatMult) return hop;
+    // Gather the chain.
+    std::vector<HopPtr> leaves;
+    std::function<bool(const HopPtr&)> gather =
+        [&](const HopPtr& h) -> bool {
+      if (h->op() == HopOp::kMatMult) {
+        return gather(h->inputs()[0]) && gather(h->inputs()[1]);
+      }
+      if (!h->DimsKnown()) return false;
+      leaves.push_back(h);
+      return true;
+    };
+    if (!gather(hop) || leaves.size() < 3) return hop;
+    size_t n = leaves.size();
+    std::vector<int64_t> dims(n + 1);
+    for (size_t i = 0; i < n; ++i) dims[i] = leaves[i]->dim1();
+    dims[n] = leaves[n - 1]->dim2();
+    std::vector<std::vector<int64_t>> cost(n, std::vector<int64_t>(n, 0));
+    std::vector<std::vector<size_t>> split(n, std::vector<size_t>(n, 0));
+    for (size_t len = 2; len <= n; ++len) {
+      for (size_t i = 0; i + len <= n; ++i) {
+        size_t j = i + len - 1;
+        cost[i][j] = INT64_MAX;
+        for (size_t k = i; k < j; ++k) {
+          int64_t c = cost[i][k] + cost[k + 1][j] +
+                      dims[i] * dims[k + 1] * dims[j + 1];
+          if (c < cost[i][j]) {
+            cost[i][j] = c;
+            split[i][j] = k;
+          }
+        }
+      }
+    }
+    std::function<HopPtr(size_t, size_t)> build = [&](size_t i,
+                                                      size_t j) -> HopPtr {
+      if (i == j) return leaves[i];
+      auto mm = std::make_shared<Hop>(HopOp::kMatMult, "ba+*",
+                                      DataType::kMatrix, ValueType::kFP64);
+      mm->AddInput(build(i, split[i][j]));
+      mm->AddInput(build(split[i][j] + 1, j));
+      mm->RefreshSizeInformation();
+      return mm;
+    };
+    return build(0, n - 1);
+  });
+}
+
+void ApplyStaticRewrites(std::vector<HopPtr>* roots) {
+  RewriteConstantFolding(roots);
+  RewriteAlgebraicSimplification(roots);
+  RewriteMatMultChains(roots);
+  RewriteFusedOps(roots);
+  RewriteCommonSubexpressionElimination(roots);
+  PropagateSizes(*roots);
+}
+
+}  // namespace sysds

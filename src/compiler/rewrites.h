@@ -1,0 +1,25 @@
+#ifndef SYSDS_COMPILER_REWRITES_H_
+#define SYSDS_COMPILER_REWRITES_H_
+
+#include <vector>
+
+#include "compiler/hop.h"
+
+namespace sysds {
+
+/// Static HOP rewrites (paper §2.3(2)): algebraic simplifications, fused
+/// operator patterns, common subexpression elimination, and matrix-multiply
+/// chain reordering. Rewrites mutate the DAG in place (roots stay valid).
+/// Applied before size propagation finalizes and operators are selected.
+void ApplyStaticRewrites(std::vector<HopPtr>* roots);
+
+// Individual passes, exposed for unit testing.
+void RewriteConstantFolding(std::vector<HopPtr>* roots);
+void RewriteAlgebraicSimplification(std::vector<HopPtr>* roots);
+void RewriteFusedOps(std::vector<HopPtr>* roots);          // tsmm / tmm
+void RewriteCommonSubexpressionElimination(std::vector<HopPtr>* roots);
+void RewriteMatMultChains(std::vector<HopPtr>* roots);
+
+}  // namespace sysds
+
+#endif  // SYSDS_COMPILER_REWRITES_H_

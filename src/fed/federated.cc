@@ -1,0 +1,312 @@
+#include "fed/federated.h"
+
+#include <cstring>
+
+#include "common/thread_pool.h"
+#include "runtime/matrix/lib_agg.h"
+#include "runtime/matrix/lib_elementwise.h"
+#include "runtime/matrix/lib_matmult.h"
+#include "runtime/matrix/lib_reorg.h"
+#include "runtime/matrix/lib_solve.h"
+#include "runtime/matrix/op_codes.h"
+
+namespace sysds {
+
+std::vector<uint8_t> SerializeMatrix(const MatrixBlock& m) {
+  // Dense little-endian framing: rows, cols, then cells.
+  int64_t rows = m.Rows(), cols = m.Cols();
+  std::vector<uint8_t> buf(16 + static_cast<size_t>(rows * cols) * 8);
+  std::memcpy(buf.data(), &rows, 8);
+  std::memcpy(buf.data() + 8, &cols, 8);
+  double* cells = reinterpret_cast<double*>(buf.data() + 16);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) cells[r * cols + c] = m.Get(r, c);
+  }
+  return buf;
+}
+
+StatusOr<MatrixBlock> DeserializeMatrix(const std::vector<uint8_t>& buf) {
+  if (buf.size() < 16) return IoError("federated: truncated matrix payload");
+  int64_t rows = 0, cols = 0;
+  std::memcpy(&rows, buf.data(), 8);
+  std::memcpy(&cols, buf.data() + 8, 8);
+  if (buf.size() != 16 + static_cast<size_t>(rows * cols) * 8) {
+    return IoError("federated: malformed matrix payload");
+  }
+  MatrixBlock m = MatrixBlock::Dense(rows, cols);
+  std::memcpy(m.DenseData(), buf.data() + 16,
+              static_cast<size_t>(rows * cols) * 8);
+  m.MarkNnzDirty();
+  m.ExamSparsity();
+  return m;
+}
+
+FederatedWorker::FederatedWorker(int id) : id_(id) {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+FederatedWorker::~FederatedWorker() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+FederatedMessage FederatedWorker::Request(FederatedMessage msg) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Wait for the slot (serializes concurrent masters).
+  cv_.wait(lock, [this] { return !has_request_; });
+  bytes_in_ += static_cast<int64_t>(msg.payload.size()) + 64;
+  request_ = &msg;
+  has_request_ = true;
+  has_response_ = false;
+  cv_.notify_all();
+  response_cv_.wait(lock, [this] { return has_response_; });
+  FederatedMessage resp = std::move(response_);
+  bytes_out_ += static_cast<int64_t>(resp.payload.size()) + 64;
+  has_request_ = false;
+  request_ = nullptr;
+  cv_.notify_all();
+  return resp;
+}
+
+void FederatedWorker::Loop() {
+  for (;;) {
+    FederatedMessage* req = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || (has_request_ && !has_response_); });
+      if (stop_) return;
+      req = request_;
+    }
+    FederatedMessage resp = Handle(*req);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      response_ = std::move(resp);
+      has_response_ = true;
+    }
+    response_cv_.notify_all();
+  }
+}
+
+FederatedMessage FederatedWorker::Handle(const FederatedMessage& msg) {
+  FederatedMessage resp;
+  resp.type = FederatedMessage::Type::kResponse;
+  auto fail = [&](const std::string& err) {
+    resp.type = FederatedMessage::Type::kError;
+    resp.error = err;
+    return resp;
+  };
+  switch (msg.type) {
+    case FederatedMessage::Type::kPutMatrix: {
+      auto m = DeserializeMatrix(msg.payload);
+      if (!m.ok()) return fail(m.status().ToString());
+      data_[msg.output_name] = std::move(*m);
+      return resp;
+    }
+    case FederatedMessage::Type::kGetMatrix: {
+      auto it = data_.find(msg.names.empty() ? "" : msg.names[0]);
+      if (it == data_.end()) return fail("federated: unknown variable");
+      resp.payload = SerializeMatrix(it->second);
+      return resp;
+    }
+    case FederatedMessage::Type::kExec: {
+      // Resolve inputs.
+      std::vector<const MatrixBlock*> ins;
+      for (const std::string& name : msg.names) {
+        auto it = data_.find(name);
+        if (it == data_.end()) return fail("federated: unknown input " + name);
+        ins.push_back(&it->second);
+      }
+      StatusOr<MatrixBlock> out = InvalidArgument("");
+      if (msg.opcode == "tsmm" && ins.size() == 1) {
+        out = TransposeSelfMatMult(*ins[0], true, 1);
+      } else if (msg.opcode == "tmm" && ins.size() == 2) {
+        out = TransposeLeftMatMult(*ins[0], *ins[1], 1);
+      } else if (msg.opcode == "matvec" && ins.size() == 1 &&
+                 !msg.payload.empty()) {
+        auto v = DeserializeMatrix(msg.payload);
+        if (!v.ok()) return fail(v.status().ToString());
+        out = MatMult(*ins[0], *v, 1);
+      } else if (msg.opcode == "colsums" && ins.size() == 1) {
+        out = AggregateRowCol(AggOpCode::kSum, AggDirection::kCol, *ins[0], 1);
+      } else if (msg.opcode == "scale" && ins.size() == 1) {
+        out = StatusOr<MatrixBlock>(BinaryMatrixScalar(
+            BinaryOpCode::kMul, *ins[0], msg.scalar, false, 1));
+      } else {
+        return fail("federated: unsupported opcode " + msg.opcode);
+      }
+      if (!out.ok()) return fail(out.status().ToString());
+      if (!msg.output_name.empty()) {
+        data_[msg.output_name] = *out;
+      }
+      resp.payload = SerializeMatrix(*out);
+      return resp;
+    }
+    default:
+      return fail("federated: bad request");
+  }
+}
+
+FederatedRegistry::FederatedRegistry(int n) {
+  for (int i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<FederatedWorker>(i));
+  }
+}
+
+int64_t FederatedRegistry::TotalBytesTransferred() const {
+  int64_t total = 0;
+  for (const auto& w : workers_) {
+    total += w->BytesReceived() + w->BytesSent();
+  }
+  return total;
+}
+
+StatusOr<FederatedMatrix> FederatedMatrix::Distribute(
+    FederatedRegistry* registry, const MatrixBlock& m,
+    const std::string& name) {
+  FederatedMatrix fm(registry, m.Rows(), m.Cols());
+  int n = registry->NumWorkers();
+  int64_t rows_per = (m.Rows() + n - 1) / n;
+  for (int w = 0; w < n; ++w) {
+    int64_t rb = w * rows_per;
+    int64_t re = std::min<int64_t>(m.Rows(), rb + rows_per);
+    if (rb >= re) break;
+    SYSDS_ASSIGN_OR_RETURN(MatrixBlock part,
+                           SliceMatrix(m, rb, re - 1, 0, m.Cols() - 1));
+    FederatedMessage put;
+    put.type = FederatedMessage::Type::kPutMatrix;
+    put.output_name = name;
+    put.payload = SerializeMatrix(part);
+    FederatedMessage resp = registry->Worker(w)->Request(std::move(put));
+    if (resp.type == FederatedMessage::Type::kError) {
+      return RuntimeError(resp.error);
+    }
+    fm.partitions_.push_back({w, rb, re, name});
+  }
+  return fm;
+}
+
+StatusOr<MatrixBlock> FederatedMatrix::TsmmLeft() const {
+  MatrixBlock acc = MatrixBlock::Dense(cols_, cols_);
+  for (const Partition& p : partitions_) {
+    FederatedMessage req;
+    req.type = FederatedMessage::Type::kExec;
+    req.opcode = "tsmm";
+    req.names = {p.var_name};
+    FederatedMessage resp = registry_->Worker(p.worker_id)->Request(req);
+    if (resp.type == FederatedMessage::Type::kError) {
+      return RuntimeError(resp.error);
+    }
+    SYSDS_ASSIGN_OR_RETURN(MatrixBlock part, DeserializeMatrix(resp.payload));
+    SYSDS_ASSIGN_OR_RETURN(
+        acc, BinaryMatrixMatrix(BinaryOpCode::kAdd, acc, part, 1));
+  }
+  return acc;
+}
+
+StatusOr<MatrixBlock> FederatedMatrix::Tmm(const FederatedMatrix& y) const {
+  if (y.rows_ != rows_ || partitions_.size() != y.partitions_.size()) {
+    return InvalidArgument("federated tmm: misaligned partitions");
+  }
+  MatrixBlock acc = MatrixBlock::Dense(cols_, y.cols_);
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    if (partitions_[i].worker_id != y.partitions_[i].worker_id ||
+        partitions_[i].row_begin != y.partitions_[i].row_begin) {
+      return InvalidArgument("federated tmm: misaligned partitions");
+    }
+    FederatedMessage req;
+    req.type = FederatedMessage::Type::kExec;
+    req.opcode = "tmm";
+    req.names = {partitions_[i].var_name, y.partitions_[i].var_name};
+    FederatedMessage resp =
+        registry_->Worker(partitions_[i].worker_id)->Request(req);
+    if (resp.type == FederatedMessage::Type::kError) {
+      return RuntimeError(resp.error);
+    }
+    SYSDS_ASSIGN_OR_RETURN(MatrixBlock part, DeserializeMatrix(resp.payload));
+    SYSDS_ASSIGN_OR_RETURN(
+        acc, BinaryMatrixMatrix(BinaryOpCode::kAdd, acc, part, 1));
+  }
+  return acc;
+}
+
+StatusOr<MatrixBlock> FederatedMatrix::MatVec(const MatrixBlock& v) const {
+  if (v.Rows() != cols_ || v.Cols() != 1) {
+    return InvalidArgument("federated matvec: vector shape mismatch");
+  }
+  MatrixBlock out = MatrixBlock::Dense(rows_, 1);
+  for (const Partition& p : partitions_) {
+    FederatedMessage req;
+    req.type = FederatedMessage::Type::kExec;
+    req.opcode = "matvec";
+    req.names = {p.var_name};
+    req.payload = SerializeMatrix(v);
+    FederatedMessage resp = registry_->Worker(p.worker_id)->Request(req);
+    if (resp.type == FederatedMessage::Type::kError) {
+      return RuntimeError(resp.error);
+    }
+    SYSDS_ASSIGN_OR_RETURN(MatrixBlock part, DeserializeMatrix(resp.payload));
+    for (int64_t r = 0; r < part.Rows(); ++r) {
+      out.DenseData()[p.row_begin + r] = part.Get(r, 0);
+    }
+  }
+  out.MarkNnzDirty();
+  return out;
+}
+
+StatusOr<MatrixBlock> FederatedMatrix::ColSums() const {
+  MatrixBlock acc = MatrixBlock::Dense(1, cols_);
+  for (const Partition& p : partitions_) {
+    FederatedMessage req;
+    req.type = FederatedMessage::Type::kExec;
+    req.opcode = "colsums";
+    req.names = {p.var_name};
+    FederatedMessage resp = registry_->Worker(p.worker_id)->Request(req);
+    if (resp.type == FederatedMessage::Type::kError) {
+      return RuntimeError(resp.error);
+    }
+    SYSDS_ASSIGN_OR_RETURN(MatrixBlock part, DeserializeMatrix(resp.payload));
+    SYSDS_ASSIGN_OR_RETURN(
+        acc, BinaryMatrixMatrix(BinaryOpCode::kAdd, acc, part, 1));
+  }
+  return acc;
+}
+
+StatusOr<MatrixBlock> FederatedMatrix::Collect() const {
+  MatrixBlock out = MatrixBlock::Dense(rows_, cols_);
+  for (const Partition& p : partitions_) {
+    FederatedMessage req;
+    req.type = FederatedMessage::Type::kGetMatrix;
+    req.names = {p.var_name};
+    FederatedMessage resp = registry_->Worker(p.worker_id)->Request(req);
+    if (resp.type == FederatedMessage::Type::kError) {
+      return RuntimeError(resp.error);
+    }
+    SYSDS_ASSIGN_OR_RETURN(MatrixBlock part, DeserializeMatrix(resp.payload));
+    for (int64_t r = 0; r < part.Rows(); ++r) {
+      for (int64_t c = 0; c < cols_; ++c) {
+        out.DenseRow(p.row_begin + r)[c] = part.Get(r, c);
+      }
+    }
+  }
+  out.MarkNnzDirty();
+  out.ExamSparsity();
+  return out;
+}
+
+StatusOr<MatrixBlock> FederatedLmDS(const FederatedMatrix& x,
+                                    const FederatedMatrix& y, double reg) {
+  SYSDS_ASSIGN_OR_RETURN(MatrixBlock a, x.TsmmLeft());
+  SYSDS_ASSIGN_OR_RETURN(MatrixBlock b, x.Tmm(y));
+  a.ToDense();
+  for (int64_t i = 0; i < a.Rows(); ++i) {
+    a.DenseRow(i)[i] += reg;
+  }
+  a.MarkNnzDirty();
+  return Solve(a, b);
+}
+
+}  // namespace sysds

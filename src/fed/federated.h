@@ -1,0 +1,153 @@
+#ifndef SYSDS_FED_FEDERATED_H_
+#define SYSDS_FED_FEDERATED_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/matrix/matrix_block.h"
+
+namespace sysds {
+
+/// A serialized federated message (request or response). All data crossing
+/// a site boundary passes through these byte buffers, simulating the wire;
+/// the registry counts transferred bytes so benchmarks can report exchange
+/// volumes (§3.3: "adhering to exchange constraints").
+struct FederatedMessage {
+  enum class Type {
+    kPutMatrix,   // name + matrix payload
+    kGetMatrix,   // name -> matrix payload in response
+    kExec,        // opcode + input names + output name (+ scalar arg)
+    kResponse,
+    kError,
+  };
+  Type type = Type::kResponse;
+  std::string opcode;
+  std::vector<std::string> names;
+  std::string output_name;
+  double scalar = 0.0;
+  std::vector<uint8_t> payload;  // serialized matrix, if any
+  std::string error;
+};
+
+/// Serialization of matrices onto the simulated wire.
+std::vector<uint8_t> SerializeMatrix(const MatrixBlock& m);
+StatusOr<MatrixBlock> DeserializeMatrix(const std::vector<uint8_t>& buf);
+
+/// One federated site: a worker thread with private local data, processing
+/// requests from its queue. Supported push-down operations keep raw data
+/// local and only ship small aggregates back:
+///   tsmm     : out = t(X) %*% X          (cols x cols)
+///   tmm      : out = t(X) %*% Y          (cols x cols2)
+///   matvec   : out = X %*% v             (local rows x 1; v shipped in)
+///   colsums / colsq : column aggregates
+///   scale    : out = X * scalar
+class FederatedWorker {
+ public:
+  explicit FederatedWorker(int id);
+  ~FederatedWorker();
+
+  int id() const { return id_; }
+
+  /// Synchronous request/response over the simulated wire (thread-safe).
+  FederatedMessage Request(FederatedMessage msg);
+
+  int64_t BytesReceived() const { return bytes_in_; }
+  int64_t BytesSent() const { return bytes_out_; }
+
+ private:
+  void Loop();
+  FederatedMessage Handle(const FederatedMessage& msg);
+
+  int id_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  // Single in-flight request slot (synchronous protocol).
+  FederatedMessage* request_ = nullptr;
+  FederatedMessage response_;
+  bool has_request_ = false;
+  bool has_response_ = false;
+  std::condition_variable response_cv_;
+
+  std::map<std::string, MatrixBlock> data_;
+  int64_t bytes_in_ = 0;
+  int64_t bytes_out_ = 0;
+};
+
+/// Owns the federated sites of one "deployment".
+class FederatedRegistry {
+ public:
+  /// Creates `n` workers (sites).
+  explicit FederatedRegistry(int n);
+
+  int NumWorkers() const { return static_cast<int>(workers_.size()); }
+  FederatedWorker* Worker(int id) { return workers_[id].get(); }
+
+  int64_t TotalBytesTransferred() const;
+
+ private:
+  std::vector<std::unique_ptr<FederatedWorker>> workers_;
+};
+
+/// A federated tensor/matrix (paper §2.4): a metadata object holding
+/// references to remote partitions covering disjoint row ranges.
+class FederatedMatrix {
+ public:
+  struct Partition {
+    int worker_id;
+    int64_t row_begin;  // inclusive
+    int64_t row_end;    // exclusive
+    std::string var_name;
+  };
+
+  FederatedMatrix(FederatedRegistry* registry, int64_t rows, int64_t cols)
+      : registry_(registry), rows_(rows), cols_(cols) {}
+
+  int64_t Rows() const { return rows_; }
+  int64_t Cols() const { return cols_; }
+  const std::vector<Partition>& Partitions() const { return partitions_; }
+
+  /// Creates a federated matrix by row-partitioning a local matrix across
+  /// all workers of the registry (the data ships once at init).
+  static StatusOr<FederatedMatrix> Distribute(FederatedRegistry* registry,
+                                              const MatrixBlock& m,
+                                              const std::string& name);
+
+  // Federated instructions (§3.3): push computation to the sites, combine
+  // small partial results at the master.
+  /// t(X) %*% X via per-site tsmm + master-side add.
+  StatusOr<MatrixBlock> TsmmLeft() const;
+  /// t(X) %*% Y for an aligned federated Y (e.g. labels).
+  StatusOr<MatrixBlock> Tmm(const FederatedMatrix& y) const;
+  /// X %*% v for a small local v (broadcast v, concatenate results).
+  StatusOr<MatrixBlock> MatVec(const MatrixBlock& v) const;
+  /// colSums(X).
+  StatusOr<MatrixBlock> ColSums() const;
+  /// Fetches and reassembles the full matrix (the "centralize" baseline —
+  /// what push-down avoids).
+  StatusOr<MatrixBlock> Collect() const;
+
+ private:
+  FederatedRegistry* registry_;
+  int64_t rows_, cols_;
+  std::vector<Partition> partitions_;
+};
+
+/// Federated linear regression (closed form): solves
+/// (t(X)X + reg I) B = t(X) y entirely via push-down aggregates; raw rows
+/// never leave their sites.
+StatusOr<MatrixBlock> FederatedLmDS(const FederatedMatrix& x,
+                                    const FederatedMatrix& y, double reg);
+
+}  // namespace sysds
+
+#endif  // SYSDS_FED_FEDERATED_H_

@@ -1,0 +1,59 @@
+#ifndef SYSDS_IO_MATRIX_IO_H_
+#define SYSDS_IO_MATRIX_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "runtime/frame/frame_block.h"
+#include "runtime/matrix/matrix_block.h"
+
+namespace sysds {
+
+/// Supported external formats (§3.2: CSV/text plus an efficient binary
+/// block format; IJV doubles as the MatrixMarket-style text format).
+enum class FileFormat { kCsv, kBinary, kIjv };
+
+StatusOr<FileFormat> ParseFileFormat(const std::string& name);
+
+struct CsvOptions {
+  char delimiter = ',';
+  bool header = false;
+  // Number of parser threads (0 = DefaultParallelism). The reader splits
+  // the file into line-aligned chunks parsed in parallel — the
+  // "multi-threaded I/O ... because string-to-double parsing is compute-
+  // intensive" observation of §4.2.
+  int num_threads = 0;
+};
+
+// Matrix readers/writers.
+StatusOr<MatrixBlock> ReadMatrixCsv(const std::string& path,
+                                    const CsvOptions& opts = {});
+Status WriteMatrixCsv(const MatrixBlock& m, const std::string& path,
+                      const CsvOptions& opts = {});
+
+/// Binary block format: little-endian header (magic, rows, cols, nnz,
+/// format flag) followed by dense cells or per-row sparse runs.
+StatusOr<MatrixBlock> ReadMatrixBinary(const std::string& path);
+Status WriteMatrixBinary(const MatrixBlock& m, const std::string& path);
+
+/// IJV text: "row col value" per line, 1-based, with a "%%" header line
+/// carrying dims (MatrixMarket coordinate subset).
+StatusOr<MatrixBlock> ReadMatrixIjv(const std::string& path);
+Status WriteMatrixIjv(const MatrixBlock& m, const std::string& path);
+
+/// Dispatch by format.
+StatusOr<MatrixBlock> ReadMatrix(const std::string& path, FileFormat format,
+                                 const CsvOptions& opts = {});
+Status WriteMatrix(const MatrixBlock& m, const std::string& path,
+                   FileFormat format, const CsvOptions& opts = {});
+
+// Frame readers/writers (CSV with optional header and schema line).
+StatusOr<FrameBlock> ReadFrameCsv(const std::string& path,
+                                  const std::vector<ValueType>& schema,
+                                  const CsvOptions& opts = {});
+Status WriteFrameCsv(const FrameBlock& f, const std::string& path,
+                     const CsvOptions& opts = {});
+
+}  // namespace sysds
+
+#endif  // SYSDS_IO_MATRIX_IO_H_

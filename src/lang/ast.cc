@@ -1,0 +1,94 @@
+#include "lang/ast.h"
+
+namespace sysds {
+
+ExprPtr MakeIntLiteral(int64_t v, int line, int col) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIntLiteral;
+  e->int_value = v;
+  e->double_value = static_cast<double>(v);
+  e->line = line;
+  e->col = col;
+  return e;
+}
+
+ExprPtr MakeDoubleLiteral(double v, int line, int col) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kDoubleLiteral;
+  e->double_value = v;
+  e->line = line;
+  e->col = col;
+  return e;
+}
+
+ExprPtr MakeStringLiteral(std::string v, int line, int col) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kStringLiteral;
+  e->string_value = std::move(v);
+  e->line = line;
+  e->col = col;
+  return e;
+}
+
+ExprPtr MakeBoolLiteral(bool v, int line, int col) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBoolLiteral;
+  e->bool_value = v;
+  e->line = line;
+  e->col = col;
+  return e;
+}
+
+ExprPtr MakeIdentifier(std::string name, int line, int col) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIdentifier;
+  e->name = std::move(name);
+  e->line = line;
+  e->col = col;
+  return e;
+}
+
+ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->name = std::move(op);
+  e->line = lhs->line;
+  e->col = lhs->col;
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeUnary(std::string op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->name = std::move(op);
+  e->line = operand->line;
+  e->col = operand->col;
+  e->args.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr CloneExpr(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->line = e.line;
+  out->col = e.col;
+  out->int_value = e.int_value;
+  out->double_value = e.double_value;
+  out->string_value = e.string_value;
+  out->bool_value = e.bool_value;
+  out->name = e.name;
+  out->arg_names = e.arg_names;
+  out->has_row_range = e.has_row_range;
+  out->has_col_range = e.has_col_range;
+  for (const ExprPtr& a : e.args) out->args.push_back(CloneExpr(*a));
+  if (e.target) out->target = CloneExpr(*e.target);
+  if (e.row_lower) out->row_lower = CloneExpr(*e.row_lower);
+  if (e.row_upper) out->row_upper = CloneExpr(*e.row_upper);
+  if (e.col_lower) out->col_lower = CloneExpr(*e.col_lower);
+  if (e.col_upper) out->col_upper = CloneExpr(*e.col_upper);
+  return out;
+}
+
+}  // namespace sysds

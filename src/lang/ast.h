@@ -1,0 +1,132 @@
+#ifndef SYSDS_LANG_AST_H_
+#define SYSDS_LANG_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace sysds {
+
+// Abstract syntax tree of a DML script. Expressions and statements are
+// plain tagged nodes (a compiler-internal IR; HOP DAGs are built from it).
+
+enum class ExprKind {
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  kBoolLiteral,
+  kIdentifier,
+  kBinary,    // op in {+,-,*,/,^,%%,%/%,%*%,==,!=,<,<=,>,>=,&,|}
+  kUnary,     // op in {-,!}
+  kCall,      // builtin or user function call, named or positional args
+  kIndex,     // X[rows, cols] with optional range bounds
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+  int col = 0;
+
+  // Literals.
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+  bool bool_value = false;
+
+  // kIdentifier: name; kBinary/kUnary: operator text; kCall: function name.
+  std::string name;
+
+  // kBinary: [lhs, rhs]; kUnary: [operand]; kCall: arguments.
+  std::vector<ExprPtr> args;
+  // Parallel to args for kCall: the parameter name, or "" if positional.
+  std::vector<std::string> arg_names;
+
+  // kIndex: the indexed expression plus optional bounds. Bounds semantics:
+  //   X[i, j]     -> row_lower=i, col_lower=j (no uppers)
+  //   X[a:b, ]    -> row_lower=a, row_upper=b, cols absent (all)
+  //   X[, c]      -> rows absent, col_lower=c
+  ExprPtr target;
+  ExprPtr row_lower, row_upper, col_lower, col_upper;
+  bool has_row_range = false;  // a ':' was present in the row position
+  bool has_col_range = false;
+};
+
+ExprPtr MakeIntLiteral(int64_t v, int line, int col);
+ExprPtr MakeDoubleLiteral(double v, int line, int col);
+ExprPtr MakeStringLiteral(std::string v, int line, int col);
+ExprPtr MakeBoolLiteral(bool v, int line, int col);
+ExprPtr MakeIdentifier(std::string name, int line, int col);
+ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeUnary(std::string op, ExprPtr operand);
+ExprPtr CloneExpr(const Expr& e);
+
+enum class StmtKind {
+  kAssign,       // lhs (plain or indexed, possibly multiple) = expr
+  kIf,
+  kWhile,
+  kFor,          // also parfor
+  kFunctionDef,
+  kExpression,   // bare call statement, e.g. print(...) / write(...)
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One assignment target: a variable, optionally with an index pattern for
+/// left indexing (X[1:3, 2] = ...).
+struct AssignTarget {
+  std::string name;
+  ExprPtr index;  // kIndex expr whose target is the variable, or null
+};
+
+/// Typed function parameter (DML: `Matrix[Double] X`, `Double reg = 1e-3`).
+struct FunctionParam {
+  std::string name;
+  DataType data_type = DataType::kScalar;
+  ValueType value_type = ValueType::kFP64;
+  ExprPtr default_value;  // null if required
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+  int col = 0;
+
+  // kAssign.
+  std::vector<AssignTarget> targets;
+  ExprPtr rhs;
+
+  // kIf / kWhile: predicate + branches (body reused for while/for).
+  ExprPtr predicate;
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;
+
+  // kFor / parfor.
+  std::string loop_var;
+  ExprPtr from, to, increment;
+  bool is_parfor = false;
+
+  // kFunctionDef.
+  std::string function_name;
+  std::vector<FunctionParam> params;
+  std::vector<FunctionParam> returns;
+
+  // kExpression.
+  ExprPtr expr;
+};
+
+/// A parsed script: top-level statements plus named function definitions
+/// (hoisted by the parser).
+struct DMLProgram {
+  std::vector<StmtPtr> statements;
+  std::vector<StmtPtr> functions;  // all kFunctionDef
+};
+
+}  // namespace sysds
+
+#endif  // SYSDS_LANG_AST_H_

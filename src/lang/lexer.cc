@@ -1,0 +1,307 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+namespace sysds {
+
+const char* TokenTypeName(TokenType t) {
+  switch (t) {
+    case TokenType::kEof: return "<eof>";
+    case TokenType::kNewline: return "<newline>";
+    case TokenType::kIdentifier: return "identifier";
+    case TokenType::kIntLiteral: return "int literal";
+    case TokenType::kDoubleLiteral: return "double literal";
+    case TokenType::kStringLiteral: return "string literal";
+    case TokenType::kTrue: return "TRUE";
+    case TokenType::kFalse: return "FALSE";
+    case TokenType::kIf: return "if";
+    case TokenType::kElse: return "else";
+    case TokenType::kWhile: return "while";
+    case TokenType::kFor: return "for";
+    case TokenType::kParFor: return "parfor";
+    case TokenType::kIn: return "in";
+    case TokenType::kFunction: return "function";
+    case TokenType::kReturn: return "return";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kLBracket: return "[";
+    case TokenType::kRBracket: return "]";
+    case TokenType::kLBrace: return "{";
+    case TokenType::kRBrace: return "}";
+    case TokenType::kComma: return ",";
+    case TokenType::kSemicolon: return ";";
+    case TokenType::kColon: return ":";
+    case TokenType::kAssign: return "=";
+    case TokenType::kLeftArrow: return "<-";
+    case TokenType::kPlus: return "+";
+    case TokenType::kMinus: return "-";
+    case TokenType::kMul: return "*";
+    case TokenType::kDiv: return "/";
+    case TokenType::kPow: return "^";
+    case TokenType::kMatMul: return "%*%";
+    case TokenType::kModulus: return "%%";
+    case TokenType::kIntDiv: return "%/%";
+    case TokenType::kEq: return "==";
+    case TokenType::kNeq: return "!=";
+    case TokenType::kLt: return "<";
+    case TokenType::kLe: return "<=";
+    case TokenType::kGt: return ">";
+    case TokenType::kGe: return ">=";
+    case TokenType::kAnd: return "&";
+    case TokenType::kOr: return "|";
+    case TokenType::kNot: return "!";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, TokenType>& Keywords() {
+  static const auto* kw = new std::map<std::string, TokenType>{
+      {"if", TokenType::kIf},         {"else", TokenType::kElse},
+      {"while", TokenType::kWhile},   {"for", TokenType::kFor},
+      {"parfor", TokenType::kParFor}, {"in", TokenType::kIn},
+      {"function", TokenType::kFunction},
+      {"return", TokenType::kReturn}, {"TRUE", TokenType::kTrue},
+      {"FALSE", TokenType::kFalse},   {"True", TokenType::kTrue},
+      {"False", TokenType::kFalse},
+  };
+  return *kw;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& src) {
+  std::vector<Token> tokens;
+  int line = 1, col = 1;
+  size_t i = 0;
+  int depth = 0;  // () and [] nesting; newlines inside are insignificant
+
+  auto make = [&](TokenType t, const std::string& text) {
+    Token tok;
+    tok.type = t;
+    tok.text = text;
+    tok.line = line;
+    tok.col = col;
+    return tok;
+  };
+  auto err = [&](const std::string& msg) {
+    return ParseError(msg + " at line " + std::to_string(line) + ":" +
+                      std::to_string(col));
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (c == '\n') {
+      if (depth == 0) {
+        // Collapse runs of newlines; also suppress after binary operators
+        // or a separator so expressions/lists can wrap lines.
+        bool suppress = tokens.empty();
+        if (!tokens.empty()) {
+          TokenType last = tokens.back().type;
+          switch (last) {
+            case TokenType::kNewline:
+            case TokenType::kPlus: case TokenType::kMinus:
+            case TokenType::kMul: case TokenType::kDiv:
+            case TokenType::kPow: case TokenType::kMatMul:
+            case TokenType::kModulus: case TokenType::kIntDiv:
+            case TokenType::kEq: case TokenType::kNeq:
+            case TokenType::kLt: case TokenType::kLe:
+            case TokenType::kGt: case TokenType::kGe:
+            case TokenType::kAnd: case TokenType::kOr:
+            case TokenType::kAssign: case TokenType::kLeftArrow:
+            case TokenType::kComma: case TokenType::kLBrace:
+            case TokenType::kSemicolon:
+              suppress = true;
+              break;
+            default:
+              break;
+          }
+        }
+        if (!suppress) tokens.push_back(make(TokenType::kNewline, "\n"));
+      }
+      ++i;
+      ++line;
+      col = 1;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      ++col;
+      continue;
+    }
+    if (c == '#') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    int start_col = col;
+    auto push = [&](TokenType t, const std::string& text, size_t len) {
+      Token tok;
+      tok.type = t;
+      tok.text = text;
+      tok.line = line;
+      tok.col = start_col;
+      tokens.push_back(tok);
+      i += len;
+      col += static_cast<int>(len);
+    };
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < src.size() &&
+             (std::isdigit(static_cast<unsigned char>(src[j])) ||
+              src[j] == '.' || src[j] == 'e' || src[j] == 'E' ||
+              ((src[j] == '+' || src[j] == '-') && j > i &&
+               (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        if (src[j] == '.' || src[j] == 'e' || src[j] == 'E') is_double = true;
+        ++j;
+      }
+      std::string text = src.substr(i, j - i);
+      Token tok;
+      tok.line = line;
+      tok.col = start_col;
+      tok.text = text;
+      if (is_double) {
+        tok.type = TokenType::kDoubleLiteral;
+        tok.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kIntLiteral;
+        tok.int_value = std::strtoll(text.c_str(), nullptr, 10);
+        tok.double_value = static_cast<double>(tok.int_value);
+      }
+      tokens.push_back(tok);
+      col += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[j])) ||
+              src[j] == '_' || src[j] == '.')) {
+        ++j;
+      }
+      std::string text = src.substr(i, j - i);
+      auto it = Keywords().find(text);
+      Token tok;
+      tok.line = line;
+      tok.col = start_col;
+      tok.text = text;
+      tok.type =
+          it != Keywords().end() ? it->second : TokenType::kIdentifier;
+      tokens.push_back(tok);
+      col += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t j = i + 1;
+      std::string text;
+      while (j < src.size() && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < src.size()) {
+          char e = src[j + 1];
+          switch (e) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case '"': text += '"'; break;
+            case '\'': text += '\''; break;
+            case '\\': text += '\\'; break;
+            default: text += e;
+          }
+          j += 2;
+        } else {
+          if (src[j] == '\n') { ++line; }
+          text += src[j++];
+        }
+      }
+      if (j >= src.size()) return err("unterminated string literal");
+      Token tok;
+      tok.line = line;
+      tok.col = start_col;
+      tok.type = TokenType::kStringLiteral;
+      tok.text = text;
+      tokens.push_back(tok);
+      col += static_cast<int>(j + 1 - i);
+      i = j + 1;
+      continue;
+    }
+
+    switch (c) {
+      case '(': ++depth; push(TokenType::kLParen, "(", 1); break;
+      case ')': --depth; push(TokenType::kRParen, ")", 1); break;
+      case '[': ++depth; push(TokenType::kLBracket, "[", 1); break;
+      case ']': --depth; push(TokenType::kRBracket, "]", 1); break;
+      case '{': push(TokenType::kLBrace, "{", 1); break;
+      case '}': push(TokenType::kRBrace, "}", 1); break;
+      case ',': push(TokenType::kComma, ",", 1); break;
+      case ';': push(TokenType::kSemicolon, ";", 1); break;
+      case ':': push(TokenType::kColon, ":", 1); break;
+      case '+': push(TokenType::kPlus, "+", 1); break;
+      case '-': push(TokenType::kMinus, "-", 1); break;
+      case '*': push(TokenType::kMul, "*", 1); break;
+      case '/': push(TokenType::kDiv, "/", 1); break;
+      case '^': push(TokenType::kPow, "^", 1); break;
+      case '%':
+        if (src.compare(i, 3, "%*%") == 0) {
+          push(TokenType::kMatMul, "%*%", 3);
+        } else if (src.compare(i, 3, "%/%") == 0) {
+          push(TokenType::kIntDiv, "%/%", 3);
+        } else if (src.compare(i, 2, "%%") == 0) {
+          push(TokenType::kModulus, "%%", 2);
+        } else {
+          return err("unexpected '%'");
+        }
+        break;
+      case '=':
+        if (src.compare(i, 2, "==") == 0) {
+          push(TokenType::kEq, "==", 2);
+        } else {
+          push(TokenType::kAssign, "=", 1);
+        }
+        break;
+      case '!':
+        if (src.compare(i, 2, "!=") == 0) {
+          push(TokenType::kNeq, "!=", 2);
+        } else {
+          push(TokenType::kNot, "!", 1);
+        }
+        break;
+      case '<':
+        if (src.compare(i, 2, "<=") == 0) {
+          push(TokenType::kLe, "<=", 2);
+        } else if (src.compare(i, 2, "<-") == 0) {
+          push(TokenType::kLeftArrow, "<-", 2);
+        } else {
+          push(TokenType::kLt, "<", 1);
+        }
+        break;
+      case '>':
+        if (src.compare(i, 2, ">=") == 0) {
+          push(TokenType::kGe, ">=", 2);
+        } else {
+          push(TokenType::kGt, ">", 1);
+        }
+        break;
+      case '&':
+        push(TokenType::kAnd, "&", src.compare(i, 2, "&&") == 0 ? 2 : 1);
+        break;
+      case '|':
+        push(TokenType::kOr, "|", src.compare(i, 2, "||") == 0 ? 2 : 1);
+        break;
+      default:
+        return err(std::string("unexpected character '") + c + "'");
+    }
+  }
+  tokens.push_back(make(TokenType::kEof, ""));
+  return tokens;
+}
+
+}  // namespace sysds

@@ -1,0 +1,20 @@
+#ifndef SYSDS_LANG_LEXER_H_
+#define SYSDS_LANG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "lang/token.h"
+
+namespace sysds {
+
+/// Tokenizes a DML script. Newlines inside parentheses/brackets are
+/// swallowed (expressions continue); at nesting depth zero they become
+/// kNewline statement separators. Comments start with '#' and run to end of
+/// line.
+StatusOr<std::vector<Token>> Tokenize(const std::string& source);
+
+}  // namespace sysds
+
+#endif  // SYSDS_LANG_LEXER_H_

@@ -1,0 +1,16 @@
+#ifndef SYSDS_LANG_PARSER_H_
+#define SYSDS_LANG_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "lang/ast.h"
+
+namespace sysds {
+
+/// Parses a DML script into a program AST. Errors carry line/column.
+StatusOr<DMLProgram> ParseDML(const std::string& source);
+
+}  // namespace sysds
+
+#endif  // SYSDS_LANG_PARSER_H_

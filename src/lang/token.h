@@ -1,0 +1,72 @@
+#ifndef SYSDS_LANG_TOKEN_H_
+#define SYSDS_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sysds {
+
+enum class TokenType {
+  kEof,
+  kNewline,     // statement separator at top-level nesting
+  kIdentifier,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  kTrue,
+  kFalse,
+  // Keywords.
+  kIf,
+  kElse,
+  kWhile,
+  kFor,
+  kParFor,
+  kIn,
+  kFunction,
+  kReturn,
+  // Punctuation.
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kColon,
+  kAssign,       // =
+  kLeftArrow,    // <- (R-style assignment)
+  // Operators.
+  kPlus,
+  kMinus,
+  kMul,
+  kDiv,
+  kPow,          // ^
+  kMatMul,       // %*%
+  kModulus,      // %%
+  kIntDiv,       // %/%
+  kEq,           // ==
+  kNeq,          // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,          // & or &&
+  kOr,           // | or ||
+  kNot,          // !
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  int line = 0;
+  int col = 0;
+};
+
+const char* TokenTypeName(TokenType t);
+
+}  // namespace sysds
+
+#endif  // SYSDS_LANG_TOKEN_H_

@@ -1,0 +1,324 @@
+#include "lineage/lineage.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/util.h"
+#include "runtime/controlprog/data.h"
+#include "runtime/controlprog/execution_context.h"
+#include "runtime/matrix/lib_matmult.h"
+#include "runtime/matrix/lib_reorg.h"
+
+namespace sysds {
+
+namespace {
+uint64_t ComputeHash(const std::string& opcode, const std::string& data,
+                     const std::vector<LineageItemPtr>& inputs) {
+  uint64_t h = HashCombine(HashString(opcode), HashString(data));
+  for (const LineageItemPtr& in : inputs) h = HashCombine(h, in->hash());
+  return h;
+}
+}  // namespace
+
+LineageItemPtr LineageItem::Leaf(const std::string& opcode,
+                                 const std::string& data) {
+  auto item = std::shared_ptr<LineageItem>(new LineageItem());
+  item->opcode_ = opcode;
+  item->data_ = data;
+  item->hash_ = ComputeHash(opcode, data, {});
+  return item;
+}
+
+LineageItemPtr LineageItem::Node(const std::string& opcode,
+                                 std::vector<LineageItemPtr> inputs) {
+  auto item = std::shared_ptr<LineageItem>(new LineageItem());
+  item->opcode_ = opcode;
+  item->inputs_ = std::move(inputs);
+  item->hash_ = ComputeHash(opcode, "", item->inputs_);
+  return item;
+}
+
+bool LineageItem::Equals(const LineageItem& other) const {
+  if (hash_ != other.hash_ || opcode_ != other.opcode_ ||
+      data_ != other.data_ || inputs_.size() != other.inputs_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    if (inputs_[i].get() == other.inputs_[i].get()) continue;
+    if (!inputs_[i]->Equals(*other.inputs_[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+void SerializeVisit(const LineageItem* item,
+                    std::set<const LineageItem*>* seen, std::ostream& os) {
+  if (!seen->insert(item).second) return;
+  for (const LineageItemPtr& in : item->inputs()) {
+    SerializeVisit(in.get(), seen, os);
+  }
+  os << "(" << std::hex << item->hash() << std::dec << ") "
+     << item->opcode();
+  if (!item->data().empty()) os << " " << item->data();
+  if (!item->inputs().empty()) {
+    os << " <-";
+    for (const LineageItemPtr& in : item->inputs()) {
+      os << " (" << std::hex << in->hash() << std::dec << ")";
+    }
+  }
+  os << "\n";
+}
+
+void CountVisit(const LineageItem* item, std::set<const LineageItem*>* seen) {
+  if (!seen->insert(item).second) return;
+  for (const LineageItemPtr& in : item->inputs()) {
+    CountVisit(in.get(), seen);
+  }
+}
+}  // namespace
+
+std::string LineageItem::Serialize() const {
+  std::ostringstream os;
+  std::set<const LineageItem*> seen;
+  SerializeVisit(this, &seen, os);
+  return os.str();
+}
+
+int64_t LineageItem::NodeCount() const {
+  std::set<const LineageItem*> seen;
+  CountVisit(this, &seen);
+  return static_cast<int64_t>(seen.size());
+}
+
+LineageItemPtr LineageMap::GetOrCreate(const std::string& var) {
+  auto it = items_.find(var);
+  if (it != items_.end()) return it->second;
+  LineageItemPtr leaf = LineageItem::Leaf("in", var);
+  items_[var] = leaf;
+  return leaf;
+}
+
+LineageItemPtr LineageMap::GetOrNull(const std::string& var) const {
+  auto it = items_.find(var);
+  return it == items_.end() ? nullptr : it->second;
+}
+
+void LineageMap::Set(const std::string& var, LineageItemPtr item) {
+  items_[var] = std::move(item);
+}
+
+void LineageMap::Remove(const std::string& var) { items_.erase(var); }
+
+LineageItemPtr LineageMap::CreateItemForInstruction(const Instruction& instr) {
+  std::vector<LineageItemPtr> inputs;
+  inputs.reserve(instr.inputs().size());
+  for (const Operand& op : instr.inputs()) {
+    if (op.is_literal) {
+      inputs.push_back(LineageItem::Leaf("lit", op.lit.AsString()));
+    } else {
+      inputs.push_back(GetOrCreate(op.name));
+    }
+  }
+  return LineageItem::Node(instr.opcode(), std::move(inputs));
+}
+
+int64_t LineageMap::TotalNodeCount() const {
+  std::set<const LineageItem*> seen;
+  for (const auto& [var, item] : items_) CountVisit(item.get(), &seen);
+  return static_cast<int64_t>(seen.size());
+}
+
+namespace {
+uint64_t PatchHashVisit(const LineageItem* item,
+                        const std::map<const LineageItem*, int>& boundary,
+                        std::map<const LineageItem*, uint64_t>* memo) {
+  auto mit = memo->find(item);
+  if (mit != memo->end()) return mit->second;
+  uint64_t h;
+  auto bit = boundary.find(item);
+  if (bit != boundary.end()) {
+    h = HashCombine(HashString("ph"), static_cast<uint64_t>(bit->second));
+  } else if (item->opcode() == "lit") {
+    h = HashString("lit");  // value-insensitive: paths unify over literals
+  } else {
+    h = HashString(item->opcode());
+    for (const LineageItemPtr& in : item->inputs()) {
+      h = HashCombine(h, PatchHashVisit(in.get(), boundary, memo));
+    }
+  }
+  (*memo)[item] = h;
+  return h;
+}
+}  // namespace
+
+uint64_t LineagePatchHash(
+    const LineageItem& item,
+    const std::map<const LineageItem*, int>& boundary) {
+  std::map<const LineageItem*, uint64_t> memo;
+  return PatchHashVisit(&item, boundary, &memo);
+}
+
+LineageCache::LineageCache(int64_t limit_bytes, ReusePolicy policy)
+    : limit_bytes_(limit_bytes), policy_(policy) {}
+
+DataPtr LineageCache::Probe(const LineageItemPtr& item) {
+  ++stats_.probes;
+  auto it = entries_.find(item->hash());
+  if (it == entries_.end() || !it->second.item->Equals(*item)) {
+    return nullptr;
+  }
+  it->second.last_use = ++clock_;
+  ++stats_.full_hits;
+  return it->second.value;
+}
+
+void LineageCache::Put(const LineageItemPtr& item, const DataPtr& value) {
+  auto* m = dynamic_cast<MatrixObject*>(value.get());
+  if (m == nullptr) return;  // cache matrices only
+  int64_t size = m->EstimateSizeInBytes();
+  if (size > limit_bytes_) return;
+  Entry e;
+  e.item = item;
+  e.value = value;
+  e.size = size;
+  e.last_use = ++clock_;
+  auto [it, inserted] = entries_.emplace(item->hash(), std::move(e));
+  if (!inserted) {
+    it->second.last_use = clock_;
+    return;
+  }
+  stats_.bytes += size;
+  ++stats_.puts;
+  EvictIfNeeded();
+}
+
+void LineageCache::EvictIfNeeded() {
+  while (stats_.bytes > limit_bytes_ && !entries_.empty()) {
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.last_use < victim->second.last_use) victim = it;
+    }
+    stats_.bytes -= victim->second.size;
+    ++stats_.evictions;
+    entries_.erase(victim);
+  }
+}
+
+void LineageCache::Clear() {
+  entries_.clear();
+  stats_.bytes = 0;
+}
+
+StatusOr<DataPtr> LineageCache::ProbePartial(const Instruction& instr,
+                                             const LineageItemPtr& item,
+                                             ExecutionContext* ec) {
+  if (policy_ != ReusePolicy::kPartial) return DataPtr(nullptr);
+  std::string op = instr.opcode();
+  if (op.rfind("sp_", 0) == 0) op = op.substr(3);  // logical opcode
+  // Pattern 1: tsmm(cbind(A, v)) with cached tsmm(A):
+  //   t(X)%*%X = [[t(A)%*%A, t(A)%*%v], [t(v)%*%A, t(v)%*%v]].
+  // Pattern 2: tmm(cbind(A, v), y) with cached tmm(A, y):
+  //   t(X)%*%y = rbind(t(A)%*%y, t(v)%*%y).
+  if (op != "tsmm" && op != "tmm") return DataPtr(nullptr);
+  if (item->inputs().empty()) return DataPtr(nullptr);
+  const LineageItemPtr& xi = item->inputs()[0];
+  if (xi->opcode() != "cbind" || xi->inputs().size() != 2) {
+    return DataPtr(nullptr);
+  }
+  // The appended part must be a single column; we verify via the runtime
+  // value of X below (last column split).
+  LineageItemPtr probe_item;
+  if (op == "tsmm") {
+    probe_item = LineageItem::Node("tsmm", {xi->inputs()[0]});
+  } else {
+    if (item->inputs().size() < 2) return DataPtr(nullptr);
+    probe_item = LineageItem::Node("tmm", {xi->inputs()[0],
+                                           item->inputs()[1]});
+  }
+  auto it = entries_.find(probe_item->hash());
+  if (it == entries_.end() || !it->second.item->Equals(*probe_item)) {
+    return DataPtr(nullptr);
+  }
+  auto* cached = dynamic_cast<MatrixObject*>(it->second.value.get());
+  if (cached == nullptr) return DataPtr(nullptr);
+
+  // Compensation plan over the current X (and y for tmm).
+  SYSDS_ASSIGN_OR_RETURN(MatrixObject * xobj,
+                         ec->GetMatrix(instr.inputs()[0]));
+  const MatrixBlock& x = xobj->AcquireRead();
+  int64_t n = x.Cols();
+  const MatrixBlock& c = cached->AcquireRead();
+  auto release = [&]() {
+    xobj->Release();
+    cached->Release();
+  };
+  // The cached block must match the prefix width of X minus the appended
+  // column(s).
+  int64_t appended = op == "tsmm" ? n - c.Rows() : n - c.Rows();
+  if (appended < 1) {
+    release();
+    return DataPtr(nullptr);
+  }
+  auto prefix_or = SliceMatrix(x, 0, x.Rows() - 1, 0, n - appended - 1);
+  auto suffix_or = SliceMatrix(x, 0, x.Rows() - 1, n - appended, n - 1);
+  if (!prefix_or.ok() || !suffix_or.ok()) {
+    release();
+    return DataPtr(nullptr);
+  }
+  const MatrixBlock& a = *prefix_or;
+  const MatrixBlock& v = *suffix_or;
+  int threads = ec->NumThreads();
+
+  if (op == "tsmm") {
+    // w = t(A)%*%v (n-k x k), s = t(v)%*%v (k x k).
+    auto w_or = TransposeLeftMatMult(a, v, threads);
+    auto s_or = TransposeSelfMatMult(v, /*left=*/true, threads);
+    if (!w_or.ok() || !s_or.ok()) {
+      release();
+      return DataPtr(nullptr);
+    }
+    int64_t m = n;
+    MatrixBlock out = MatrixBlock::Dense(m, m);
+    int64_t p = c.Rows();
+    for (int64_t i = 0; i < p; ++i) {
+      for (int64_t j = 0; j < p; ++j) out.DenseRow(i)[j] = c.Get(i, j);
+      for (int64_t j = 0; j < appended; ++j) {
+        out.DenseRow(i)[p + j] = w_or->Get(i, j);
+        out.DenseRow(p + j)[i] = w_or->Get(i, j);
+      }
+    }
+    for (int64_t i = 0; i < appended; ++i) {
+      for (int64_t j = 0; j < appended; ++j) {
+        out.DenseRow(p + i)[p + j] = s_or->Get(i, j);
+      }
+    }
+    out.MarkNnzDirty();
+    release();
+    ++stats_.partial_hits;
+    DataPtr result = std::make_shared<MatrixObject>(std::move(out));
+    Put(item, result);
+    return result;
+  }
+
+  // tmm: out = rbind(cached, t(v)%*%y).
+  SYSDS_ASSIGN_OR_RETURN(MatrixObject * yobj,
+                         ec->GetMatrix(instr.inputs()[1]));
+  const MatrixBlock& y = yobj->AcquireRead();
+  auto vty_or = TransposeLeftMatMult(v, y, threads);
+  yobj->Release();
+  if (!vty_or.ok()) {
+    release();
+    return DataPtr(nullptr);
+  }
+  std::vector<const MatrixBlock*> parts = {&c, &*vty_or};
+  auto out_or = RBind(parts);
+  release();
+  if (!out_or.ok()) return DataPtr(nullptr);
+  ++stats_.partial_hits;
+  DataPtr result = std::make_shared<MatrixObject>(std::move(*out_or));
+  Put(item, result);
+  return result;
+}
+
+}  // namespace sysds

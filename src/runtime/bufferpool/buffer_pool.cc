@@ -1,0 +1,91 @@
+#include "runtime/bufferpool/buffer_pool.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "runtime/controlprog/data.h"
+
+namespace sysds {
+
+BufferPool::BufferPool(int64_t limit_bytes) : limit_bytes_(limit_bytes) {
+  spill_dir_ = (std::filesystem::temp_directory_path() /
+                ("sysds_bufferpool_" + std::to_string(::getpid())))
+                   .string();
+}
+
+BufferPool::~BufferPool() {
+  std::error_code ec;
+  std::filesystem::remove_all(spill_dir_, ec);
+}
+
+void BufferPool::Register(MatrixObject* obj, int64_t size_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(obj);
+  if (it != entries_.end()) {
+    cached_bytes_ -= it->second.second;
+    lru_.erase(it->second.first);
+    entries_.erase(it);
+  }
+  lru_.push_back(obj);
+  entries_[obj] = {std::prev(lru_.end()), size_bytes};
+  cached_bytes_ += size_bytes;
+  EvictIfNeededLocked();
+}
+
+void BufferPool::Touch(MatrixObject* obj) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(obj);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.first);
+  lru_.push_back(obj);
+  it->second.first = std::prev(lru_.end());
+}
+
+void BufferPool::Unregister(MatrixObject* obj) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(obj);
+  if (it == entries_.end()) return;
+  cached_bytes_ -= it->second.second;
+  lru_.erase(it->second.first);
+  entries_.erase(it);
+}
+
+int64_t BufferPool::CachedBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cached_bytes_;
+}
+
+void BufferPool::SetLimit(int64_t limit_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  limit_bytes_ = limit_bytes;
+  EvictIfNeededLocked();
+}
+
+void BufferPool::EvictIfNeededLocked() {
+  if (cached_bytes_ <= limit_bytes_) return;
+  std::error_code ec;
+  std::filesystem::create_directories(spill_dir_, ec);
+  auto it = lru_.begin();
+  while (cached_bytes_ > limit_bytes_ && it != lru_.end()) {
+    MatrixObject* victim = *it;
+    if (victim->PinCount() > 0 || !victim->IsCached()) {
+      ++it;
+      continue;
+    }
+    std::string path =
+        spill_dir_ + "/m" + std::to_string(file_counter_++) + ".bin";
+    auto entry = entries_.find(victim);
+    int64_t size = entry->second.second;
+    it = lru_.erase(it);
+    entries_.erase(entry);
+    cached_bytes_ -= size;
+    ++evictions_;
+    // EvictTo serializes and drops the block; it must not call back into
+    // the pool (we already removed the entry).
+    victim->EvictTo(path);
+  }
+}
+
+}  // namespace sysds

@@ -1,0 +1,65 @@
+#ifndef SYSDS_RUNTIME_BUFFERPOOL_BUFFER_POOL_H_
+#define SYSDS_RUNTIME_BUFFERPOOL_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace sysds {
+
+class MatrixObject;
+
+/// Multi-level buffer pool (paper §2.3(3)): tracks the in-memory matrix
+/// working set and evicts least-recently-used, unpinned variables to local
+/// temp files when the configured limit is exceeded. MatrixObject calls
+/// Register/Touch/Unregister; eviction writes the binary block format and
+/// the object restores lazily on its next acquire.
+class BufferPool {
+ public:
+  explicit BufferPool(int64_t limit_bytes);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Registers (or re-registers after restore) a cached object of the given
+  /// size and evicts others if over the limit.
+  void Register(MatrixObject* obj, int64_t size_bytes);
+
+  /// Marks the object most-recently-used.
+  void Touch(MatrixObject* obj);
+
+  /// Removes the object from tracking (destruction or eviction).
+  void Unregister(MatrixObject* obj);
+
+  int64_t CachedBytes() const;
+  int64_t EvictionCount() const { return evictions_; }
+  int64_t limit_bytes() const { return limit_bytes_; }
+  void SetLimit(int64_t limit_bytes);
+
+  /// Directory for spill files (created on demand).
+  const std::string& SpillDir() const { return spill_dir_; }
+
+ private:
+  void EvictIfNeededLocked();
+
+  mutable std::mutex mutex_;
+  int64_t limit_bytes_;
+  int64_t cached_bytes_ = 0;
+  int64_t evictions_ = 0;
+  int64_t file_counter_ = 0;
+  std::string spill_dir_;
+  // LRU list front = least recently used.
+  std::list<MatrixObject*> lru_;
+  std::unordered_map<MatrixObject*,
+                     std::pair<std::list<MatrixObject*>::iterator, int64_t>>
+      entries_;
+};
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_BUFFERPOOL_BUFFER_POOL_H_

@@ -1,0 +1,194 @@
+#include "runtime/compress/compressed_block.h"
+
+#include <map>
+
+namespace sysds {
+
+CompressedMatrixBlock CompressedMatrixBlock::Compress(const MatrixBlock& m) {
+  CompressedMatrixBlock c;
+  c.rows_ = m.Rows();
+  c.cols_ = m.Cols();
+  c.groups_.resize(static_cast<size_t>(m.Cols()));
+  for (int64_t col = 0; col < m.Cols(); ++col) {
+    ColGroup& g = c.groups_[static_cast<size_t>(col)];
+    // Distinct-value analysis with an early exit at 256.
+    std::map<double, uint8_t> dict_map;
+    bool compressible = true;
+    for (int64_t r = 0; r < m.Rows(); ++r) {
+      double v = m.Get(r, col);
+      if (dict_map.count(v)) continue;
+      if (dict_map.size() >= 255) {
+        compressible = false;
+        break;
+      }
+      dict_map.emplace(v, static_cast<uint8_t>(dict_map.size()));
+    }
+    if (compressible) {
+      g.compressed = true;
+      g.dict.resize(dict_map.size());
+      for (const auto& [value, code] : dict_map) g.dict[code] = value;
+      g.codes.resize(static_cast<size_t>(m.Rows()));
+      for (int64_t r = 0; r < m.Rows(); ++r) {
+        g.codes[static_cast<size_t>(r)] = dict_map[m.Get(r, col)];
+      }
+    } else {
+      g.values.resize(static_cast<size_t>(m.Rows()));
+      for (int64_t r = 0; r < m.Rows(); ++r) {
+        g.values[static_cast<size_t>(r)] = m.Get(r, col);
+      }
+    }
+  }
+  return c;
+}
+
+int64_t CompressedMatrixBlock::EstimateSizeInBytes() const {
+  int64_t total = 64;
+  for (const ColGroup& g : groups_) {
+    if (g.compressed) {
+      total += static_cast<int64_t>(g.dict.size()) * 8 +
+               static_cast<int64_t>(g.codes.size());
+    } else {
+      total += static_cast<int64_t>(g.values.size()) * 8;
+    }
+  }
+  return total;
+}
+
+double CompressedMatrixBlock::CompressionRatio() const {
+  int64_t dense = rows_ * cols_ * 8;
+  int64_t compressed = EstimateSizeInBytes();
+  return compressed > 0 ? static_cast<double>(dense) / compressed : 1.0;
+}
+
+int64_t CompressedMatrixBlock::NumCompressedColumns() const {
+  int64_t n = 0;
+  for (const ColGroup& g : groups_) n += g.compressed;
+  return n;
+}
+
+double CompressedMatrixBlock::Get(int64_t r, int64_t c) const {
+  const ColGroup& g = groups_[static_cast<size_t>(c)];
+  return g.compressed ? g.dict[g.codes[static_cast<size_t>(r)]]
+                      : g.values[static_cast<size_t>(r)];
+}
+
+MatrixBlock CompressedMatrixBlock::Decompress() const {
+  MatrixBlock m = MatrixBlock::Dense(rows_, cols_);
+  for (int64_t c = 0; c < cols_; ++c) {
+    for (int64_t r = 0; r < rows_; ++r) {
+      double v = Get(r, c);
+      if (v != 0.0) m.DenseRow(r)[c] = v;
+    }
+  }
+  m.MarkNnzDirty();
+  m.ExamSparsity();
+  return m;
+}
+
+double CompressedMatrixBlock::Sum() const {
+  double total = 0.0;
+  for (const ColGroup& g : groups_) {
+    if (g.compressed) {
+      // Value-indexed aggregation: count per code, then dot with dict.
+      std::vector<int64_t> counts(g.dict.size(), 0);
+      for (uint8_t code : g.codes) ++counts[code];
+      for (size_t k = 0; k < g.dict.size(); ++k) {
+        total += g.dict[k] * static_cast<double>(counts[k]);
+      }
+    } else {
+      for (double v : g.values) total += v;
+    }
+  }
+  return total;
+}
+
+MatrixBlock CompressedMatrixBlock::ColSums() const {
+  MatrixBlock out = MatrixBlock::Dense(1, cols_);
+  for (int64_t c = 0; c < cols_; ++c) {
+    const ColGroup& g = groups_[static_cast<size_t>(c)];
+    double total = 0.0;
+    if (g.compressed) {
+      std::vector<int64_t> counts(g.dict.size(), 0);
+      for (uint8_t code : g.codes) ++counts[code];
+      for (size_t k = 0; k < g.dict.size(); ++k) {
+        total += g.dict[k] * static_cast<double>(counts[k]);
+      }
+    } else {
+      for (double v : g.values) total += v;
+    }
+    out.DenseData()[c] = total;
+  }
+  out.MarkNnzDirty();
+  return out;
+}
+
+StatusOr<MatrixBlock> CompressedMatrixBlock::MatVecRight(
+    const MatrixBlock& v) const {
+  if (v.Rows() != cols_ || v.Cols() != 1) {
+    return InvalidArgument("compressed matvec: vector shape mismatch");
+  }
+  MatrixBlock out = MatrixBlock::Dense(rows_, 1);
+  double* po = out.DenseData();
+  for (int64_t c = 0; c < cols_; ++c) {
+    const ColGroup& g = groups_[static_cast<size_t>(c)];
+    double vc = v.Get(c, 0);
+    if (vc == 0.0) continue;
+    if (g.compressed) {
+      // Pre-scale the dictionary once, then a code-indexed gather.
+      std::vector<double> scaled(g.dict.size());
+      for (size_t k = 0; k < g.dict.size(); ++k) scaled[k] = g.dict[k] * vc;
+      for (int64_t r = 0; r < rows_; ++r) {
+        po[r] += scaled[g.codes[static_cast<size_t>(r)]];
+      }
+    } else {
+      for (int64_t r = 0; r < rows_; ++r) {
+        po[r] += g.values[static_cast<size_t>(r)] * vc;
+      }
+    }
+  }
+  out.MarkNnzDirty();
+  return out;
+}
+
+StatusOr<MatrixBlock> CompressedMatrixBlock::VecMatLeft(
+    const MatrixBlock& y) const {
+  if (y.Rows() != rows_ || y.Cols() != 1) {
+    return InvalidArgument("compressed t(X)y: vector shape mismatch");
+  }
+  MatrixBlock out = MatrixBlock::Dense(cols_, 1);
+  for (int64_t c = 0; c < cols_; ++c) {
+    const ColGroup& g = groups_[static_cast<size_t>(c)];
+    double total = 0.0;
+    if (g.compressed) {
+      // Value-indexed aggregation of y into per-code buckets.
+      std::vector<double> buckets(g.dict.size(), 0.0);
+      for (int64_t r = 0; r < rows_; ++r) {
+        buckets[g.codes[static_cast<size_t>(r)]] += y.Get(r, 0);
+      }
+      for (size_t k = 0; k < g.dict.size(); ++k) {
+        total += g.dict[k] * buckets[k];
+      }
+    } else {
+      for (int64_t r = 0; r < rows_; ++r) {
+        total += g.values[static_cast<size_t>(r)] * y.Get(r, 0);
+      }
+    }
+    out.DenseData()[c] = total;
+  }
+  out.MarkNnzDirty();
+  return out;
+}
+
+CompressedMatrixBlock CompressedMatrixBlock::ScaleByScalar(double s) const {
+  CompressedMatrixBlock out = *this;
+  for (ColGroup& g : out.groups_) {
+    if (g.compressed) {
+      for (double& v : g.dict) v *= s;  // O(#distinct), codes untouched
+    } else {
+      for (double& v : g.values) v *= s;
+    }
+  }
+  return out;
+}
+
+}  // namespace sysds

@@ -1,0 +1,75 @@
+#ifndef SYSDS_RUNTIME_COMPRESS_COMPRESSED_BLOCK_H_
+#define SYSDS_RUNTIME_COMPRESS_COMPRESSED_BLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/matrix/matrix_block.h"
+
+namespace sysds {
+
+/// Lossless compressed linear algebra (paper §3.4, after Elgohary et al.,
+/// "Compressed Linear Algebra for Large-Scale Machine Learning"): columns
+/// with few distinct values are stored as a per-column dictionary plus a
+/// dense code array (DDC-1: one byte per cell); high-cardinality columns
+/// fall back to uncompressed storage. Key linear-algebra operations execute
+/// directly on the compressed representation — value-indexed pre-
+/// aggregation turns O(rows) work into O(#distinct) per column where
+/// possible — without decompressing.
+class CompressedMatrixBlock {
+ public:
+  /// Compresses a matrix column-by-column. Columns with more than 255
+  /// distinct values stay uncompressed.
+  static CompressedMatrixBlock Compress(const MatrixBlock& m);
+
+  int64_t Rows() const { return rows_; }
+  int64_t Cols() const { return cols_; }
+
+  /// Ratio of uncompressed (dense) size to compressed size; > 1 means the
+  /// compression pays off.
+  double CompressionRatio() const;
+  int64_t EstimateSizeInBytes() const;
+
+  /// Number of dictionary-coded columns (vs. uncompressed fallbacks).
+  int64_t NumCompressedColumns() const;
+
+  /// Reconstructs the uncompressed matrix.
+  MatrixBlock Decompress() const;
+
+  double Get(int64_t r, int64_t c) const;
+
+  // ---- compressed operations (no decompression) ----
+
+  /// sum(X): per DDC column, counts per code value times the dictionary.
+  double Sum() const;
+
+  /// colSums(X) as 1 x cols.
+  MatrixBlock ColSums() const;
+
+  /// X %*% v for v of shape cols x 1: per DDC column the dictionary is
+  /// pre-scaled by v[c], then codes index the scaled dictionary.
+  StatusOr<MatrixBlock> MatVecRight(const MatrixBlock& v) const;
+
+  /// t(X) %*% y for y of shape rows x 1: per DDC column, y-values
+  /// accumulate into per-code buckets (value-indexed aggregation).
+  StatusOr<MatrixBlock> VecMatLeft(const MatrixBlock& y) const;
+
+  /// X * scalar executed on dictionaries only (O(#distinct) per column).
+  CompressedMatrixBlock ScaleByScalar(double s) const;
+
+ private:
+  struct ColGroup {
+    bool compressed = false;
+    std::vector<double> dict;      // distinct values (DDC)
+    std::vector<uint8_t> codes;    // rows entries indexing dict
+    std::vector<double> values;    // uncompressed fallback (rows entries)
+  };
+
+  int64_t rows_ = 0, cols_ = 0;
+  std::vector<ColGroup> groups_;
+};
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_COMPRESS_COMPRESSED_BLOCK_H_

@@ -1,0 +1,219 @@
+#include "runtime/controlprog/data.h"
+
+#include <atomic>
+#include <sstream>
+
+#include "io/matrix_io.h"
+#include "runtime/bufferpool/buffer_pool.h"
+
+namespace sysds {
+
+namespace {
+std::atomic<BufferPool*> g_buffer_pool{nullptr};
+}  // namespace
+
+DataPtr ScalarObject::MakeDouble(double v) {
+  auto s = std::make_shared<ScalarObject>();
+  s->vt_ = ValueType::kFP64;
+  s->dval_ = v;
+  return s;
+}
+
+DataPtr ScalarObject::MakeInt(int64_t v) {
+  auto s = std::make_shared<ScalarObject>();
+  s->vt_ = ValueType::kInt64;
+  s->ival_ = v;
+  return s;
+}
+
+DataPtr ScalarObject::MakeBool(bool v) {
+  auto s = std::make_shared<ScalarObject>();
+  s->vt_ = ValueType::kBoolean;
+  s->bval_ = v;
+  return s;
+}
+
+DataPtr ScalarObject::MakeString(std::string v) {
+  auto s = std::make_shared<ScalarObject>();
+  s->vt_ = ValueType::kString;
+  s->sval_ = std::move(v);
+  return s;
+}
+
+double ScalarObject::AsDouble() const {
+  switch (vt_) {
+    case ValueType::kFP64: return dval_;
+    case ValueType::kInt64: return static_cast<double>(ival_);
+    case ValueType::kBoolean: return bval_ ? 1.0 : 0.0;
+    case ValueType::kString: return sval_.empty() ? 0.0 : std::stod(sval_);
+    default: return 0.0;
+  }
+}
+
+int64_t ScalarObject::AsInt() const {
+  switch (vt_) {
+    case ValueType::kFP64: return static_cast<int64_t>(dval_);
+    case ValueType::kInt64: return ival_;
+    case ValueType::kBoolean: return bval_ ? 1 : 0;
+    case ValueType::kString: return sval_.empty() ? 0 : std::stoll(sval_);
+    default: return 0;
+  }
+}
+
+bool ScalarObject::AsBool() const {
+  switch (vt_) {
+    case ValueType::kFP64: return dval_ != 0.0;
+    case ValueType::kInt64: return ival_ != 0;
+    case ValueType::kBoolean: return bval_;
+    case ValueType::kString: return sval_ == "TRUE" || sval_ == "true";
+    default: return false;
+  }
+}
+
+std::string ScalarObject::AsString() const {
+  switch (vt_) {
+    case ValueType::kFP64: {
+      std::ostringstream os;
+      os << dval_;
+      return os.str();
+    }
+    case ValueType::kInt64: return std::to_string(ival_);
+    case ValueType::kBoolean: return bval_ ? "TRUE" : "FALSE";
+    case ValueType::kString: return sval_;
+    default: return "";
+  }
+}
+
+void MatrixObject::SetBufferPool(BufferPool* pool) { g_buffer_pool = pool; }
+
+MatrixObject::MatrixObject(MatrixBlock block) {
+  rows_ = block.Rows();
+  cols_ = block.Cols();
+  nnz_ = block.NonZeros();
+  block_ = std::make_shared<MatrixBlock>(std::move(block));
+  if (BufferPool* pool = g_buffer_pool.load()) {
+    pool->Register(this, block_->EstimateSizeInBytes());
+  }
+}
+
+MatrixObject::~MatrixObject() {
+  if (BufferPool* pool = g_buffer_pool.load()) pool->Unregister(this);
+  if (!evicted_path_.empty()) std::remove(evicted_path_.c_str());
+}
+
+const MatrixBlock& MatrixObject::AcquireRead() {
+  // Pin BEFORE any pool interaction: a re-registration below may trigger
+  // evictions, and an unpinned freshly-restored block could be chosen as
+  // its own victim (returning a dangling reference).
+  const MatrixBlock* result;
+  bool restored = false;
+  int64_t size = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pin_count_;
+    if (block_ == nullptr) {
+      RestoreLocked();
+      restored = true;
+      size = block_->EstimateSizeInBytes();
+    }
+    result = block_.get();
+  }
+  if (BufferPool* pool = g_buffer_pool.load()) {
+    if (restored) pool->Register(this, size);
+    pool->Touch(this);
+  }
+  return *result;
+}
+
+void MatrixObject::Release() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pin_count_ > 0) --pin_count_;
+}
+
+void MatrixObject::EvictTo(const std::string& path) {
+  // Called by the buffer pool (which holds its own lock); the object lock
+  // closes the race against a concurrent AcquireRead pinning the block.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (block_ == nullptr || pin_count_ > 0) return;
+  Status s = WriteMatrixBinary(*block_, path);
+  if (!s.ok()) return;  // keep in memory on spill failure
+  evicted_path_ = path;
+  block_.reset();
+}
+
+void MatrixObject::RestoreLocked() {
+  if (evicted_path_.empty()) {
+    // Should not happen; produce an empty block to fail loudly downstream.
+    block_ = std::make_shared<MatrixBlock>(MatrixBlock::Dense(rows_, cols_));
+    return;
+  }
+  auto restored = ReadMatrixBinary(evicted_path_);
+  std::remove(evicted_path_.c_str());
+  evicted_path_.clear();
+  if (restored.ok()) {
+    block_ = std::make_shared<MatrixBlock>(std::move(restored).value());
+  } else {
+    block_ = std::make_shared<MatrixBlock>(MatrixBlock::Dense(rows_, cols_));
+  }
+}
+
+int64_t MatrixObject::EstimateSizeInBytes() const {
+  return block_ ? block_->EstimateSizeInBytes()
+                : MatrixBlock::EstimateSizeInBytes(
+                      rows_, cols_,
+                      rows_ * cols_ > 0
+                          ? static_cast<double>(nnz_) / (rows_ * cols_)
+                          : 0.0);
+}
+
+std::string MatrixObject::DebugString() const {
+  std::ostringstream os;
+  os << "matrix " << rows_ << "x" << cols_ << " nnz=" << nnz_
+     << (block_ ? " (cached)" : " (evicted)");
+  return os.str();
+}
+
+StatusOr<DataPtr> ListObject::GetByName(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return items_[i];
+  }
+  return NotFound("list element '" + name + "' not found");
+}
+
+std::string ListObject::DebugString() const {
+  std::ostringstream os;
+  os << "list(" << items_.size() << " elements)";
+  return os.str();
+}
+
+StatusOr<ScalarObject*> AsScalar(const DataPtr& d, const std::string& what) {
+  if (d == nullptr) return RuntimeError(what + ": variable not initialized");
+  auto* s = dynamic_cast<ScalarObject*>(d.get());
+  if (s == nullptr) {
+    return RuntimeError(what + ": expected scalar, got " +
+                        DataTypeName(d->GetDataType()));
+  }
+  return s;
+}
+
+StatusOr<MatrixObject*> AsMatrix(const DataPtr& d, const std::string& what) {
+  if (d == nullptr) return RuntimeError(what + ": variable not initialized");
+  auto* m = dynamic_cast<MatrixObject*>(d.get());
+  if (m == nullptr) {
+    return RuntimeError(what + ": expected matrix, got " +
+                        DataTypeName(d->GetDataType()));
+  }
+  return m;
+}
+
+StatusOr<FrameObject*> AsFrame(const DataPtr& d, const std::string& what) {
+  if (d == nullptr) return RuntimeError(what + ": variable not initialized");
+  auto* f = dynamic_cast<FrameObject*>(d.get());
+  if (f == nullptr) {
+    return RuntimeError(what + ": expected frame, got " +
+                        DataTypeName(d->GetDataType()));
+  }
+  return f;
+}
+
+}  // namespace sysds

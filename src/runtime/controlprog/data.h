@@ -1,0 +1,160 @@
+#ifndef SYSDS_RUNTIME_CONTROLPROG_DATA_H_
+#define SYSDS_RUNTIME_CONTROLPROG_DATA_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "runtime/frame/frame_block.h"
+#include "runtime/matrix/matrix_block.h"
+#include "runtime/tensor/tensor_block.h"
+
+namespace sysds {
+
+class BufferPool;
+class FederatedMatrix;
+
+/// Base of all language-level runtime values held in symbol tables.
+class Data {
+ public:
+  virtual ~Data() = default;
+  virtual DataType GetDataType() const = 0;
+  virtual ValueType GetValueType() const = 0;
+  virtual std::string DebugString() const = 0;
+};
+
+using DataPtr = std::shared_ptr<Data>;
+
+/// A scalar value of one of the four scalar value types.
+class ScalarObject final : public Data {
+ public:
+  static DataPtr MakeDouble(double v);
+  static DataPtr MakeInt(int64_t v);
+  static DataPtr MakeBool(bool v);
+  static DataPtr MakeString(std::string v);
+
+  DataType GetDataType() const override { return DataType::kScalar; }
+  ValueType GetValueType() const override { return vt_; }
+
+  double AsDouble() const;
+  int64_t AsInt() const;
+  bool AsBool() const;
+  /// String rendering (used by print/toString and operand encoding).
+  std::string AsString() const;
+
+  std::string DebugString() const override { return AsString(); }
+
+ private:
+  ValueType vt_ = ValueType::kFP64;
+  double dval_ = 0.0;
+  int64_t ival_ = 0;
+  bool bval_ = false;
+  std::string sval_;
+};
+
+/// A matrix variable: metadata plus the cached MatrixBlock. Participates in
+/// the buffer pool: the block may be evicted to disk and restored on
+/// acquire (paper §2.3(3), multi-level buffer pool).
+class MatrixObject final : public Data {
+ public:
+  explicit MatrixObject(MatrixBlock block);
+  ~MatrixObject() override;
+
+  DataType GetDataType() const override { return DataType::kMatrix; }
+  ValueType GetValueType() const override { return ValueType::kFP64; }
+
+  int64_t Rows() const { return rows_; }
+  int64_t Cols() const { return cols_; }
+  int64_t NonZeros() const { return nnz_; }
+
+  /// Pins the block in memory (restoring from disk if evicted) and returns
+  /// it. Callers must not mutate; Release() unpins.
+  const MatrixBlock& AcquireRead();
+  void Release();
+
+  /// True if the in-memory block is currently present.
+  bool IsCached() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return block_ != nullptr;
+  }
+  int64_t PinCount() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pin_count_;
+  }
+
+  /// Buffer-pool hooks: drops the in-memory block after spilling.
+  void EvictTo(const std::string& path);
+  int64_t EstimateSizeInBytes() const;
+
+  std::string DebugString() const override;
+
+  /// Process-wide buffer pool used for eviction (set by the context).
+  static void SetBufferPool(BufferPool* pool);
+
+ private:
+  // Restores the block from the spill file. Caller holds mutex_; performs
+  // no buffer-pool calls (lock ordering: the pool locks pool->object, the
+  // acquire path must never nest object->pool).
+  void RestoreLocked();
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<MatrixBlock> block_;
+  std::string evicted_path_;
+  int64_t rows_ = 0, cols_ = 0, nnz_ = 0;
+  int64_t pin_count_ = 0;
+};
+
+class FrameObject final : public Data {
+ public:
+  explicit FrameObject(FrameBlock frame) : frame_(std::move(frame)) {}
+  DataType GetDataType() const override { return DataType::kFrame; }
+  ValueType GetValueType() const override { return ValueType::kString; }
+  const FrameBlock& Frame() const { return frame_; }
+  FrameBlock& MutableFrame() { return frame_; }
+  std::string DebugString() const override { return frame_.ToString(); }
+
+ private:
+  FrameBlock frame_;
+};
+
+class TensorObject final : public Data {
+ public:
+  explicit TensorObject(TensorBlock tensor) : tensor_(std::move(tensor)) {}
+  DataType GetDataType() const override { return DataType::kTensor; }
+  ValueType GetValueType() const override { return tensor_.GetValueType(); }
+  const TensorBlock& Tensor() const { return tensor_; }
+  std::string DebugString() const override { return tensor_.ToString(); }
+
+ private:
+  TensorBlock tensor_;
+};
+
+class ListObject final : public Data {
+ public:
+  DataType GetDataType() const override { return DataType::kList; }
+  ValueType GetValueType() const override { return ValueType::kUnknown; }
+  void Append(DataPtr item, std::string name = "") {
+    items_.push_back(std::move(item));
+    names_.push_back(std::move(name));
+  }
+  int64_t Size() const { return static_cast<int64_t>(items_.size()); }
+  const DataPtr& Get(int64_t i) const { return items_[static_cast<size_t>(i)]; }
+  StatusOr<DataPtr> GetByName(const std::string& name) const;
+  std::string DebugString() const override;
+
+ private:
+  std::vector<DataPtr> items_;
+  std::vector<std::string> names_;
+};
+
+// Convenience casts with error reporting.
+StatusOr<ScalarObject*> AsScalar(const DataPtr& d, const std::string& what);
+StatusOr<MatrixObject*> AsMatrix(const DataPtr& d, const std::string& what);
+StatusOr<FrameObject*> AsFrame(const DataPtr& d, const std::string& what);
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_CONTROLPROG_DATA_H_

@@ -1,0 +1,97 @@
+#ifndef SYSDS_RUNTIME_CONTROLPROG_EXECUTION_CONTEXT_H_
+#define SYSDS_RUNTIME_CONTROLPROG_EXECUTION_CONTEXT_H_
+
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/config.h"
+#include "common/status.h"
+#include "runtime/controlprog/data.h"
+#include "runtime/controlprog/instruction.h"
+
+namespace sysds {
+
+class Program;
+class BufferPool;
+class LineageMap;
+class LineageCache;
+class FederatedRegistry;
+
+/// The variable environment of a (control) program scope.
+class SymbolTable {
+ public:
+  StatusOr<DataPtr> Get(const std::string& name) const;
+  DataPtr GetOrNull(const std::string& name) const;
+  void Set(const std::string& name, DataPtr value);
+  void Remove(const std::string& name);
+  bool Contains(const std::string& name) const;
+  const std::map<std::string, DataPtr>& All() const { return vars_; }
+
+ private:
+  std::map<std::string, DataPtr> vars_;
+};
+
+/// Execution state threaded through the interpreter: symbol table, config,
+/// lineage, buffer pool, and the program (for function lookup). Child
+/// contexts (function calls, parfor workers) share program/config/cache but
+/// get their own symbol table and lineage map.
+class ExecutionContext {
+ public:
+  ExecutionContext(Program* program, const DMLConfig* config);
+  ~ExecutionContext();
+
+  SymbolTable& Vars() { return vars_; }
+  const DMLConfig& Config() const { return *config_; }
+  Program* GetProgram() const { return program_; }
+
+  int NumThreads() const;
+
+  // Operand resolution.
+  StatusOr<DataPtr> Resolve(const Operand& op) const;
+  StatusOr<double> GetDouble(const Operand& op) const;
+  StatusOr<int64_t> GetInt(const Operand& op) const;
+  StatusOr<bool> GetBool(const Operand& op) const;
+  StatusOr<std::string> GetString(const Operand& op) const;
+  StatusOr<MatrixObject*> GetMatrix(const Operand& op) const;
+  StatusOr<FrameObject*> GetFrame(const Operand& op) const;
+
+  void SetOutput(const Operand& op, DataPtr value);
+
+  // Lineage: each context (root, function scope, parfor worker) owns its
+  // own map of live variables to lineage items; the reuse cache is shared.
+  LineageMap* Lineage() const { return lineage_.get(); }
+  LineageCache* Cache() const { return cache_; }
+  void SetCache(LineageCache* cache) { cache_ = cache; }
+  bool TracingEnabled() const;
+
+  FederatedRegistry* Federated() const { return federated_; }
+  void SetFederated(FederatedRegistry* fed) { federated_ = fed; }
+
+  // Script output stream (print/toString); tests redirect it.
+  std::ostream& Out() const { return *out_; }
+  void SetOut(std::ostream* out) { out_ = out; }
+
+  // Dynamic recompilation is disabled inside parfor workers because program
+  // blocks are shared across worker threads.
+  bool RecompileAllowed() const { return recompile_allowed_; }
+  void SetRecompileAllowed(bool v) { recompile_allowed_ = v; }
+
+  /// Creates a child context for function calls / parfor workers.
+  std::unique_ptr<ExecutionContext> CreateChild() const;
+
+ private:
+  Program* program_;
+  const DMLConfig* config_;
+  SymbolTable vars_;
+  std::unique_ptr<LineageMap> lineage_;
+  LineageCache* cache_ = nullptr;
+  FederatedRegistry* federated_ = nullptr;
+  std::ostream* out_ = &std::cout;
+  bool recompile_allowed_ = true;
+};
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_CONTROLPROG_EXECUTION_CONTEXT_H_

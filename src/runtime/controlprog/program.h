@@ -1,0 +1,170 @@
+#ifndef SYSDS_RUNTIME_CONTROLPROG_PROGRAM_H_
+#define SYSDS_RUNTIME_CONTROLPROG_PROGRAM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "compiler/hop.h"
+#include "runtime/controlprog/execution_context.h"
+#include "runtime/controlprog/instruction.h"
+
+namespace sysds {
+
+/// Runtime program blocks (paper §2.3(3)): the compiled program is a tree
+/// of blocks interpreted by the control program; basic blocks carry their
+/// HOP DAG for dynamic recompilation.
+class ProgramBlock {
+ public:
+  virtual ~ProgramBlock() = default;
+  virtual Status Execute(ExecutionContext* ec) = 0;
+  /// Renders this block for the `explain` plan output.
+  virtual void Explain(std::ostream& os, int indent) const = 0;
+};
+
+using ProgramBlockPtr = std::unique_ptr<ProgramBlock>;
+
+/// A straight-line sequence of instructions compiled from one HOP DAG.
+class BasicBlock final : public ProgramBlock {
+ public:
+  Status Execute(ExecutionContext* ec) override;
+
+  std::vector<InstructionPtr>& Instructions() { return instructions_; }
+  std::vector<HopPtr>& HopRoots() { return hop_roots_; }
+  const std::vector<HopPtr>& HopRoots() const { return hop_roots_; }
+
+  void SetRequiresRecompile(bool v) { requires_recompile_ = v; }
+  bool RequiresRecompile() const { return requires_recompile_; }
+
+  void Explain(std::ostream& os, int indent) const override;
+
+ private:
+  std::vector<InstructionPtr> instructions_;
+  std::vector<HopPtr> hop_roots_;
+  bool requires_recompile_ = false;
+};
+
+/// A compiled predicate: instructions that produce a scalar in `result_var`.
+struct Predicate {
+  std::vector<InstructionPtr> instructions;
+  std::string result_var;
+  std::vector<HopPtr> hop_roots;
+
+  StatusOr<DataPtr> Evaluate(ExecutionContext* ec) const;
+};
+
+class IfBlock final : public ProgramBlock {
+ public:
+  Status Execute(ExecutionContext* ec) override;
+
+  Predicate& GetPredicate() { return predicate_; }
+  std::vector<ProgramBlockPtr>& ThenBlocks() { return then_blocks_; }
+  std::vector<ProgramBlockPtr>& ElseBlocks() { return else_blocks_; }
+
+  void Explain(std::ostream& os, int indent) const override;
+
+ private:
+  Predicate predicate_;
+  std::vector<ProgramBlockPtr> then_blocks_;
+  std::vector<ProgramBlockPtr> else_blocks_;
+};
+
+class WhileBlock final : public ProgramBlock {
+ public:
+  Status Execute(ExecutionContext* ec) override;
+
+  Predicate& GetPredicate() { return predicate_; }
+  std::vector<ProgramBlockPtr>& Body() { return body_; }
+
+  void Explain(std::ostream& os, int indent) const override;
+
+ private:
+  Predicate predicate_;
+  std::vector<ProgramBlockPtr> body_;
+};
+
+class ForBlock : public ProgramBlock {
+ public:
+  Status Execute(ExecutionContext* ec) override;
+
+  void Explain(std::ostream& os, int indent) const override;
+
+  std::string& LoopVar() { return loop_var_; }
+  Predicate& From() { return from_; }
+  Predicate& To() { return to_; }
+  Predicate& Increment() { return increment_; }
+  std::vector<ProgramBlockPtr>& Body() { return body_; }
+
+ protected:
+  StatusOr<std::vector<double>> EvaluateRange(ExecutionContext* ec) const;
+
+  std::string loop_var_;
+  Predicate from_, to_, increment_;
+  std::vector<ProgramBlockPtr> body_;
+};
+
+/// Parallel for (paper §2.3(4)): local multi-threaded workers over disjoint
+/// iteration ranges with compare-and-merge of result variables.
+class ParForBlock final : public ForBlock {
+ public:
+  Status Execute(ExecutionContext* ec) override;
+
+  /// Variables assigned in the body that are live afterwards (merged back).
+  std::vector<std::string>& ResultVars() { return result_vars_; }
+
+ private:
+  std::vector<std::string> result_vars_;
+};
+
+/// A user-defined or DML-bodied builtin function.
+class FunctionBlock {
+ public:
+  struct Param {
+    std::string name;
+    DataType dt = DataType::kScalar;
+    ValueType vt = ValueType::kFP64;
+    bool has_default = false;
+    LitValue default_value;
+  };
+
+  std::string name;
+  std::vector<Param> params;
+  std::vector<Param> returns;
+  std::vector<ProgramBlockPtr> body;
+
+  Status Execute(ExecutionContext* caller, const std::vector<Operand>& args,
+                 const std::vector<std::string>& arg_names,
+                 const std::vector<Operand>& outputs) const;
+};
+
+/// The compiled runtime program: top-level blocks plus the function
+/// directory (user functions and loaded DML-bodied builtins).
+class Program {
+ public:
+  std::vector<ProgramBlockPtr>& Blocks() { return blocks_; }
+  std::map<std::string, std::shared_ptr<FunctionBlock>>& Functions() {
+    return functions_;
+  }
+
+  StatusOr<const FunctionBlock*> GetFunction(const std::string& name) const;
+
+  Status Execute(ExecutionContext* ec);
+
+  /// Renders the whole runtime plan: functions then top-level blocks.
+  std::string Explain() const;
+
+ private:
+  std::vector<ProgramBlockPtr> blocks_;
+  std::map<std::string, std::shared_ptr<FunctionBlock>> functions_;
+};
+
+/// Executes a straight-line instruction sequence with the lineage/reuse
+/// wrapper (trace -> probe -> execute -> cache) described in §3.1.
+Status ExecuteInstructions(const std::vector<InstructionPtr>& instructions,
+                           ExecutionContext* ec);
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_CONTROLPROG_PROGRAM_H_

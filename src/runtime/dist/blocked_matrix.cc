@@ -1,0 +1,215 @@
+#include "runtime/dist/blocked_matrix.h"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "common/statistics.h"
+#include "common/thread_pool.h"
+#include "runtime/matrix/lib_elementwise.h"
+#include "runtime/matrix/lib_matmult.h"
+#include "runtime/matrix/op_codes.h"
+
+namespace sysds {
+
+BlockedMatrix BlockedMatrix::FromMatrix(const MatrixBlock& m,
+                                        int64_t block_size) {
+  BlockedMatrix out;
+  out.SetShape(m.Rows(), m.Cols(), block_size);
+  Statistics::Get().IncCounter("spark.reblocks");
+  for (int64_t bi = 0; bi < out.RowBlocks(); ++bi) {
+    for (int64_t bj = 0; bj < out.ColBlocks(); ++bj) {
+      int64_t rb = bi * block_size;
+      int64_t re = std::min(m.Rows(), rb + block_size);
+      int64_t cb = bj * block_size;
+      int64_t ce = std::min(m.Cols(), cb + block_size);
+      MatrixBlock blk(re - rb, ce - cb, /*sparse=*/false);
+      bool nonzero = false;
+      for (int64_t r = rb; r < re; ++r) {
+        for (int64_t c = cb; c < ce; ++c) {
+          double v = m.Get(r, c);
+          if (v != 0.0) {
+            blk.DenseRow(r - rb)[c - cb] = v;
+            nonzero = true;
+          }
+        }
+      }
+      if (nonzero) {
+        blk.MarkNnzDirty();
+        blk.ExamSparsity();
+        out.blocks_.emplace(Key{bi, bj}, std::move(blk));
+      }
+    }
+  }
+  Statistics::Get().IncCounter("spark.blocks_written",
+                               static_cast<int64_t>(out.blocks_.size()));
+  return out;
+}
+
+MatrixBlock BlockedMatrix::ToMatrix() const {
+  MatrixBlock m = MatrixBlock::Dense(rows_, cols_);
+  for (const auto& [key, blk] : blocks_) {
+    int64_t rb = key.first * block_size_;
+    int64_t cb = key.second * block_size_;
+    for (int64_t r = 0; r < blk.Rows(); ++r) {
+      for (int64_t c = 0; c < blk.Cols(); ++c) {
+        double v = blk.Get(r, c);
+        if (v != 0.0) m.DenseRow(rb + r)[cb + c] = v;
+      }
+    }
+  }
+  m.MarkNnzDirty();
+  m.ExamSparsity();
+  return m;
+}
+
+const MatrixBlock* BlockedMatrix::BlockAt(int64_t bi, int64_t bj) const {
+  auto it = blocks_.find(Key{bi, bj});
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+StatusOr<BlockedMatrix> DistMatMult(const BlockedMatrix& a,
+                                    const BlockedMatrix& b) {
+  if (a.Cols() != b.Rows() || a.BlockSize() != b.BlockSize()) {
+    return InvalidArgument("distributed matmult: incompatible inputs");
+  }
+  BlockedMatrix c;
+  c.SetShape(a.Rows(), b.Cols(), a.BlockSize());
+  int64_t rb = a.RowBlocks(), cb = b.ColBlocks(), kb = a.ColBlocks();
+  // Replicated join on the shared dimension: every (i,k)x(k,j) pair is one
+  // shuffled block pair in a real cluster.
+  Statistics::Get().IncCounter("spark.shuffled_blocks", rb * cb * kb);
+  std::mutex mu;
+  std::vector<std::pair<BlockedMatrix::Key, MatrixBlock>> results(
+      static_cast<size_t>(rb * cb));
+  std::vector<Status> statuses(static_cast<size_t>(rb * cb));
+  ThreadPool::Global().ParallelFor(
+      0, rb * cb, DefaultParallelism(), [&](int64_t tb, int64_t te) {
+        for (int64_t t = tb; t < te; ++t) {
+          int64_t bi = t / cb, bj = t % cb;
+          MatrixBlock acc;
+          bool has = false;
+          for (int64_t bk = 0; bk < kb; ++bk) {
+            const MatrixBlock* ab = a.BlockAt(bi, bk);
+            const MatrixBlock* bb = b.BlockAt(bk, bj);
+            if (ab == nullptr || bb == nullptr) continue;
+            auto prod = MatMult(*ab, *bb, 1);
+            if (!prod.ok()) {
+              statuses[static_cast<size_t>(t)] = prod.status();
+              return;
+            }
+            if (!has) {
+              acc = std::move(*prod);
+              has = true;
+            } else {
+              auto sum = BinaryMatrixMatrix(BinaryOpCode::kAdd, acc, *prod, 1);
+              if (!sum.ok()) {
+                statuses[static_cast<size_t>(t)] = sum.status();
+                return;
+              }
+              acc = std::move(*sum);
+            }
+          }
+          if (has && acc.NonZeros() > 0) {
+            results[static_cast<size_t>(t)] = {{bi, bj}, std::move(acc)};
+            results[static_cast<size_t>(t)].second.ExamSparsity();
+          } else {
+            results[static_cast<size_t>(t)].first = {-1, -1};
+          }
+        }
+      });
+  for (const Status& s : statuses) SYSDS_RETURN_IF_ERROR(s);
+  for (auto& [key, blk] : results) {
+    if (key.first >= 0) c.MutableBlocks().emplace(key, std::move(blk));
+  }
+  return c;
+}
+
+StatusOr<BlockedMatrix> DistTsmmLeft(const BlockedMatrix& x) {
+  // t(X)%*%X: per row-block stripe tsmm over the stripe's blocks, then a
+  // tree-aggregate of partials (one pass here).
+  int64_t n = x.Cols();
+  Statistics::Get().IncCounter("spark.shuffled_blocks",
+                               static_cast<int64_t>(x.Blocks().size()));
+  MatrixBlock acc = MatrixBlock::Dense(n, n);
+  for (int64_t bi = 0; bi < x.RowBlocks(); ++bi) {
+    // Assemble the stripe (all column blocks of row-block bi).
+    int64_t rb = bi * x.BlockSize();
+    int64_t re = std::min(x.Rows(), rb + x.BlockSize());
+    MatrixBlock stripe(re - rb, n, /*sparse=*/false);
+    bool has = false;
+    for (int64_t bj = 0; bj < x.ColBlocks(); ++bj) {
+      const MatrixBlock* blk = x.BlockAt(bi, bj);
+      if (blk == nullptr) continue;
+      has = true;
+      int64_t cb = bj * x.BlockSize();
+      for (int64_t r = 0; r < blk->Rows(); ++r) {
+        for (int64_t c = 0; c < blk->Cols(); ++c) {
+          stripe.DenseRow(r)[cb + c] = blk->Get(r, c);
+        }
+      }
+    }
+    if (!has) continue;
+    stripe.MarkNnzDirty();
+    SYSDS_ASSIGN_OR_RETURN(MatrixBlock part,
+                           TransposeSelfMatMult(stripe, true,
+                                                DefaultParallelism()));
+    SYSDS_ASSIGN_OR_RETURN(
+        acc, BinaryMatrixMatrix(BinaryOpCode::kAdd, acc, part, 1));
+  }
+  return BlockedMatrix::FromMatrix(acc, x.BlockSize());
+}
+
+StatusOr<BlockedMatrix> DistBinary(const BlockedMatrix& a,
+                                   const BlockedMatrix& b,
+                                   const std::string& opcode) {
+  if (a.Rows() != b.Rows() || a.Cols() != b.Cols() ||
+      a.BlockSize() != b.BlockSize()) {
+    return InvalidArgument("distributed binary: incompatible inputs");
+  }
+  BinaryOpCode code;
+  if (opcode == "+") code = BinaryOpCode::kAdd;
+  else if (opcode == "-") code = BinaryOpCode::kSub;
+  else if (opcode == "*") code = BinaryOpCode::kMul;
+  else if (opcode == "/") code = BinaryOpCode::kDiv;
+  else return InvalidArgument("distributed binary: unsupported op " + opcode);
+  // Aligned blocking => co-partitioned join, no shuffle (paper §2.4).
+  BlockedMatrix c;
+  c.SetShape(a.Rows(), a.Cols(), a.BlockSize());
+  for (int64_t bi = 0; bi < a.RowBlocks(); ++bi) {
+    for (int64_t bj = 0; bj < a.ColBlocks(); ++bj) {
+      const MatrixBlock* ab = a.BlockAt(bi, bj);
+      const MatrixBlock* bb = b.BlockAt(bi, bj);
+      int64_t rows = std::min(a.Rows() - bi * a.BlockSize(), a.BlockSize());
+      int64_t cols = std::min(a.Cols() - bj * a.BlockSize(), a.BlockSize());
+      MatrixBlock zero(rows, cols, /*sparse=*/true);
+      const MatrixBlock& lhs = ab != nullptr ? *ab : zero;
+      const MatrixBlock& rhs = bb != nullptr ? *bb : zero;
+      SYSDS_ASSIGN_OR_RETURN(MatrixBlock blk,
+                             BinaryMatrixMatrix(code, lhs, rhs, 1));
+      if (blk.NonZeros() > 0) {
+        c.MutableBlocks().emplace(BlockedMatrix::Key{bi, bj},
+                                  std::move(blk));
+      }
+    }
+  }
+  return c;
+}
+
+StatusOr<MatrixBlock> DistAggSum(const BlockedMatrix& a) {
+  double sum = 0.0, corr = 0.0;
+  for (const auto& [key, blk] : a.Blocks()) {
+    for (int64_t r = 0; r < blk.Rows(); ++r) {
+      for (int64_t c = 0; c < blk.Cols(); ++c) {
+        double y = blk.Get(r, c) - corr;
+        double t = sum + y;
+        corr = (t - sum) - y;
+        sum = t;
+      }
+    }
+  }
+  MatrixBlock out = MatrixBlock::Dense(1, 1, sum);
+  return out;
+}
+
+}  // namespace sysds

@@ -1,0 +1,86 @@
+#include "runtime/dist/instructions_spark.h"
+
+#include "runtime/controlprog/execution_context.h"
+#include "runtime/controlprog/instructions_cp.h"
+#include "runtime/dist/blocked_matrix.h"
+#include "runtime/matrix/lib_agg.h"
+#include "runtime/matrix/lib_elementwise.h"
+#include "runtime/matrix/op_codes.h"
+
+namespace sysds {
+
+namespace {
+int64_t BlockSizeOf(ExecutionContext* ec) { return ec->Config().block_size; }
+}  // namespace
+
+Status SparkMatMultInstr::Execute(ExecutionContext* ec) {
+  SYSDS_ASSIGN_OR_RETURN(MatrixObject * m1, ec->GetMatrix(inputs()[0]));
+  SYSDS_ASSIGN_OR_RETURN(MatrixObject * m2, ec->GetMatrix(inputs()[1]));
+  int64_t bs = BlockSizeOf(ec);
+  BlockedMatrix a = BlockedMatrix::FromMatrix(m1->AcquireRead(), bs);
+  BlockedMatrix b = BlockedMatrix::FromMatrix(m2->AcquireRead(), bs);
+  m1->Release();
+  m2->Release();
+  SYSDS_ASSIGN_OR_RETURN(BlockedMatrix c, DistMatMult(a, b));
+  ec->SetOutput(outputs()[0], std::make_shared<MatrixObject>(c.ToMatrix()));
+  return Status::Ok();
+}
+
+Status SparkTsmmInstr::Execute(ExecutionContext* ec) {
+  if (!left_) {
+    return RuntimeError("sp_tsmm: only left tsmm is distributed");
+  }
+  SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, ec->GetMatrix(inputs()[0]));
+  BlockedMatrix x = BlockedMatrix::FromMatrix(m->AcquireRead(),
+                                              BlockSizeOf(ec));
+  m->Release();
+  SYSDS_ASSIGN_OR_RETURN(BlockedMatrix c, DistTsmmLeft(x));
+  ec->SetOutput(outputs()[0], std::make_shared<MatrixObject>(c.ToMatrix()));
+  return Status::Ok();
+}
+
+Status SparkBinaryInstr::Execute(ExecutionContext* ec) {
+  // Only matrix-matrix same-shape ops run distributed; other shapes fall
+  // back to the CP kernel (SystemDS compiles map-side broadcasts likewise).
+  const Operand& in1 = inputs()[0];
+  const Operand& in2 = inputs()[1];
+  DataPtr d1 = in1.is_literal ? nullptr : ec->Vars().GetOrNull(in1.name);
+  DataPtr d2 = in2.is_literal ? nullptr : ec->Vars().GetOrNull(in2.name);
+  auto* m1 = dynamic_cast<MatrixObject*>(d1.get());
+  auto* m2 = dynamic_cast<MatrixObject*>(d2.get());
+  if (m1 != nullptr && m2 != nullptr && m1->Rows() == m2->Rows() &&
+      m1->Cols() == m2->Cols() &&
+      (base_opcode_ == "+" || base_opcode_ == "-" || base_opcode_ == "*" ||
+       base_opcode_ == "/")) {
+    int64_t bs = BlockSizeOf(ec);
+    BlockedMatrix a = BlockedMatrix::FromMatrix(m1->AcquireRead(), bs);
+    BlockedMatrix b = BlockedMatrix::FromMatrix(m2->AcquireRead(), bs);
+    m1->Release();
+    m2->Release();
+    SYSDS_ASSIGN_OR_RETURN(BlockedMatrix c, DistBinary(a, b, base_opcode_));
+    ec->SetOutput(outputs()[0], std::make_shared<MatrixObject>(c.ToMatrix()));
+    return Status::Ok();
+  }
+  BinaryInstr fallback(base_opcode_);
+  for (const Operand& in : inputs()) fallback.AddInput(in);
+  for (const Operand& out : outputs()) fallback.AddOutput(out);
+  return fallback.Execute(ec);
+}
+
+Status SparkAggUnaryInstr::Execute(ExecutionContext* ec) {
+  if (base_opcode_ == "uasum") {
+    SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, ec->GetMatrix(inputs()[0]));
+    BlockedMatrix a = BlockedMatrix::FromMatrix(m->AcquireRead(),
+                                                BlockSizeOf(ec));
+    m->Release();
+    SYSDS_ASSIGN_OR_RETURN(MatrixBlock s, DistAggSum(a));
+    ec->SetOutput(outputs()[0], ScalarObject::MakeDouble(s.Get(0, 0)));
+    return Status::Ok();
+  }
+  AggUnaryInstr fallback(base_opcode_);
+  for (const Operand& in : inputs()) fallback.AddInput(in);
+  for (const Operand& out : outputs()) fallback.AddOutput(out);
+  return fallback.Execute(ec);
+}
+
+}  // namespace sysds

@@ -1,0 +1,57 @@
+#ifndef SYSDS_RUNTIME_DIST_INSTRUCTIONS_SPARK_H_
+#define SYSDS_RUNTIME_DIST_INSTRUCTIONS_SPARK_H_
+
+#include <string>
+
+#include "runtime/controlprog/instruction.h"
+
+namespace sysds {
+
+// Distributed instructions of the simulated Spark backend (paper §2.3(4)).
+// Each instruction reblocks its inputs into the fixed-size blocked
+// representation, runs the distributed kernel over the executor pool, and
+// collects the result back into a local MatrixObject (simulating the
+// driver-side collect that SystemDS performs for small outputs).
+
+class SparkMatMultInstr final : public Instruction {
+ public:
+  SparkMatMultInstr() : Instruction("sp_ba+*", ExecType::kSpark) {}
+  Status Execute(ExecutionContext* ec) override;
+  bool IsReusable() const override { return true; }
+};
+
+class SparkTsmmInstr final : public Instruction {
+ public:
+  explicit SparkTsmmInstr(bool left)
+      : Instruction("sp_tsmm", ExecType::kSpark), left_(left) {}
+  Status Execute(ExecutionContext* ec) override;
+  bool IsReusable() const override { return true; }
+
+ private:
+  bool left_;
+};
+
+class SparkBinaryInstr final : public Instruction {
+ public:
+  explicit SparkBinaryInstr(const std::string& opcode)
+      : Instruction("sp_" + opcode, ExecType::kSpark), base_opcode_(opcode) {}
+  Status Execute(ExecutionContext* ec) override;
+  bool IsReusable() const override { return true; }
+
+ private:
+  std::string base_opcode_;
+};
+
+class SparkAggUnaryInstr final : public Instruction {
+ public:
+  explicit SparkAggUnaryInstr(const std::string& opcode)
+      : Instruction("sp_" + opcode, ExecType::kSpark), base_opcode_(opcode) {}
+  Status Execute(ExecutionContext* ec) override;
+
+ private:
+  std::string base_opcode_;
+};
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_DIST_INSTRUCTIONS_SPARK_H_

@@ -1,0 +1,171 @@
+#include "runtime/frame/frame_block.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace sysds {
+
+FrameBlock::FrameBlock(int64_t rows, std::vector<ValueType> schema)
+    : FrameBlock(rows, std::move(schema), {}) {}
+
+FrameBlock::FrameBlock(int64_t rows, std::vector<ValueType> schema,
+                       std::vector<std::string> column_names)
+    : rows_(rows), schema_(std::move(schema)), names_(std::move(column_names)) {
+  if (names_.empty()) {
+    names_.reserve(schema_.size());
+    for (size_t c = 0; c < schema_.size(); ++c) {
+      names_.push_back("C" + std::to_string(c + 1));
+    }
+  }
+  columns_.resize(schema_.size());
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    columns_[c].type = schema_[c];
+    if (columns_[c].IsString()) {
+      columns_[c].str.assign(static_cast<size_t>(rows_), "");
+    } else {
+      columns_[c].num.assign(static_cast<size_t>(rows_), 0.0);
+    }
+  }
+}
+
+StatusOr<int64_t> FrameBlock::ColumnIndex(const std::string& name) const {
+  for (size_t c = 0; c < names_.size(); ++c) {
+    if (names_[c] == name) return static_cast<int64_t>(c);
+  }
+  return NotFound("frame column '" + name + "' not found");
+}
+
+std::string FrameBlock::GetString(int64_t r, int64_t c) const {
+  const Column& col = columns_[static_cast<size_t>(c)];
+  if (col.IsString()) return col.str[static_cast<size_t>(r)];
+  std::ostringstream os;
+  os << col.num[static_cast<size_t>(r)];
+  return os.str();
+}
+
+double FrameBlock::GetDouble(int64_t r, int64_t c) const {
+  const Column& col = columns_[static_cast<size_t>(c)];
+  if (!col.IsString()) return col.num[static_cast<size_t>(r)];
+  const std::string& s = col.str[static_cast<size_t>(r)];
+  return s.empty() ? 0.0 : std::strtod(s.c_str(), nullptr);
+}
+
+void FrameBlock::SetString(int64_t r, int64_t c, const std::string& v) {
+  Column& col = columns_[static_cast<size_t>(c)];
+  if (col.IsString()) {
+    col.str[static_cast<size_t>(r)] = v;
+  } else {
+    col.num[static_cast<size_t>(r)] =
+        v.empty() ? 0.0 : std::strtod(v.c_str(), nullptr);
+  }
+}
+
+void FrameBlock::SetDouble(int64_t r, int64_t c, double v) {
+  Column& col = columns_[static_cast<size_t>(c)];
+  if (col.IsString()) {
+    std::ostringstream os;
+    os << v;
+    col.str[static_cast<size_t>(r)] = os.str();
+  } else {
+    col.num[static_cast<size_t>(r)] = v;
+  }
+}
+
+void FrameBlock::AppendRow() {
+  ++rows_;
+  for (Column& col : columns_) {
+    if (col.IsString()) {
+      col.str.emplace_back();
+    } else {
+      col.num.push_back(0.0);
+    }
+  }
+}
+
+StatusOr<MatrixBlock> FrameBlock::ToMatrix() const {
+  MatrixBlock m = MatrixBlock::Dense(rows_, Cols());
+  for (int64_t c = 0; c < Cols(); ++c) {
+    const Column& col = columns_[static_cast<size_t>(c)];
+    for (int64_t r = 0; r < rows_; ++r) {
+      double v;
+      if (col.IsString()) {
+        const std::string& s = col.str[static_cast<size_t>(r)];
+        char* endp = nullptr;
+        v = s.empty() ? 0.0 : std::strtod(s.c_str(), &endp);
+        if (!s.empty() && endp != s.c_str() + s.size()) {
+          return InvalidArgument("as.matrix: non-numeric cell '" + s +
+                                 "' in column " + names_[c]);
+        }
+      } else {
+        v = col.num[static_cast<size_t>(r)];
+      }
+      m.DenseRow(r)[c] = v;
+    }
+  }
+  m.MarkNnzDirty();
+  return m;
+}
+
+FrameBlock FrameBlock::FromMatrix(const MatrixBlock& m) {
+  FrameBlock f(m.Rows(),
+               std::vector<ValueType>(static_cast<size_t>(m.Cols()),
+                                      ValueType::kFP64));
+  for (int64_t r = 0; r < m.Rows(); ++r) {
+    for (int64_t c = 0; c < m.Cols(); ++c) {
+      f.SetDouble(r, c, m.Get(r, c));
+    }
+  }
+  return f;
+}
+
+StatusOr<FrameBlock> FrameBlock::SliceRows(int64_t rl, int64_t ru) const {
+  if (rl < 0 || ru >= rows_ || rl > ru) {
+    return OutOfRange("frame row slice out of bounds");
+  }
+  FrameBlock out(ru - rl + 1, schema_, names_);
+  for (int64_t c = 0; c < Cols(); ++c) {
+    for (int64_t r = rl; r <= ru; ++r) {
+      if (columns_[static_cast<size_t>(c)].IsString()) {
+        out.SetString(r - rl, c, GetString(r, c));
+      } else {
+        out.SetDouble(r - rl, c, GetDouble(r, c));
+      }
+    }
+  }
+  return out;
+}
+
+int64_t FrameBlock::EstimateSizeInBytes() const {
+  int64_t total = 64;
+  for (const Column& col : columns_) {
+    if (col.IsString()) {
+      total += static_cast<int64_t>(col.str.size()) * 32;
+      for (const std::string& s : col.str) {
+        total += static_cast<int64_t>(s.size());
+      }
+    } else {
+      total += static_cast<int64_t>(col.num.size()) * 8;
+    }
+  }
+  return total;
+}
+
+std::string FrameBlock::ToString(int64_t max_rows) const {
+  std::ostringstream os;
+  os << "frame " << rows_ << "x" << Cols() << " [";
+  for (int64_t c = 0; c < Cols(); ++c) {
+    if (c > 0) os << ",";
+    os << names_[c] << ":" << ValueTypeName(schema_[c]);
+  }
+  os << "]\n";
+  for (int64_t r = 0; r < std::min(rows_, max_rows); ++r) {
+    for (int64_t c = 0; c < Cols(); ++c) {
+      if (c > 0) os << " ";
+      os << GetString(r, c);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sysds

@@ -1,0 +1,71 @@
+#ifndef SYSDS_RUNTIME_FRAME_FRAME_BLOCK_H_
+#define SYSDS_RUNTIME_FRAME_FRAME_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "runtime/matrix/matrix_block.h"
+
+namespace sysds {
+
+/// A 2D table with a per-column schema (paper L4 / §2.4): the substrate of
+/// feature transformations and data-preparation builtins. Numeric columns
+/// (FP64/FP32/INT64/INT32/BOOLEAN) are stored as doubles, string columns as
+/// std::string; cells convert on access.
+class FrameBlock {
+ public:
+  FrameBlock() = default;
+  FrameBlock(int64_t rows, std::vector<ValueType> schema);
+  FrameBlock(int64_t rows, std::vector<ValueType> schema,
+             std::vector<std::string> column_names);
+
+  int64_t Rows() const { return rows_; }
+  int64_t Cols() const { return static_cast<int64_t>(schema_.size()); }
+  const std::vector<ValueType>& Schema() const { return schema_; }
+  const std::vector<std::string>& ColumnNames() const { return names_; }
+
+  /// Resolves a column name to its 0-based index (NotFound on miss).
+  StatusOr<int64_t> ColumnIndex(const std::string& name) const;
+
+  std::string GetString(int64_t r, int64_t c) const;
+  double GetDouble(int64_t r, int64_t c) const;
+  void SetString(int64_t r, int64_t c, const std::string& v);
+  void SetDouble(int64_t r, int64_t c, double v);
+
+  /// Appends an empty row (cells default to 0/"").
+  void AppendRow();
+
+  /// Converts all-numeric frames to a matrix; string columns are parsed as
+  /// doubles and fail with InvalidArgument on non-numeric content.
+  StatusOr<MatrixBlock> ToMatrix() const;
+
+  /// Builds a frame of FP64 columns from a matrix.
+  static FrameBlock FromMatrix(const MatrixBlock& m);
+
+  /// Row range slice [rl..ru] inclusive, 0-based, all columns.
+  StatusOr<FrameBlock> SliceRows(int64_t rl, int64_t ru) const;
+
+  int64_t EstimateSizeInBytes() const;
+
+  std::string ToString(int64_t max_rows = 10) const;
+
+ private:
+  struct Column {
+    ValueType type = ValueType::kFP64;
+    std::vector<double> num;
+    std::vector<std::string> str;
+    bool IsString() const { return type == ValueType::kString; }
+  };
+
+  int64_t rows_ = 0;
+  std::vector<ValueType> schema_;
+  std::vector<std::string> names_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_FRAME_FRAME_BLOCK_H_

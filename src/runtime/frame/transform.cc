@@ -1,0 +1,404 @@
+#include "runtime/frame/transform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/util.h"
+
+namespace sysds {
+
+namespace {
+
+// Resolves a JSON column reference (name string or 1-based number) to a
+// 0-based index.
+StatusOr<int64_t> ResolveColumn(const JsonValue& v, const FrameBlock& frame) {
+  if (v.kind() == JsonValue::Kind::kString) {
+    SYSDS_ASSIGN_OR_RETURN(int64_t idx, frame.ColumnIndex(v.AsString()));
+    return idx;
+  }
+  if (v.kind() == JsonValue::Kind::kNumber) {
+    int64_t idx = static_cast<int64_t>(v.AsNumber()) - 1;
+    if (idx < 0 || idx >= frame.Cols()) {
+      return OutOfRange("transform spec column index out of range");
+    }
+    return idx;
+  }
+  return InvalidArgument("transform spec: column must be name or index");
+}
+
+}  // namespace
+
+StatusOr<TransformSpec> ParseTransformSpec(const std::string& spec_json,
+                                           const FrameBlock& frame) {
+  SYSDS_ASSIGN_OR_RETURN(JsonValue root, ParseJson(spec_json));
+  if (root.kind() != JsonValue::Kind::kObject) {
+    return InvalidArgument("transform spec must be a JSON object");
+  }
+  TransformSpec spec;
+  if (const JsonValue* rc = root.Find("recode")) {
+    for (const JsonValue& v : rc->AsArray()) {
+      SYSDS_ASSIGN_OR_RETURN(int64_t c, ResolveColumn(v, frame));
+      spec.recode_cols.push_back(c);
+    }
+  }
+  if (const JsonValue* dc = root.Find("dummycode")) {
+    for (const JsonValue& v : dc->AsArray()) {
+      SYSDS_ASSIGN_OR_RETURN(int64_t c, ResolveColumn(v, frame));
+      spec.dummycode_cols.push_back(c);
+    }
+  }
+  if (const JsonValue* bins = root.Find("bin")) {
+    for (const JsonValue& v : bins->AsArray()) {
+      const JsonValue* name = v.Find("name");
+      if (name == nullptr) {
+        return InvalidArgument("bin spec entries require a 'name'");
+      }
+      SYSDS_ASSIGN_OR_RETURN(int64_t c, ResolveColumn(*name, frame));
+      TransformSpec::BinSpec b;
+      b.col = c;
+      b.num_bins = 5;
+      b.method = "equi-width";
+      if (const JsonValue* nb = v.Find("numbins")) {
+        b.num_bins = static_cast<int64_t>(nb->AsNumber());
+      }
+      if (const JsonValue* m = v.Find("method")) b.method = m->AsString();
+      if (b.num_bins < 1) return InvalidArgument("bin: numbins must be >= 1");
+      spec.bin_cols.push_back(b);
+    }
+  }
+  if (const JsonValue* imp = root.Find("impute")) {
+    for (const JsonValue& v : imp->AsArray()) {
+      const JsonValue* name = v.Find("name");
+      if (name == nullptr) {
+        return InvalidArgument("impute spec entries require a 'name'");
+      }
+      SYSDS_ASSIGN_OR_RETURN(int64_t c, ResolveColumn(*name, frame));
+      TransformSpec::ImputeSpec i;
+      i.col = c;
+      i.method = "mean";
+      if (const JsonValue* m = v.Find("method")) i.method = m->AsString();
+      if (const JsonValue* cv = v.Find("value")) i.constant = cv->AsString();
+      spec.impute_cols.push_back(i);
+    }
+  }
+  return spec;
+}
+
+void MultiColumnEncoder::AssignOutputOffsets() {
+  int64_t off = 0;
+  for (ColumnEncoder& e : encoders_) {
+    e.out_offset = off;
+    if (e.dummycode) {
+      e.out_width = e.encoding == ColEncoding::kRecode
+                        ? static_cast<int64_t>(e.recode_tokens.size())
+                        : e.num_bins;
+      if (e.out_width == 0) e.out_width = 1;
+    } else {
+      e.out_width = 1;
+    }
+    off += e.out_width;
+  }
+}
+
+int64_t MultiColumnEncoder::NumOutputCols() const {
+  int64_t n = 0;
+  for (const ColumnEncoder& e : encoders_) n += e.out_width;
+  return n;
+}
+
+StatusOr<MultiColumnEncoder> MultiColumnEncoder::Fit(
+    const FrameBlock& frame, const TransformSpec& spec) {
+  MultiColumnEncoder enc;
+  enc.num_input_cols_ = frame.Cols();
+  enc.encoders_.resize(static_cast<size_t>(frame.Cols()));
+
+  for (int64_t c : spec.recode_cols) {
+    enc.encoders_[c].encoding = ColEncoding::kRecode;
+  }
+  for (const auto& b : spec.bin_cols) {
+    if (enc.encoders_[b.col].encoding == ColEncoding::kRecode) {
+      return InvalidArgument("column cannot be both recoded and binned");
+    }
+    enc.encoders_[b.col].encoding = ColEncoding::kBin;
+    enc.encoders_[b.col].num_bins = b.num_bins;
+    enc.encoders_[b.col].bin_method = b.method;
+  }
+  for (int64_t c : spec.dummycode_cols) {
+    enc.encoders_[c].dummycode = true;
+    if (enc.encoders_[c].encoding == ColEncoding::kPassThrough) {
+      // Dummycode over raw values implies recode first (SystemDS behaviour).
+      enc.encoders_[c].encoding = ColEncoding::kRecode;
+    }
+  }
+  for (const auto& i : spec.impute_cols) {
+    enc.encoders_[i.col].impute = true;
+    enc.encoders_[i.col].impute_string = i.method;
+  }
+
+  for (int64_t c = 0; c < frame.Cols(); ++c) {
+    ColumnEncoder& e = enc.encoders_[c];
+    // Fit imputation first: mean/mode over non-missing cells (missing =
+    // empty string or NaN).
+    if (e.impute) {
+      if (e.impute_string == "mean") {
+        double sum = 0.0;
+        int64_t count = 0;
+        for (int64_t r = 0; r < frame.Rows(); ++r) {
+          std::string s = frame.GetString(r, c);
+          double v = frame.GetDouble(r, c);
+          if (!s.empty() && !std::isnan(v)) {
+            sum += v;
+            ++count;
+          }
+        }
+        e.impute_value = count ? sum / count : 0.0;
+      } else if (e.impute_string == "mode") {
+        std::map<std::string, int64_t> counts;
+        for (int64_t r = 0; r < frame.Rows(); ++r) {
+          std::string s = frame.GetString(r, c);
+          if (!s.empty()) ++counts[s];
+        }
+        int64_t best = -1;
+        for (const auto& [token, n] : counts) {
+          if (n > best) {
+            best = n;
+            e.impute_string = token;
+          }
+        }
+        if (best < 0) e.impute_string = "0";
+        e.impute_value = std::strtod(e.impute_string.c_str(), nullptr);
+      } else {
+        // constant
+        e.impute_value = std::strtod(e.impute_string.c_str(), nullptr);
+      }
+    }
+
+    if (e.encoding == ColEncoding::kRecode) {
+      std::set<std::string> distinct;
+      for (int64_t r = 0; r < frame.Rows(); ++r) {
+        std::string s = frame.GetString(r, c);
+        if (s.empty() && e.impute) s = e.impute_string;
+        if (!s.empty()) distinct.insert(s);
+      }
+      int64_t code = 1;
+      for (const std::string& token : distinct) {
+        e.recode_map[token] = code++;
+        e.recode_tokens.push_back(token);
+      }
+    } else if (e.encoding == ColEncoding::kBin) {
+      std::vector<double> vals;
+      vals.reserve(static_cast<size_t>(frame.Rows()));
+      for (int64_t r = 0; r < frame.Rows(); ++r) {
+        double v = frame.GetDouble(r, c);
+        if (std::isnan(v) && e.impute) v = e.impute_value;
+        if (!std::isnan(v)) vals.push_back(v);
+      }
+      if (vals.empty()) vals.push_back(0.0);
+      double lo = *std::min_element(vals.begin(), vals.end());
+      double hi = *std::max_element(vals.begin(), vals.end());
+      e.bin_min = lo;
+      if (e.bin_method == "equi-height") {
+        std::sort(vals.begin(), vals.end());
+        e.bin_uppers.resize(static_cast<size_t>(e.num_bins));
+        for (int64_t b = 0; b < e.num_bins; ++b) {
+          size_t idx = static_cast<size_t>(
+              std::min<double>(vals.size() - 1,
+                               std::ceil(static_cast<double>(vals.size()) *
+                                         (b + 1) / e.num_bins) -
+                                   1));
+          e.bin_uppers[b] = vals[idx];
+        }
+        e.bin_uppers.back() = hi;
+      } else {
+        e.bin_width = (hi - lo) / static_cast<double>(e.num_bins);
+        if (e.bin_width == 0.0) e.bin_width = 1.0;
+      }
+    }
+  }
+  enc.AssignOutputOffsets();
+  return enc;
+}
+
+StatusOr<MatrixBlock> MultiColumnEncoder::Apply(const FrameBlock& frame) const {
+  if (frame.Cols() != num_input_cols_) {
+    return InvalidArgument("transformapply: column count mismatch");
+  }
+  MatrixBlock m = MatrixBlock::Dense(frame.Rows(), NumOutputCols());
+  for (int64_t c = 0; c < frame.Cols(); ++c) {
+    const ColumnEncoder& e = encoders_[c];
+    for (int64_t r = 0; r < frame.Rows(); ++r) {
+      double code = 0.0;
+      switch (e.encoding) {
+        case ColEncoding::kPassThrough: {
+          double v = frame.GetDouble(r, c);
+          if (std::isnan(v) && e.impute) v = e.impute_value;
+          std::string s = frame.GetString(r, c);
+          if (s.empty() && e.impute) v = e.impute_value;
+          code = v;
+          break;
+        }
+        case ColEncoding::kRecode: {
+          std::string s = frame.GetString(r, c);
+          if (s.empty() && e.impute) s = e.impute_string;
+          auto it = e.recode_map.find(s);
+          code = it == e.recode_map.end() ? 0.0
+                                          : static_cast<double>(it->second);
+          break;
+        }
+        case ColEncoding::kBin: {
+          double v = frame.GetDouble(r, c);
+          if (std::isnan(v) && e.impute) v = e.impute_value;
+          int64_t bin;
+          if (!e.bin_uppers.empty()) {
+            bin = static_cast<int64_t>(
+                std::lower_bound(e.bin_uppers.begin(), e.bin_uppers.end(), v) -
+                e.bin_uppers.begin()) + 1;
+          } else {
+            bin = static_cast<int64_t>(
+                      std::floor((v - e.bin_min) / e.bin_width)) + 1;
+          }
+          bin = std::max<int64_t>(1, std::min<int64_t>(e.num_bins, bin));
+          code = static_cast<double>(bin);
+          break;
+        }
+      }
+      if (e.dummycode) {
+        int64_t k = static_cast<int64_t>(code);
+        if (k >= 1 && k <= e.out_width) {
+          m.DenseRow(r)[e.out_offset + k - 1] = 1.0;
+        }
+      } else {
+        m.DenseRow(r)[e.out_offset] = code;
+      }
+    }
+  }
+  m.MarkNnzDirty();
+  m.ExamSparsity();
+  return m;
+}
+
+FrameBlock MultiColumnEncoder::MetaFrame() const {
+  // One string column per input column; rows hold "payload" strings.
+  int64_t max_rows = 1;
+  for (const ColumnEncoder& e : encoders_) {
+    max_rows = std::max<int64_t>(
+        max_rows, static_cast<int64_t>(e.recode_tokens.size()) + 2);
+    max_rows = std::max<int64_t>(
+        max_rows, static_cast<int64_t>(e.bin_uppers.size()) + 2);
+  }
+  FrameBlock meta(max_rows,
+                  std::vector<ValueType>(static_cast<size_t>(num_input_cols_),
+                                         ValueType::kString));
+  for (int64_t c = 0; c < num_input_cols_; ++c) {
+    const ColumnEncoder& e = encoders_[c];
+    std::ostringstream hdr;
+    switch (e.encoding) {
+      case ColEncoding::kPassThrough: hdr << "pass"; break;
+      case ColEncoding::kRecode: hdr << "recode"; break;
+      case ColEncoding::kBin: hdr << "bin"; break;
+    }
+    hdr << "," << (e.dummycode ? 1 : 0) << "," << (e.impute ? 1 : 0) << ","
+        << e.impute_value << "," << e.num_bins << "," << e.bin_min << ","
+        << e.bin_width;
+    meta.SetString(0, c, hdr.str());
+    int64_t r = 1;
+    for (size_t t = 0; t < e.recode_tokens.size(); ++t) {
+      meta.SetString(r++, c,
+                     e.recode_tokens[t] + "\t" + std::to_string(t + 1));
+    }
+    for (double u : e.bin_uppers) {
+      std::ostringstream os;
+      os << "ub\t" << u;
+      meta.SetString(r++, c, os.str());
+    }
+  }
+  return meta;
+}
+
+StatusOr<MultiColumnEncoder> MultiColumnEncoder::FromMeta(
+    const TransformSpec& spec, const FrameBlock& meta,
+    int64_t num_input_cols) {
+  (void)spec;
+  if (meta.Cols() != num_input_cols) {
+    return InvalidArgument("transformapply: meta column count mismatch");
+  }
+  MultiColumnEncoder enc;
+  enc.num_input_cols_ = num_input_cols;
+  enc.encoders_.resize(static_cast<size_t>(num_input_cols));
+  for (int64_t c = 0; c < num_input_cols; ++c) {
+    ColumnEncoder& e = enc.encoders_[c];
+    std::vector<std::string> hdr = SplitString(meta.GetString(0, c), ',');
+    if (hdr.size() < 7) return InvalidArgument("malformed transform meta");
+    if (hdr[0] == "recode") e.encoding = ColEncoding::kRecode;
+    else if (hdr[0] == "bin") e.encoding = ColEncoding::kBin;
+    else e.encoding = ColEncoding::kPassThrough;
+    e.dummycode = hdr[1] == "1";
+    e.impute = hdr[2] == "1";
+    e.impute_value = std::strtod(hdr[3].c_str(), nullptr);
+    e.num_bins = std::strtoll(hdr[4].c_str(), nullptr, 10);
+    e.bin_min = std::strtod(hdr[5].c_str(), nullptr);
+    e.bin_width = std::strtod(hdr[6].c_str(), nullptr);
+    e.impute_string = hdr[3];
+    for (int64_t r = 1; r < meta.Rows(); ++r) {
+      std::string cell = meta.GetString(r, c);
+      if (cell.empty()) continue;
+      size_t tab = cell.find('\t');
+      if (tab == std::string::npos) continue;
+      std::string key = cell.substr(0, tab);
+      std::string val = cell.substr(tab + 1);
+      if (e.encoding == ColEncoding::kRecode) {
+        int64_t code = std::strtoll(val.c_str(), nullptr, 10);
+        e.recode_map[key] = code;
+        if (static_cast<int64_t>(e.recode_tokens.size()) < code) {
+          e.recode_tokens.resize(static_cast<size_t>(code));
+        }
+        e.recode_tokens[static_cast<size_t>(code - 1)] = key;
+      } else if (e.encoding == ColEncoding::kBin && key == "ub") {
+        e.bin_uppers.push_back(std::strtod(val.c_str(), nullptr));
+      }
+    }
+  }
+  enc.AssignOutputOffsets();
+  return enc;
+}
+
+StatusOr<FrameBlock> MultiColumnEncoder::Decode(const MatrixBlock& m,
+                                                const FrameBlock& like) const {
+  if (m.Cols() != NumOutputCols()) {
+    return InvalidArgument("transformdecode: column count mismatch");
+  }
+  FrameBlock out(m.Rows(), like.Schema(), like.ColumnNames());
+  for (int64_t c = 0; c < num_input_cols_; ++c) {
+    const ColumnEncoder& e = encoders_[c];
+    for (int64_t r = 0; r < m.Rows(); ++r) {
+      double code;
+      if (e.dummycode) {
+        code = 0.0;
+        for (int64_t k = 0; k < e.out_width; ++k) {
+          if (m.Get(r, e.out_offset + k) != 0.0) {
+            code = static_cast<double>(k + 1);
+            break;
+          }
+        }
+      } else {
+        code = m.Get(r, e.out_offset);
+      }
+      if (e.encoding == ColEncoding::kRecode) {
+        int64_t k = static_cast<int64_t>(code);
+        if (k >= 1 && k <= static_cast<int64_t>(e.recode_tokens.size())) {
+          out.SetString(r, c, e.recode_tokens[static_cast<size_t>(k - 1)]);
+        } else {
+          out.SetString(r, c, "");
+        }
+      } else {
+        out.SetDouble(r, c, code);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sysds

@@ -1,0 +1,101 @@
+#ifndef SYSDS_RUNTIME_FRAME_TRANSFORM_H_
+#define SYSDS_RUNTIME_FRAME_TRANSFORM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/frame/frame_block.h"
+#include "runtime/matrix/matrix_block.h"
+
+namespace sysds {
+
+/// Per-column transform selection parsed from a SystemDS-style JSON spec:
+///   {"recode":["city"], "dummycode":["city"],
+///    "bin":[{"name":"age","method":"equi-width","numbins":5}],
+///    "impute":[{"name":"age","method":"mean"}]}
+/// Columns may be referenced by name or 1-based index number.
+struct TransformSpec {
+  std::vector<int64_t> recode_cols;
+  std::vector<int64_t> dummycode_cols;
+  struct BinSpec {
+    int64_t col;
+    int64_t num_bins;
+    std::string method;  // "equi-width" (default) or "equi-height"
+  };
+  std::vector<BinSpec> bin_cols;
+  struct ImputeSpec {
+    int64_t col;
+    std::string method;  // "mean" or "mode" or "constant"
+    std::string constant;
+  };
+  std::vector<ImputeSpec> impute_cols;
+};
+
+/// Parses the JSON spec against a frame (resolving column names).
+StatusOr<TransformSpec> ParseTransformSpec(const std::string& spec_json,
+                                           const FrameBlock& frame);
+
+/// The fitted state of a transformencode: recode dictionaries, bin
+/// boundaries, impute values — consumable as data (the paper's "retain the
+/// appearance of a stateless system by consuming pre-trained models and
+/// rules as tensors/frames themselves").
+class MultiColumnEncoder {
+ public:
+  /// Fits all encoders on the input frame (transformencode's first half).
+  static StatusOr<MultiColumnEncoder> Fit(const FrameBlock& frame,
+                                          const TransformSpec& spec);
+
+  /// Encodes a frame to its numeric matrix representation. Unseen recode
+  /// tokens map to 0 (missing); unseen bin values clamp to boundary bins.
+  StatusOr<MatrixBlock> Apply(const FrameBlock& frame) const;
+
+  /// Serializes the fitted state to a string frame (one column per input
+  /// column; rows are "token(tab)code" / bin boundaries / impute value).
+  FrameBlock MetaFrame() const;
+
+  /// Rebuilds an encoder from a meta frame (transformapply's input).
+  static StatusOr<MultiColumnEncoder> FromMeta(const TransformSpec& spec,
+                                               const FrameBlock& meta,
+                                               int64_t num_input_cols);
+
+  /// Inverse transform of recode/dummycode columns (transformdecode).
+  StatusOr<FrameBlock> Decode(const MatrixBlock& m,
+                              const FrameBlock& like) const;
+
+  /// Number of output matrix columns after dummy-coding expansion.
+  int64_t NumOutputCols() const;
+
+ private:
+  enum class ColEncoding { kPassThrough, kRecode, kBin };
+
+  struct ColumnEncoder {
+    ColEncoding encoding = ColEncoding::kPassThrough;
+    bool dummycode = false;
+    // Recode dictionary token -> 1-based code, and its inverse.
+    std::map<std::string, int64_t> recode_map;
+    std::vector<std::string> recode_tokens;
+    // Binning state.
+    int64_t num_bins = 0;
+    double bin_min = 0.0, bin_width = 0.0;
+    std::vector<double> bin_uppers;  // equi-height boundaries
+    std::string bin_method;
+    // Imputation.
+    bool impute = false;
+    double impute_value = 0.0;
+    std::string impute_string;
+    // Output placement.
+    int64_t out_offset = 0;
+    int64_t out_width = 1;
+  };
+
+  int64_t num_input_cols_ = 0;
+  std::vector<ColumnEncoder> encoders_;
+
+  void AssignOutputOffsets();
+};
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_FRAME_TRANSFORM_H_

@@ -1,0 +1,214 @@
+#include "runtime/matrix/lib_agg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace sysds {
+
+namespace {
+
+// Kahan-compensated accumulator (SystemDS KahanPlus).
+struct Kahan {
+  double sum = 0.0;
+  double corr = 0.0;
+  void Add(double v) {
+    double y = v - corr;
+    double t = sum + y;
+    corr = (t - sum) - y;
+    sum = t;
+  }
+};
+
+struct RowStats {
+  Kahan sum;
+  Kahan sumsq;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  int64_t nnz = 0;
+  int64_t count = 0;
+  int64_t argmax = 0;
+  int64_t argmin = 0;
+  double argmax_val = -std::numeric_limits<double>::infinity();
+  double argmin_val = std::numeric_limits<double>::infinity();
+
+  void Add(double v, int64_t idx) {
+    sum.Add(v);
+    sumsq.Add(v * v);
+    min = std::fmin(min, v);
+    max = std::fmax(max, v);
+    nnz += (v != 0.0);
+    ++count;
+    if (v > argmax_val) { argmax_val = v; argmax = idx; }
+    if (v < argmin_val) { argmin_val = v; argmin = idx; }
+  }
+};
+
+double Finalize(AggOpCode op, const RowStats& s) {
+  switch (op) {
+    case AggOpCode::kSum: return s.sum.sum;
+    case AggOpCode::kSumSq: return s.sumsq.sum;
+    case AggOpCode::kMean: return s.count ? s.sum.sum / s.count : 0.0;
+    case AggOpCode::kVar: {
+      if (s.count < 2) return 0.0;
+      double mean = s.sum.sum / s.count;
+      return (s.sumsq.sum - s.count * mean * mean) / (s.count - 1);
+    }
+    case AggOpCode::kSd: {
+      if (s.count < 2) return 0.0;
+      double mean = s.sum.sum / s.count;
+      double var = (s.sumsq.sum - s.count * mean * mean) / (s.count - 1);
+      return std::sqrt(std::fmax(0.0, var));
+    }
+    case AggOpCode::kMin: return s.count ? s.min : 0.0;
+    case AggOpCode::kMax: return s.count ? s.max : 0.0;
+    case AggOpCode::kNnz: return static_cast<double>(s.nnz);
+    case AggOpCode::kIndexMax: return static_cast<double>(s.argmax + 1);
+    case AggOpCode::kIndexMin: return static_cast<double>(s.argmin + 1);
+    case AggOpCode::kTrace: return s.sum.sum;
+  }
+  return std::nan("");
+}
+
+// Folds all cells of row r into the stats, including implicit zeros of
+// sparse rows (min/max/mean must see zeros).
+void ScanRow(const MatrixBlock& a, int64_t r, RowStats* stats) {
+  int64_t cols = a.Cols();
+  if (!a.IsSparse()) {
+    const double* row = a.DenseRow(r);
+    for (int64_t j = 0; j < cols; ++j) stats->Add(row[j], j);
+  } else {
+    const SparseRow& row = a.SparseData().Row(r);
+    int64_t p = 0;
+    for (int64_t j = 0; j < cols; ++j) {
+      if (p < row.Size() && row.Indexes()[p] == j) {
+        stats->Add(row.Values()[p++], j);
+      } else {
+        stats->Add(0.0, j);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<double> AggregateAll(AggOpCode op, const MatrixBlock& a,
+                              int num_threads) {
+  (void)num_threads;
+  if (op == AggOpCode::kTrace) {
+    if (a.Rows() != a.Cols()) {
+      return InvalidArgument("trace requires a square matrix");
+    }
+    Kahan k;
+    for (int64_t i = 0; i < a.Rows(); ++i) k.Add(a.Get(i, i));
+    return k.sum;
+  }
+  if (op == AggOpCode::kIndexMax || op == AggOpCode::kIndexMin) {
+    return InvalidArgument("indexmax/indexmin are row-wise aggregates");
+  }
+  // Fast sparse path for sum-like aggregates (zeros contribute nothing).
+  if (a.IsSparse() &&
+      (op == AggOpCode::kSum || op == AggOpCode::kSumSq ||
+       op == AggOpCode::kNnz)) {
+    Kahan k;
+    int64_t nnz = 0;
+    for (int64_t r = 0; r < a.Rows(); ++r) {
+      const SparseRow& row = a.SparseData().Row(r);
+      for (int64_t p = 0; p < row.Size(); ++p) {
+        double v = row.Values()[p];
+        k.Add(op == AggOpCode::kSumSq ? v * v : v);
+        nnz += (v != 0.0);
+      }
+    }
+    if (op == AggOpCode::kNnz) return static_cast<double>(nnz);
+    return k.sum;
+  }
+  RowStats stats;
+  for (int64_t r = 0; r < a.Rows(); ++r) ScanRow(a, r, &stats);
+  return Finalize(op, stats);
+}
+
+StatusOr<MatrixBlock> AggregateRowCol(AggOpCode op, AggDirection dir,
+                                      const MatrixBlock& a, int num_threads) {
+  if (dir == AggDirection::kRow) {
+    MatrixBlock c = MatrixBlock::Dense(a.Rows(), 1);
+    ThreadPool::Global().ParallelFor(
+        0, a.Rows(),
+        num_threads <= 1 ? 1 : std::min<int64_t>(num_threads, a.Rows()),
+        [&](int64_t rb, int64_t re) {
+          for (int64_t r = rb; r < re; ++r) {
+            RowStats stats;
+            ScanRow(a, r, &stats);
+            c.DenseData()[r] = Finalize(op, stats);
+          }
+        });
+    c.MarkNnzDirty();
+    return c;
+  }
+  if (dir == AggDirection::kCol) {
+    // Column aggregates: one stats object per column, single pass over rows.
+    int64_t cols = a.Cols();
+    std::vector<RowStats> stats(static_cast<size_t>(cols));
+    for (int64_t r = 0; r < a.Rows(); ++r) {
+      if (!a.IsSparse()) {
+        const double* row = a.DenseRow(r);
+        for (int64_t j = 0; j < cols; ++j) stats[j].Add(row[j], r);
+      } else {
+        const SparseRow& row = a.SparseData().Row(r);
+        int64_t p = 0;
+        for (int64_t j = 0; j < cols; ++j) {
+          if (p < row.Size() && row.Indexes()[p] == j) {
+            stats[j].Add(row.Values()[p++], r);
+          } else {
+            stats[j].Add(0.0, r);
+          }
+        }
+      }
+    }
+    MatrixBlock c = MatrixBlock::Dense(1, cols);
+    for (int64_t j = 0; j < cols; ++j) {
+      c.DenseData()[j] = Finalize(op, stats[j]);
+    }
+    c.MarkNnzDirty();
+    return c;
+  }
+  return InvalidArgument("AggregateRowCol requires row or col direction");
+}
+
+namespace {
+template <typename Fn>
+MatrixBlock CumulativeColwise(const MatrixBlock& a, double init, Fn fn) {
+  MatrixBlock c = MatrixBlock::Dense(a.Rows(), a.Cols());
+  int64_t cols = a.Cols();
+  std::vector<double> acc(static_cast<size_t>(cols), init);
+  for (int64_t r = 0; r < a.Rows(); ++r) {
+    double* crow = c.DenseRow(r);
+    for (int64_t j = 0; j < cols; ++j) {
+      acc[j] = fn(acc[j], a.Get(r, j));
+      crow[j] = acc[j];
+    }
+  }
+  c.MarkNnzDirty();
+  return c;
+}
+}  // namespace
+
+MatrixBlock CumSum(const MatrixBlock& a) {
+  return CumulativeColwise(a, 0.0, [](double x, double y) { return x + y; });
+}
+MatrixBlock CumProd(const MatrixBlock& a) {
+  return CumulativeColwise(a, 1.0, [](double x, double y) { return x * y; });
+}
+MatrixBlock CumMin(const MatrixBlock& a) {
+  return CumulativeColwise(a, std::numeric_limits<double>::infinity(),
+                           [](double x, double y) { return std::fmin(x, y); });
+}
+MatrixBlock CumMax(const MatrixBlock& a) {
+  return CumulativeColwise(a, -std::numeric_limits<double>::infinity(),
+                           [](double x, double y) { return std::fmax(x, y); });
+}
+
+}  // namespace sysds

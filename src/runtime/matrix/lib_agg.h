@@ -1,0 +1,28 @@
+#ifndef SYSDS_RUNTIME_MATRIX_LIB_AGG_H_
+#define SYSDS_RUNTIME_MATRIX_LIB_AGG_H_
+
+#include "common/status.h"
+#include "runtime/matrix/matrix_block.h"
+#include "runtime/matrix/op_codes.h"
+
+namespace sysds {
+
+/// Full aggregate to a scalar. Sums use Kahan-compensated accumulation like
+/// SystemDS's KahanPlus to keep results stable across thread counts.
+StatusOr<double> AggregateAll(AggOpCode op, const MatrixBlock& a,
+                              int num_threads);
+
+/// Row aggregate (result rows x 1) or column aggregate (result 1 x cols).
+StatusOr<MatrixBlock> AggregateRowCol(AggOpCode op, AggDirection dir,
+                                      const MatrixBlock& a, int num_threads);
+
+/// Column-wise cumulative sum (like DML cumsum).
+MatrixBlock CumSum(const MatrixBlock& a);
+/// Column-wise cumulative product / min / max.
+MatrixBlock CumProd(const MatrixBlock& a);
+MatrixBlock CumMin(const MatrixBlock& a);
+MatrixBlock CumMax(const MatrixBlock& a);
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_MATRIX_LIB_AGG_H_

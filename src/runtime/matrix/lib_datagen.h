@@ -1,0 +1,33 @@
+#ifndef SYSDS_RUNTIME_MATRIX_LIB_DATAGEN_H_
+#define SYSDS_RUNTIME_MATRIX_LIB_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "runtime/matrix/matrix_block.h"
+
+namespace sysds {
+
+/// Probability distribution for rand().
+enum class RandPdf { kUniform, kNormal };
+
+/// Generates a rows x cols matrix with the given sparsity. Non-zero cells
+/// are uniform in [min,max) or N(0,1). Generation is deterministic in the
+/// seed and independent of the thread count: each row block derives its own
+/// sub-seed (this is also what lineage records, paper §3.1).
+StatusOr<MatrixBlock> RandMatrix(int64_t rows, int64_t cols, double min_val,
+                                 double max_val, double sparsity,
+                                 uint64_t seed, RandPdf pdf, int num_threads);
+
+/// seq(from, to, incr) as a column vector.
+StatusOr<MatrixBlock> SeqMatrix(double from, double to, double incr);
+
+/// sample(range, size, replace, seed): column vector of integers in
+/// [1, range].
+StatusOr<MatrixBlock> SampleMatrix(int64_t range, int64_t size, bool replace,
+                                   uint64_t seed);
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_MATRIX_LIB_DATAGEN_H_

@@ -1,0 +1,36 @@
+#ifndef SYSDS_RUNTIME_MATRIX_LIB_ELEMENTWISE_H_
+#define SYSDS_RUNTIME_MATRIX_LIB_ELEMENTWISE_H_
+
+#include "common/status.h"
+#include "runtime/matrix/matrix_block.h"
+#include "runtime/matrix/op_codes.h"
+
+namespace sysds {
+
+/// C = a op b with R-style broadcasting: equal shapes, column-vector
+/// broadcast (b is rows x 1), or row-vector broadcast (b is 1 x cols); the
+/// vector may be on either side. Shape violations return InvalidArgument.
+StatusOr<MatrixBlock> BinaryMatrixMatrix(BinaryOpCode op,
+                                         const MatrixBlock& a,
+                                         const MatrixBlock& b,
+                                         int num_threads);
+
+/// C = a op scalar (scalar on the right); use swap for left scalars of
+/// non-commutative ops at the call site, or pass scalar_left=true.
+MatrixBlock BinaryMatrixScalar(BinaryOpCode op, const MatrixBlock& a,
+                               double scalar, bool scalar_left,
+                               int num_threads);
+
+/// C = op(a) elementwise; sparse-safe ops keep the sparse format.
+MatrixBlock UnaryMatrix(UnaryOpCode op, const MatrixBlock& a,
+                        int num_threads);
+
+/// C = ifelse(cond, a, b) with scalar or matrix arms (matching shapes).
+StatusOr<MatrixBlock> TernaryIfElse(const MatrixBlock& cond,
+                                    const MatrixBlock* a, double a_scalar,
+                                    const MatrixBlock* b, double b_scalar,
+                                    int num_threads);
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_MATRIX_LIB_ELEMENTWISE_H_

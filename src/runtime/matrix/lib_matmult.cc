@@ -1,0 +1,374 @@
+#include "runtime/matrix/lib_matmult.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace sysds {
+
+namespace {
+std::atomic<GemmKernel> g_gemm_kernel{GemmKernel::kNative};
+}  // namespace
+
+void SetGemmKernel(GemmKernel kernel) { g_gemm_kernel.store(kernel); }
+GemmKernel GetGemmKernel() { return g_gemm_kernel.load(); }
+
+namespace internal {
+
+// Straightforward i-j-k (dot product) loop nest: strided accesses into B and
+// no register blocking — stands in for the portable Java kernel of §4.2.
+void GemmDensePortable(const double* a, const double* b, double* c,
+                       int64_t m, int64_t n, int64_t k) {
+  for (int64_t i = 0; i < m; ++i) {
+    const double* arow = a + i * k;
+    double* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (int64_t l = 0; l < k; ++l) sum += arow[l] * b[l * n + j];
+      crow[j] = sum;
+    }
+  }
+}
+
+// Cache-blocked i-k-j kernel with a contiguous inner loop over C/B rows —
+// the auto-vectorizer emits packed SIMD for the inner axpy, standing in for
+// the native BLAS path (SysDS-B).
+void GemmDenseTiled(const double* a, const double* b, double* c, int64_t m,
+                    int64_t n, int64_t k) {
+  constexpr int64_t kBlockK = 128;
+  constexpr int64_t kBlockJ = 512;
+  for (int64_t kk = 0; kk < k; kk += kBlockK) {
+    int64_t kend = std::min(k, kk + kBlockK);
+    for (int64_t jj = 0; jj < n; jj += kBlockJ) {
+      int64_t jend = std::min(n, jj + kBlockJ);
+      for (int64_t i = 0; i < m; ++i) {
+        const double* arow = a + i * k;
+        double* crow = c + i * n;
+        for (int64_t l = kk; l < kend; ++l) {
+          double aval = arow[l];
+          if (aval == 0.0) continue;
+          const double* brow = b + l * n;
+          for (int64_t j = jj; j < jend; ++j) crow[j] += aval * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace internal
+
+namespace {
+
+void GemmDenseRows(const MatrixBlock& a, const MatrixBlock& b, MatrixBlock* c,
+                   int64_t rbeg, int64_t rend) {
+  int64_t n = b.Cols(), k = a.Cols();
+  const double* pa = a.DenseData() + rbeg * k;
+  double* pc = c->DenseData() + rbeg * n;
+  if (GetGemmKernel() == GemmKernel::kNative) {
+    internal::GemmDenseTiled(pa, b.DenseData(), pc, rend - rbeg, n, k);
+  } else {
+    internal::GemmDensePortable(pa, b.DenseData(), pc, rend - rbeg, n, k);
+  }
+}
+
+// C rows [rbeg,rend): sparse A times dense B.
+void GemmSparseDenseRows(const MatrixBlock& a, const MatrixBlock& b,
+                         MatrixBlock* c, int64_t rbeg, int64_t rend) {
+  int64_t n = b.Cols();
+  for (int64_t i = rbeg; i < rend; ++i) {
+    const SparseRow& row = a.SparseData().Row(i);
+    double* crow = c->DenseRow(i);
+    for (int64_t p = 0; p < row.Size(); ++p) {
+      double aval = row.Values()[p];
+      const double* brow = b.DenseRow(row.Indexes()[p]);
+      for (int64_t j = 0; j < n; ++j) crow[j] += aval * brow[j];
+    }
+  }
+}
+
+void GemmDenseSparseRows(const MatrixBlock& a, const MatrixBlock& b,
+                         MatrixBlock* c, int64_t rbeg, int64_t rend) {
+  int64_t k = a.Cols();
+  for (int64_t i = rbeg; i < rend; ++i) {
+    const double* arow = a.DenseRow(i);
+    double* crow = c->DenseRow(i);
+    for (int64_t l = 0; l < k; ++l) {
+      double aval = arow[l];
+      if (aval == 0.0) continue;
+      const SparseRow& brow = b.SparseData().Row(l);
+      for (int64_t p = 0; p < brow.Size(); ++p) {
+        crow[brow.Indexes()[p]] += aval * brow.Values()[p];
+      }
+    }
+  }
+}
+
+void GemmSparseSparseRows(const MatrixBlock& a, const MatrixBlock& b,
+                          MatrixBlock* c, int64_t rbeg, int64_t rend) {
+  for (int64_t i = rbeg; i < rend; ++i) {
+    const SparseRow& arow = a.SparseData().Row(i);
+    double* crow = c->DenseRow(i);
+    for (int64_t p = 0; p < arow.Size(); ++p) {
+      double aval = arow.Values()[p];
+      const SparseRow& brow = b.SparseData().Row(arow.Indexes()[p]);
+      for (int64_t q = 0; q < brow.Size(); ++q) {
+        crow[brow.Indexes()[q]] += aval * brow.Values()[q];
+      }
+    }
+  }
+}
+
+int64_t PickChunks(int64_t rows, int num_threads) {
+  if (num_threads <= 1) return 1;
+  return std::min<int64_t>(num_threads, std::max<int64_t>(1, rows / 8));
+}
+
+}  // namespace
+
+StatusOr<MatrixBlock> MatMult(const MatrixBlock& a, const MatrixBlock& b,
+                              int num_threads) {
+  if (a.Cols() != b.Rows()) {
+    return InvalidArgument("matmult dimension mismatch: " +
+                           std::to_string(a.Cols()) + " vs " +
+                           std::to_string(b.Rows()));
+  }
+  MatrixBlock c = MatrixBlock::Dense(a.Rows(), b.Cols());
+  int64_t chunks = PickChunks(a.Rows(), num_threads);
+  auto run = [&](auto fn) {
+    ThreadPool::Global().ParallelFor(
+        0, a.Rows(), chunks,
+        [&](int64_t rb, int64_t re) { fn(a, b, &c, rb, re); });
+  };
+  if (!a.IsSparse() && !b.IsSparse()) {
+    run(GemmDenseRows);
+  } else if (a.IsSparse() && !b.IsSparse()) {
+    run(GemmSparseDenseRows);
+  } else if (!a.IsSparse() && b.IsSparse()) {
+    run(GemmDenseSparseRows);
+  } else {
+    run(GemmSparseSparseRows);
+  }
+  c.MarkNnzDirty();
+  c.ExamSparsity();
+  return c;
+}
+
+StatusOr<MatrixBlock> TransposeSelfMatMult(const MatrixBlock& x, bool left,
+                                           int num_threads) {
+  // Right tsmm X%*%t(X) is computed as left tsmm of the transpose-free form
+  // by swapping the roles of rows and cells; for simplicity we only
+  // specialize the (dominant) left case and fall back to TransposeLeftMatMult
+  // semantics for the right case via the generic path.
+  if (!left) {
+    // X %*% t(X): C[i,j] = dot(row_i, row_j), symmetric m x m.
+    int64_t m = x.Rows(), k = x.Cols();
+    MatrixBlock c = MatrixBlock::Dense(m, m);
+    ThreadPool::Global().ParallelFor(
+        0, m, PickChunks(m, num_threads), [&](int64_t rb, int64_t re) {
+          for (int64_t i = rb; i < re; ++i) {
+            for (int64_t j = i; j < m; ++j) {
+              double sum = 0.0;
+              if (!x.IsSparse()) {
+                const double* ri = x.DenseRow(i);
+                const double* rj = x.DenseRow(j);
+                for (int64_t l = 0; l < k; ++l) sum += ri[l] * rj[l];
+              } else {
+                const SparseRow& ri = x.SparseData().Row(i);
+                const SparseRow& rj = x.SparseData().Row(j);
+                int64_t p = 0, q = 0;
+                while (p < ri.Size() && q < rj.Size()) {
+                  int64_t ci = ri.Indexes()[p], cj = rj.Indexes()[q];
+                  if (ci == cj) sum += ri.Values()[p++] * rj.Values()[q++];
+                  else if (ci < cj) ++p;
+                  else ++q;
+                }
+              }
+              c.DenseRow(i)[j] = sum;
+            }
+          }
+        });
+    // Mirror the upper triangle.
+    for (int64_t i = 0; i < m; ++i)
+      for (int64_t j = 0; j < i; ++j) c.DenseRow(i)[j] = c.DenseRow(j)[i];
+    c.MarkNnzDirty();
+    c.ExamSparsity();
+    return c;
+  }
+
+  // Left tsmm: C = t(X) %*% X, n x n symmetric.
+  // Portable kernel (§4.2: the non-SIMD Java-style path): per output cell
+  // dot products over column-strided accesses — cache-unfriendly like the
+  // unblocked reference implementation.
+  if (!x.IsSparse() && GetGemmKernel() == GemmKernel::kPortable) {
+    int64_t m = x.Rows(), n = x.Cols();
+    MatrixBlock c = MatrixBlock::Dense(n, n);
+    const double* px = x.DenseData();
+    double* pc = c.DenseData();
+    ThreadPool::Global().ParallelFor(
+        0, n, PickChunks(n, num_threads), [&](int64_t pb, int64_t pe) {
+          for (int64_t p = pb; p < pe; ++p) {
+            for (int64_t q = p; q < n; ++q) {
+              double sum = 0.0;
+              for (int64_t i = 0; i < m; ++i) {
+                sum += px[i * n + p] * px[i * n + q];
+              }
+              pc[p * n + q] = sum;
+            }
+          }
+        });
+    for (int64_t i = 0; i < n; ++i)
+      for (int64_t j = 0; j < i; ++j) pc[i * n + j] = pc[j * n + i];
+    c.MarkNnzDirty();
+    c.ExamSparsity();
+    return c;
+  }
+
+  // Native kernel: accumulated over rows with per-chunk partial results
+  // reduced deterministically in chunk order (vectorizable inner axpy).
+  int64_t m = x.Rows(), n = x.Cols();
+  int64_t chunks = PickChunks(m, num_threads);
+  std::vector<std::vector<double>> partials(
+      static_cast<size_t>(chunks), std::vector<double>());
+  int64_t chunk_rows = (m + chunks - 1) / chunks;
+  ThreadPool::Global().ParallelFor(
+      0, m, chunks, [&](int64_t rb, int64_t re) {
+        size_t ci = static_cast<size_t>(rb / chunk_rows);
+        std::vector<double>& acc = partials[ci];
+        acc.assign(static_cast<size_t>(n * n), 0.0);
+        if (!x.IsSparse()) {
+          for (int64_t i = rb; i < re; ++i) {
+            const double* row = x.DenseRow(i);
+            for (int64_t p = 0; p < n; ++p) {
+              double v = row[p];
+              if (v == 0.0) continue;
+              double* arow = acc.data() + p * n;
+              for (int64_t q = p; q < n; ++q) arow[q] += v * row[q];
+            }
+          }
+        } else {
+          for (int64_t i = rb; i < re; ++i) {
+            const SparseRow& row = x.SparseData().Row(i);
+            for (int64_t p = 0; p < row.Size(); ++p) {
+              double v = row.Values()[p];
+              double* arow = acc.data() + row.Indexes()[p] * n;
+              for (int64_t q = p; q < row.Size(); ++q) {
+                arow[row.Indexes()[q]] += v * row.Values()[q];
+              }
+            }
+          }
+        }
+      });
+  MatrixBlock c = MatrixBlock::Dense(n, n);
+  double* pc = c.DenseData();
+  for (const auto& acc : partials) {
+    if (acc.empty()) continue;
+    for (int64_t i = 0; i < n * n; ++i) pc[i] += acc[i];
+  }
+  // Mirror upper to lower triangle.
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < i; ++j) pc[i * n + j] = pc[j * n + i];
+  c.MarkNnzDirty();
+  c.ExamSparsity();
+  return c;
+}
+
+StatusOr<MatrixBlock> TransposeLeftMatMult(const MatrixBlock& a,
+                                           const MatrixBlock& b,
+                                           int num_threads) {
+  if (a.Rows() != b.Rows()) {
+    return InvalidArgument("t(A)%*%B dimension mismatch: " +
+                           std::to_string(a.Rows()) + " vs " +
+                           std::to_string(b.Rows()));
+  }
+  // Portable kernel: per-cell dot products over column-strided accesses.
+  if (!a.IsSparse() && !b.IsSparse() &&
+      GetGemmKernel() == GemmKernel::kPortable) {
+    int64_t m = a.Rows(), n = a.Cols(), l = b.Cols();
+    MatrixBlock c = MatrixBlock::Dense(n, l);
+    const double* pa = a.DenseData();
+    const double* pb = b.DenseData();
+    double* pc = c.DenseData();
+    ThreadPool::Global().ParallelFor(
+        0, n, PickChunks(n, num_threads), [&](int64_t qb, int64_t qe) {
+          for (int64_t p = qb; p < qe; ++p) {
+            for (int64_t q = 0; q < l; ++q) {
+              double sum = 0.0;
+              for (int64_t i = 0; i < m; ++i) {
+                sum += pa[i * n + p] * pb[i * l + q];
+              }
+              pc[p * l + q] = sum;
+            }
+          }
+        });
+    c.MarkNnzDirty();
+    c.ExamSparsity();
+    return c;
+  }
+
+  // Native kernel: C = t(A) %*% B as a sum over shared rows (C += a_i b_i^T).
+  int64_t m = a.Rows(), n = a.Cols(), l = b.Cols();
+  int64_t chunks = PickChunks(m, num_threads);
+  std::vector<std::vector<double>> partials(static_cast<size_t>(chunks));
+  int64_t chunk_rows = (m + chunks - 1) / chunks;
+  ThreadPool::Global().ParallelFor(
+      0, m, chunks, [&](int64_t rb, int64_t re) {
+        size_t ci = static_cast<size_t>(rb / chunk_rows);
+        std::vector<double>& acc = partials[ci];
+        acc.assign(static_cast<size_t>(n * l), 0.0);
+        for (int64_t i = rb; i < re; ++i) {
+          if (!a.IsSparse() && !b.IsSparse()) {
+            const double* arow = a.DenseRow(i);
+            const double* brow = b.DenseRow(i);
+            for (int64_t p = 0; p < n; ++p) {
+              double v = arow[p];
+              if (v == 0.0) continue;
+              double* crow = acc.data() + p * l;
+              for (int64_t q = 0; q < l; ++q) crow[q] += v * brow[q];
+            }
+          } else if (a.IsSparse() && !b.IsSparse()) {
+            const SparseRow& arow = a.SparseData().Row(i);
+            const double* brow = b.DenseRow(i);
+            for (int64_t p = 0; p < arow.Size(); ++p) {
+              double v = arow.Values()[p];
+              double* crow = acc.data() + arow.Indexes()[p] * l;
+              for (int64_t q = 0; q < l; ++q) crow[q] += v * brow[q];
+            }
+          } else if (!a.IsSparse() && b.IsSparse()) {
+            const double* arow = a.DenseRow(i);
+            const SparseRow& brow = b.SparseData().Row(i);
+            for (int64_t p = 0; p < n; ++p) {
+              double v = arow[p];
+              if (v == 0.0) continue;
+              double* crow = acc.data() + p * l;
+              for (int64_t q = 0; q < brow.Size(); ++q) {
+                crow[brow.Indexes()[q]] += v * brow.Values()[q];
+              }
+            }
+          } else {
+            const SparseRow& arow = a.SparseData().Row(i);
+            const SparseRow& brow = b.SparseData().Row(i);
+            for (int64_t p = 0; p < arow.Size(); ++p) {
+              double v = arow.Values()[p];
+              double* crow = acc.data() + arow.Indexes()[p] * l;
+              for (int64_t q = 0; q < brow.Size(); ++q) {
+                crow[brow.Indexes()[q]] += v * brow.Values()[q];
+              }
+            }
+          }
+        }
+      });
+  MatrixBlock c = MatrixBlock::Dense(n, l);
+  double* pc = c.DenseData();
+  for (const auto& acc : partials) {
+    if (acc.empty()) continue;
+    for (int64_t i = 0; i < n * l; ++i) pc[i] += acc[i];
+  }
+  c.MarkNnzDirty();
+  c.ExamSparsity();
+  return c;
+}
+
+}  // namespace sysds

@@ -1,0 +1,59 @@
+#ifndef SYSDS_RUNTIME_MATRIX_LIB_REORG_H_
+#define SYSDS_RUNTIME_MATRIX_LIB_REORG_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/matrix/matrix_block.h"
+
+namespace sysds {
+
+/// t(A), cache-blocked for dense inputs.
+MatrixBlock Transpose(const MatrixBlock& a, int num_threads);
+
+/// rev(A): reverses the row order.
+MatrixBlock ReverseRows(const MatrixBlock& a);
+
+/// diag(A): for a column vector (n x 1) produces the n x n diagonal matrix;
+/// for a square matrix extracts the diagonal as n x 1.
+StatusOr<MatrixBlock> Diag(const MatrixBlock& a);
+
+/// cbind(A1, ..., An) / rbind(A1, ..., An).
+StatusOr<MatrixBlock> CBind(const std::vector<const MatrixBlock*>& inputs);
+StatusOr<MatrixBlock> RBind(const std::vector<const MatrixBlock*>& inputs);
+
+/// Right indexing A[rl:ru, cl:cu] with 0-based inclusive bounds.
+StatusOr<MatrixBlock> SliceMatrix(const MatrixBlock& a, int64_t rl, int64_t ru,
+                                  int64_t cl, int64_t cu);
+
+/// Left indexing: copies `a`, overwriting the region [rl..ru, cl..cu] with
+/// `rhs` (whose shape must match the region).
+StatusOr<MatrixBlock> LeftIndex(const MatrixBlock& a, const MatrixBlock& rhs,
+                                int64_t rl, int64_t ru, int64_t cl,
+                                int64_t cu);
+
+/// reshape(A, rows, cols) row-major, byrow=TRUE semantics.
+StatusOr<MatrixBlock> Reshape(const MatrixBlock& a, int64_t rows,
+                              int64_t cols);
+
+/// order(A, by=col, decreasing, index.return): returns A with rows sorted by
+/// the given 0-based column, or the 1-based row permutation if index_return.
+StatusOr<MatrixBlock> OrderByColumn(const MatrixBlock& a, int64_t by_col,
+                                    bool decreasing, bool index_return);
+
+/// removeEmpty(A, margin="rows"/"cols"): drops all-zero rows or columns.
+/// Returns a 1x1 zero matrix if everything is empty (SystemDS behaviour).
+MatrixBlock RemoveEmpty(const MatrixBlock& a, bool rows_margin);
+
+/// table(A, B): contingency table of two column vectors with positive
+/// integer entries; result dims are max(A) x max(B).
+StatusOr<MatrixBlock> CTable(const MatrixBlock& a, const MatrixBlock& b,
+                             double weight = 1.0);
+
+/// replace(A, pattern, replacement) - exact match, NaN-aware.
+MatrixBlock ReplaceValues(const MatrixBlock& a, double pattern,
+                          double replacement);
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_MATRIX_LIB_REORG_H_

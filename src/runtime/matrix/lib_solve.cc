@@ -1,0 +1,176 @@
+#include "runtime/matrix/lib_solve.h"
+
+#include <cmath>
+#include <vector>
+
+namespace sysds {
+
+namespace {
+
+// In-place LU with partial pivoting on a dense row-major copy.
+// Returns false if singular. perm[i] records the row swaps; sign tracks the
+// permutation parity for determinants.
+bool LuDecompose(std::vector<double>& lu, int64_t n,
+                 std::vector<int64_t>& perm, double* sign) {
+  perm.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) perm[i] = i;
+  *sign = 1.0;
+  for (int64_t k = 0; k < n; ++k) {
+    // Pivot search.
+    int64_t p = k;
+    double best = std::fabs(lu[k * n + k]);
+    for (int64_t i = k + 1; i < n; ++i) {
+      double v = std::fabs(lu[i * n + k]);
+      if (v > best) { best = v; p = i; }
+    }
+    if (best == 0.0) return false;
+    if (p != k) {
+      for (int64_t j = 0; j < n; ++j) std::swap(lu[k * n + j], lu[p * n + j]);
+      std::swap(perm[k], perm[p]);
+      *sign = -*sign;
+    }
+    double pivot = lu[k * n + k];
+    for (int64_t i = k + 1; i < n; ++i) {
+      double f = lu[i * n + k] / pivot;
+      lu[i * n + k] = f;
+      if (f == 0.0) continue;
+      const double* krow = lu.data() + k * n;
+      double* irow = lu.data() + i * n;
+      for (int64_t j = k + 1; j < n; ++j) irow[j] -= f * krow[j];
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+StatusOr<MatrixBlock> Cholesky(const MatrixBlock& a) {
+  if (a.Rows() != a.Cols()) {
+    return InvalidArgument("cholesky requires a square matrix");
+  }
+  int64_t n = a.Rows();
+  MatrixBlock l = MatrixBlock::Dense(n, n);
+  double* pl = l.DenseData();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      double sum = a.Get(i, j);
+      const double* li = pl + i * n;
+      const double* lj = pl + j * n;
+      for (int64_t k = 0; k < j; ++k) sum -= li[k] * lj[k];
+      if (i == j) {
+        if (sum <= 0.0) {
+          return InvalidArgument("cholesky: matrix not positive definite");
+        }
+        pl[i * n + i] = std::sqrt(sum);
+      } else {
+        pl[i * n + j] = sum / pl[j * n + j];
+      }
+    }
+  }
+  l.MarkNnzDirty();
+  return l;
+}
+
+StatusOr<MatrixBlock> Solve(const MatrixBlock& a, const MatrixBlock& b) {
+  if (a.Rows() != a.Cols()) {
+    return InvalidArgument("solve requires a square matrix");
+  }
+  if (a.Rows() != b.Rows()) {
+    return InvalidArgument("solve: rhs row count mismatch");
+  }
+  int64_t n = a.Rows(), m = b.Cols();
+
+  // Cholesky fast path for symmetric inputs (normal equations of lmDS).
+  bool symmetric = true;
+  for (int64_t i = 0; i < n && symmetric; ++i) {
+    for (int64_t j = i + 1; j < n && symmetric; ++j) {
+      symmetric = std::fabs(a.Get(i, j) - a.Get(j, i)) <=
+                  1e-12 * (1.0 + std::fabs(a.Get(i, j)));
+    }
+  }
+  if (symmetric) {
+    auto chol = Cholesky(a);
+    if (chol.ok()) {
+      const double* pl = chol->DenseData();
+      MatrixBlock x = MatrixBlock::Dense(n, m);
+      double* px = x.DenseData();
+      // Forward substitution L y = b, then backward Lᵀ x = y, per column.
+      for (int64_t c = 0; c < m; ++c) {
+        for (int64_t i = 0; i < n; ++i) {
+          double sum = b.Get(i, c);
+          for (int64_t k = 0; k < i; ++k) sum -= pl[i * n + k] * px[k * m + c];
+          px[i * m + c] = sum / pl[i * n + i];
+        }
+        for (int64_t i = n - 1; i >= 0; --i) {
+          double sum = px[i * m + c];
+          for (int64_t k = i + 1; k < n; ++k) {
+            sum -= pl[k * n + i] * px[k * m + c];
+          }
+          px[i * m + c] = sum / pl[i * n + i];
+        }
+      }
+      x.MarkNnzDirty();
+      return x;
+    }
+    // Not SPD: fall through to LU.
+  }
+
+  std::vector<double> lu(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) lu[i * n + j] = a.Get(i, j);
+  }
+  std::vector<int64_t> perm;
+  double sign;
+  if (!LuDecompose(lu, n, perm, &sign)) {
+    return RuntimeError("solve: matrix is singular");
+  }
+  MatrixBlock x = MatrixBlock::Dense(n, m);
+  double* px = x.DenseData();
+  for (int64_t c = 0; c < m; ++c) {
+    // Apply permutation, then forward/backward substitution.
+    std::vector<double> y(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) y[i] = b.Get(perm[i], c);
+    for (int64_t i = 0; i < n; ++i) {
+      double sum = y[i];
+      for (int64_t k = 0; k < i; ++k) sum -= lu[i * n + k] * y[k];
+      y[i] = sum;
+    }
+    for (int64_t i = n - 1; i >= 0; --i) {
+      double sum = y[i];
+      for (int64_t k = i + 1; k < n; ++k) sum -= lu[i * n + k] * y[k];
+      y[i] = sum / lu[i * n + i];
+    }
+    for (int64_t i = 0; i < n; ++i) px[i * m + c] = y[i];
+  }
+  x.MarkNnzDirty();
+  return x;
+}
+
+StatusOr<MatrixBlock> Inverse(const MatrixBlock& a) {
+  if (a.Rows() != a.Cols()) {
+    return InvalidArgument("inv requires a square matrix");
+  }
+  MatrixBlock eye = MatrixBlock::Dense(a.Rows(), a.Rows());
+  for (int64_t i = 0; i < a.Rows(); ++i) eye.DenseRow(i)[i] = 1.0;
+  eye.MarkNnzDirty();
+  return Solve(a, eye);
+}
+
+StatusOr<double> Determinant(const MatrixBlock& a) {
+  if (a.Rows() != a.Cols()) {
+    return InvalidArgument("det requires a square matrix");
+  }
+  int64_t n = a.Rows();
+  std::vector<double> lu(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) lu[i * n + j] = a.Get(i, j);
+  }
+  std::vector<int64_t> perm;
+  double sign;
+  if (!LuDecompose(lu, n, perm, &sign)) return 0.0;
+  double det = sign;
+  for (int64_t i = 0; i < n; ++i) det *= lu[i * n + i];
+  return det;
+}
+
+}  // namespace sysds

@@ -1,0 +1,25 @@
+#ifndef SYSDS_RUNTIME_MATRIX_LIB_SOLVE_H_
+#define SYSDS_RUNTIME_MATRIX_LIB_SOLVE_H_
+
+#include "common/status.h"
+#include "runtime/matrix/matrix_block.h"
+
+namespace sysds {
+
+/// Solves A x = b. Tries a Cholesky factorization first (the normal-
+/// equations matrices of lmDS are SPD); falls back to LU with partial
+/// pivoting for general square systems. b may have multiple columns.
+StatusOr<MatrixBlock> Solve(const MatrixBlock& a, const MatrixBlock& b);
+
+/// Cholesky factor L (lower triangular) with A = L Lᵀ; fails on non-SPD.
+StatusOr<MatrixBlock> Cholesky(const MatrixBlock& a);
+
+/// Matrix inverse via LU.
+StatusOr<MatrixBlock> Inverse(const MatrixBlock& a);
+
+/// Determinant via LU.
+StatusOr<double> Determinant(const MatrixBlock& a);
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_MATRIX_LIB_SOLVE_H_

@@ -1,0 +1,172 @@
+#include "runtime/matrix/matrix_block.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace sysds {
+
+MatrixBlock::MatrixBlock(int64_t rows, int64_t cols, bool sparse)
+    : rows_(rows), cols_(cols), sparse_(sparse) {
+  if (sparse_) {
+    sparse_block_.Reset(rows_);
+    nnz_ = 0;
+  } else {
+    dense_.assign(static_cast<size_t>(rows_ * cols_), 0.0);
+    nnz_ = 0;
+  }
+}
+
+MatrixBlock MatrixBlock::Dense(int64_t rows, int64_t cols, double fill) {
+  MatrixBlock mb(rows, cols, /*sparse=*/false);
+  if (fill != 0.0) {
+    std::fill(mb.dense_.begin(), mb.dense_.end(), fill);
+    mb.nnz_ = rows * cols;
+  }
+  return mb;
+}
+
+MatrixBlock MatrixBlock::Sparse(int64_t rows, int64_t cols) {
+  return MatrixBlock(rows, cols, /*sparse=*/true);
+}
+
+MatrixBlock MatrixBlock::FromValues(int64_t rows, int64_t cols,
+                                    const std::vector<double>& values) {
+  MatrixBlock mb(rows, cols, /*sparse=*/false);
+  size_t n = std::min(values.size(), mb.dense_.size());
+  std::copy(values.begin(), values.begin() + n, mb.dense_.begin());
+  mb.MarkNnzDirty();
+  return mb;
+}
+
+int64_t MatrixBlock::NonZeros() const {
+  if (nnz_ < 0) nnz_ = ComputeNonZeros();
+  return nnz_;
+}
+
+int64_t MatrixBlock::ComputeNonZeros() const {
+  if (sparse_) return sparse_block_.CountNonZeros();
+  int64_t nnz = 0;
+  for (double v : dense_) nnz += (v != 0.0);
+  return nnz;
+}
+
+double MatrixBlock::Get(int64_t r, int64_t c) const {
+  if (sparse_) return sparse_block_.Row(r).Get(c);
+  return dense_[static_cast<size_t>(r * cols_ + c)];
+}
+
+void MatrixBlock::Set(int64_t r, int64_t c, double v) {
+  if (sparse_) {
+    sparse_block_.Row(r).Set(c, v);
+  } else {
+    dense_[static_cast<size_t>(r * cols_ + c)] = v;
+  }
+  MarkNnzDirty();
+}
+
+void MatrixBlock::AllocateDense() {
+  if (dense_.size() != static_cast<size_t>(rows_ * cols_)) {
+    dense_.assign(static_cast<size_t>(rows_ * cols_), 0.0);
+  }
+}
+
+void MatrixBlock::AllocateSparse() {
+  if (sparse_block_.NumRows() != rows_) sparse_block_.Reset(rows_);
+}
+
+void MatrixBlock::ToDense() {
+  if (!sparse_) return;
+  std::vector<double> dense(static_cast<size_t>(rows_ * cols_), 0.0);
+  for (int64_t r = 0; r < rows_; ++r) {
+    const SparseRow& row = sparse_block_.Row(r);
+    for (int64_t k = 0; k < row.Size(); ++k) {
+      dense[static_cast<size_t>(r * cols_ + row.Indexes()[k])] =
+          row.Values()[k];
+    }
+  }
+  dense_ = std::move(dense);
+  sparse_block_ = SparseBlock();
+  sparse_ = false;
+}
+
+void MatrixBlock::ToSparse() {
+  if (sparse_) return;
+  SparseBlock sb;
+  sb.Reset(rows_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    const double* src = dense_.data() + r * cols_;
+    SparseRow& row = sb.Row(r);
+    for (int64_t c = 0; c < cols_; ++c) {
+      if (src[c] != 0.0) row.Append(c, src[c]);
+    }
+  }
+  sparse_block_ = std::move(sb);
+  dense_.clear();
+  dense_.shrink_to_fit();
+  sparse_ = true;
+}
+
+bool MatrixBlock::EvalSparseFormat(int64_t rows, int64_t cols,
+                                   double sparsity) {
+  return sparsity < kSparsityTurnPoint && rows * cols >= kMinSparseSize &&
+         cols > 1;
+}
+
+void MatrixBlock::ExamSparsity() {
+  MarkNnzDirty();
+  bool should_be_sparse = EvalSparseFormat(rows_, cols_, Sparsity());
+  if (should_be_sparse && !sparse_) {
+    ToSparse();
+  } else if (!should_be_sparse && sparse_) {
+    ToDense();
+  }
+}
+
+int64_t MatrixBlock::EstimateSizeInBytes() const {
+  if (sparse_) {
+    // MCSR: per nonzero an index + value, plus per-row vector overhead.
+    return NonZeros() * 16 + rows_ * 48 + 64;
+  }
+  return rows_ * cols_ * 8 + 64;
+}
+
+int64_t MatrixBlock::EstimateSizeInBytes(int64_t rows, int64_t cols,
+                                         double sparsity) {
+  if (EvalSparseFormat(rows, cols, sparsity)) {
+    int64_t nnz = static_cast<int64_t>(std::ceil(sparsity * rows * cols));
+    return nnz * 16 + rows * 48 + 64;
+  }
+  return rows * cols * 8 + 64;
+}
+
+bool MatrixBlock::EqualsApprox(const MatrixBlock& other, double eps) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t c = 0; c < cols_; ++c) {
+      double a = Get(r, c), b = other.Get(r, c);
+      if (std::isnan(a) != std::isnan(b)) return false;
+      if (!std::isnan(a) && std::fabs(a - b) > eps) return false;
+    }
+  }
+  return true;
+}
+
+std::string MatrixBlock::ToString(int64_t max_rows, int64_t max_cols) const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " " << (sparse_ ? "sparse" : "dense")
+     << " nnz=" << NonZeros();
+  if (rows_ <= max_rows && cols_ <= max_cols) {
+    os << "\n";
+    for (int64_t r = 0; r < rows_; ++r) {
+      for (int64_t c = 0; c < cols_; ++c) {
+        if (c > 0) os << " ";
+        os << Get(r, c);
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace sysds

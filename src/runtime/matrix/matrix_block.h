@@ -1,0 +1,103 @@
+#ifndef SYSDS_RUNTIME_MATRIX_MATRIX_BLOCK_H_
+#define SYSDS_RUNTIME_MATRIX_MATRIX_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/matrix/sparse_block.h"
+
+namespace sysds {
+
+/// The 2D FP64 workhorse of the runtime (SystemDS keeps a specialized matrix
+/// next to the generic TensorBlock for exactly this reason). A MatrixBlock
+/// is either dense (row-major contiguous) or sparse (MCSR); format decisions
+/// follow the observed sparsity like in SystemDS (ExamSparsity).
+class MatrixBlock {
+ public:
+  // Sparsity threshold below which a matrix is stored sparse (SystemDS uses
+  // 0.4 together with a minimum size).
+  static constexpr double kSparsityTurnPoint = 0.4;
+  static constexpr int64_t kMinSparseSize = 1024;
+
+  MatrixBlock() : rows_(0), cols_(0), sparse_(false) {}
+  MatrixBlock(int64_t rows, int64_t cols, bool sparse);
+
+  static MatrixBlock Dense(int64_t rows, int64_t cols, double fill = 0.0);
+  static MatrixBlock Sparse(int64_t rows, int64_t cols);
+  /// Builds a dense block from a row-major initializer (tests/examples).
+  static MatrixBlock FromValues(int64_t rows, int64_t cols,
+                                const std::vector<double>& values);
+
+  int64_t Rows() const { return rows_; }
+  int64_t Cols() const { return cols_; }
+  int64_t CellCount() const { return rows_ * cols_; }
+  bool IsSparse() const { return sparse_; }
+  bool IsEmpty() const { return rows_ == 0 || cols_ == 0; }
+  bool IsVector() const { return rows_ == 1 || cols_ == 1; }
+  bool IsScalarShaped() const { return rows_ == 1 && cols_ == 1; }
+
+  /// Number of nonzeros; recomputed lazily if marked dirty.
+  int64_t NonZeros() const;
+  void SetNonZeros(int64_t nnz) { nnz_ = nnz; }
+  void MarkNnzDirty() { nnz_ = -1; }
+  double Sparsity() const {
+    return CellCount() == 0 ? 0.0
+                            : static_cast<double>(NonZeros()) / CellCount();
+  }
+
+  // Cell accessors. Get/Set work for both formats (Set on sparse maintains
+  // sorted rows); hot kernels should use DenseData()/SparseData() directly.
+  double Get(int64_t r, int64_t c) const;
+  void Set(int64_t r, int64_t c, double v);
+
+  double* DenseData() { return dense_.data(); }
+  const double* DenseData() const { return dense_.data(); }
+  double* DenseRow(int64_t r) { return dense_.data() + r * cols_; }
+  const double* DenseRow(int64_t r) const { return dense_.data() + r * cols_; }
+
+  SparseBlock& SparseData() { return sparse_block_; }
+  const SparseBlock& SparseData() const { return sparse_block_; }
+
+  /// Allocates the backing storage for the current format if not present.
+  void AllocateDense();
+  void AllocateSparse();
+
+  /// Converts to the given format (copying cells as needed).
+  void ToDense();
+  void ToSparse();
+
+  /// Re-evaluates the format decision based on actual sparsity and converts
+  /// if beneficial, mirroring MatrixBlock.examSparsity() in SystemDS.
+  void ExamSparsity();
+
+  /// Whether a matrix of the given shape/sparsity should be stored sparse.
+  static bool EvalSparseFormat(int64_t rows, int64_t cols, double sparsity);
+
+  /// In-memory size estimate in bytes for buffer-pool accounting, based on
+  /// the current format.
+  int64_t EstimateSizeInBytes() const;
+  static int64_t EstimateSizeInBytes(int64_t rows, int64_t cols,
+                                     double sparsity);
+
+  /// Deep equality within an absolute epsilon (tests).
+  bool EqualsApprox(const MatrixBlock& other, double eps = 1e-9) const;
+
+  /// Compact "rows x cols, nnz=..., format" debug string; with values for
+  /// small matrices.
+  std::string ToString(int64_t max_rows = 10, int64_t max_cols = 10) const;
+
+ private:
+  int64_t ComputeNonZeros() const;
+
+  int64_t rows_;
+  int64_t cols_;
+  bool sparse_;
+  mutable int64_t nnz_ = -1;
+  std::vector<double> dense_;
+  SparseBlock sparse_block_;
+};
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_MATRIX_MATRIX_BLOCK_H_

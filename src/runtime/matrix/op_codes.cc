@@ -1,0 +1,145 @@
+#include "runtime/matrix/op_codes.h"
+
+namespace sysds {
+
+const char* BinaryOpName(BinaryOpCode op) {
+  switch (op) {
+    case BinaryOpCode::kAdd: return "+";
+    case BinaryOpCode::kSub: return "-";
+    case BinaryOpCode::kMul: return "*";
+    case BinaryOpCode::kDiv: return "/";
+    case BinaryOpCode::kPow: return "^";
+    case BinaryOpCode::kMod: return "%%";
+    case BinaryOpCode::kIntDiv: return "%/%";
+    case BinaryOpCode::kMin: return "min";
+    case BinaryOpCode::kMax: return "max";
+    case BinaryOpCode::kEqual: return "==";
+    case BinaryOpCode::kNotEqual: return "!=";
+    case BinaryOpCode::kLess: return "<";
+    case BinaryOpCode::kLessEqual: return "<=";
+    case BinaryOpCode::kGreater: return ">";
+    case BinaryOpCode::kGreaterEqual: return ">=";
+    case BinaryOpCode::kAnd: return "&";
+    case BinaryOpCode::kOr: return "|";
+    case BinaryOpCode::kXor: return "xor";
+  }
+  return "?";
+}
+
+const char* UnaryOpName(UnaryOpCode op) {
+  switch (op) {
+    case UnaryOpCode::kExp: return "exp";
+    case UnaryOpCode::kLog: return "log";
+    case UnaryOpCode::kSqrt: return "sqrt";
+    case UnaryOpCode::kAbs: return "abs";
+    case UnaryOpCode::kRound: return "round";
+    case UnaryOpCode::kFloor: return "floor";
+    case UnaryOpCode::kCeil: return "ceil";
+    case UnaryOpCode::kSin: return "sin";
+    case UnaryOpCode::kCos: return "cos";
+    case UnaryOpCode::kTan: return "tan";
+    case UnaryOpCode::kSign: return "sign";
+    case UnaryOpCode::kNot: return "!";
+    case UnaryOpCode::kNegate: return "uminus";
+    case UnaryOpCode::kSigmoid: return "sigmoid";
+  }
+  return "?";
+}
+
+std::string AggOpName(AggOpCode op, AggDirection dir) {
+  std::string base;
+  switch (op) {
+    case AggOpCode::kSum: base = "sum"; break;
+    case AggOpCode::kSumSq: base = "sumsq"; break;
+    case AggOpCode::kMean: base = "mean"; break;
+    case AggOpCode::kVar: base = "var"; break;
+    case AggOpCode::kSd: base = "sd"; break;
+    case AggOpCode::kMin: base = "min"; break;
+    case AggOpCode::kMax: base = "max"; break;
+    case AggOpCode::kNnz: base = "nnz"; break;
+    case AggOpCode::kTrace: base = "trace"; break;
+    case AggOpCode::kIndexMax: base = "imax"; break;
+    case AggOpCode::kIndexMin: base = "imin"; break;
+  }
+  switch (dir) {
+    case AggDirection::kAll: return "ua" + base;
+    case AggDirection::kRow: return "uar" + base;
+    case AggDirection::kCol: return "uac" + base;
+  }
+  return base;
+}
+
+double ApplyBinary(BinaryOpCode op, double a, double b) {
+  switch (op) {
+    case BinaryOpCode::kAdd: return a + b;
+    case BinaryOpCode::kSub: return a - b;
+    case BinaryOpCode::kMul: return a * b;
+    case BinaryOpCode::kDiv: return a / b;
+    case BinaryOpCode::kPow: return std::pow(a, b);
+    case BinaryOpCode::kMod: {
+      if (b == 0.0) return std::nan("");
+      double r = std::fmod(a, b);
+      if (r != 0.0 && ((r < 0.0) != (b < 0.0))) r += b;
+      return r;
+    }
+    case BinaryOpCode::kIntDiv: return std::floor(a / b);
+    case BinaryOpCode::kMin: return std::fmin(a, b);
+    case BinaryOpCode::kMax: return std::fmax(a, b);
+    case BinaryOpCode::kEqual: return a == b ? 1.0 : 0.0;
+    case BinaryOpCode::kNotEqual: return a != b ? 1.0 : 0.0;
+    case BinaryOpCode::kLess: return a < b ? 1.0 : 0.0;
+    case BinaryOpCode::kLessEqual: return a <= b ? 1.0 : 0.0;
+    case BinaryOpCode::kGreater: return a > b ? 1.0 : 0.0;
+    case BinaryOpCode::kGreaterEqual: return a >= b ? 1.0 : 0.0;
+    case BinaryOpCode::kAnd: return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+    case BinaryOpCode::kOr: return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+    case BinaryOpCode::kXor: return ((a != 0.0) != (b != 0.0)) ? 1.0 : 0.0;
+  }
+  return std::nan("");
+}
+
+double ApplyUnary(UnaryOpCode op, double a) {
+  switch (op) {
+    case UnaryOpCode::kExp: return std::exp(a);
+    case UnaryOpCode::kLog: return std::log(a);
+    case UnaryOpCode::kSqrt: return std::sqrt(a);
+    case UnaryOpCode::kAbs: return std::fabs(a);
+    case UnaryOpCode::kRound: return std::round(a);
+    case UnaryOpCode::kFloor: return std::floor(a);
+    case UnaryOpCode::kCeil: return std::ceil(a);
+    case UnaryOpCode::kSin: return std::sin(a);
+    case UnaryOpCode::kCos: return std::cos(a);
+    case UnaryOpCode::kTan: return std::tan(a);
+    case UnaryOpCode::kSign: return a > 0 ? 1.0 : (a < 0 ? -1.0 : 0.0);
+    case UnaryOpCode::kNot: return a == 0.0 ? 1.0 : 0.0;
+    case UnaryOpCode::kNegate: return -a;
+    case UnaryOpCode::kSigmoid: return 1.0 / (1.0 + std::exp(-a));
+  }
+  return std::nan("");
+}
+
+bool IsSparseSafeBinary(BinaryOpCode op) {
+  // Only ops where op(x,0)==0 AND op(0,x)==0 are fully sparse-safe for
+  // sparse-sparse execution (multiply); add/sub are handled as sparse
+  // merges separately.
+  return op == BinaryOpCode::kMul;
+}
+
+bool IsSparseSafeUnary(UnaryOpCode op) {
+  switch (op) {
+    case UnaryOpCode::kSqrt:
+    case UnaryOpCode::kAbs:
+    case UnaryOpCode::kRound:
+    case UnaryOpCode::kFloor:
+    case UnaryOpCode::kCeil:
+    case UnaryOpCode::kSin:
+    case UnaryOpCode::kTan:
+    case UnaryOpCode::kSign:
+    case UnaryOpCode::kNegate:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace sysds

@@ -1,0 +1,90 @@
+#ifndef SYSDS_RUNTIME_MATRIX_OP_CODES_H_
+#define SYSDS_RUNTIME_MATRIX_OP_CODES_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace sysds {
+
+/// Elementwise binary operators (matrix-matrix with broadcasting,
+/// matrix-scalar, scalar-scalar).
+enum class BinaryOpCode {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kPow,
+  kMod,      // %% (R semantics: result has sign of divisor)
+  kIntDiv,   // %/%
+  kMin,
+  kMax,
+  kEqual,
+  kNotEqual,
+  kLess,
+  kLessEqual,
+  kGreater,
+  kGreaterEqual,
+  kAnd,
+  kOr,
+  kXor,
+};
+
+/// Elementwise unary operators.
+enum class UnaryOpCode {
+  kExp,
+  kLog,
+  kSqrt,
+  kAbs,
+  kRound,
+  kFloor,
+  kCeil,
+  kSin,
+  kCos,
+  kTan,
+  kSign,
+  kNot,
+  kNegate,
+  kSigmoid,
+};
+
+/// Full and row/column aggregates.
+enum class AggOpCode {
+  kSum,
+  kSumSq,
+  kMean,
+  kVar,
+  kSd,
+  kMin,
+  kMax,
+  kNnz,     // count of nonzeros
+  kTrace,
+  kIndexMax,  // 1-based argmax (row-wise only)
+  kIndexMin,
+};
+
+/// Aggregation direction: full reduce to scalar, per-row, or per-column.
+enum class AggDirection {
+  kAll,
+  kRow,  // result is rows x 1
+  kCol,  // result is 1 x cols
+};
+
+const char* BinaryOpName(BinaryOpCode op);
+const char* UnaryOpName(UnaryOpCode op);
+std::string AggOpName(AggOpCode op, AggDirection dir);
+
+/// Applies a scalar binary op (shared by matrix kernels and the scalar
+/// instruction path).
+double ApplyBinary(BinaryOpCode op, double a, double b);
+double ApplyUnary(UnaryOpCode op, double a);
+
+/// True when op(x, 0)==0 for all x in the relevant operand position, i.e.
+/// the operation preserves sparsity for sparse inputs (e.g. `*`).
+bool IsSparseSafeBinary(BinaryOpCode op);
+/// True when op(0)==0, e.g. sqrt/abs/sin but not exp.
+bool IsSparseSafeUnary(UnaryOpCode op);
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_MATRIX_OP_CODES_H_

@@ -1,0 +1,54 @@
+#include "runtime/matrix/sparse_block.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sysds {
+
+void SparseRow::Set(int64_t col, double val) {
+  auto it = std::lower_bound(indexes_.begin(), indexes_.end(), col);
+  size_t pos = static_cast<size_t>(it - indexes_.begin());
+  if (it != indexes_.end() && *it == col) {
+    if (val == 0.0) {
+      indexes_.erase(it);
+      values_.erase(values_.begin() + pos);
+    } else {
+      values_[pos] = val;
+    }
+  } else if (val != 0.0) {
+    indexes_.insert(it, col);
+    values_.insert(values_.begin() + pos, val);
+  }
+}
+
+double SparseRow::Get(int64_t col) const {
+  auto it = std::lower_bound(indexes_.begin(), indexes_.end(), col);
+  if (it != indexes_.end() && *it == col) {
+    return values_[static_cast<size_t>(it - indexes_.begin())];
+  }
+  return 0.0;
+}
+
+void SparseRow::SortByIndex() {
+  if (std::is_sorted(indexes_.begin(), indexes_.end())) return;
+  std::vector<size_t> perm(indexes_.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::sort(perm.begin(), perm.end(),
+            [this](size_t a, size_t b) { return indexes_[a] < indexes_[b]; });
+  std::vector<int64_t> idx(indexes_.size());
+  std::vector<double> val(values_.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    idx[i] = indexes_[perm[i]];
+    val[i] = values_[perm[i]];
+  }
+  indexes_ = std::move(idx);
+  values_ = std::move(val);
+}
+
+int64_t SparseBlock::CountNonZeros() const {
+  int64_t nnz = 0;
+  for (const auto& r : rows_) nnz += r.Size();
+  return nnz;
+}
+
+}  // namespace sysds

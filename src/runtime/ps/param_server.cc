@@ -1,0 +1,151 @@
+#include "runtime/ps/param_server.h"
+
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <thread>
+#include <vector>
+
+namespace sysds {
+
+namespace {
+
+// Gradient of the objective on rows [rb, re) given dense weights; returns
+// the per-example-averaged gradient.
+std::vector<double> ComputeGradient(const MatrixBlock& x,
+                                    const MatrixBlock& y, int64_t rb,
+                                    int64_t re,
+                                    const std::vector<double>& w,
+                                    PsObjective objective, double reg) {
+  int64_t m = x.Cols();
+  std::vector<double> grad(static_cast<size_t>(m), 0.0);
+  for (int64_t r = rb; r < re; ++r) {
+    double pred = 0.0;
+    for (int64_t c = 0; c < m; ++c) pred += x.Get(r, c) * w[c];
+    double err;
+    if (objective == PsObjective::kLogisticRegression) {
+      double p = 1.0 / (1.0 + std::exp(-pred));
+      err = p - y.Get(r, 0);
+    } else {
+      err = pred - y.Get(r, 0);
+    }
+    for (int64_t c = 0; c < m; ++c) grad[c] += err * x.Get(r, c);
+  }
+  double inv = 1.0 / static_cast<double>(re - rb);
+  for (int64_t c = 0; c < m; ++c) grad[c] = grad[c] * inv + reg * w[c];
+  return grad;
+}
+
+double ComputeLoss(const MatrixBlock& x, const MatrixBlock& y,
+                   const std::vector<double>& w, PsObjective objective) {
+  double loss = 0.0;
+  int64_t m = x.Cols();
+  for (int64_t r = 0; r < x.Rows(); ++r) {
+    double pred = 0.0;
+    for (int64_t c = 0; c < m; ++c) pred += x.Get(r, c) * w[c];
+    if (objective == PsObjective::kLogisticRegression) {
+      double p = 1.0 / (1.0 + std::exp(-pred));
+      double yv = y.Get(r, 0);
+      p = std::min(1.0 - 1e-12, std::max(1e-12, p));
+      loss += -(yv * std::log(p) + (1.0 - yv) * std::log(1.0 - p));
+    } else {
+      double d = pred - y.Get(r, 0);
+      loss += 0.5 * d * d;
+    }
+  }
+  return loss / static_cast<double>(std::max<int64_t>(1, x.Rows()));
+}
+
+}  // namespace
+
+StatusOr<PsResult> PsTrain(const MatrixBlock& x, const MatrixBlock& y,
+                           const PsConfig& config) {
+  if (x.Rows() != y.Rows() || y.Cols() != 1) {
+    return InvalidArgument("PsTrain: X and y must be row-aligned, y n x 1");
+  }
+  if (config.num_workers < 1 || config.epochs < 1 ||
+      config.batch_size < 1) {
+    return InvalidArgument("PsTrain: invalid configuration");
+  }
+  int64_t n = x.Rows(), m = x.Cols();
+  int workers = static_cast<int>(
+      std::min<int64_t>(config.num_workers, std::max<int64_t>(1, n)));
+
+  // Server state.
+  std::vector<double> weights(static_cast<size_t>(m), 0.0);
+  std::mutex model_mutex;
+  std::atomic<int64_t> pushes{0};
+
+  // BSP barrier.
+  std::mutex barrier_mutex;
+  std::condition_variable barrier_cv;
+  int barrier_count = 0;
+  int64_t barrier_round = 0;
+
+  int64_t rows_per = (n + workers - 1) / workers;
+  int64_t max_batches = 0;
+  for (int w = 0; w < workers; ++w) {
+    int64_t rb = w * rows_per;
+    int64_t re = std::min(n, rb + rows_per);
+    if (re > rb) {
+      max_batches = std::max(
+          max_batches, (re - rb + config.batch_size - 1) / config.batch_size);
+    }
+  }
+
+  auto worker_fn = [&](int wid) {
+    int64_t rb = wid * rows_per;
+    int64_t re = std::min(n, rb + rows_per);
+    for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      for (int64_t batch = 0; batch < max_batches; ++batch) {
+        int64_t bb = rb + batch * config.batch_size;
+        int64_t be = std::min(re, bb + config.batch_size);
+        if (bb < be) {
+          // Pull.
+          std::vector<double> local;
+          {
+            std::lock_guard<std::mutex> lock(model_mutex);
+            local = weights;
+          }
+          std::vector<double> grad = ComputeGradient(
+              x, y, bb, be, local, config.objective, config.reg);
+          // Push.
+          {
+            std::lock_guard<std::mutex> lock(model_mutex);
+            for (int64_t c = 0; c < m; ++c) {
+              weights[c] -= config.learning_rate * grad[c];
+            }
+          }
+          pushes.fetch_add(1);
+        }
+        if (config.mode == PsUpdateMode::kBSP) {
+          std::unique_lock<std::mutex> lock(barrier_mutex);
+          int64_t my_round = barrier_round;
+          if (++barrier_count == workers) {
+            barrier_count = 0;
+            ++barrier_round;
+            barrier_cv.notify_all();
+          } else {
+            barrier_cv.wait(lock,
+                            [&] { return barrier_round != my_round; });
+          }
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) threads.emplace_back(worker_fn, w);
+  for (std::thread& t : threads) t.join();
+
+  PsResult result;
+  result.weights = MatrixBlock::Dense(m, 1);
+  for (int64_t c = 0; c < m; ++c) result.weights.DenseData()[c] = weights[c];
+  result.weights.MarkNnzDirty();
+  result.final_loss = ComputeLoss(x, y, weights, config.objective);
+  result.pushes = pushes.load();
+  return result;
+}
+
+}  // namespace sysds

@@ -1,0 +1,49 @@
+#ifndef SYSDS_RUNTIME_PS_PARAM_SERVER_H_
+#define SYSDS_RUNTIME_PS_PARAM_SERVER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "runtime/matrix/matrix_block.h"
+
+namespace sysds {
+
+/// Update protocol of the parameter server backend (paper §2.3(4)): bulk-
+/// synchronous (workers barrier every batch round) or asynchronous (workers
+/// push/pull without coordination).
+enum class PsUpdateMode { kBSP, kASP };
+
+/// Objective for the built-in mini-batch workers.
+enum class PsObjective { kLinearRegression, kLogisticRegression };
+
+struct PsConfig {
+  int num_workers = 4;
+  int epochs = 5;
+  int64_t batch_size = 32;
+  double learning_rate = 0.1;
+  double reg = 0.0;
+  PsUpdateMode mode = PsUpdateMode::kBSP;
+  PsObjective objective = PsObjective::kLinearRegression;
+  uint64_t seed = 42;  // shuffling
+};
+
+struct PsResult {
+  MatrixBlock weights;
+  double final_loss = 0.0;
+  int64_t pushes = 0;  // gradient pushes processed by the server
+};
+
+/// In-process parameter server: the model lives at the "server" (mutex-
+/// protected); N worker threads iterate mini-batches of their row
+/// partition, pull the model, compute gradients, and push updates.
+/// BSP barriers after each round; ASP runs free. Data is row-partitioned
+/// across workers (each worker's shard stays private, mirroring the data-
+/// parallel execution SystemDS compiles for mini-batch training).
+StatusOr<PsResult> PsTrain(const MatrixBlock& x, const MatrixBlock& y,
+                           const PsConfig& config);
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_PS_PARAM_SERVER_H_

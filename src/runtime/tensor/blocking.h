@@ -1,0 +1,58 @@
+#ifndef SYSDS_RUNTIME_TENSOR_BLOCKING_H_
+#define SYSDS_RUNTIME_TENSOR_BLOCKING_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/tensor/tensor_block.h"
+
+namespace sysds {
+
+/// The paper's n-dimensional fixed-size blocking scheme (§2.4): block side
+/// lengths decrease exponentially with the number of dimensions —
+/// 1024² , 128³ , 32⁴ , 16⁵ , 8⁶ , 8⁷ — which bounds block sizes to a few
+/// megabytes and permits local conversion between blockings (e.g. one 1024²
+/// matrix block splits into 8x8=64 aligned 128² tiles of a 128³ blocking).
+int64_t BlockSideForRank(int64_t num_dims);
+
+/// Index of a block within a blocked tensor (one coordinate per dimension).
+using BlockIndex = std::vector<int64_t>;
+
+/// A tensor partitioned into fixed-size, independently encoded blocks — the
+/// in-process analogue of the paper's
+/// PairRDD<TensorIndexes, TensorBlock>.
+class BlockedTensor {
+ public:
+  BlockedTensor() = default;
+
+  /// Splits a tensor into aligned blocks of the rank-appropriate side
+  /// length (or an explicit side for testing).
+  static StatusOr<BlockedTensor> FromTensor(const TensorBlock& t,
+                                            int64_t block_side = 0);
+
+  /// Reassembles the full tensor.
+  StatusOr<TensorBlock> ToTensor() const;
+
+  /// Converts to a different block side length via local split/merge. Only
+  /// integer ratios are supported (e.g. 1024 -> 128), which is what the
+  /// exponentially decreasing scheme guarantees.
+  StatusOr<BlockedTensor> Reblock(int64_t new_side) const;
+
+  const std::vector<int64_t>& Dims() const { return dims_; }
+  int64_t BlockSide() const { return block_side_; }
+  int64_t NumBlocks() const { return static_cast<int64_t>(blocks_.size()); }
+
+  const std::map<BlockIndex, TensorBlock>& Blocks() const { return blocks_; }
+
+ private:
+  std::vector<int64_t> dims_;
+  int64_t block_side_ = 0;
+  ValueType value_type_ = ValueType::kFP64;
+  std::map<BlockIndex, TensorBlock> blocks_;
+};
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_TENSOR_BLOCKING_H_

@@ -1,0 +1,80 @@
+#include "runtime/tensor/data_tensor.h"
+
+#include <sstream>
+
+namespace sysds {
+
+StatusOr<DataTensorBlock> DataTensorBlock::Create(
+    std::vector<int64_t> dims, std::vector<ValueType> schema) {
+  if (dims.size() < 2) {
+    return InvalidArgument("data tensor requires at least 2 dimensions");
+  }
+  if (dims[1] != static_cast<int64_t>(schema.size())) {
+    return InvalidArgument(
+        "data tensor schema size must equal the second dimension");
+  }
+  DataTensorBlock t;
+  t.dims_ = std::move(dims);
+  t.schema_ = std::move(schema);
+  // Per-column basic tensors with the schema dimension removed.
+  std::vector<int64_t> col_dims;
+  for (size_t d = 0; d < t.dims_.size(); ++d) {
+    if (d != 1) col_dims.push_back(t.dims_[d]);
+  }
+  t.columns_.reserve(t.schema_.size());
+  for (ValueType vt : t.schema_) {
+    t.columns_.emplace_back(col_dims, vt);
+  }
+  return t;
+}
+
+std::vector<int64_t> DataTensorBlock::ColumnIndex(
+    const std::vector<int64_t>& ix) const {
+  std::vector<int64_t> out;
+  out.reserve(ix.size() - 1);
+  for (size_t d = 0; d < ix.size(); ++d) {
+    if (d != 1) out.push_back(ix[d]);
+  }
+  return out;
+}
+
+double DataTensorBlock::GetDouble(const std::vector<int64_t>& ix) const {
+  return columns_[ix[1]].GetDouble(ColumnIndex(ix));
+}
+
+void DataTensorBlock::SetDouble(const std::vector<int64_t>& ix, double v) {
+  columns_[ix[1]].SetDouble(ColumnIndex(ix), v);
+}
+
+std::string DataTensorBlock::GetString(const std::vector<int64_t>& ix) const {
+  return columns_[ix[1]].GetString(ColumnIndex(ix));
+}
+
+void DataTensorBlock::SetString(const std::vector<int64_t>& ix,
+                                const std::string& v) {
+  columns_[ix[1]].SetString(ColumnIndex(ix), v);
+}
+
+int64_t DataTensorBlock::EstimateSizeInBytes() const {
+  int64_t total = 64;
+  for (const TensorBlock& c : columns_) total += c.EstimateSizeInBytes();
+  return total;
+}
+
+std::string DataTensorBlock::ToString() const {
+  std::ostringstream os;
+  os << "data_tensor(";
+  for (size_t d = 0; d < dims_.size(); ++d) {
+    if (d > 0) os << "x";
+    os << dims_[d];
+  }
+  os << ", schema=[";
+  for (size_t c = 0; c < schema_.size(); ++c) {
+    if (c > 0) os << ",";
+    os << ValueTypeName(schema_[c]);
+  }
+  os << "])";
+  return os.str();
+}
+
+}  // namespace sysds

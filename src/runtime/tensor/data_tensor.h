@@ -1,0 +1,56 @@
+#ifndef SYSDS_RUNTIME_TENSOR_DATA_TENSOR_H_
+#define SYSDS_RUNTIME_TENSOR_DATA_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "runtime/tensor/tensor_block.h"
+
+namespace sysds {
+
+/// Heterogeneous tensor (paper §2.4, DataTensorBlock / Figure 4(a)): a
+/// multi-dimensional array with a schema on the *second* dimension. Each
+/// schema column holds a basic tensor of shape dims with dim2==1, i.e. the
+/// data tensor is composed of per-column homogeneous tensors — exactly the
+/// composition the paper describes.
+class DataTensorBlock {
+ public:
+  DataTensorBlock() = default;
+
+  /// dims[1] must equal schema.size().
+  static StatusOr<DataTensorBlock> Create(std::vector<int64_t> dims,
+                                          std::vector<ValueType> schema);
+
+  const std::vector<int64_t>& Dims() const { return dims_; }
+  int64_t NumDims() const { return static_cast<int64_t>(dims_.size()); }
+  const std::vector<ValueType>& Schema() const { return schema_; }
+
+  /// Access by full index; the second coordinate selects the schema column.
+  double GetDouble(const std::vector<int64_t>& ix) const;
+  void SetDouble(const std::vector<int64_t>& ix, double v);
+  std::string GetString(const std::vector<int64_t>& ix) const;
+  void SetString(const std::vector<int64_t>& ix, const std::string& v);
+
+  /// The homogeneous basic tensor backing one schema column.
+  const TensorBlock& Column(int64_t c) const { return columns_[c]; }
+  TensorBlock& MutableColumn(int64_t c) { return columns_[c]; }
+
+  int64_t EstimateSizeInBytes() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> dims_;
+  std::vector<ValueType> schema_;
+  std::vector<TensorBlock> columns_;
+
+  // Maps a data-tensor index to the per-column tensor index (drops dim 2).
+  std::vector<int64_t> ColumnIndex(const std::vector<int64_t>& ix) const;
+};
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_TENSOR_DATA_TENSOR_H_

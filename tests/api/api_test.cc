@@ -1,0 +1,117 @@
+#include "api/systemds_context.h"
+
+#include <gtest/gtest.h>
+
+#include "common/statistics.h"
+
+namespace sysds {
+namespace {
+
+TEST(ApiTest, PreparedScriptRepeatedExecution) {
+  SystemDSContext ctx;
+  SymbolInfo mat;
+  mat.dt = DataType::kMatrix;
+  SymbolInfo sc;
+  sc.dt = DataType::kScalar;
+  auto prepared =
+      ctx.Prepare("y = sum(X) * f\n", {{"X", mat}, {"f", sc}});
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  for (int i = 1; i <= 3; ++i) {
+    (*prepared)->BindMatrix(
+        "X", MatrixBlock::Dense(4, 4, static_cast<double>(i)));
+    (*prepared)->BindDouble("f", 10.0);
+    auto r = (*prepared)->Execute({"y"});
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_DOUBLE_EQ(*r->GetDouble("y"), 16.0 * i * 10.0);
+  }
+}
+
+TEST(ApiTest, PreparedScriptBindsAllScalarTypes) {
+  SystemDSContext ctx;
+  SymbolInfo sc;
+  sc.dt = DataType::kScalar;
+  SymbolInfo si = sc;
+  si.vt = ValueType::kInt64;
+  SymbolInfo sb = sc;
+  sb.vt = ValueType::kBoolean;
+  SymbolInfo ss = sc;
+  ss.vt = ValueType::kString;
+  auto prepared = ctx.Prepare(
+      "r = d + i\n"
+      "msg = s + \"!\"\n"
+      "flag = !b\n",
+      {{"d", sc}, {"i", si}, {"b", sb}, {"s", ss}});
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  (*prepared)->BindDouble("d", 1.5);
+  (*prepared)->BindInt("i", 2);
+  (*prepared)->BindBool("b", false);
+  (*prepared)->BindString("s", "hi");
+  auto r = (*prepared)->Execute({"r", "msg", "flag"});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_DOUBLE_EQ(*r->GetDouble("r"), 3.5);
+  EXPECT_EQ(*r->GetString("msg"), "hi!");
+  EXPECT_EQ(*r->GetString("flag"), "TRUE");
+}
+
+TEST(ApiTest, FrameInputOutput) {
+  SystemDSContext ctx;
+  FrameBlock f(2, {ValueType::kString, ValueType::kFP64}, {"k", "v"});
+  f.SetString(0, 0, "a");
+  f.SetString(1, 0, "b");
+  f.SetDouble(0, 1, 1);
+  f.SetDouble(1, 1, 2);
+  auto r = ctx.Execute("n = nrow(F)\nG = F\n",
+                       {{"F", SystemDSContext::Frame(f)}}, {"n", "G"});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_DOUBLE_EQ(*r->GetDouble("n"), 2.0);
+  EXPECT_EQ(r->GetFrame("G")->GetString(1, 0), "b");
+}
+
+TEST(ApiTest, MissingOutputReported) {
+  SystemDSContext ctx;
+  auto r = ctx.Execute("x = 1\n", {}, {"x"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->GetMatrix("x").ok());   // x is scalar, not matrix
+  EXPECT_FALSE(r->GetDouble("nope").ok());
+}
+
+TEST(ApiTest, StatisticsCollection) {
+  DMLConfig config;
+  config.statistics = true;
+  SystemDSContext ctx(config);
+  Statistics::Get().Reset();
+  auto r = ctx.Execute(
+      "X = rand(rows=50, cols=10, seed=1)\nY = t(X) %*% X\ns = sum(Y)\n", {},
+      {"s"});
+  ASSERT_TRUE(r.ok());
+  std::string report = Statistics::Get().Report();
+  EXPECT_NE(report.find("tsmm"), std::string::npos);
+  EXPECT_NE(report.find("rand"), std::string::npos);
+}
+
+TEST(ApiTest, ReusePolicySwitchBetweenExecutions) {
+  DMLConfig config;
+  SystemDSContext ctx(config);
+  const char* script =
+      "X = rand(rows=100, cols=10, seed=1)\n"
+      "s = sum(t(X) %*% X)\n";
+  auto r1 = ctx.Execute(script, {}, {"s"});
+  ASSERT_TRUE(r1.ok());
+  ctx.Config().reuse_policy = ReusePolicy::kFull;
+  auto r2 = ctx.Execute(script, {}, {"s"});
+  auto r3 = ctx.Execute(script, {}, {"s"});
+  ASSERT_TRUE(r2.ok() && r3.ok());
+  EXPECT_DOUBLE_EQ(*r1->GetDouble("s"), *r3->GetDouble("s"));
+  // Third run reuses across executions (shared cache).
+  EXPECT_GT(ctx.Cache()->Stats().full_hits, 0);
+}
+
+TEST(ApiTest, CompileErrorsSurfaceBeforeExecution) {
+  SystemDSContext ctx;
+  auto r = ctx.Execute("x = unknownFn(1)\n", {}, {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kValidateError);
+}
+
+}  // namespace
+}  // namespace sysds

@@ -1,0 +1,67 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace sysds {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_EQ(ParseJson("42")->AsNumber(), 42.0);
+  EXPECT_EQ(ParseJson("-3.5e2")->AsNumber(), -350.0);
+  EXPECT_TRUE(ParseJson("true")->AsBool());
+  EXPECT_FALSE(ParseJson("false")->AsBool());
+  EXPECT_TRUE(ParseJson("null")->IsNull());
+  EXPECT_EQ(ParseJson("\"hi\\nthere\"")->AsString(), "hi\nthere");
+}
+
+TEST(JsonTest, ParsesArrays) {
+  auto v = ParseJson("[1, \"two\", [3]]");
+  ASSERT_TRUE(v.ok());
+  ASSERT_EQ(v->AsArray().size(), 3u);
+  EXPECT_EQ(v->AsArray()[0].AsNumber(), 1.0);
+  EXPECT_EQ(v->AsArray()[1].AsString(), "two");
+  EXPECT_EQ(v->AsArray()[2].AsArray()[0].AsNumber(), 3.0);
+}
+
+TEST(JsonTest, ParsesNestedObjects) {
+  auto v = ParseJson(R"({"recode":["city"],"bin":[{"name":"age","numbins":5}]})");
+  ASSERT_TRUE(v.ok());
+  const JsonValue* recode = v->Find("recode");
+  ASSERT_NE(recode, nullptr);
+  EXPECT_EQ(recode->AsArray()[0].AsString(), "city");
+  const JsonValue* bin = v->Find("bin");
+  ASSERT_NE(bin, nullptr);
+  EXPECT_EQ(bin->AsArray()[0].Find("numbins")->AsNumber(), 5.0);
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonTest, EmptyContainers) {
+  EXPECT_TRUE(ParseJson("{}")->AsObject().empty());
+  EXPECT_TRUE(ParseJson("[]")->AsArray().empty());
+}
+
+TEST(JsonTest, WhitespaceTolerant) {
+  auto v = ParseJson("  { \"a\" :\n [ 1 , 2 ] }  ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->Find("a")->AsArray().size(), 2u);
+}
+
+TEST(JsonTest, Errors) {
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("{a:1}").ok());
+}
+
+TEST(JsonTest, DumpRoundtrip) {
+  std::string src = R"({"a":[1,true,"x"],"b":{"c":null}})";
+  auto v = ParseJson(src);
+  ASSERT_TRUE(v.ok());
+  auto v2 = ParseJson(v->Dump());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v->Dump(), v2->Dump());
+}
+
+}  // namespace
+}  // namespace sysds

@@ -1,0 +1,76 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace sysds {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodes) {
+  EXPECT_EQ(InvalidArgument("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(ValidateError("").code(), StatusCode::kValidateError);
+  EXPECT_EQ(CompileError("").code(), StatusCode::kCompileError);
+  EXPECT_EQ(RuntimeError("").code(), StatusCode::kRuntimeError);
+  EXPECT_EQ(IoError("").code(), StatusCode::kIoError);
+  EXPECT_EQ(NotFound("").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Unimplemented("").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(OutOfRange("").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Internal("").code(), StatusCode::kInternal);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = std::move(v).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return InvalidArgument("odd");
+  return x / 2;
+}
+
+StatusOr<int> Quarter(int x) {
+  SYSDS_ASSIGN_OR_RETURN(int h, Half(x));
+  SYSDS_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  auto err = Quarter(6);  // 6/2=3, odd -> error from inner call
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sysds

@@ -1,0 +1,75 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace sysds {
+namespace {
+
+TEST(ThreadPoolTest, SubmitExecutesTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::promise<void> done;
+  const int n = 50;
+  std::atomic<int> remaining{n};
+  for (int i = 0; i < n; ++i) {
+    pool.Submit([&] {
+      count.fetch_add(1);
+      if (remaining.fetch_sub(1) == 1) done.set_value();
+    });
+  }
+  done.get_future().wait();
+  EXPECT_EQ(count.load(), n);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, 7, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(5, 5, 4, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleChunk) {
+  ThreadPool pool(2);
+  std::vector<int> order;
+  pool.ParallelFor(0, 10, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) order.push_back(static_cast<int>(i));
+  });
+  std::vector<int> expect(10);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromWorkerDoesNotDeadlock) {
+  // Kernels run inside parfor workers; nested ParallelFor calls from pool
+  // threads must run inline instead of waiting on the saturated pool.
+  ThreadPool& pool = ThreadPool::Global();
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(0, 8, 8, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      pool.ParallelFor(0, 100, 4, [&](int64_t ib, int64_t ie) {
+        total.fetch_add(ie - ib);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ThreadPoolTest, DefaultParallelismPositive) {
+  EXPECT_GE(DefaultParallelism(), 1);
+}
+
+}  // namespace
+}  // namespace sysds

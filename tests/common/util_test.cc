@@ -1,0 +1,99 @@
+#include "common/util.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sysds {
+namespace {
+
+TEST(StringUtilTest, SplitString) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString("a,,c", ','),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitString("a,", ','), (std::vector<std::string>{"a", ""}));
+}
+
+TEST(StringUtilTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"x", "y"}, "-"), "x-y");
+  EXPECT_EQ(JoinStrings({}, "-"), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, TrimString) {
+  EXPECT_EQ(TrimString("  hi \t\n"), "hi");
+  EXPECT_EQ(TrimString("hi"), "hi");
+  EXPECT_EQ(TrimString("   "), "");
+}
+
+TEST(StringUtilTest, CaseAndAffixes) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+}
+
+TEST(HashTest, StableAndDistinct) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  uint64_t a = HashCombine(1, 2);
+  uint64_t b = HashCombine(2, 1);
+  EXPECT_NE(a, b);  // order sensitivity
+  EXPECT_EQ(HashCombine(1, 2), HashCombine(1, 2));
+}
+
+TEST(XoshiroTest, DeterministicForSeed) {
+  Xoshiro a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(XoshiroTest, DifferentSeedsDiffer) {
+  Xoshiro a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(XoshiroTest, UniformInRange) {
+  Xoshiro rng(7);
+  double mn = 1e9, mx = -1e9, sum = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextDouble(2.0, 5.0);
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+    sum += v;
+  }
+  EXPECT_GE(mn, 2.0);
+  EXPECT_LT(mx, 5.0);
+  EXPECT_NEAR(sum / n, 3.5, 0.05);
+}
+
+TEST(XoshiroTest, GaussianMoments) {
+  Xoshiro rng(11);
+  double sum = 0, sumsq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sumsq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(GenerateSeedTest, ProducesFreshSeeds) {
+  std::set<uint64_t> seeds;
+  for (int i = 0; i < 100; ++i) seeds.insert(GenerateSeed());
+  EXPECT_EQ(seeds.size(), 100u);
+}
+
+}  // namespace
+}  // namespace sysds

@@ -1,0 +1,214 @@
+#include "compiler/rewrites.h"
+
+#include <gtest/gtest.h>
+
+#include "compiler/hop.h"
+
+namespace sysds {
+namespace {
+
+HopPtr Tread(const std::string& name, int64_t d1, int64_t d2) {
+  return MakeTransientRead(name, DataType::kMatrix, ValueType::kFP64, d1, d2,
+                           -1);
+}
+
+HopPtr Binary(const std::string& op, HopPtr a, HopPtr b) {
+  auto h = std::make_shared<Hop>(HopOp::kBinary, op, DataType::kMatrix,
+                                 ValueType::kFP64);
+  h->AddInput(std::move(a));
+  h->AddInput(std::move(b));
+  h->RefreshSizeInformation();
+  return h;
+}
+
+HopPtr T(HopPtr x) {
+  auto h = std::make_shared<Hop>(HopOp::kReorg, "t", DataType::kMatrix,
+                                 ValueType::kFP64);
+  h->AddInput(std::move(x));
+  h->RefreshSizeInformation();
+  return h;
+}
+
+HopPtr MatMult(HopPtr a, HopPtr b) {
+  auto h = std::make_shared<Hop>(HopOp::kMatMult, "ba+*", DataType::kMatrix,
+                                 ValueType::kFP64);
+  h->AddInput(std::move(a));
+  h->AddInput(std::move(b));
+  h->RefreshSizeInformation();
+  return h;
+}
+
+TEST(RewriteTest, ConstantFoldingScalars) {
+  auto add = std::make_shared<Hop>(HopOp::kBinary, "+", DataType::kScalar,
+                                   ValueType::kInt64);
+  add->AddInput(MakeLiteralHop(LitValue::Int(2)));
+  add->AddInput(MakeLiteralHop(LitValue::Int(3)));
+  std::vector<HopPtr> roots = {MakeTransientWrite("x", add)};
+  RewriteConstantFolding(&roots);
+  ASSERT_EQ(roots[0]->inputs()[0]->op(), HopOp::kLiteral);
+  EXPECT_EQ(roots[0]->inputs()[0]->literal().AsInt(), 5);
+}
+
+TEST(RewriteTest, ConstantFoldingComparisonGivesBool) {
+  auto lt = std::make_shared<Hop>(HopOp::kBinary, "<", DataType::kScalar,
+                                  ValueType::kBoolean);
+  lt->AddInput(MakeLiteralHop(LitValue::Int(2)));
+  lt->AddInput(MakeLiteralHop(LitValue::Int(3)));
+  std::vector<HopPtr> roots = {MakeTransientWrite("x", lt)};
+  RewriteConstantFolding(&roots);
+  EXPECT_EQ(roots[0]->inputs()[0]->literal().vt, ValueType::kBoolean);
+  EXPECT_TRUE(roots[0]->inputs()[0]->literal().AsBool());
+}
+
+TEST(RewriteTest, AlgebraicSimplificationMulOne) {
+  HopPtr x = Tread("X", 10, 10);
+  HopPtr expr = Binary("*", x, MakeLiteralHop(LitValue::Double(1.0)));
+  std::vector<HopPtr> roots = {MakeTransientWrite("y", expr)};
+  RewriteAlgebraicSimplification(&roots);
+  EXPECT_EQ(roots[0]->inputs()[0].get(), x.get());
+}
+
+TEST(RewriteTest, DoubleTransposeEliminated) {
+  HopPtr x = Tread("X", 5, 8);
+  std::vector<HopPtr> roots = {MakeTransientWrite("y", T(T(x)))};
+  RewriteAlgebraicSimplification(&roots);
+  EXPECT_EQ(roots[0]->inputs()[0].get(), x.get());
+}
+
+TEST(RewriteTest, TsmmFusion) {
+  HopPtr x = Tread("X", 100, 10);
+  std::vector<HopPtr> roots = {MakeTransientWrite("y", MatMult(T(x), x))};
+  RewriteFusedOps(&roots);
+  const HopPtr& fused = roots[0]->inputs()[0];
+  EXPECT_EQ(fused->op(), HopOp::kTsmm);
+  EXPECT_EQ(fused->opcode(), "left");
+  EXPECT_EQ(fused->inputs()[0].get(), x.get());
+  EXPECT_EQ(fused->dim1(), 10);
+  EXPECT_EQ(fused->dim2(), 10);
+}
+
+TEST(RewriteTest, TsmmRightFusion) {
+  HopPtr x = Tread("X", 100, 10);
+  std::vector<HopPtr> roots = {MakeTransientWrite("y", MatMult(x, T(x)))};
+  RewriteFusedOps(&roots);
+  const HopPtr& fused = roots[0]->inputs()[0];
+  EXPECT_EQ(fused->op(), HopOp::kTsmm);
+  EXPECT_EQ(fused->opcode(), "right");
+  EXPECT_EQ(fused->dim1(), 100);
+}
+
+TEST(RewriteTest, TmmFusionForDifferentOperands) {
+  HopPtr x = Tread("X", 100, 10);
+  HopPtr y = Tread("y", 100, 1);
+  std::vector<HopPtr> roots = {MakeTransientWrite("b", MatMult(T(x), y))};
+  RewriteFusedOps(&roots);
+  const HopPtr& fused = roots[0]->inputs()[0];
+  EXPECT_EQ(fused->op(), HopOp::kTmm);
+  EXPECT_EQ(fused->inputs()[0].get(), x.get());
+  EXPECT_EQ(fused->inputs()[1].get(), y.get());
+}
+
+TEST(RewriteTest, CseMergesIdenticalSubtrees) {
+  HopPtr x = Tread("X", 50, 50);
+  // Two structurally identical tsmm expressions.
+  auto tsmm1 = std::make_shared<Hop>(HopOp::kTsmm, "left", DataType::kMatrix,
+                                     ValueType::kFP64);
+  tsmm1->AddInput(x);
+  auto tsmm2 = std::make_shared<Hop>(HopOp::kTsmm, "left", DataType::kMatrix,
+                                     ValueType::kFP64);
+  tsmm2->AddInput(x);
+  std::vector<HopPtr> roots = {MakeTransientWrite("a", tsmm1),
+                               MakeTransientWrite("b", tsmm2)};
+  RewriteCommonSubexpressionElimination(&roots);
+  EXPECT_EQ(roots[0]->inputs()[0].get(), roots[1]->inputs()[0].get());
+}
+
+TEST(RewriteTest, CseKeepsNondeterministicRandDistinct) {
+  auto make_rand = [&]() {
+    auto h = std::make_shared<Hop>(HopOp::kDataGen, "rand",
+                                   DataType::kMatrix, ValueType::kFP64);
+    h->AddInput(MakeLiteralHop(LitValue::Int(10)));
+    h->AddInput(MakeLiteralHop(LitValue::Int(10)));
+    h->AddInput(MakeLiteralHop(LitValue::Double(0)));
+    h->AddInput(MakeLiteralHop(LitValue::Double(1)));
+    h->AddInput(MakeLiteralHop(LitValue::Double(1)));
+    h->AddInput(MakeLiteralHop(LitValue::Int(-1)));  // seed -1 = nondet
+    h->AddInput(MakeLiteralHop(LitValue::String("uniform")));
+    return h;
+  };
+  std::vector<HopPtr> roots = {MakeTransientWrite("a", make_rand()),
+                               MakeTransientWrite("b", make_rand())};
+  RewriteCommonSubexpressionElimination(&roots);
+  EXPECT_NE(roots[0]->inputs()[0].get(), roots[1]->inputs()[0].get());
+}
+
+TEST(RewriteTest, MatMultChainReordered) {
+  // (A %*% B) %*% v with A 10x1000, B 1000x1000, v 1000x1: optimal order
+  // is A %*% (B %*% v).
+  HopPtr a = Tread("A", 10, 1000);
+  HopPtr b = Tread("B", 1000, 1000);
+  HopPtr v = Tread("v", 1000, 1);
+  std::vector<HopPtr> roots = {
+      MakeTransientWrite("out", MatMult(MatMult(a, b), v))};
+  RewriteMatMultChains(&roots);
+  const HopPtr& top = roots[0]->inputs()[0];
+  ASSERT_EQ(top->op(), HopOp::kMatMult);
+  EXPECT_EQ(top->inputs()[0].get(), a.get());
+  EXPECT_EQ(top->inputs()[1]->op(), HopOp::kMatMult);
+  EXPECT_EQ(top->inputs()[1]->inputs()[0].get(), b.get());
+}
+
+TEST(SizePropagationTest, MatMultAndAggregates) {
+  HopPtr x = Tread("X", 100, 20);
+  HopPtr y = Tread("Y", 20, 5);
+  HopPtr mm = MatMult(x, y);
+  EXPECT_EQ(mm->dim1(), 100);
+  EXPECT_EQ(mm->dim2(), 5);
+  auto colsum = std::make_shared<Hop>(HopOp::kAggUnary, "uacsum",
+                                      DataType::kMatrix, ValueType::kFP64);
+  colsum->AddInput(mm);
+  colsum->RefreshSizeInformation();
+  EXPECT_EQ(colsum->dim1(), 1);
+  EXPECT_EQ(colsum->dim2(), 5);
+  auto rowsum = std::make_shared<Hop>(HopOp::kAggUnary, "uarsum",
+                                      DataType::kMatrix, ValueType::kFP64);
+  rowsum->AddInput(mm);
+  rowsum->RefreshSizeInformation();
+  EXPECT_EQ(rowsum->dim1(), 100);
+  EXPECT_EQ(rowsum->dim2(), 1);
+}
+
+TEST(SizePropagationTest, UnknownsPropagate) {
+  HopPtr x = Tread("X", -1, 20);
+  HopPtr y = Tread("Y", 20, 5);
+  HopPtr mm = MatMult(x, y);
+  EXPECT_EQ(mm->dim1(), -1);
+  EXPECT_EQ(mm->dim2(), 5);
+  EXPECT_FALSE(mm->DimsKnown());
+  // Unknown-size matrices get a pessimistic (large) memory estimate.
+  EXPECT_GT(mm->OutputMemEstimate(), 1LL << 30);
+}
+
+TEST(SizePropagationTest, CbindAddsColumns) {
+  HopPtr a = Tread("A", 10, 3);
+  HopPtr b = Tread("B", 10, 4);
+  auto nary = std::make_shared<Hop>(HopOp::kNary, "cbind", DataType::kMatrix,
+                                    ValueType::kFP64);
+  nary->AddInput(a);
+  nary->AddInput(b);
+  nary->RefreshSizeInformation();
+  EXPECT_EQ(nary->dim1(), 10);
+  EXPECT_EQ(nary->dim2(), 7);
+}
+
+TEST(SizePropagationTest, SparsityThroughMul) {
+  HopPtr a = Tread("A", 100, 100);
+  a->set_nnz(500);
+  HopPtr b = Tread("B", 100, 100);
+  b->set_nnz(10000);
+  HopPtr mul = Binary("*", a, b);
+  EXPECT_EQ(mul->nnz(), 500);  // min of the two
+}
+
+}  // namespace
+}  // namespace sysds

@@ -1,0 +1,119 @@
+#include "runtime/compress/compressed_block.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/matrix/lib_datagen.h"
+#include "runtime/matrix/lib_matmult.h"
+
+namespace sysds {
+namespace {
+
+// Low-cardinality matrix: each column has `card` distinct values.
+MatrixBlock Categorical(int64_t rows, int64_t cols, int card,
+                        uint64_t seed) {
+  auto m = RandMatrix(rows, cols, 0, 1, 1.0, seed, RandPdf::kUniform, 1);
+  MatrixBlock out = MatrixBlock::Dense(rows, cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      int bucket = static_cast<int>(m->Get(r, c) * card);
+      out.DenseRow(r)[c] = static_cast<double>(bucket % card);
+    }
+  }
+  out.MarkNnzDirty();
+  return out;
+}
+
+TEST(CompressedBlockTest, RoundtripExact) {
+  MatrixBlock m = Categorical(200, 10, 7, 1);
+  CompressedMatrixBlock c = CompressedMatrixBlock::Compress(m);
+  EXPECT_EQ(c.NumCompressedColumns(), 10);
+  EXPECT_TRUE(c.Decompress().EqualsApprox(m, 0));
+  for (int64_t r = 0; r < m.Rows(); r += 17) {
+    for (int64_t col = 0; col < m.Cols(); ++col) {
+      EXPECT_DOUBLE_EQ(c.Get(r, col), m.Get(r, col));
+    }
+  }
+}
+
+TEST(CompressedBlockTest, CompressionRatioOnCategoricalData) {
+  MatrixBlock m = Categorical(5000, 8, 5, 2);
+  CompressedMatrixBlock c = CompressedMatrixBlock::Compress(m);
+  // 8 bytes/cell dense vs ~1 byte/cell DDC-1: ratio close to 8.
+  EXPECT_GT(c.CompressionRatio(), 6.0);
+}
+
+TEST(CompressedBlockTest, HighCardinalityFallsBack) {
+  auto m = RandMatrix(400, 3, 0, 1, 1.0, 3, RandPdf::kUniform, 1);
+  CompressedMatrixBlock c = CompressedMatrixBlock::Compress(*m);
+  EXPECT_EQ(c.NumCompressedColumns(), 0);  // all values distinct
+  EXPECT_LE(c.CompressionRatio(), 1.05);
+  EXPECT_TRUE(c.Decompress().EqualsApprox(*m, 0));
+}
+
+TEST(CompressedBlockTest, MixedColumns) {
+  MatrixBlock m = MatrixBlock::Dense(300, 2);
+  for (int64_t r = 0; r < 300; ++r) {
+    m.DenseRow(r)[0] = static_cast<double>(r % 3);        // compressible
+    m.DenseRow(r)[1] = 0.001 * static_cast<double>(r);    // 300 distinct
+  }
+  m.MarkNnzDirty();
+  CompressedMatrixBlock c = CompressedMatrixBlock::Compress(m);
+  EXPECT_EQ(c.NumCompressedColumns(), 1);
+  EXPECT_TRUE(c.Decompress().EqualsApprox(m, 0));
+}
+
+TEST(CompressedBlockTest, SumAndColSumsMatchUncompressed) {
+  MatrixBlock m = Categorical(500, 6, 9, 4);
+  CompressedMatrixBlock c = CompressedMatrixBlock::Compress(m);
+  double expect = 0;
+  for (int64_t r = 0; r < m.Rows(); ++r) {
+    for (int64_t col = 0; col < m.Cols(); ++col) expect += m.Get(r, col);
+  }
+  EXPECT_NEAR(c.Sum(), expect, 1e-9);
+  MatrixBlock cs = c.ColSums();
+  for (int64_t col = 0; col < m.Cols(); ++col) {
+    double col_expect = 0;
+    for (int64_t r = 0; r < m.Rows(); ++r) col_expect += m.Get(r, col);
+    EXPECT_NEAR(cs.Get(0, col), col_expect, 1e-9);
+  }
+}
+
+TEST(CompressedBlockTest, MatVecRightMatchesUncompressed) {
+  MatrixBlock m = Categorical(300, 5, 4, 5);
+  auto v = RandMatrix(5, 1, -1, 1, 1.0, 6, RandPdf::kUniform, 1);
+  CompressedMatrixBlock c = CompressedMatrixBlock::Compress(m);
+  auto compressed = c.MatVecRight(*v);
+  ASSERT_TRUE(compressed.ok());
+  auto plain = MatMult(m, *v, 1);
+  EXPECT_TRUE(compressed->EqualsApprox(*plain, 1e-9));
+  MatrixBlock bad = MatrixBlock::Dense(4, 1);
+  EXPECT_FALSE(c.MatVecRight(bad).ok());
+}
+
+TEST(CompressedBlockTest, VecMatLeftMatchesUncompressed) {
+  MatrixBlock m = Categorical(300, 5, 4, 7);
+  auto y = RandMatrix(300, 1, -1, 1, 1.0, 8, RandPdf::kUniform, 1);
+  CompressedMatrixBlock c = CompressedMatrixBlock::Compress(m);
+  auto compressed = c.VecMatLeft(*y);
+  ASSERT_TRUE(compressed.ok());
+  auto plain = TransposeLeftMatMult(m, *y, 1);
+  EXPECT_TRUE(compressed->EqualsApprox(*plain, 1e-9));
+}
+
+TEST(CompressedBlockTest, ScaleOperatesOnDictionaries) {
+  MatrixBlock m = Categorical(100, 4, 6, 9);
+  CompressedMatrixBlock c = CompressedMatrixBlock::Compress(m);
+  CompressedMatrixBlock scaled = c.ScaleByScalar(2.5);
+  MatrixBlock expect = m;
+  for (int64_t r = 0; r < m.Rows(); ++r) {
+    for (int64_t col = 0; col < m.Cols(); ++col) {
+      expect.Set(r, col, m.Get(r, col) * 2.5);
+    }
+  }
+  EXPECT_TRUE(scaled.Decompress().EqualsApprox(expect, 1e-12));
+  // Still compressed (codes untouched).
+  EXPECT_EQ(scaled.NumCompressedColumns(), 4);
+}
+
+}  // namespace
+}  // namespace sysds

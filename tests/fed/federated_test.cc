@@ -1,0 +1,141 @@
+#include "fed/federated.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/matrix/lib_datagen.h"
+#include "runtime/matrix/lib_matmult.h"
+#include "runtime/matrix/lib_solve.h"
+
+namespace sysds {
+namespace {
+
+MatrixBlock Random(int64_t rows, int64_t cols, uint64_t seed) {
+  return *RandMatrix(rows, cols, -1, 1, 1.0, seed, RandPdf::kUniform, 1);
+}
+
+TEST(FederatedSerializationTest, MatrixRoundtrip) {
+  MatrixBlock m = Random(13, 7, 1);
+  auto back = DeserializeMatrix(SerializeMatrix(m));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->EqualsApprox(m, 0));
+  std::vector<uint8_t> garbage = {1, 2, 3};
+  EXPECT_FALSE(DeserializeMatrix(garbage).ok());
+}
+
+TEST(FederatedWorkerTest, PutGetExec) {
+  FederatedWorker worker(0);
+  MatrixBlock m = Random(10, 4, 2);
+  FederatedMessage put;
+  put.type = FederatedMessage::Type::kPutMatrix;
+  put.output_name = "X";
+  put.payload = SerializeMatrix(m);
+  EXPECT_EQ(worker.Request(put).type, FederatedMessage::Type::kResponse);
+
+  FederatedMessage get;
+  get.type = FederatedMessage::Type::kGetMatrix;
+  get.names = {"X"};
+  FederatedMessage resp = worker.Request(get);
+  ASSERT_EQ(resp.type, FederatedMessage::Type::kResponse);
+  EXPECT_TRUE(DeserializeMatrix(resp.payload)->EqualsApprox(m, 0));
+
+  FederatedMessage exec;
+  exec.type = FederatedMessage::Type::kExec;
+  exec.opcode = "tsmm";
+  exec.names = {"X"};
+  FederatedMessage exec_resp = worker.Request(exec);
+  ASSERT_EQ(exec_resp.type, FederatedMessage::Type::kResponse);
+  auto local = TransposeSelfMatMult(m, true, 1);
+  EXPECT_TRUE(DeserializeMatrix(exec_resp.payload)->EqualsApprox(*local, 1e-9));
+  EXPECT_GT(worker.BytesReceived(), 0);
+  EXPECT_GT(worker.BytesSent(), 0);
+}
+
+TEST(FederatedWorkerTest, ErrorsForUnknownData) {
+  FederatedWorker worker(0);
+  FederatedMessage get;
+  get.type = FederatedMessage::Type::kGetMatrix;
+  get.names = {"missing"};
+  EXPECT_EQ(worker.Request(get).type, FederatedMessage::Type::kError);
+  FederatedMessage exec;
+  exec.type = FederatedMessage::Type::kExec;
+  exec.opcode = "nonsense";
+  EXPECT_EQ(worker.Request(exec).type, FederatedMessage::Type::kError);
+}
+
+class FederatedMatrixTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FederatedMatrixTest, PushDownOpsMatchLocal) {
+  int sites = GetParam();
+  FederatedRegistry registry(sites);
+  MatrixBlock x = Random(101, 9, 3);  // deliberately uneven partitioning
+  MatrixBlock y = Random(101, 2, 4);
+  auto fx = FederatedMatrix::Distribute(&registry, x, "X");
+  auto fy = FederatedMatrix::Distribute(&registry, y, "Y");
+  ASSERT_TRUE(fx.ok() && fy.ok());
+  EXPECT_EQ(static_cast<int>(fx->Partitions().size()), sites);
+
+  auto tsmm = fx->TsmmLeft();
+  ASSERT_TRUE(tsmm.ok());
+  EXPECT_TRUE(tsmm->EqualsApprox(*TransposeSelfMatMult(x, true, 1), 1e-9));
+
+  auto tmm = fx->Tmm(*fy);
+  ASSERT_TRUE(tmm.ok());
+  EXPECT_TRUE(tmm->EqualsApprox(*TransposeLeftMatMult(x, y, 1), 1e-9));
+
+  MatrixBlock v = Random(9, 1, 5);
+  auto mv = fx->MatVec(v);
+  ASSERT_TRUE(mv.ok());
+  EXPECT_TRUE(mv->EqualsApprox(*MatMult(x, v, 1), 1e-9));
+
+  auto cs = fx->ColSums();
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs->Rows(), 1);
+
+  auto collected = fx->Collect();
+  ASSERT_TRUE(collected.ok());
+  EXPECT_TRUE(collected->EqualsApprox(x, 0));
+}
+
+INSTANTIATE_TEST_SUITE_P(SiteCounts, FederatedMatrixTest,
+                         ::testing::Values(1, 2, 3, 5));
+
+TEST(FederatedLmTest, MatchesLocalClosedForm) {
+  FederatedRegistry registry(4);
+  MatrixBlock x = Random(200, 12, 6);
+  MatrixBlock w = Random(12, 1, 7);
+  auto y = MatMult(x, w, 1);
+  auto fx = FederatedMatrix::Distribute(&registry, x, "X");
+  auto fy = FederatedMatrix::Distribute(&registry, *y, "y");
+  ASSERT_TRUE(fx.ok() && fy.ok());
+  auto b = FederatedLmDS(*fx, *fy, 1e-10);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->EqualsApprox(w, 1e-6));
+}
+
+TEST(FederatedLmTest, PushDownMovesLessDataThanCentralize) {
+  FederatedRegistry registry(4);
+  MatrixBlock x = Random(2000, 16, 8);
+  auto y = MatMult(x, Random(16, 1, 9), 1);
+  auto fx = FederatedMatrix::Distribute(&registry, x, "X");
+  auto fy = FederatedMatrix::Distribute(&registry, *y, "y");
+  int64_t after_init = registry.TotalBytesTransferred();
+  ASSERT_TRUE(FederatedLmDS(*fx, *fy, 1e-8).ok());
+  int64_t pushdown = registry.TotalBytesTransferred() - after_init;
+  ASSERT_TRUE(fx->Collect().ok());
+  int64_t centralize =
+      registry.TotalBytesTransferred() - after_init - pushdown;
+  EXPECT_LT(pushdown * 5, centralize);  // at least 5x less traffic
+}
+
+TEST(FederatedMatrixTest, MisalignedTmmRejected) {
+  FederatedRegistry r2(2);
+  FederatedRegistry r3(3);
+  MatrixBlock x = Random(60, 4, 10);
+  auto fx = FederatedMatrix::Distribute(&r2, x, "X");
+  auto fy = FederatedMatrix::Distribute(&r3, x, "Y");
+  ASSERT_TRUE(fx.ok() && fy.ok());
+  EXPECT_FALSE(fx->Tmm(*fy).ok());
+}
+
+}  // namespace
+}  // namespace sysds

@@ -1,0 +1,91 @@
+#include "runtime/frame/frame_block.h"
+
+#include <gtest/gtest.h>
+
+namespace sysds {
+namespace {
+
+FrameBlock SampleFrame() {
+  FrameBlock f(3, {ValueType::kString, ValueType::kFP64, ValueType::kInt64},
+               {"city", "score", "count"});
+  f.SetString(0, 0, "graz");
+  f.SetString(1, 0, "vienna");
+  f.SetString(2, 0, "linz");
+  f.SetDouble(0, 1, 1.5);
+  f.SetDouble(1, 1, -2.25);
+  f.SetDouble(2, 1, 0.0);
+  f.SetDouble(0, 2, 10);
+  f.SetDouble(1, 2, 20);
+  f.SetDouble(2, 2, 30);
+  return f;
+}
+
+TEST(FrameBlockTest, SchemaAndNames) {
+  FrameBlock f = SampleFrame();
+  EXPECT_EQ(f.Rows(), 3);
+  EXPECT_EQ(f.Cols(), 3);
+  EXPECT_EQ(f.Schema()[0], ValueType::kString);
+  EXPECT_EQ(*f.ColumnIndex("score"), 1);
+  EXPECT_FALSE(f.ColumnIndex("missing").ok());
+}
+
+TEST(FrameBlockTest, DefaultColumnNames) {
+  FrameBlock f(2, {ValueType::kFP64, ValueType::kFP64});
+  EXPECT_EQ(f.ColumnNames()[0], "C1");
+  EXPECT_EQ(f.ColumnNames()[1], "C2");
+}
+
+TEST(FrameBlockTest, CellConversions) {
+  FrameBlock f = SampleFrame();
+  EXPECT_EQ(f.GetString(0, 0), "graz");
+  EXPECT_EQ(f.GetString(1, 1), "-2.25");
+  EXPECT_DOUBLE_EQ(f.GetDouble(1, 1), -2.25);
+  // Setting a string into a numeric column parses it.
+  f.SetString(0, 1, "9.5");
+  EXPECT_DOUBLE_EQ(f.GetDouble(0, 1), 9.5);
+  // Setting a double into a string column formats it.
+  f.SetDouble(0, 0, 4.0);
+  EXPECT_EQ(f.GetString(0, 0), "4");
+}
+
+TEST(FrameBlockTest, AppendRow) {
+  FrameBlock f = SampleFrame();
+  f.AppendRow();
+  EXPECT_EQ(f.Rows(), 4);
+  EXPECT_EQ(f.GetString(3, 0), "");
+  EXPECT_DOUBLE_EQ(f.GetDouble(3, 1), 0.0);
+}
+
+TEST(FrameBlockTest, ToMatrixNumericOnly) {
+  FrameBlock f(2, {ValueType::kFP64, ValueType::kInt64});
+  f.SetDouble(0, 0, 1.5);
+  f.SetDouble(1, 1, 4);
+  auto m = f.ToMatrix();
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->Get(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m->Get(1, 1), 4.0);
+  // Non-numeric strings fail.
+  FrameBlock bad = SampleFrame();
+  EXPECT_FALSE(bad.ToMatrix().ok());
+}
+
+TEST(FrameBlockTest, FromMatrixRoundtrip) {
+  MatrixBlock m = MatrixBlock::FromValues(2, 2, {1, 2, 3, 4});
+  FrameBlock f = FrameBlock::FromMatrix(m);
+  EXPECT_EQ(f.Rows(), 2);
+  auto back = f.ToMatrix();
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->EqualsApprox(m));
+}
+
+TEST(FrameBlockTest, SliceRows) {
+  FrameBlock f = SampleFrame();
+  auto s = f.SliceRows(1, 2);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->Rows(), 2);
+  EXPECT_EQ(s->GetString(0, 0), "vienna");
+  EXPECT_FALSE(f.SliceRows(2, 5).ok());
+}
+
+}  // namespace
+}  // namespace sysds

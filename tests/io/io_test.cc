@@ -1,0 +1,222 @@
+#include "io/matrix_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "io/format_descriptor.h"
+#include "runtime/matrix/lib_datagen.h"
+
+namespace sysds {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("sysds_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, CsvRoundtripDense) {
+  auto m = RandMatrix(55, 13, -5, 5, 1.0, 1, RandPdf::kUniform, 1);
+  ASSERT_TRUE(WriteMatrixCsv(*m, Path("a.csv")).ok());
+  auto back = ReadMatrixCsv(Path("a.csv"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->EqualsApprox(*m, 1e-12));
+}
+
+TEST_F(IoTest, CsvMultiThreadedMatchesSingle) {
+  auto m = RandMatrix(500, 20, -1, 1, 1.0, 2, RandPdf::kUniform, 1);
+  ASSERT_TRUE(WriteMatrixCsv(*m, Path("b.csv")).ok());
+  CsvOptions one;
+  one.num_threads = 1;
+  CsvOptions many;
+  many.num_threads = 8;
+  auto r1 = ReadMatrixCsv(Path("b.csv"), one);
+  auto r8 = ReadMatrixCsv(Path("b.csv"), many);
+  ASSERT_TRUE(r1.ok() && r8.ok());
+  EXPECT_TRUE(r1->EqualsApprox(*r8, 0));
+}
+
+TEST_F(IoTest, CsvHeaderAndDelimiter) {
+  {
+    std::ofstream f(Path("c.csv"));
+    f << "a;b;c\n1;2;3\n4;5;6\n";
+  }
+  CsvOptions opts;
+  opts.header = true;
+  opts.delimiter = ';';
+  auto m = ReadMatrixCsv(Path("c.csv"), opts);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->Rows(), 2);
+  EXPECT_EQ(m->Cols(), 3);
+  EXPECT_DOUBLE_EQ(m->Get(1, 2), 6.0);
+}
+
+TEST_F(IoTest, CsvRaggedRowRejected) {
+  {
+    std::ofstream f(Path("d.csv"));
+    f << "1,2,3\n4,5\n";
+  }
+  EXPECT_FALSE(ReadMatrixCsv(Path("d.csv")).ok());
+}
+
+TEST_F(IoTest, BinaryRoundtripDenseAndSparse) {
+  auto dense = RandMatrix(40, 30, -1, 1, 1.0, 3, RandPdf::kUniform, 1);
+  ASSERT_TRUE(WriteMatrixBinary(*dense, Path("e.bin")).ok());
+  auto back = ReadMatrixBinary(Path("e.bin"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->EqualsApprox(*dense, 0));
+
+  auto sparse = RandMatrix(80, 80, -1, 1, 0.05, 4, RandPdf::kUniform, 1);
+  sparse->ToSparse();
+  ASSERT_TRUE(WriteMatrixBinary(*sparse, Path("f.bin")).ok());
+  auto back2 = ReadMatrixBinary(Path("f.bin"));
+  ASSERT_TRUE(back2.ok());
+  EXPECT_TRUE(back2->IsSparse());
+  EXPECT_TRUE(back2->EqualsApprox(*sparse, 0));
+}
+
+TEST_F(IoTest, BinaryRejectsGarbage) {
+  {
+    std::ofstream f(Path("g.bin"), std::ios::binary);
+    f << "not a matrix";
+  }
+  EXPECT_FALSE(ReadMatrixBinary(Path("g.bin")).ok());
+}
+
+TEST_F(IoTest, IjvRoundtrip) {
+  auto m = RandMatrix(30, 30, -1, 1, 0.1, 5, RandPdf::kUniform, 1);
+  ASSERT_TRUE(WriteMatrixIjv(*m, Path("h.ijv")).ok());
+  auto back = ReadMatrixIjv(Path("h.ijv"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Rows(), 30);
+  EXPECT_TRUE(back->EqualsApprox(*m, 1e-12));
+}
+
+TEST_F(IoTest, FormatDispatch) {
+  auto m = RandMatrix(10, 4, 0, 1, 1.0, 6, RandPdf::kUniform, 1);
+  for (FileFormat ff : {FileFormat::kCsv, FileFormat::kBinary,
+                        FileFormat::kIjv}) {
+    std::string p = Path("dispatch");
+    ASSERT_TRUE(WriteMatrix(*m, p, ff).ok());
+    auto back = ReadMatrix(p, ff);
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(back->EqualsApprox(*m, 1e-12));
+  }
+  EXPECT_TRUE(ParseFileFormat("csv").ok());
+  EXPECT_TRUE(ParseFileFormat("BINARY").ok());
+  EXPECT_FALSE(ParseFileFormat("parquet").ok());
+}
+
+TEST_F(IoTest, FrameCsvRoundtripWithHeader) {
+  FrameBlock f(2, {ValueType::kString, ValueType::kFP64}, {"name", "v"});
+  f.SetString(0, 0, "alpha");
+  f.SetString(1, 0, "beta");
+  f.SetDouble(0, 1, 1.5);
+  f.SetDouble(1, 1, 2.5);
+  CsvOptions opts;
+  opts.header = true;
+  ASSERT_TRUE(WriteFrameCsv(f, Path("i.csv"), opts).ok());
+  auto back =
+      ReadFrameCsv(Path("i.csv"), {ValueType::kString, ValueType::kFP64},
+                   opts);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->ColumnNames()[0], "name");
+  EXPECT_EQ(back->GetString(1, 0), "beta");
+  EXPECT_DOUBLE_EQ(back->GetDouble(0, 1), 1.5);
+}
+
+TEST_F(IoTest, GeneratedDelimitedReader) {
+  {
+    std::ofstream f(Path("j.psv"));
+    f << "id|value|tag\n1|2.5|x\n2|3.5|y\n";
+  }
+  auto desc = ParseFormatDescriptor(
+      R"({"kind":"delimited","delimiter":"|","header":true,
+          "columns":[{"name":"id","type":"int64"},
+                     {"name":"value","type":"fp64"},
+                     {"name":"tag","type":"string"}]})");
+  ASSERT_TRUE(desc.ok());
+  auto reader = GenerateReader(*desc);
+  ASSERT_TRUE(reader.ok());
+  auto frame = (*reader)(Path("j.psv"));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->Rows(), 2);
+  EXPECT_DOUBLE_EQ(frame->GetDouble(1, 1), 3.5);
+  EXPECT_EQ(frame->GetString(0, 2), "x");
+}
+
+TEST_F(IoTest, GeneratedFixedWidthReader) {
+  {
+    std::ofstream f(Path("k.fw"));
+    f << "  1 2.50\n 12 3.75\n";
+  }
+  auto desc = ParseFormatDescriptor(
+      R"({"kind":"fixed-width",
+          "columns":[{"name":"id","type":"int64","width":3},
+                     {"name":"v","type":"fp64","width":5}]})");
+  ASSERT_TRUE(desc.ok());
+  auto reader = GenerateReader(*desc);
+  ASSERT_TRUE(reader.ok());
+  auto frame = (*reader)(Path("k.fw"));
+  ASSERT_TRUE(frame.ok());
+  EXPECT_DOUBLE_EQ(frame->GetDouble(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(frame->GetDouble(1, 1), 3.75);
+}
+
+TEST_F(IoTest, GeneratedKeyValueReader) {
+  {
+    std::ofstream f(Path("l.kv"));
+    f << "b=2;a=1\na=3;b=4\n";
+  }
+  auto desc = ParseFormatDescriptor(
+      R"({"kind":"key-value","delimiter":";",
+          "columns":[{"name":"a","type":"fp64"},
+                     {"name":"b","type":"fp64"}]})");
+  ASSERT_TRUE(desc.ok());
+  auto reader = GenerateReader(*desc);
+  ASSERT_TRUE(reader.ok());
+  auto frame = (*reader)(Path("l.kv"));
+  ASSERT_TRUE(frame.ok());
+  // Key order per line does not matter.
+  EXPECT_DOUBLE_EQ(frame->GetDouble(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(frame->GetDouble(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(frame->GetDouble(1, 0), 3.0);
+}
+
+TEST_F(IoTest, GeneratedWriterRoundtrip) {
+  auto desc = ParseFormatDescriptor(
+      R"({"kind":"delimited","delimiter":",","header":true,
+          "columns":[{"name":"x","type":"fp64"},{"name":"y","type":"fp64"}]})");
+  auto writer = GenerateWriter(*desc);
+  auto reader = GenerateReader(*desc);
+  ASSERT_TRUE(writer.ok() && reader.ok());
+  FrameBlock f(2, {ValueType::kFP64, ValueType::kFP64}, {"x", "y"});
+  f.SetDouble(0, 0, 1);
+  f.SetDouble(1, 1, 4);
+  ASSERT_TRUE((*writer)(f, Path("m.csv")).ok());
+  auto back = (*reader)(Path("m.csv"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back->GetDouble(1, 1), 4.0);
+}
+
+TEST_F(IoTest, UnknownFormatKindRejected) {
+  auto desc = ParseFormatDescriptor(
+      R"({"kind":"avro","columns":[{"name":"a"}]})");
+  ASSERT_TRUE(desc.ok());
+  EXPECT_FALSE(GenerateReader(*desc).ok());
+}
+
+}  // namespace
+}  // namespace sysds

@@ -1,0 +1,116 @@
+#include "lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace sysds {
+namespace {
+
+std::vector<TokenType> Types(const std::string& src) {
+  auto tokens = Tokenize(src);
+  EXPECT_TRUE(tokens.ok()) << tokens.status();
+  std::vector<TokenType> types;
+  if (tokens.ok()) {
+    for (const Token& t : *tokens) types.push_back(t.type);
+  }
+  return types;
+}
+
+TEST(LexerTest, NumbersAndIdentifiers) {
+  auto tokens = Tokenize("x1 = 42 + 3.14 - 1e-3");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "x1");
+  EXPECT_EQ((*tokens)[2].type, TokenType::kIntLiteral);
+  EXPECT_EQ((*tokens)[2].int_value, 42);
+  EXPECT_EQ((*tokens)[4].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ((*tokens)[4].double_value, 3.14);
+  EXPECT_DOUBLE_EQ((*tokens)[6].double_value, 1e-3);
+}
+
+TEST(LexerTest, DottedIdentifiers) {
+  auto tokens = Tokenize("as.scalar(index.return)");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "as.scalar");
+  EXPECT_EQ((*tokens)[2].text, "index.return");
+}
+
+TEST(LexerTest, OperatorsIncludingMatMul) {
+  EXPECT_EQ(Types("a %*% b %% c %/% d"),
+            (std::vector<TokenType>{
+                TokenType::kIdentifier, TokenType::kMatMul,
+                TokenType::kIdentifier, TokenType::kModulus,
+                TokenType::kIdentifier, TokenType::kIntDiv,
+                TokenType::kIdentifier, TokenType::kEof}));
+  EXPECT_EQ(Types("a <= b >= c != d == e <- f"),
+            (std::vector<TokenType>{
+                TokenType::kIdentifier, TokenType::kLe,
+                TokenType::kIdentifier, TokenType::kGe,
+                TokenType::kIdentifier, TokenType::kNeq,
+                TokenType::kIdentifier, TokenType::kEq,
+                TokenType::kIdentifier, TokenType::kLeftArrow,
+                TokenType::kIdentifier, TokenType::kEof}));
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = Tokenize(R"(s = "a\"b\nc" + 'single')");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].type, TokenType::kStringLiteral);
+  EXPECT_EQ((*tokens)[2].text, "a\"b\nc");
+  EXPECT_EQ((*tokens)[4].text, "single");
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto types = Types("x = 1 # comment with = and %*%\ny = 2");
+  EXPECT_EQ(types, (std::vector<TokenType>{
+                       TokenType::kIdentifier, TokenType::kAssign,
+                       TokenType::kIntLiteral, TokenType::kNewline,
+                       TokenType::kIdentifier, TokenType::kAssign,
+                       TokenType::kIntLiteral, TokenType::kEof}));
+}
+
+TEST(LexerTest, NewlinesInsideParensSwallowed) {
+  auto types = Types("f(a,\n   b)");
+  EXPECT_EQ(types, (std::vector<TokenType>{
+                       TokenType::kIdentifier, TokenType::kLParen,
+                       TokenType::kIdentifier, TokenType::kComma,
+                       TokenType::kIdentifier, TokenType::kRParen,
+                       TokenType::kEof}));
+}
+
+TEST(LexerTest, NewlineAfterOperatorSuppressed) {
+  auto types = Types("x = a +\n  b");
+  // No kNewline between '+' and 'b'.
+  EXPECT_EQ(types, (std::vector<TokenType>{
+                       TokenType::kIdentifier, TokenType::kAssign,
+                       TokenType::kIdentifier, TokenType::kPlus,
+                       TokenType::kIdentifier, TokenType::kEof}));
+}
+
+TEST(LexerTest, KeywordsRecognized) {
+  EXPECT_EQ(Types("if else while for parfor in function return TRUE FALSE"),
+            (std::vector<TokenType>{
+                TokenType::kIf, TokenType::kElse, TokenType::kWhile,
+                TokenType::kFor, TokenType::kParFor, TokenType::kIn,
+                TokenType::kFunction, TokenType::kReturn, TokenType::kTrue,
+                TokenType::kFalse, TokenType::kEof}));
+}
+
+TEST(LexerTest, LineColumnTracking) {
+  auto tokens = Tokenize("a = 1\n  b = 2");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[0].col, 1);
+  // After the newline token: 'b' at line 2, col 3.
+  EXPECT_EQ((*tokens)[4].text, "b");
+  EXPECT_EQ((*tokens)[4].line, 2);
+  EXPECT_EQ((*tokens)[4].col, 3);
+}
+
+TEST(LexerTest, RejectsStrayCharacters) {
+  EXPECT_FALSE(Tokenize("a $ b").ok());
+  EXPECT_FALSE(Tokenize("a % b").ok());
+}
+
+}  // namespace
+}  // namespace sysds

@@ -1,0 +1,174 @@
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace sysds {
+namespace {
+
+DMLProgram Parse(const std::string& src) {
+  auto prog = ParseDML(src);
+  EXPECT_TRUE(prog.ok()) << prog.status() << "\nsource:\n" << src;
+  return prog.ok() ? std::move(*prog) : DMLProgram{};
+}
+
+TEST(ParserTest, SimpleAssignment) {
+  DMLProgram p = Parse("x = 1 + 2\n");
+  ASSERT_EQ(p.statements.size(), 1u);
+  const Stmt& s = *p.statements[0];
+  EXPECT_EQ(s.kind, StmtKind::kAssign);
+  EXPECT_EQ(s.targets[0].name, "x");
+  EXPECT_EQ(s.rhs->kind, ExprKind::kBinary);
+  EXPECT_EQ(s.rhs->name, "+");
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  DMLProgram p = Parse("x = 1 + 2 * 3 ^ 2\n");
+  const Expr& e = *p.statements[0]->rhs;
+  // + at top, * under it, ^ innermost.
+  EXPECT_EQ(e.name, "+");
+  EXPECT_EQ(e.args[1]->name, "*");
+  EXPECT_EQ(e.args[1]->args[1]->name, "^");
+}
+
+TEST(ParserTest, UnaryMinusAndPower) {
+  // -2^2 parses as -(2^2) like R.
+  DMLProgram p = Parse("x = -2^2\n");
+  const Expr& e = *p.statements[0]->rhs;
+  EXPECT_EQ(e.kind, ExprKind::kUnary);
+  EXPECT_EQ(e.name, "-");
+  EXPECT_EQ(e.args[0]->name, "^");
+}
+
+TEST(ParserTest, MatMulBindsTighterThanMul) {
+  DMLProgram p = Parse("x = a * b %*% c\n");
+  const Expr& e = *p.statements[0]->rhs;
+  EXPECT_EQ(e.name, "*");
+  EXPECT_EQ(e.args[1]->name, "%*%");
+}
+
+TEST(ParserTest, ComparisonAndLogical) {
+  DMLProgram p = Parse("x = a < 3 & b >= 2 | !c\n");
+  const Expr& e = *p.statements[0]->rhs;
+  EXPECT_EQ(e.name, "|");
+  EXPECT_EQ(e.args[0]->name, "&");
+  EXPECT_EQ(e.args[1]->kind, ExprKind::kUnary);
+}
+
+TEST(ParserTest, CallsWithNamedArgs) {
+  DMLProgram p = Parse("x = rand(rows=10, cols=n, seed=42)\n");
+  const Expr& e = *p.statements[0]->rhs;
+  EXPECT_EQ(e.kind, ExprKind::kCall);
+  EXPECT_EQ(e.name, "rand");
+  ASSERT_EQ(e.args.size(), 3u);
+  EXPECT_EQ(e.arg_names[0], "rows");
+  EXPECT_EQ(e.arg_names[1], "cols");
+  EXPECT_EQ(e.args[1]->kind, ExprKind::kIdentifier);
+}
+
+TEST(ParserTest, IndexingVariants) {
+  DMLProgram p = Parse("a = X[1, 2]\nb = X[1:3, ]\nc = X[, j]\nd = X[i:n, 2:4]\n");
+  const Expr& a = *p.statements[0]->rhs;
+  EXPECT_EQ(a.kind, ExprKind::kIndex);
+  EXPECT_FALSE(a.has_row_range);
+  ASSERT_NE(a.col_lower, nullptr);
+  const Expr& b = *p.statements[1]->rhs;
+  EXPECT_TRUE(b.has_row_range);
+  EXPECT_EQ(b.col_lower, nullptr);
+  const Expr& c = *p.statements[2]->rhs;
+  EXPECT_EQ(c.row_lower, nullptr);
+  ASSERT_NE(c.col_lower, nullptr);
+  const Expr& d = *p.statements[3]->rhs;
+  EXPECT_TRUE(d.has_row_range);
+  EXPECT_TRUE(d.has_col_range);
+}
+
+TEST(ParserTest, LeftIndexedAssignment) {
+  DMLProgram p = Parse("X[1, i] = 5\n");
+  const Stmt& s = *p.statements[0];
+  EXPECT_EQ(s.targets[0].name, "X");
+  ASSERT_NE(s.targets[0].index, nullptr);
+  EXPECT_EQ(s.targets[0].index->kind, ExprKind::kIndex);
+}
+
+TEST(ParserTest, MultiAssignment) {
+  DMLProgram p = Parse("[B, S] = steplm(X, y)\n");
+  const Stmt& s = *p.statements[0];
+  ASSERT_EQ(s.targets.size(), 2u);
+  EXPECT_EQ(s.targets[0].name, "B");
+  EXPECT_EQ(s.targets[1].name, "S");
+  EXPECT_EQ(s.rhs->kind, ExprKind::kCall);
+}
+
+TEST(ParserTest, ControlFlow) {
+  DMLProgram p = Parse(
+      "if (x > 0) {\n  y = 1\n} else if (x < 0) {\n  y = 2\n} else {\n"
+      "  y = 3\n}\n"
+      "while (i < 10) {\n  i = i + 1\n}\n"
+      "for (j in 1:5) {\n  s = s + j\n}\n"
+      "parfor (k in seq(1, 10, 2)) {\n  t = k\n}\n");
+  ASSERT_EQ(p.statements.size(), 4u);
+  EXPECT_EQ(p.statements[0]->kind, StmtKind::kIf);
+  ASSERT_EQ(p.statements[0]->else_body.size(), 1u);
+  EXPECT_EQ(p.statements[0]->else_body[0]->kind, StmtKind::kIf);  // else-if
+  EXPECT_EQ(p.statements[1]->kind, StmtKind::kWhile);
+  EXPECT_EQ(p.statements[2]->kind, StmtKind::kFor);
+  EXPECT_FALSE(p.statements[2]->is_parfor);
+  EXPECT_EQ(p.statements[3]->kind, StmtKind::kFor);
+  EXPECT_TRUE(p.statements[3]->is_parfor);
+  // seq with increment extracted.
+  ASSERT_NE(p.statements[3]->increment, nullptr);
+  EXPECT_EQ(p.statements[3]->increment->int_value, 2);
+}
+
+TEST(ParserTest, FunctionDefinition) {
+  DMLProgram p = Parse(
+      "f = function(Matrix[Double] X, Double reg = 0.001, Integer n)\n"
+      "    return (Matrix[Double] B, Double s) {\n"
+      "  B = X * reg\n"
+      "  s = n\n"
+      "}\n");
+  ASSERT_EQ(p.functions.size(), 1u);
+  const Stmt& f = *p.functions[0];
+  EXPECT_EQ(f.function_name, "f");
+  ASSERT_EQ(f.params.size(), 3u);
+  EXPECT_EQ(f.params[0].data_type, DataType::kMatrix);
+  EXPECT_EQ(f.params[1].data_type, DataType::kScalar);
+  ASSERT_NE(f.params[1].default_value, nullptr);
+  EXPECT_EQ(f.params[2].value_type, ValueType::kInt64);
+  ASSERT_EQ(f.returns.size(), 2u);
+  EXPECT_EQ(f.returns[0].data_type, DataType::kMatrix);
+  EXPECT_EQ(f.body.size(), 2u);
+}
+
+TEST(ParserTest, SemicolonsAndBlankLines) {
+  DMLProgram p = Parse("a = 1; b = 2;\n\n\nc = 3\n");
+  EXPECT_EQ(p.statements.size(), 3u);
+}
+
+TEST(ParserTest, ExpressionStatements) {
+  DMLProgram p = Parse("print('hi')\nwrite(X, 'f.csv')\n");
+  EXPECT_EQ(p.statements[0]->kind, StmtKind::kExpression);
+  EXPECT_EQ(p.statements[1]->kind, StmtKind::kExpression);
+}
+
+TEST(ParserTest, SyntaxErrorsCarryLocation) {
+  auto bad = ParseDML("x = (1 + \n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kParseError);
+  auto bad2 = ParseDML("if x > 0 { y = 1 }\n");  // missing parens
+  EXPECT_FALSE(bad2.ok());
+  auto bad3 = ParseDML("for (i in X) { }\n");  // not a range
+  EXPECT_FALSE(bad3.ok());
+}
+
+TEST(ParserTest, CloneExprDeepCopies) {
+  DMLProgram p = Parse("x = f(a + b, c[1, 2])\n");
+  ExprPtr clone = CloneExpr(*p.statements[0]->rhs);
+  EXPECT_EQ(clone->kind, ExprKind::kCall);
+  EXPECT_EQ(clone->args.size(), 2u);
+  EXPECT_NE(clone->args[0].get(), p.statements[0]->rhs->args[0].get());
+  EXPECT_EQ(clone->args[1]->kind, ExprKind::kIndex);
+}
+
+}  // namespace
+}  // namespace sysds

@@ -1,0 +1,137 @@
+#include "runtime/matrix/lib_agg.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/matrix/lib_datagen.h"
+
+namespace sysds {
+namespace {
+
+MatrixBlock Sample() {
+  // 3x4 with a zero and negatives.
+  return MatrixBlock::FromValues(3, 4,
+                                 {1, -2, 3, 0,
+                                  4, 5, -6, 7,
+                                  0, 8, 9, -1});
+}
+
+TEST(AggAllTest, SumMeanMinMaxNnz) {
+  MatrixBlock m = Sample();
+  EXPECT_DOUBLE_EQ(*AggregateAll(AggOpCode::kSum, m, 1), 28.0);
+  EXPECT_DOUBLE_EQ(*AggregateAll(AggOpCode::kMean, m, 1), 28.0 / 12.0);
+  EXPECT_DOUBLE_EQ(*AggregateAll(AggOpCode::kMin, m, 1), -6.0);
+  EXPECT_DOUBLE_EQ(*AggregateAll(AggOpCode::kMax, m, 1), 9.0);
+  EXPECT_DOUBLE_EQ(*AggregateAll(AggOpCode::kNnz, m, 1), 10.0);
+  EXPECT_DOUBLE_EQ(*AggregateAll(AggOpCode::kSumSq, m, 1),
+                   1 + 4 + 9 + 0 + 16 + 25 + 36 + 49 + 0 + 64 + 81 + 1);
+}
+
+TEST(AggAllTest, VarianceAndSd) {
+  MatrixBlock m = MatrixBlock::FromValues(1, 4, {2, 4, 4, 6});
+  // mean 4, squared devs {4,0,0,4}, sample var 8/3.
+  EXPECT_NEAR(*AggregateAll(AggOpCode::kVar, m, 1), 8.0 / 3.0, 1e-12);
+  EXPECT_NEAR(*AggregateAll(AggOpCode::kSd, m, 1), std::sqrt(8.0 / 3.0),
+              1e-12);
+}
+
+TEST(AggAllTest, TraceRequiresSquare) {
+  MatrixBlock sq = MatrixBlock::FromValues(2, 2, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(*AggregateAll(AggOpCode::kTrace, sq, 1), 5.0);
+  MatrixBlock rect = MatrixBlock::Dense(2, 3);
+  EXPECT_FALSE(AggregateAll(AggOpCode::kTrace, rect, 1).ok());
+}
+
+TEST(AggAllTest, SparseSeesImplicitZeros) {
+  MatrixBlock m = MatrixBlock::Sparse(100, 100);
+  m.Set(0, 0, 5.0);
+  m.Set(50, 50, -3.0);
+  EXPECT_DOUBLE_EQ(*AggregateAll(AggOpCode::kMin, m, 1), -3.0);
+  EXPECT_DOUBLE_EQ(*AggregateAll(AggOpCode::kMax, m, 1), 5.0);
+  EXPECT_DOUBLE_EQ(*AggregateAll(AggOpCode::kSum, m, 1), 2.0);
+  // Mean must divide by all cells, not only nonzeros.
+  EXPECT_DOUBLE_EQ(*AggregateAll(AggOpCode::kMean, m, 1), 2.0 / 10000.0);
+}
+
+TEST(AggRowColTest, RowAggregates) {
+  MatrixBlock m = Sample();
+  auto rs = AggregateRowCol(AggOpCode::kSum, AggDirection::kRow, m, 2);
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->Rows(), 3);
+  EXPECT_EQ(rs->Cols(), 1);
+  EXPECT_DOUBLE_EQ(rs->Get(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(rs->Get(1, 0), 10.0);
+  EXPECT_DOUBLE_EQ(rs->Get(2, 0), 16.0);
+  auto rmax = AggregateRowCol(AggOpCode::kMax, AggDirection::kRow, m, 1);
+  EXPECT_DOUBLE_EQ(rmax->Get(1, 0), 7.0);
+}
+
+TEST(AggRowColTest, ColAggregates) {
+  MatrixBlock m = Sample();
+  auto cs = AggregateRowCol(AggOpCode::kSum, AggDirection::kCol, m, 1);
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs->Rows(), 1);
+  EXPECT_EQ(cs->Cols(), 4);
+  EXPECT_DOUBLE_EQ(cs->Get(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(cs->Get(0, 1), 11.0);
+  EXPECT_DOUBLE_EQ(cs->Get(0, 2), 6.0);
+  EXPECT_DOUBLE_EQ(cs->Get(0, 3), 6.0);
+  auto cmean = AggregateRowCol(AggOpCode::kMean, AggDirection::kCol, m, 1);
+  EXPECT_DOUBLE_EQ(cmean->Get(0, 0), 5.0 / 3.0);
+}
+
+TEST(AggRowColTest, RowIndexMaxIsOneBased) {
+  MatrixBlock m = Sample();
+  auto im = AggregateRowCol(AggOpCode::kIndexMax, AggDirection::kRow, m, 1);
+  ASSERT_TRUE(im.ok());
+  EXPECT_DOUBLE_EQ(im->Get(0, 0), 3.0);  // row 0 max at col 3 (value 3)
+  EXPECT_DOUBLE_EQ(im->Get(1, 0), 4.0);  // row 1 max at col 4 (value 7)
+  EXPECT_DOUBLE_EQ(im->Get(2, 0), 3.0);  // row 2 max at col 3 (value 9)
+}
+
+TEST(AggRowColTest, SparseMatchesDense) {
+  auto m = RandMatrix(60, 30, -1, 1, 0.1, 9, RandPdf::kUniform, 1);
+  MatrixBlock dense = *m;
+  dense.ToDense();
+  MatrixBlock sparse = *m;
+  sparse.ToSparse();
+  for (AggOpCode op : {AggOpCode::kSum, AggOpCode::kMean, AggOpCode::kMin,
+                       AggOpCode::kMax, AggOpCode::kSd}) {
+    for (AggDirection dir : {AggDirection::kRow, AggDirection::kCol}) {
+      auto a = AggregateRowCol(op, dir, dense, 1);
+      auto b = AggregateRowCol(op, dir, sparse, 1);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_TRUE(a->EqualsApprox(*b, 1e-10));
+    }
+  }
+}
+
+TEST(CumAggTest, CumSumColumnwise) {
+  MatrixBlock m = MatrixBlock::FromValues(3, 2, {1, 10, 2, 20, 3, 30});
+  MatrixBlock c = CumSum(m);
+  EXPECT_DOUBLE_EQ(c.Get(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c.Get(1, 0), 3.0);
+  EXPECT_DOUBLE_EQ(c.Get(2, 0), 6.0);
+  EXPECT_DOUBLE_EQ(c.Get(2, 1), 60.0);
+}
+
+TEST(CumAggTest, CumProdMinMax) {
+  MatrixBlock m = MatrixBlock::FromValues(3, 1, {2, -3, 4});
+  EXPECT_DOUBLE_EQ(CumProd(m).Get(2, 0), -24.0);
+  EXPECT_DOUBLE_EQ(CumMin(m).Get(2, 0), -3.0);
+  EXPECT_DOUBLE_EQ(CumMax(m).Get(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(CumMax(m).Get(2, 0), 4.0);
+}
+
+TEST(AggStabilityTest, KahanSumStableOnIllConditionedInput) {
+  // 1e16 + many 1.0s: naive summation loses them entirely.
+  MatrixBlock m = MatrixBlock::Dense(1, 1001);
+  m.Set(0, 0, 1e16);
+  for (int64_t j = 1; j <= 1000; ++j) m.Set(0, j, 1.0);
+  double sum = *AggregateAll(AggOpCode::kSum, m, 1);
+  EXPECT_DOUBLE_EQ(sum, 1e16 + 1000.0);
+}
+
+}  // namespace
+}  // namespace sysds

@@ -1,0 +1,94 @@
+#include "runtime/matrix/lib_datagen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sysds {
+namespace {
+
+TEST(RandTest, DeterministicInSeedAndThreadCount) {
+  auto a = RandMatrix(100, 50, 0, 1, 1.0, 42, RandPdf::kUniform, 1);
+  auto b = RandMatrix(100, 50, 0, 1, 1.0, 42, RandPdf::kUniform, 8);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->EqualsApprox(*b, 0));
+  auto c = RandMatrix(100, 50, 0, 1, 1.0, 43, RandPdf::kUniform, 1);
+  EXPECT_FALSE(a->EqualsApprox(*c, 0));
+}
+
+TEST(RandTest, RespectsValueRange) {
+  auto m = RandMatrix(50, 50, 2.0, 3.0, 1.0, 1, RandPdf::kUniform, 2);
+  for (int64_t i = 0; i < 50; ++i) {
+    for (int64_t j = 0; j < 50; ++j) {
+      EXPECT_GE(m->Get(i, j), 2.0);
+      EXPECT_LT(m->Get(i, j), 3.0);
+    }
+  }
+}
+
+TEST(RandTest, SparsityApproximatelyHonored) {
+  auto m = RandMatrix(200, 200, 1.0, 2.0, 0.1, 7, RandPdf::kUniform, 2);
+  double sp = m->Sparsity();
+  EXPECT_NEAR(sp, 0.1, 0.02);
+  EXPECT_TRUE(m->IsSparse());
+}
+
+TEST(RandTest, NormalPdfMoments) {
+  auto m = RandMatrix(300, 100, 0, 1, 1.0, 11, RandPdf::kNormal, 4);
+  double sum = 0, sumsq = 0;
+  for (int64_t i = 0; i < m->Rows(); ++i) {
+    for (int64_t j = 0; j < m->Cols(); ++j) {
+      double v = m->Get(i, j);
+      sum += v;
+      sumsq += v * v;
+    }
+  }
+  double n = static_cast<double>(m->CellCount());
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.03);
+}
+
+TEST(RandTest, InvalidArgs) {
+  EXPECT_FALSE(RandMatrix(10, 10, 0, 1, 1.5, 1, RandPdf::kUniform, 1).ok());
+  EXPECT_FALSE(RandMatrix(-1, 10, 0, 1, 1.0, 1, RandPdf::kUniform, 1).ok());
+}
+
+TEST(SeqTest, ForwardBackwardFractional) {
+  auto s = SeqMatrix(1, 5, 1);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->Rows(), 5);
+  EXPECT_DOUBLE_EQ(s->Get(4, 0), 5.0);
+  auto back = SeqMatrix(5, 1, -2);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Rows(), 3);
+  EXPECT_DOUBLE_EQ(back->Get(2, 0), 1.0);
+  auto frac = SeqMatrix(0, 1, 0.25);
+  EXPECT_EQ(frac->Rows(), 5);
+  EXPECT_FALSE(SeqMatrix(1, 5, 0).ok());
+  EXPECT_FALSE(SeqMatrix(1, 5, -1).ok());
+}
+
+TEST(SampleTest, WithoutReplacementIsPermutationSubset) {
+  auto s = SampleMatrix(100, 50, false, 3);
+  ASSERT_TRUE(s.ok());
+  std::set<int64_t> seen;
+  for (int64_t i = 0; i < 50; ++i) {
+    int64_t v = static_cast<int64_t>(s->Get(i, 0));
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 100);
+    EXPECT_TRUE(seen.insert(v).second) << "duplicate " << v;
+  }
+  EXPECT_FALSE(SampleMatrix(10, 20, false, 1).ok());
+}
+
+TEST(SampleTest, WithReplacementInRange) {
+  auto s = SampleMatrix(5, 200, true, 4);
+  ASSERT_TRUE(s.ok());
+  for (int64_t i = 0; i < 200; ++i) {
+    EXPECT_GE(s->Get(i, 0), 1);
+    EXPECT_LE(s->Get(i, 0), 5);
+  }
+}
+
+}  // namespace
+}  // namespace sysds

@@ -1,0 +1,195 @@
+#include "runtime/matrix/lib_elementwise.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/matrix/lib_datagen.h"
+
+namespace sysds {
+namespace {
+
+MatrixBlock Random(int64_t rows, int64_t cols, double sparsity,
+                   uint64_t seed) {
+  return *RandMatrix(rows, cols, -2.0, 2.0, sparsity, seed,
+                     RandPdf::kUniform, 1);
+}
+
+class BinaryOpParamTest : public ::testing::TestWithParam<BinaryOpCode> {};
+
+TEST_P(BinaryOpParamTest, MatrixMatrixMatchesCellwise) {
+  BinaryOpCode op = GetParam();
+  MatrixBlock a = Random(13, 7, 1.0, 1);
+  MatrixBlock b = Random(13, 7, 1.0, 2);
+  auto c = BinaryMatrixMatrix(op, a, b, 2);
+  ASSERT_TRUE(c.ok());
+  for (int64_t i = 0; i < 13; ++i) {
+    for (int64_t j = 0; j < 7; ++j) {
+      double expect = ApplyBinary(op, a.Get(i, j), b.Get(i, j));
+      double actual = c->Get(i, j);
+      if (std::isnan(expect)) {
+        EXPECT_TRUE(std::isnan(actual));
+      } else {
+        EXPECT_DOUBLE_EQ(actual, expect) << "op " << BinaryOpName(op);
+      }
+    }
+  }
+}
+
+TEST_P(BinaryOpParamTest, SparseInputsMatchDense) {
+  BinaryOpCode op = GetParam();
+  MatrixBlock a = Random(40, 40, 0.15, 3);
+  MatrixBlock b = Random(40, 40, 0.15, 4);
+  auto dense = BinaryMatrixMatrix(op, a, b, 1);
+  MatrixBlock as = a, bs = b;
+  as.ToSparse();
+  bs.ToSparse();
+  auto sparse = BinaryMatrixMatrix(op, as, bs, 1);
+  ASSERT_TRUE(dense.ok() && sparse.ok());
+  EXPECT_TRUE(dense->EqualsApprox(*sparse, 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, BinaryOpParamTest,
+    ::testing::Values(BinaryOpCode::kAdd, BinaryOpCode::kSub,
+                      BinaryOpCode::kMul, BinaryOpCode::kDiv,
+                      BinaryOpCode::kPow, BinaryOpCode::kMin,
+                      BinaryOpCode::kMax, BinaryOpCode::kEqual,
+                      BinaryOpCode::kNotEqual, BinaryOpCode::kLess,
+                      BinaryOpCode::kLessEqual, BinaryOpCode::kGreater,
+                      BinaryOpCode::kGreaterEqual, BinaryOpCode::kAnd,
+                      BinaryOpCode::kOr));
+
+TEST(BinaryBroadcastTest, ColumnVector) {
+  MatrixBlock a = Random(10, 4, 1.0, 5);
+  MatrixBlock v = Random(10, 1, 1.0, 6);
+  auto c = BinaryMatrixMatrix(BinaryOpCode::kSub, a, v, 1);
+  ASSERT_TRUE(c.ok());
+  for (int64_t i = 0; i < 10; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(c->Get(i, j), a.Get(i, j) - v.Get(i, 0));
+    }
+  }
+}
+
+TEST(BinaryBroadcastTest, RowVector) {
+  MatrixBlock a = Random(10, 4, 1.0, 7);
+  MatrixBlock v = Random(1, 4, 1.0, 8);
+  auto c = BinaryMatrixMatrix(BinaryOpCode::kDiv, a, v, 1);
+  ASSERT_TRUE(c.ok());
+  for (int64_t i = 0; i < 10; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(c->Get(i, j), a.Get(i, j) / v.Get(0, j));
+    }
+  }
+}
+
+TEST(BinaryBroadcastTest, VectorOnLeft) {
+  MatrixBlock v = Random(1, 4, 1.0, 9);
+  MatrixBlock a = Random(10, 4, 1.0, 10);
+  auto c = BinaryMatrixMatrix(BinaryOpCode::kSub, v, a, 1);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->Rows(), 10);
+  for (int64_t i = 0; i < 10; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(c->Get(i, j), v.Get(0, j) - a.Get(i, j));
+    }
+  }
+}
+
+TEST(BinaryBroadcastTest, IncompatibleShapesRejected) {
+  MatrixBlock a = MatrixBlock::Dense(3, 4);
+  MatrixBlock b = MatrixBlock::Dense(2, 4);
+  EXPECT_FALSE(BinaryMatrixMatrix(BinaryOpCode::kAdd, a, b, 1).ok());
+}
+
+TEST(BinaryScalarTest, ScalarRightAndLeft) {
+  MatrixBlock a = Random(6, 6, 1.0, 11);
+  MatrixBlock right = BinaryMatrixScalar(BinaryOpCode::kSub, a, 2.0, false, 1);
+  MatrixBlock left = BinaryMatrixScalar(BinaryOpCode::kSub, a, 2.0, true, 1);
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(right.Get(i, j), a.Get(i, j) - 2.0);
+      EXPECT_DOUBLE_EQ(left.Get(i, j), 2.0 - a.Get(i, j));
+    }
+  }
+}
+
+TEST(BinaryScalarTest, SparseSafeScalarMulStaysSparse) {
+  MatrixBlock a = Random(64, 64, 0.05, 12);
+  a.ToSparse();
+  MatrixBlock c = BinaryMatrixScalar(BinaryOpCode::kMul, a, 3.0, false, 1);
+  EXPECT_TRUE(c.IsSparse());
+  EXPECT_EQ(c.NonZeros(), a.NonZeros());
+}
+
+TEST(BinaryScalarTest, NonSparseSafeScalarAddDensifies) {
+  MatrixBlock a = Random(64, 64, 0.05, 13);
+  a.ToSparse();
+  MatrixBlock c = BinaryMatrixScalar(BinaryOpCode::kAdd, a, 1.0, false, 1);
+  // op(0, 1) == 1 != 0 => all cells nonzero.
+  EXPECT_EQ(c.NonZeros(), 64 * 64);
+}
+
+class UnaryOpParamTest : public ::testing::TestWithParam<UnaryOpCode> {};
+
+TEST_P(UnaryOpParamTest, MatchesCellwiseDenseAndSparse) {
+  UnaryOpCode op = GetParam();
+  MatrixBlock a = Random(15, 9, 0.3, 14);
+  // Keep log/sqrt defined: use abs values + epsilon for those ops.
+  if (op == UnaryOpCode::kLog || op == UnaryOpCode::kSqrt) {
+    for (int64_t i = 0; i < a.Rows(); ++i) {
+      for (int64_t j = 0; j < a.Cols(); ++j) {
+        a.Set(i, j, std::fabs(a.Get(i, j)) + 0.5);
+      }
+    }
+  }
+  MatrixBlock dense = UnaryMatrix(op, a, 2);
+  MatrixBlock as = a;
+  as.ToSparse();
+  MatrixBlock sparse = UnaryMatrix(op, as, 2);
+  for (int64_t i = 0; i < a.Rows(); ++i) {
+    for (int64_t j = 0; j < a.Cols(); ++j) {
+      EXPECT_DOUBLE_EQ(dense.Get(i, j), ApplyUnary(op, a.Get(i, j)));
+    }
+  }
+  EXPECT_TRUE(dense.EqualsApprox(sparse, 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, UnaryOpParamTest,
+    ::testing::Values(UnaryOpCode::kExp, UnaryOpCode::kLog,
+                      UnaryOpCode::kSqrt, UnaryOpCode::kAbs,
+                      UnaryOpCode::kRound, UnaryOpCode::kFloor,
+                      UnaryOpCode::kCeil, UnaryOpCode::kSin,
+                      UnaryOpCode::kCos, UnaryOpCode::kSign,
+                      UnaryOpCode::kNegate, UnaryOpCode::kSigmoid));
+
+TEST(TernaryIfElseTest, MatrixCondScalarArms) {
+  MatrixBlock cond = MatrixBlock::FromValues(2, 2, {1, 0, 0, 2});
+  auto c = TernaryIfElse(cond, nullptr, 10.0, nullptr, -10.0, 1);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c->Get(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(c->Get(0, 1), -10.0);
+  EXPECT_DOUBLE_EQ(c->Get(1, 1), 10.0);
+}
+
+TEST(TernaryIfElseTest, MatrixArms) {
+  MatrixBlock cond = MatrixBlock::FromValues(1, 3, {1, 0, 1});
+  MatrixBlock a = MatrixBlock::FromValues(1, 3, {1, 2, 3});
+  MatrixBlock b = MatrixBlock::FromValues(1, 3, {-1, -2, -3});
+  auto c = TernaryIfElse(cond, &a, 0, &b, 0, 1);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c->Get(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(c->Get(0, 1), -2.0);
+  EXPECT_DOUBLE_EQ(c->Get(0, 2), 3.0);
+}
+
+TEST(TernaryIfElseTest, ShapeMismatchRejected) {
+  MatrixBlock cond = MatrixBlock::Dense(2, 2);
+  MatrixBlock a = MatrixBlock::Dense(3, 2);
+  EXPECT_FALSE(TernaryIfElse(cond, &a, 0, nullptr, 0, 1).ok());
+}
+
+}  // namespace
+}  // namespace sysds

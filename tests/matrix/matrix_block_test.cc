@@ -1,0 +1,117 @@
+#include "runtime/matrix/matrix_block.h"
+
+#include <gtest/gtest.h>
+
+namespace sysds {
+namespace {
+
+TEST(MatrixBlockTest, DenseConstructionAndAccess) {
+  MatrixBlock m = MatrixBlock::Dense(3, 4);
+  EXPECT_EQ(m.Rows(), 3);
+  EXPECT_EQ(m.Cols(), 4);
+  EXPECT_FALSE(m.IsSparse());
+  EXPECT_EQ(m.NonZeros(), 0);
+  m.Set(1, 2, 5.0);
+  EXPECT_DOUBLE_EQ(m.Get(1, 2), 5.0);
+  EXPECT_EQ(m.NonZeros(), 1);
+}
+
+TEST(MatrixBlockTest, DenseFill) {
+  MatrixBlock m = MatrixBlock::Dense(2, 2, 3.5);
+  EXPECT_DOUBLE_EQ(m.Get(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ(m.Get(1, 1), 3.5);
+  EXPECT_EQ(m.NonZeros(), 4);
+}
+
+TEST(MatrixBlockTest, FromValuesRowMajor) {
+  MatrixBlock m = MatrixBlock::FromValues(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(m.Get(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.Get(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m.Get(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m.Get(1, 2), 6.0);
+}
+
+TEST(MatrixBlockTest, SparseSetGet) {
+  MatrixBlock m = MatrixBlock::Sparse(4, 4);
+  EXPECT_TRUE(m.IsSparse());
+  m.Set(0, 3, 1.0);
+  m.Set(0, 1, 2.0);
+  m.Set(3, 0, -1.0);
+  EXPECT_DOUBLE_EQ(m.Get(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.Get(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(m.Get(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.Get(3, 0), -1.0);
+  EXPECT_EQ(m.NonZeros(), 3);
+  // Deleting by setting zero.
+  m.Set(0, 1, 0.0);
+  EXPECT_DOUBLE_EQ(m.Get(0, 1), 0.0);
+  EXPECT_EQ(m.NonZeros(), 2);
+}
+
+TEST(MatrixBlockTest, SparseRowSortedInsertionOrder) {
+  MatrixBlock m = MatrixBlock::Sparse(1, 10);
+  m.Set(0, 7, 7.0);
+  m.Set(0, 2, 2.0);
+  m.Set(0, 5, 5.0);
+  const SparseRow& row = m.SparseData().Row(0);
+  ASSERT_EQ(row.Size(), 3);
+  EXPECT_EQ(row.Indexes()[0], 2);
+  EXPECT_EQ(row.Indexes()[1], 5);
+  EXPECT_EQ(row.Indexes()[2], 7);
+}
+
+TEST(MatrixBlockTest, DenseSparseRoundtrip) {
+  MatrixBlock m = MatrixBlock::Dense(3, 3);
+  m.Set(0, 0, 1.0);
+  m.Set(2, 1, -2.0);
+  MatrixBlock copy = m;
+  copy.ToSparse();
+  EXPECT_TRUE(copy.IsSparse());
+  EXPECT_TRUE(copy.EqualsApprox(m));
+  copy.ToDense();
+  EXPECT_FALSE(copy.IsSparse());
+  EXPECT_TRUE(copy.EqualsApprox(m));
+}
+
+TEST(MatrixBlockTest, ExamSparsityConvertsFormats) {
+  // 64x64 with 2 nonzeros => should become sparse.
+  MatrixBlock m = MatrixBlock::Dense(64, 64);
+  m.Set(0, 0, 1.0);
+  m.Set(10, 10, 2.0);
+  m.ExamSparsity();
+  EXPECT_TRUE(m.IsSparse());
+  // Fill it up => should flip back to dense.
+  for (int64_t r = 0; r < 64; ++r)
+    for (int64_t c = 0; c < 64; ++c) m.Set(r, c, 1.0);
+  m.ExamSparsity();
+  EXPECT_FALSE(m.IsSparse());
+}
+
+TEST(MatrixBlockTest, EvalSparseFormatThresholds) {
+  EXPECT_TRUE(MatrixBlock::EvalSparseFormat(1000, 1000, 0.1));
+  EXPECT_FALSE(MatrixBlock::EvalSparseFormat(1000, 1000, 0.9));
+  // Tiny matrices stay dense regardless of sparsity.
+  EXPECT_FALSE(MatrixBlock::EvalSparseFormat(4, 4, 0.01));
+  // Column vectors stay dense (cols==1).
+  EXPECT_FALSE(MatrixBlock::EvalSparseFormat(100000, 1, 0.01));
+}
+
+TEST(MatrixBlockTest, SizeEstimates) {
+  MatrixBlock d = MatrixBlock::Dense(100, 100);
+  EXPECT_GE(d.EstimateSizeInBytes(), 100 * 100 * 8);
+  MatrixBlock s = MatrixBlock::Sparse(100, 100);
+  s.Set(0, 0, 1.0);
+  EXPECT_LT(s.EstimateSizeInBytes(), d.EstimateSizeInBytes());
+}
+
+TEST(MatrixBlockTest, EqualsApproxRespectsEpsilon) {
+  MatrixBlock a = MatrixBlock::FromValues(1, 2, {1.0, 2.0});
+  MatrixBlock b = MatrixBlock::FromValues(1, 2, {1.0 + 1e-12, 2.0});
+  EXPECT_TRUE(a.EqualsApprox(b, 1e-9));
+  EXPECT_FALSE(a.EqualsApprox(b, 1e-15));
+  MatrixBlock c = MatrixBlock::FromValues(2, 1, {1.0, 2.0});
+  EXPECT_FALSE(a.EqualsApprox(c));
+}
+
+}  // namespace
+}  // namespace sysds

@@ -1,0 +1,113 @@
+#include "runtime/matrix/lib_solve.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/matrix/lib_datagen.h"
+#include "runtime/matrix/lib_matmult.h"
+
+namespace sysds {
+namespace {
+
+MatrixBlock RandomSpd(int64_t n, uint64_t seed) {
+  auto x = RandMatrix(n + 10, n, -1, 1, 1.0, seed, RandPdf::kUniform, 1);
+  auto a = TransposeSelfMatMult(*x, true, 1);
+  MatrixBlock m = *a;
+  m.ToDense();
+  for (int64_t i = 0; i < n; ++i) m.DenseRow(i)[i] += 1.0;  // well-conditioned
+  m.MarkNnzDirty();
+  return m;
+}
+
+TEST(SolveTest, SpdSystemViaCholesky) {
+  MatrixBlock a = RandomSpd(12, 1);
+  auto xt = RandMatrix(12, 1, -1, 1, 1.0, 2, RandPdf::kUniform, 1);
+  auto b = MatMult(a, *xt, 1);
+  auto x = Solve(a, *b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(x->EqualsApprox(*xt, 1e-8));
+}
+
+TEST(SolveTest, NonSymmetricViaLu) {
+  MatrixBlock a = MatrixBlock::FromValues(3, 3,
+                                          {0, 2, 1,    // zero pivot forces
+                                           1, -1, 0,   // row exchange
+                                           3, 0, -2});
+  MatrixBlock xt = MatrixBlock::FromValues(3, 1, {1, 2, 3});
+  auto b = MatMult(a, xt, 1);
+  auto x = Solve(a, *b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_TRUE(x->EqualsApprox(xt, 1e-10));
+}
+
+TEST(SolveTest, MultipleRightHandSides) {
+  MatrixBlock a = RandomSpd(8, 3);
+  auto xt = RandMatrix(8, 3, -1, 1, 1.0, 4, RandPdf::kUniform, 1);
+  auto b = MatMult(a, *xt, 1);
+  auto x = Solve(a, *b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x->Cols(), 3);
+  EXPECT_TRUE(x->EqualsApprox(*xt, 1e-8));
+}
+
+TEST(SolveTest, SingularRejected) {
+  MatrixBlock a = MatrixBlock::FromValues(2, 2, {1, 2, 2, 4});
+  MatrixBlock b = MatrixBlock::FromValues(2, 1, {1, 1});
+  EXPECT_FALSE(Solve(a, b).ok());
+}
+
+TEST(SolveTest, ShapeChecks) {
+  MatrixBlock rect = MatrixBlock::Dense(2, 3);
+  MatrixBlock b = MatrixBlock::Dense(2, 1);
+  EXPECT_FALSE(Solve(rect, b).ok());
+  MatrixBlock sq = MatrixBlock::Dense(3, 3, 1.0);
+  EXPECT_FALSE(Solve(sq, b).ok());  // rhs rows mismatch
+}
+
+TEST(CholeskyTest, ReconstructsInput) {
+  MatrixBlock a = RandomSpd(10, 5);
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  // L is lower triangular.
+  for (int64_t i = 0; i < 10; ++i) {
+    for (int64_t j = i + 1; j < 10; ++j) {
+      EXPECT_DOUBLE_EQ(l->Get(i, j), 0.0);
+    }
+  }
+  // L * L^T == A.
+  MatrixBlock lt = MatrixBlock::Dense(10, 10);
+  for (int64_t i = 0; i < 10; ++i) {
+    for (int64_t j = 0; j < 10; ++j) lt.Set(i, j, l->Get(j, i));
+  }
+  auto rec = MatMult(*l, lt, 1);
+  EXPECT_TRUE(rec->EqualsApprox(a, 1e-8));
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  MatrixBlock a = MatrixBlock::FromValues(2, 2, {1, 2, 2, 1});  // eigen -1, 3
+  EXPECT_FALSE(Cholesky(a).ok());
+}
+
+TEST(InverseTest, TimesOriginalIsIdentity) {
+  MatrixBlock a = RandomSpd(6, 7);
+  auto inv = Inverse(a);
+  ASSERT_TRUE(inv.ok());
+  auto prod = MatMult(a, *inv, 1);
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(prod->Get(i, j), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(DeterminantTest, KnownValues) {
+  MatrixBlock a = MatrixBlock::FromValues(2, 2, {3, 8, 4, 6});
+  EXPECT_NEAR(*Determinant(a), -14.0, 1e-12);
+  MatrixBlock id = MatrixBlock::Dense(4, 4);
+  for (int64_t i = 0; i < 4; ++i) id.Set(i, i, 1.0);
+  EXPECT_NEAR(*Determinant(id), 1.0, 1e-12);
+  MatrixBlock sing = MatrixBlock::FromValues(2, 2, {1, 2, 2, 4});
+  EXPECT_NEAR(*Determinant(sing), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sysds

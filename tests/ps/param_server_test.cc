@@ -1,0 +1,100 @@
+#include "runtime/ps/param_server.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/matrix/lib_datagen.h"
+#include "runtime/matrix/lib_matmult.h"
+
+namespace sysds {
+namespace {
+
+struct PsData {
+  MatrixBlock x;
+  MatrixBlock y;
+  MatrixBlock w;
+};
+
+PsData LinearData(int64_t n, int64_t m, uint64_t seed) {
+  PsData d;
+  d.x = *RandMatrix(n, m, -1, 1, 1.0, seed, RandPdf::kUniform, 1);
+  d.w = *RandMatrix(m, 1, -1, 1, 1.0, seed + 1, RandPdf::kUniform, 1);
+  d.y = *MatMult(d.x, d.w, 1);
+  return d;
+}
+
+TEST(ParamServerTest, BspLinearRegressionConverges) {
+  PsData d = LinearData(600, 8, 1);
+  PsConfig config;
+  config.num_workers = 4;
+  config.epochs = 60;
+  config.batch_size = 32;
+  config.learning_rate = 0.3;
+  config.mode = PsUpdateMode::kBSP;
+  auto result = PsTrain(d.x, d.y, config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_LT(result->final_loss, 1e-3);
+  EXPECT_GT(result->pushes, 0);
+}
+
+TEST(ParamServerTest, AspAlsoConverges) {
+  PsData d = LinearData(600, 8, 2);
+  PsConfig config;
+  config.num_workers = 4;
+  config.epochs = 60;
+  config.batch_size = 32;
+  config.learning_rate = 0.3;
+  config.mode = PsUpdateMode::kASP;
+  auto result = PsTrain(d.x, d.y, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->final_loss, 1e-2);  // looser: async staleness
+}
+
+TEST(ParamServerTest, SingleWorkerDeterministic) {
+  PsData d = LinearData(200, 5, 3);
+  PsConfig config;
+  config.num_workers = 1;
+  config.epochs = 10;
+  config.mode = PsUpdateMode::kBSP;
+  auto r1 = PsTrain(d.x, d.y, config);
+  auto r2 = PsTrain(d.x, d.y, config);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_TRUE(r1->weights.EqualsApprox(r2->weights, 0));
+}
+
+TEST(ParamServerTest, LogisticRegressionLearnsSeparator) {
+  // Labels from a noiseless linear separator.
+  MatrixBlock x = *RandMatrix(500, 4, -1, 1, 1.0, 4, RandPdf::kUniform, 1);
+  MatrixBlock w = MatrixBlock::FromValues(4, 1, {2, -1, 0.5, 1});
+  auto score = MatMult(x, w, 1);
+  MatrixBlock y = MatrixBlock::Dense(500, 1);
+  for (int64_t i = 0; i < 500; ++i) {
+    y.Set(i, 0, score->Get(i, 0) > 0 ? 1.0 : 0.0);
+  }
+  PsConfig config;
+  config.objective = PsObjective::kLogisticRegression;
+  config.num_workers = 2;
+  config.epochs = 80;
+  config.learning_rate = 0.5;
+  auto result = PsTrain(x, y, config);
+  ASSERT_TRUE(result.ok());
+  // Training accuracy.
+  auto pred = MatMult(x, result->weights, 1);
+  int64_t correct = 0;
+  for (int64_t i = 0; i < 500; ++i) {
+    bool p = pred->Get(i, 0) > 0;
+    if (p == (y.Get(i, 0) > 0.5)) ++correct;
+  }
+  EXPECT_GT(correct, 470);  // > 94% accuracy
+}
+
+TEST(ParamServerTest, InvalidConfigsRejected) {
+  PsData d = LinearData(50, 3, 5);
+  PsConfig bad;
+  bad.num_workers = 0;
+  EXPECT_FALSE(PsTrain(d.x, d.y, bad).ok());
+  MatrixBlock wrong_y = MatrixBlock::Dense(10, 1);
+  EXPECT_FALSE(PsTrain(d.x, wrong_y, PsConfig()).ok());
+}
+
+}  // namespace
+}  // namespace sysds

@@ -1,0 +1,124 @@
+#include "runtime/tensor/tensor_block.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/tensor/data_tensor.h"
+
+namespace sysds {
+namespace {
+
+TEST(TensorBlockTest, ConstructionAndLinearIndex) {
+  TensorBlock t({2, 3, 4}, ValueType::kFP64);
+  EXPECT_EQ(t.NumDims(), 3);
+  EXPECT_EQ(t.CellCount(), 24);
+  EXPECT_EQ(t.LinearIndex({0, 0, 0}), 0);
+  EXPECT_EQ(t.LinearIndex({1, 2, 3}), 23);
+  EXPECT_EQ(t.LinearIndex({0, 1, 2}), 6);
+}
+
+class TensorValueTypeTest : public ::testing::TestWithParam<ValueType> {};
+
+TEST_P(TensorValueTypeTest, SetGetRoundtrip) {
+  ValueType vt = GetParam();
+  TensorBlock t({3, 3}, vt);
+  t.SetDouble({1, 2}, 7.0);
+  t.SetDouble({2, 0}, -2.0);
+  if (vt == ValueType::kBoolean) {
+    // Booleans store truthiness.
+    EXPECT_DOUBLE_EQ(t.GetDouble({1, 2}), 1.0);
+    EXPECT_DOUBLE_EQ(t.GetDouble({2, 0}), 1.0);
+  } else {
+    EXPECT_DOUBLE_EQ(t.GetDouble({1, 2}), 7.0);
+    EXPECT_DOUBLE_EQ(t.GetDouble({2, 0}), -2.0);
+  }
+  EXPECT_DOUBLE_EQ(t.GetDouble({0, 0}), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, TensorValueTypeTest,
+                         ::testing::Values(ValueType::kFP64, ValueType::kFP32,
+                                           ValueType::kInt64,
+                                           ValueType::kInt32,
+                                           ValueType::kBoolean,
+                                           ValueType::kString));
+
+TEST(TensorBlockTest, StringCells) {
+  TensorBlock t({2, 2}, ValueType::kString);
+  t.SetString({0, 1}, "hello");
+  EXPECT_EQ(t.GetString({0, 1}), "hello");
+  EXPECT_EQ(t.GetString({1, 1}), "");
+  t.SetString({1, 0}, "2.5");
+  EXPECT_DOUBLE_EQ(t.GetDouble({1, 0}), 2.5);
+}
+
+TEST(TensorBlockTest, ElementwiseWithTypePromotion) {
+  TensorBlock a({2, 2}, ValueType::kInt32);
+  TensorBlock b({2, 2}, ValueType::kFP64);
+  a.SetDouble({0, 0}, 3);
+  b.SetDouble({0, 0}, 1.5);
+  auto c = a.ElementwiseBinary(b, '+');
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->GetValueType(), ValueType::kFP64);
+  EXPECT_DOUBLE_EQ(c->GetDouble({0, 0}), 4.5);
+  // Int / int promotes to FP64.
+  auto d = a.ElementwiseBinary(a, '/');
+  EXPECT_EQ(d->GetValueType(), ValueType::kFP64);
+}
+
+TEST(TensorBlockTest, ElementwiseShapeMismatch) {
+  TensorBlock a({2, 2}, ValueType::kFP64);
+  TensorBlock b({2, 3}, ValueType::kFP64);
+  EXPECT_FALSE(a.ElementwiseBinary(b, '+').ok());
+}
+
+TEST(TensorBlockTest, SumAndSlice3d) {
+  TensorBlock t({2, 3, 2}, ValueType::kFP64);
+  for (int64_t i = 0; i < t.CellCount(); ++i) {
+    t.SetDoubleLinear(i, static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(*t.Sum(), 66.0);  // 0+..+11
+  auto s = t.Slice({0, 1, 0}, {1, 2, 1});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->Dims(), (std::vector<int64_t>{2, 2, 2}));
+  EXPECT_DOUBLE_EQ(s->GetDouble({0, 0, 0}), t.GetDouble({0, 1, 0}));
+  EXPECT_DOUBLE_EQ(s->GetDouble({1, 1, 1}), t.GetDouble({1, 2, 1}));
+  EXPECT_FALSE(t.Slice({0, 0, 0}, {2, 2, 1}).ok());  // out of bounds
+}
+
+TEST(TensorBlockTest, Reshape) {
+  auto t = TensorBlock::FromDoubles({2, 6}, {0, 1, 2, 3, 4, 5,
+                                             6, 7, 8, 9, 10, 11});
+  auto r = t->Reshape({3, 2, 2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->GetDouble({0, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(r->GetDouble({2, 1, 1}), 11.0);
+  EXPECT_FALSE(t->Reshape({5, 2}).ok());
+}
+
+TEST(DataTensorTest, SchemaOnSecondDimension) {
+  // Fig 4(a): appliances x features x time with a schema on features.
+  auto t = DataTensorBlock::Create(
+      {4, 3, 5},
+      {ValueType::kFP64, ValueType::kInt64, ValueType::kString});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->Schema().size(), 3u);
+  t->SetDouble({1, 0, 2}, 3.14);
+  t->SetDouble({1, 1, 2}, 42.7);  // int column truncates
+  t->SetString({1, 2, 2}, "sensor-a");
+  EXPECT_DOUBLE_EQ(t->GetDouble({1, 0, 2}), 3.14);
+  EXPECT_DOUBLE_EQ(t->GetDouble({1, 1, 2}), 42.0);
+  EXPECT_EQ(t->GetString({1, 2, 2}), "sensor-a");
+  // Column accessor exposes the composing basic tensors.
+  EXPECT_EQ(t->Column(0).GetValueType(), ValueType::kFP64);
+  EXPECT_EQ(t->Column(2).GetValueType(), ValueType::kString);
+  EXPECT_EQ(t->Column(0).Dims(), (std::vector<int64_t>{4, 5}));
+}
+
+TEST(DataTensorTest, SchemaSizeMustMatchDim2) {
+  auto bad = DataTensorBlock::Create({4, 3, 5}, {ValueType::kFP64});
+  EXPECT_FALSE(bad.ok());
+  auto too_few_dims = DataTensorBlock::Create({4}, {ValueType::kFP64});
+  EXPECT_FALSE(too_few_dims.ok());
+}
+
+}  // namespace
+}  // namespace sysds
