@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_baselines_sparse.dir/bench_fig5b_baselines_sparse.cc.o"
+  "CMakeFiles/bench_fig5b_baselines_sparse.dir/bench_fig5b_baselines_sparse.cc.o.d"
+  "bench_fig5b_baselines_sparse"
+  "bench_fig5b_baselines_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_baselines_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

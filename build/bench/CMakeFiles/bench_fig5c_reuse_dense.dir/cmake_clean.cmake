@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5c_reuse_dense.dir/bench_fig5c_reuse_dense.cc.o"
+  "CMakeFiles/bench_fig5c_reuse_dense.dir/bench_fig5c_reuse_dense.cc.o.d"
+  "bench_fig5c_reuse_dense"
+  "bench_fig5c_reuse_dense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_reuse_dense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

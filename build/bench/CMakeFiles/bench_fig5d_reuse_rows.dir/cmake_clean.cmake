@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5d_reuse_rows.dir/bench_fig5d_reuse_rows.cc.o"
+  "CMakeFiles/bench_fig5d_reuse_rows.dir/bench_fig5d_reuse_rows.cc.o.d"
+  "bench_fig5d_reuse_rows"
+  "bench_fig5d_reuse_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5d_reuse_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

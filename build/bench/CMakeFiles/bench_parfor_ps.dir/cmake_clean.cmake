@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parfor_ps.dir/bench_parfor_ps.cc.o"
+  "CMakeFiles/bench_parfor_ps.dir/bench_parfor_ps.cc.o.d"
+  "bench_parfor_ps"
+  "bench_parfor_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parfor_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dml_runner.dir/dml_runner.cpp.o"
+  "CMakeFiles/dml_runner.dir/dml_runner.cpp.o.d"
+  "dml_runner"
+  "dml_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dml_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

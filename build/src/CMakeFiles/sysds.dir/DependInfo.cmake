@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/systemds_context.cc" "src/CMakeFiles/sysds.dir/api/systemds_context.cc.o" "gcc" "src/CMakeFiles/sysds.dir/api/systemds_context.cc.o.d"
+  "/root/repo/src/baselines/baselines.cc" "src/CMakeFiles/sysds.dir/baselines/baselines.cc.o" "gcc" "src/CMakeFiles/sysds.dir/baselines/baselines.cc.o.d"
+  "/root/repo/src/builtins/registry.cc" "src/CMakeFiles/sysds.dir/builtins/registry.cc.o" "gcc" "src/CMakeFiles/sysds.dir/builtins/registry.cc.o.d"
+  "/root/repo/src/common/json.cc" "src/CMakeFiles/sysds.dir/common/json.cc.o" "gcc" "src/CMakeFiles/sysds.dir/common/json.cc.o.d"
+  "/root/repo/src/common/statistics.cc" "src/CMakeFiles/sysds.dir/common/statistics.cc.o" "gcc" "src/CMakeFiles/sysds.dir/common/statistics.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/sysds.dir/common/status.cc.o" "gcc" "src/CMakeFiles/sysds.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/sysds.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/sysds.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/common/types.cc" "src/CMakeFiles/sysds.dir/common/types.cc.o" "gcc" "src/CMakeFiles/sysds.dir/common/types.cc.o.d"
+  "/root/repo/src/common/util.cc" "src/CMakeFiles/sysds.dir/common/util.cc.o" "gcc" "src/CMakeFiles/sysds.dir/common/util.cc.o.d"
+  "/root/repo/src/compiler/builder.cc" "src/CMakeFiles/sysds.dir/compiler/builder.cc.o" "gcc" "src/CMakeFiles/sysds.dir/compiler/builder.cc.o.d"
+  "/root/repo/src/compiler/codegen.cc" "src/CMakeFiles/sysds.dir/compiler/codegen.cc.o" "gcc" "src/CMakeFiles/sysds.dir/compiler/codegen.cc.o.d"
+  "/root/repo/src/compiler/hop.cc" "src/CMakeFiles/sysds.dir/compiler/hop.cc.o" "gcc" "src/CMakeFiles/sysds.dir/compiler/hop.cc.o.d"
+  "/root/repo/src/compiler/recompiler.cc" "src/CMakeFiles/sysds.dir/compiler/recompiler.cc.o" "gcc" "src/CMakeFiles/sysds.dir/compiler/recompiler.cc.o.d"
+  "/root/repo/src/compiler/rewrites.cc" "src/CMakeFiles/sysds.dir/compiler/rewrites.cc.o" "gcc" "src/CMakeFiles/sysds.dir/compiler/rewrites.cc.o.d"
+  "/root/repo/src/fed/federated.cc" "src/CMakeFiles/sysds.dir/fed/federated.cc.o" "gcc" "src/CMakeFiles/sysds.dir/fed/federated.cc.o.d"
+  "/root/repo/src/io/format_descriptor.cc" "src/CMakeFiles/sysds.dir/io/format_descriptor.cc.o" "gcc" "src/CMakeFiles/sysds.dir/io/format_descriptor.cc.o.d"
+  "/root/repo/src/io/matrix_io.cc" "src/CMakeFiles/sysds.dir/io/matrix_io.cc.o" "gcc" "src/CMakeFiles/sysds.dir/io/matrix_io.cc.o.d"
+  "/root/repo/src/lang/ast.cc" "src/CMakeFiles/sysds.dir/lang/ast.cc.o" "gcc" "src/CMakeFiles/sysds.dir/lang/ast.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/CMakeFiles/sysds.dir/lang/lexer.cc.o" "gcc" "src/CMakeFiles/sysds.dir/lang/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/CMakeFiles/sysds.dir/lang/parser.cc.o" "gcc" "src/CMakeFiles/sysds.dir/lang/parser.cc.o.d"
+  "/root/repo/src/lineage/lineage.cc" "src/CMakeFiles/sysds.dir/lineage/lineage.cc.o" "gcc" "src/CMakeFiles/sysds.dir/lineage/lineage.cc.o.d"
+  "/root/repo/src/runtime/bufferpool/buffer_pool.cc" "src/CMakeFiles/sysds.dir/runtime/bufferpool/buffer_pool.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/bufferpool/buffer_pool.cc.o.d"
+  "/root/repo/src/runtime/compress/compressed_block.cc" "src/CMakeFiles/sysds.dir/runtime/compress/compressed_block.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/compress/compressed_block.cc.o.d"
+  "/root/repo/src/runtime/controlprog/data.cc" "src/CMakeFiles/sysds.dir/runtime/controlprog/data.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/controlprog/data.cc.o.d"
+  "/root/repo/src/runtime/controlprog/execution_context.cc" "src/CMakeFiles/sysds.dir/runtime/controlprog/execution_context.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/controlprog/execution_context.cc.o.d"
+  "/root/repo/src/runtime/controlprog/instruction.cc" "src/CMakeFiles/sysds.dir/runtime/controlprog/instruction.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/controlprog/instruction.cc.o.d"
+  "/root/repo/src/runtime/controlprog/instructions_elementwise.cc" "src/CMakeFiles/sysds.dir/runtime/controlprog/instructions_elementwise.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/controlprog/instructions_elementwise.cc.o.d"
+  "/root/repo/src/runtime/controlprog/instructions_linalg.cc" "src/CMakeFiles/sysds.dir/runtime/controlprog/instructions_linalg.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/controlprog/instructions_linalg.cc.o.d"
+  "/root/repo/src/runtime/controlprog/instructions_misc.cc" "src/CMakeFiles/sysds.dir/runtime/controlprog/instructions_misc.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/controlprog/instructions_misc.cc.o.d"
+  "/root/repo/src/runtime/controlprog/program.cc" "src/CMakeFiles/sysds.dir/runtime/controlprog/program.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/controlprog/program.cc.o.d"
+  "/root/repo/src/runtime/dist/blocked_matrix.cc" "src/CMakeFiles/sysds.dir/runtime/dist/blocked_matrix.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/dist/blocked_matrix.cc.o.d"
+  "/root/repo/src/runtime/dist/instructions_spark.cc" "src/CMakeFiles/sysds.dir/runtime/dist/instructions_spark.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/dist/instructions_spark.cc.o.d"
+  "/root/repo/src/runtime/frame/frame_block.cc" "src/CMakeFiles/sysds.dir/runtime/frame/frame_block.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/frame/frame_block.cc.o.d"
+  "/root/repo/src/runtime/frame/transform.cc" "src/CMakeFiles/sysds.dir/runtime/frame/transform.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/frame/transform.cc.o.d"
+  "/root/repo/src/runtime/matrix/lib_agg.cc" "src/CMakeFiles/sysds.dir/runtime/matrix/lib_agg.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/matrix/lib_agg.cc.o.d"
+  "/root/repo/src/runtime/matrix/lib_datagen.cc" "src/CMakeFiles/sysds.dir/runtime/matrix/lib_datagen.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/matrix/lib_datagen.cc.o.d"
+  "/root/repo/src/runtime/matrix/lib_elementwise.cc" "src/CMakeFiles/sysds.dir/runtime/matrix/lib_elementwise.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/matrix/lib_elementwise.cc.o.d"
+  "/root/repo/src/runtime/matrix/lib_matmult.cc" "src/CMakeFiles/sysds.dir/runtime/matrix/lib_matmult.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/matrix/lib_matmult.cc.o.d"
+  "/root/repo/src/runtime/matrix/lib_reorg.cc" "src/CMakeFiles/sysds.dir/runtime/matrix/lib_reorg.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/matrix/lib_reorg.cc.o.d"
+  "/root/repo/src/runtime/matrix/lib_solve.cc" "src/CMakeFiles/sysds.dir/runtime/matrix/lib_solve.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/matrix/lib_solve.cc.o.d"
+  "/root/repo/src/runtime/matrix/matrix_block.cc" "src/CMakeFiles/sysds.dir/runtime/matrix/matrix_block.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/matrix/matrix_block.cc.o.d"
+  "/root/repo/src/runtime/matrix/op_codes.cc" "src/CMakeFiles/sysds.dir/runtime/matrix/op_codes.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/matrix/op_codes.cc.o.d"
+  "/root/repo/src/runtime/matrix/sparse_block.cc" "src/CMakeFiles/sysds.dir/runtime/matrix/sparse_block.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/matrix/sparse_block.cc.o.d"
+  "/root/repo/src/runtime/ps/param_server.cc" "src/CMakeFiles/sysds.dir/runtime/ps/param_server.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/ps/param_server.cc.o.d"
+  "/root/repo/src/runtime/tensor/blocking.cc" "src/CMakeFiles/sysds.dir/runtime/tensor/blocking.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/tensor/blocking.cc.o.d"
+  "/root/repo/src/runtime/tensor/data_tensor.cc" "src/CMakeFiles/sysds.dir/runtime/tensor/data_tensor.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/tensor/data_tensor.cc.o.d"
+  "/root/repo/src/runtime/tensor/tensor_block.cc" "src/CMakeFiles/sysds.dir/runtime/tensor/tensor_block.cc.o" "gcc" "src/CMakeFiles/sysds.dir/runtime/tensor/tensor_block.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/api/api_test.cc" "tests/CMakeFiles/sysds_tests.dir/api/api_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/api/api_test.cc.o.d"
+  "/root/repo/tests/api/explain_lineage_test.cc" "tests/CMakeFiles/sysds_tests.dir/api/explain_lineage_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/api/explain_lineage_test.cc.o.d"
+  "/root/repo/tests/builtins/builtins_test.cc" "tests/CMakeFiles/sysds_tests.dir/builtins/builtins_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/builtins/builtins_test.cc.o.d"
+  "/root/repo/tests/builtins/validation_builtins_test.cc" "tests/CMakeFiles/sysds_tests.dir/builtins/validation_builtins_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/builtins/validation_builtins_test.cc.o.d"
+  "/root/repo/tests/common/json_test.cc" "tests/CMakeFiles/sysds_tests.dir/common/json_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/common/json_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/sysds_tests.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/common/status_test.cc.o.d"
+  "/root/repo/tests/common/thread_pool_test.cc" "tests/CMakeFiles/sysds_tests.dir/common/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/common/thread_pool_test.cc.o.d"
+  "/root/repo/tests/common/util_test.cc" "tests/CMakeFiles/sysds_tests.dir/common/util_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/common/util_test.cc.o.d"
+  "/root/repo/tests/compiler/codegen_test.cc" "tests/CMakeFiles/sysds_tests.dir/compiler/codegen_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/compiler/codegen_test.cc.o.d"
+  "/root/repo/tests/compiler/rewrites_test.cc" "tests/CMakeFiles/sysds_tests.dir/compiler/rewrites_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/compiler/rewrites_test.cc.o.d"
+  "/root/repo/tests/compress/compressed_block_test.cc" "tests/CMakeFiles/sysds_tests.dir/compress/compressed_block_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/compress/compressed_block_test.cc.o.d"
+  "/root/repo/tests/fed/federated_test.cc" "tests/CMakeFiles/sysds_tests.dir/fed/federated_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/fed/federated_test.cc.o.d"
+  "/root/repo/tests/frame/frame_test.cc" "tests/CMakeFiles/sysds_tests.dir/frame/frame_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/frame/frame_test.cc.o.d"
+  "/root/repo/tests/frame/transform_test.cc" "tests/CMakeFiles/sysds_tests.dir/frame/transform_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/frame/transform_test.cc.o.d"
+  "/root/repo/tests/integration/dml_ops_test.cc" "tests/CMakeFiles/sysds_tests.dir/integration/dml_ops_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/integration/dml_ops_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/sysds_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/engine_robustness_test.cc" "tests/CMakeFiles/sysds_tests.dir/integration/engine_robustness_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/integration/engine_robustness_test.cc.o.d"
+  "/root/repo/tests/integration/property_test.cc" "tests/CMakeFiles/sysds_tests.dir/integration/property_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/integration/property_test.cc.o.d"
+  "/root/repo/tests/integration/recompile_test.cc" "tests/CMakeFiles/sysds_tests.dir/integration/recompile_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/integration/recompile_test.cc.o.d"
+  "/root/repo/tests/io/io_test.cc" "tests/CMakeFiles/sysds_tests.dir/io/io_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/io/io_test.cc.o.d"
+  "/root/repo/tests/lang/lexer_test.cc" "tests/CMakeFiles/sysds_tests.dir/lang/lexer_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/lang/lexer_test.cc.o.d"
+  "/root/repo/tests/lang/parser_fuzz_test.cc" "tests/CMakeFiles/sysds_tests.dir/lang/parser_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/lang/parser_fuzz_test.cc.o.d"
+  "/root/repo/tests/lang/parser_test.cc" "tests/CMakeFiles/sysds_tests.dir/lang/parser_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/lang/parser_test.cc.o.d"
+  "/root/repo/tests/lineage/dedup_test.cc" "tests/CMakeFiles/sysds_tests.dir/lineage/dedup_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/lineage/dedup_test.cc.o.d"
+  "/root/repo/tests/lineage/lineage_test.cc" "tests/CMakeFiles/sysds_tests.dir/lineage/lineage_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/lineage/lineage_test.cc.o.d"
+  "/root/repo/tests/matrix/agg_test.cc" "tests/CMakeFiles/sysds_tests.dir/matrix/agg_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/matrix/agg_test.cc.o.d"
+  "/root/repo/tests/matrix/datagen_test.cc" "tests/CMakeFiles/sysds_tests.dir/matrix/datagen_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/matrix/datagen_test.cc.o.d"
+  "/root/repo/tests/matrix/elementwise_test.cc" "tests/CMakeFiles/sysds_tests.dir/matrix/elementwise_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/matrix/elementwise_test.cc.o.d"
+  "/root/repo/tests/matrix/matmult_test.cc" "tests/CMakeFiles/sysds_tests.dir/matrix/matmult_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/matrix/matmult_test.cc.o.d"
+  "/root/repo/tests/matrix/matrix_block_test.cc" "tests/CMakeFiles/sysds_tests.dir/matrix/matrix_block_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/matrix/matrix_block_test.cc.o.d"
+  "/root/repo/tests/matrix/reorg_test.cc" "tests/CMakeFiles/sysds_tests.dir/matrix/reorg_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/matrix/reorg_test.cc.o.d"
+  "/root/repo/tests/matrix/solve_test.cc" "tests/CMakeFiles/sysds_tests.dir/matrix/solve_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/matrix/solve_test.cc.o.d"
+  "/root/repo/tests/ps/param_server_test.cc" "tests/CMakeFiles/sysds_tests.dir/ps/param_server_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/ps/param_server_test.cc.o.d"
+  "/root/repo/tests/runtime/bufferpool_test.cc" "tests/CMakeFiles/sysds_tests.dir/runtime/bufferpool_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/runtime/bufferpool_test.cc.o.d"
+  "/root/repo/tests/runtime/data_test.cc" "tests/CMakeFiles/sysds_tests.dir/runtime/data_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/runtime/data_test.cc.o.d"
+  "/root/repo/tests/runtime/parfor_test.cc" "tests/CMakeFiles/sysds_tests.dir/runtime/parfor_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/runtime/parfor_test.cc.o.d"
+  "/root/repo/tests/runtime/spark_test.cc" "tests/CMakeFiles/sysds_tests.dir/runtime/spark_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/runtime/spark_test.cc.o.d"
+  "/root/repo/tests/tensor/blocking_test.cc" "tests/CMakeFiles/sysds_tests.dir/tensor/blocking_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/tensor/blocking_test.cc.o.d"
+  "/root/repo/tests/tensor/tensor_test.cc" "tests/CMakeFiles/sysds_tests.dir/tensor/tensor_test.cc.o" "gcc" "tests/CMakeFiles/sysds_tests.dir/tensor/tensor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sysds.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
