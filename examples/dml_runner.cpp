@@ -1,8 +1,12 @@
 // Command-line DML runner (the `java -jar systemds` equivalent):
 //   dml_runner script.dml [-stats] [-lineage] [-reuse full|partial]
-//              [-explain] [-threads N]
+//              [-explain] [-threads N] [--trace out.json]
+//              [--metrics out.json]
 // Executes the script and prints script output; with -stats, prints the
-// heavy-hitter instruction profile afterwards.
+// heavy-hitter instruction profile afterwards. --trace records spans from
+// every runtime subsystem and writes Chrome trace-event JSON (open in
+// chrome://tracing or https://ui.perfetto.dev); --metrics dumps the metrics
+// registry (counters/gauges/histograms) as JSON.
 
 #include <fstream>
 #include <iostream>
@@ -17,12 +21,14 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: " << argv[0]
               << " script.dml [-stats] [-lineage] [-reuse full|partial]"
-                 " [-threads N]\n";
+                 " [-threads N] [--trace out.json] [--metrics out.json]\n";
     return 2;
   }
 
   DMLConfig config;
   std::string path;
+  std::string trace_path;
+  std::string metrics_path;
   bool explain = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -38,6 +44,14 @@ int main(int argc, char** argv) {
                                                 : ReusePolicy::kFull;
     } else if (arg == "-threads" && i + 1 < argc) {
       config.num_threads = std::atoi(argv[++i]);
+    } else if ((arg == "--trace" || arg == "-trace") && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if ((arg == "--metrics" || arg == "-metrics") && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "-reuse" || arg == "-threads" || arg == "--trace" ||
+               arg == "-trace" || arg == "--metrics" || arg == "-metrics") {
+      std::cerr << arg << " requires a value\n";
+      return 2;
     } else if (!arg.empty() && arg[0] != '-') {
       path = arg;
     } else {
@@ -60,6 +74,8 @@ int main(int argc, char** argv) {
 
   Statistics::Get().Reset();
   SystemDSContext ctx(config);
+  if (!trace_path.empty()) ctx.EnableTracing(trace_path);
+  if (!metrics_path.empty()) ctx.EnableMetricsExport(metrics_path);
   if (explain) {
     auto plan = ctx.Explain(buf.str());
     if (!plan.ok()) {
@@ -76,6 +92,11 @@ int main(int argc, char** argv) {
   std::cout << result->Output();
   if (config.statistics) {
     std::cout << "\n" << Statistics::Get().Report();
+  }
+  Status flush = ctx.FlushObservability();
+  if (!flush.ok()) {
+    std::cerr << "error: " << flush << "\n";
+    return 1;
   }
   return 0;
 }

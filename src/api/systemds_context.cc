@@ -1,8 +1,11 @@
 #include "api/systemds_context.h"
 
+#include <fstream>
 #include <sstream>
 
 #include "compiler/compiler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sysds {
 
@@ -107,7 +110,35 @@ SystemDSContext::SystemDSContext(DMLConfig config) : config_(config) {
 }
 
 SystemDSContext::~SystemDSContext() {
+  FlushObservability();  // best-effort; failures only matter on explicit calls
   MatrixObject::SetBufferPool(nullptr);
+}
+
+void SystemDSContext::EnableTracing(const std::string& path) {
+  trace_path_ = path;
+  obs::Tracer::Get().Enable();
+}
+
+void SystemDSContext::EnableMetricsExport(const std::string& path) {
+  metrics_path_ = path;
+}
+
+Status SystemDSContext::FlushObservability() {
+  if (!trace_path_.empty()) {
+    obs::Tracer::Get().Disable();
+    std::string path;
+    std::swap(path, trace_path_);
+    SYSDS_RETURN_IF_ERROR(obs::Tracer::Get().WriteChromeTrace(path));
+  }
+  if (!metrics_path_.empty()) {
+    std::string path;
+    std::swap(path, metrics_path_);
+    std::ofstream out(path);
+    if (!out) return IoError("cannot open metrics output file: " + path);
+    out << obs::MetricsRegistry::Get().ExportJson() << "\n";
+    if (!out) return IoError("failed writing metrics output file: " + path);
+  }
+  return Status::Ok();
 }
 
 DataPtr SystemDSContext::Matrix(MatrixBlock m) {

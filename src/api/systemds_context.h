@@ -81,6 +81,21 @@ class SystemDSContext {
   LineageCache* Cache() { return cache_.get(); }
   BufferPool* Pool() { return pool_.get(); }
 
+  /// Turns on the span tracer (src/obs/): subsequent Compile/Execute calls
+  /// record compile phases, per-instruction spans, buffer-pool, lineage,
+  /// distributed, and federated events. The Chrome trace-event JSON is
+  /// written to `path` (open in chrome://tracing or ui.perfetto.dev) by
+  /// FlushObservability() or the destructor, whichever comes first.
+  void EnableTracing(const std::string& path);
+
+  /// Writes the metrics-registry JSON export (counters, gauges, histograms,
+  /// per-opcode instruction timings) to `path` at flush/destruction time.
+  void EnableMetricsExport(const std::string& path);
+
+  /// Writes any configured trace/metrics outputs now and disables tracing.
+  /// Idempotent; also invoked by the destructor.
+  Status FlushObservability();
+
   /// One-shot execution: compile + run, returning requested outputs.
   /// Inputs are bound under their names before execution.
   StatusOr<ScriptResult> Execute(
@@ -112,6 +127,8 @@ class SystemDSContext {
   DMLConfig config_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<LineageCache> cache_;
+  std::string trace_path_;
+  std::string metrics_path_;
 };
 
 }  // namespace sysds

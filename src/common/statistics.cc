@@ -2,58 +2,84 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace sysds {
+
+namespace {
+
+// Registry lookups take a shared lock; hot paths go through a per-thread
+// memo of name -> metric pointer so steady-state increments touch no lock
+// at all (pointers are stable for the process lifetime).
+obs::InstrStat* CachedInstrStat(const std::string& opcode) {
+  thread_local std::unordered_map<std::string, obs::InstrStat*> memo;
+  auto it = memo.find(opcode);
+  if (it != memo.end()) return it->second;
+  obs::InstrStat* s = obs::MetricsRegistry::Get().GetInstrStat(opcode);
+  memo.emplace(opcode, s);
+  return s;
+}
+
+obs::Counter* CachedCounter(const std::string& name) {
+  thread_local std::unordered_map<std::string, obs::Counter*> memo;
+  auto it = memo.find(name);
+  if (it != memo.end()) return it->second;
+  obs::Counter* c = obs::MetricsRegistry::Get().GetCounter(name);
+  memo.emplace(name, c);
+  return c;
+}
+
+}  // namespace
 
 Statistics& Statistics::Get() {
   static Statistics* instance = new Statistics();
   return *instance;
 }
 
-void Statistics::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  instructions_.clear();
-  counters_.clear();
-}
+void Statistics::Reset() { obs::MetricsRegistry::Get().ResetValues(); }
 
 void Statistics::IncInstruction(const std::string& opcode, double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto& entry = instructions_[opcode];
-  entry.first += 1;
-  entry.second += seconds;
+  obs::InstrStat* s = CachedInstrStat(opcode);
+  s->count.Add(1);
+  s->nanos.Add(static_cast<int64_t>(seconds * 1e9));
 }
 
 void Statistics::IncCounter(const std::string& name, int64_t delta) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  counters_[name] += delta;
+  CachedCounter(name)->Add(delta);
 }
 
 int64_t Statistics::GetCounter(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second;
+  return obs::MetricsRegistry::Get().CounterValue(name);
 }
 
 std::string Statistics::Report(int top_k) const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
-  std::vector<std::pair<std::string, std::pair<int64_t, double>>> entries(
-      instructions_.begin(), instructions_.end());
-  std::sort(entries.begin(), entries.end(),
-            [](const auto& a, const auto& b) {
-              return a.second.second > b.second.second;
-            });
+  // Zero-count entries are metrics that exist in the registry but were not
+  // touched since the last Reset(); skipping them preserves the pre-registry
+  // report contents (a cleared map simply had no such entries).
+  std::vector<obs::MetricsRegistry::InstrSnapshot> instrs;
+  for (auto& s : obs::MetricsRegistry::Get().Instructions()) {
+    if (s.count > 0) instrs.push_back(std::move(s));
+  }
+  std::sort(instrs.begin(), instrs.end(),
+            [](const auto& a, const auto& b) { return a.seconds > b.seconds; });
   os << "Heavy hitter instructions (count, time[s]):\n";
   int shown = 0;
-  for (const auto& [op, ct] : entries) {
+  for (const auto& s : instrs) {
     if (shown++ >= top_k) break;
-    os << "  " << op << "\t" << ct.first << "\t" << ct.second << "\n";
+    os << "  " << s.name << "\t" << s.count << "\t" << s.seconds << "\n";
   }
-  if (!counters_.empty()) {
+  std::vector<obs::MetricsRegistry::CounterSnapshot> counters;
+  for (auto& c : obs::MetricsRegistry::Get().Counters()) {
+    if (c.value != 0) counters.push_back(std::move(c));
+  }
+  if (!counters.empty()) {
     os << "Counters:\n";
-    for (const auto& [name, v] : counters_) {
-      os << "  " << name << "\t" << v << "\n";
+    for (const auto& c : counters) {
+      os << "  " << c.name << "\t" << c.value << "\n";
     }
   }
   return os.str();

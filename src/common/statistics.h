@@ -1,18 +1,19 @@
 #ifndef SYSDS_COMMON_STATISTICS_H_
 #define SYSDS_COMMON_STATISTICS_H_
 
-#include <atomic>
 #include <cstdint>
-#include <map>
-#include <mutex>
 #include <string>
 
 namespace sysds {
 
 /// Process-wide runtime statistics, modeled after SystemDS's Statistics
 /// output (instruction counts/times, cache hits, I/O, federated traffic).
-/// All counters are thread-safe; Reset() is called per script execution
-/// when statistics are enabled.
+///
+/// This class is a thin facade over obs::MetricsRegistry: counters and
+/// instruction timings live in the registry (sharded atomics, no global
+/// mutex on the increment paths) and are shared with the --metrics JSON
+/// export. Reset() is called per script execution when statistics are
+/// enabled; it zeroes values but keeps registered metrics alive.
 class Statistics {
  public:
   static Statistics& Get();
@@ -29,10 +30,6 @@ class Statistics {
 
  private:
   Statistics() = default;
-
-  mutable std::mutex mutex_;
-  std::map<std::string, std::pair<int64_t, double>> instructions_;
-  std::map<std::string, int64_t> counters_;
 };
 
 }  // namespace sysds

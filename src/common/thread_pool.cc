@@ -4,6 +4,9 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sysds {
 
 namespace {
@@ -15,9 +18,17 @@ thread_local bool t_in_pool_worker = false;
 }  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
+  queue_depth_ = obs::MetricsRegistry::Get().GetGauge("threadpool.queue_depth");
+  active_workers_ =
+      obs::MetricsRegistry::Get().GetGauge("threadpool.active_workers");
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] {
+      // Stable worker names let the trace viewer group each worker's spans
+      // on its own named track.
+      obs::Tracer::SetCurrentThreadName("pool-worker-" + std::to_string(i));
+      WorkerLoop();
+    });
   }
 }
 
@@ -34,6 +45,7 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     tasks_.push(std::move(task));
+    queue_depth_->Set(static_cast<int64_t>(tasks_.size()));
   }
   cv_.notify_one();
 }
@@ -47,9 +59,12 @@ void ThreadPool::WorkerLoop() {
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      queue_depth_->Set(static_cast<int64_t>(tasks_.size()));
     }
     t_in_pool_worker = true;
+    active_workers_->Add(1);
     task();
+    active_workers_->Add(-1);
     t_in_pool_worker = false;
   }
 }

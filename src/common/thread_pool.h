@@ -12,6 +12,10 @@
 
 namespace sysds {
 
+namespace obs {
+class Gauge;
+}  // namespace obs
+
 /// A fixed-size worker pool used by the multi-threaded kernels, the parfor
 /// backend, and the distributed-executor simulator. Tasks are plain
 /// std::function<void()>; ParallelFor provides a blocking range helper with
@@ -47,6 +51,10 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  // Registry-owned observability gauges (threadpool.queue_depth,
+  // threadpool.active_workers); pointers are process-lifetime stable.
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Gauge* active_workers_ = nullptr;
 };
 
 /// Number of threads the runtime should use for data-parallel kernels,

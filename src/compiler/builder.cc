@@ -10,6 +10,7 @@
 #include "compiler/hop.h"
 #include "compiler/rewrites.h"
 #include "lang/parser.h"
+#include "obs/trace.h"
 
 namespace sysds {
 
@@ -1366,12 +1367,20 @@ StatusOr<HopPtr> Compiler::BuildCall(const Expr& e, BlockCtx* ctx) {
 StatusOr<std::unique_ptr<Program>> CompileDML(const std::string& source,
                                               const DMLConfig& config,
                                               const SymbolInfoMap& inputs) {
-  SYSDS_ASSIGN_OR_RETURN(DMLProgram ast, ParseDML(source));
+  SYSDS_SPAN("compiler", "compile_dml");
+  DMLProgram ast;
+  {
+    SYSDS_SPAN("compiler", "parse");
+    SYSDS_ASSIGN_OR_RETURN(ast, ParseDML(source));
+  }
   auto program = std::make_unique<Program>();
   Compiler compiler(program.get(), &config);
-  SYSDS_RETURN_IF_ERROR(compiler.AddFunctionAsts(ast.functions));
-  SymbolInfoMap symbols = inputs;
-  SYSDS_RETURN_IF_ERROR(compiler.CompileTopLevel(ast.statements, &symbols));
+  {
+    SYSDS_SPAN("compiler", "build_and_codegen");
+    SYSDS_RETURN_IF_ERROR(compiler.AddFunctionAsts(ast.functions));
+    SymbolInfoMap symbols = inputs;
+    SYSDS_RETURN_IF_ERROR(compiler.CompileTopLevel(ast.statements, &symbols));
+  }
   return program;
 }
 

@@ -3,12 +3,14 @@
 #include "common/statistics.h"
 #include "compiler/codegen.h"
 #include "compiler/hop.h"
+#include "obs/trace.h"
 #include "runtime/controlprog/program.h"
 
 namespace sysds {
 
 Status RecompileBasicBlock(BasicBlock* block, ExecutionContext* ec) {
   if (block->HopRoots().empty()) return Status::Ok();
+  SYSDS_SPAN("compiler", "recompile");
   Statistics::Get().IncCounter("compiler.recompilations");
 
   for (Hop* hop : TopoOrder(block->HopRoots())) {

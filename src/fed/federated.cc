@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/matrix/lib_agg.h"
 #include "runtime/matrix/lib_elementwise.h"
 #include "runtime/matrix/lib_matmult.h"
@@ -54,7 +56,38 @@ FederatedWorker::~FederatedWorker() {
   thread_.join();
 }
 
+namespace {
+struct FedMetrics {
+  obs::Counter* requests;
+  obs::Counter* bytes_to_site;
+  obs::Counter* bytes_from_site;
+};
+
+FedMetrics& Metrics() {
+  static FedMetrics m = {
+      obs::MetricsRegistry::Get().GetCounter("fed.requests"),
+      obs::MetricsRegistry::Get().GetCounter("fed.bytes_to_site"),
+      obs::MetricsRegistry::Get().GetCounter("fed.bytes_from_site"),
+  };
+  return m;
+}
+
+const char* RequestSpanName(const FederatedMessage& msg) {
+  switch (msg.type) {
+    case FederatedMessage::Type::kPutMatrix: return "put_matrix";
+    case FederatedMessage::Type::kGetMatrix: return "get_matrix";
+    case FederatedMessage::Type::kExec: return "exec";
+    default: return "request";
+  }
+}
+}  // namespace
+
 FederatedMessage FederatedWorker::Request(FederatedMessage msg) {
+  // Master-side view of the round trip: queueing for the site's single
+  // request slot, remote processing, and response shipping.
+  SYSDS_SPAN("fed", RequestSpanName(msg));
+  Metrics().requests->Add(1);
+  Metrics().bytes_to_site->Add(static_cast<int64_t>(msg.payload.size()) + 64);
   std::unique_lock<std::mutex> lock(mutex_);
   // Wait for the slot (serializes concurrent masters).
   cv_.wait(lock, [this] { return !has_request_; });
@@ -66,6 +99,8 @@ FederatedMessage FederatedWorker::Request(FederatedMessage msg) {
   response_cv_.wait(lock, [this] { return has_response_; });
   FederatedMessage resp = std::move(response_);
   bytes_out_ += static_cast<int64_t>(resp.payload.size()) + 64;
+  Metrics().bytes_from_site->Add(static_cast<int64_t>(resp.payload.size()) +
+                                 64);
   has_request_ = false;
   request_ = nullptr;
   cv_.notify_all();
@@ -73,6 +108,7 @@ FederatedMessage FederatedWorker::Request(FederatedMessage msg) {
 }
 
 void FederatedWorker::Loop() {
+  obs::Tracer::SetCurrentThreadName("fed-site-" + std::to_string(id_));
   for (;;) {
     FederatedMessage* req = nullptr;
     {
@@ -81,7 +117,12 @@ void FederatedWorker::Loop() {
       if (stop_) return;
       req = request_;
     }
-    FederatedMessage resp = Handle(*req);
+    FederatedMessage resp;
+    {
+      // Site-side processing span (its own named thread track).
+      SYSDS_SPAN("fed", req->opcode.empty() ? "handle" : req->opcode.c_str());
+      resp = Handle(*req);
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       response_ = std::move(resp);

@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "common/util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/controlprog/data.h"
 #include "runtime/controlprog/execution_context.h"
 #include "runtime/matrix/lib_matmult.h"
@@ -164,18 +166,29 @@ LineageCache::LineageCache(int64_t limit_bytes, ReusePolicy policy)
 
 DataPtr LineageCache::Probe(const LineageItemPtr& item) {
   ++stats_.probes;
+  obs::Tracer::Instant("lineage", "cache_probe");
   auto it = entries_.find(item->hash());
   if (it == entries_.end() || !it->second.item->Equals(*item)) {
+    static obs::Counter* misses =
+        obs::MetricsRegistry::Get().GetCounter("lineage.cache_misses");
+    misses->Add(1);
     return nullptr;
   }
   it->second.last_use = ++clock_;
   ++stats_.full_hits;
+  static obs::Counter* hits =
+      obs::MetricsRegistry::Get().GetCounter("lineage.cache_hits");
+  hits->Add(1);
+  obs::Tracer::Instant("lineage", "cache_hit");
   return it->second.value;
 }
 
 void LineageCache::Put(const LineageItemPtr& item, const DataPtr& value) {
   auto* m = dynamic_cast<MatrixObject*>(value.get());
   if (m == nullptr) return;  // cache matrices only
+  static obs::Counter* puts =
+      obs::MetricsRegistry::Get().GetCounter("lineage.cache_puts");
+  puts->Add(1);
   int64_t size = m->EstimateSizeInBytes();
   if (size > limit_bytes_) return;
   Entry e;

@@ -5,9 +5,28 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/controlprog/data.h"
 
 namespace sysds {
+
+namespace {
+struct PoolMetrics {
+  obs::Gauge* cached_bytes;
+  obs::Counter* evictions;
+  obs::Counter* spilled_bytes;
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics m = {
+      obs::MetricsRegistry::Get().GetGauge("bufferpool.cached_bytes"),
+      obs::MetricsRegistry::Get().GetCounter("bufferpool.evictions"),
+      obs::MetricsRegistry::Get().GetCounter("bufferpool.spilled_bytes"),
+  };
+  return m;
+}
+}  // namespace
 
 BufferPool::BufferPool(int64_t limit_bytes) : limit_bytes_(limit_bytes) {
   spill_dir_ = (std::filesystem::temp_directory_path() /
@@ -32,6 +51,7 @@ void BufferPool::Register(MatrixObject* obj, int64_t size_bytes) {
   entries_[obj] = {std::prev(lru_.end()), size_bytes};
   cached_bytes_ += size_bytes;
   EvictIfNeededLocked();
+  Metrics().cached_bytes->Set(cached_bytes_);
 }
 
 void BufferPool::Touch(MatrixObject* obj) {
@@ -50,6 +70,7 @@ void BufferPool::Unregister(MatrixObject* obj) {
   cached_bytes_ -= it->second.second;
   lru_.erase(it->second.first);
   entries_.erase(it);
+  Metrics().cached_bytes->Set(cached_bytes_);
 }
 
 int64_t BufferPool::CachedBytes() const {
@@ -82,10 +103,17 @@ void BufferPool::EvictIfNeededLocked() {
     entries_.erase(entry);
     cached_bytes_ -= size;
     ++evictions_;
+    Metrics().evictions->Add(1);
+    Metrics().spilled_bytes->Add(size);
+    obs::Tracer::Instant("bufferpool", "evict");
     // EvictTo serializes and drops the block; it must not call back into
     // the pool (we already removed the entry).
-    victim->EvictTo(path);
+    {
+      SYSDS_SPAN("bufferpool", "spill");
+      victim->EvictTo(path);
+    }
   }
+  Metrics().cached_bytes->Set(cached_bytes_);
 }
 
 }  // namespace sysds

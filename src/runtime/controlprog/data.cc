@@ -4,12 +4,27 @@
 #include <sstream>
 
 #include "io/matrix_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/bufferpool/buffer_pool.h"
 
 namespace sysds {
 
 namespace {
 std::atomic<BufferPool*> g_buffer_pool{nullptr};
+
+// Acquire-path hit/miss accounting: a miss means the block was evicted and
+// had to be restored from its spill file.
+obs::Counter* PoolHits() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("bufferpool.hits");
+  return c;
+}
+obs::Counter* PoolMisses() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("bufferpool.misses");
+  return c;
+}
 }  // namespace
 
 DataPtr ScalarObject::MakeDouble(double v) {
@@ -112,11 +127,17 @@ const MatrixBlock& MatrixObject::AcquireRead() {
     std::lock_guard<std::mutex> lock(mutex_);
     ++pin_count_;
     if (block_ == nullptr) {
+      SYSDS_SPAN("bufferpool", "restore");
       RestoreLocked();
       restored = true;
       size = block_->EstimateSizeInBytes();
     }
     result = block_.get();
+  }
+  if (restored) {
+    PoolMisses()->Add(1);
+  } else {
+    PoolHits()->Add(1);
   }
   if (BufferPool* pool = g_buffer_pool.load()) {
     if (restored) pool->Register(this, size);

@@ -10,6 +10,7 @@
 #include "common/util.h"
 #include "compiler/recompiler.h"
 #include "lineage/lineage.h"
+#include "obs/trace.h"
 
 namespace sysds {
 
@@ -69,6 +70,7 @@ Status ExecuteInstructions(const std::vector<InstructionPtr>& instructions,
       cache != nullptr && ec->Config().reuse_policy != ReusePolicy::kNone;
 
   for (const InstructionPtr& instr : instructions) {
+    SYSDS_SPAN("cp", instr->opcode());
     Timer timer;
     LineageItemPtr item;
     bool nondet = false;
@@ -88,6 +90,7 @@ Status ExecuteInstructions(const std::vector<InstructionPtr>& instructions,
       if (hit != nullptr) {
         ec->SetOutput(instr->outputs()[0], hit);
         Statistics::Get().IncCounter("lineage.reuse_hits");
+        obs::Tracer::Instant("lineage", "reuse_hit");
         served = true;
       }
     }
@@ -370,6 +373,7 @@ Status ParForBlock::Execute(ExecutionContext* ec) {
   // Round-robin task assignment (static factoring) over local workers.
   ThreadPool::Global().ParallelFor(0, k, k, [&](int64_t wb, int64_t we) {
     for (int64_t w = wb; w < we; ++w) {
+      SYSDS_SPAN("parfor", "worker#" + std::to_string(w));
       ExecutionContext* wec = workers[static_cast<size_t>(w)].get();
       for (size_t i = static_cast<size_t>(w); i < iterations.size();
            i += static_cast<size_t>(k)) {

@@ -6,6 +6,7 @@
 
 #include "common/statistics.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "runtime/matrix/lib_elementwise.h"
 #include "runtime/matrix/lib_matmult.h"
 #include "runtime/matrix/op_codes.h"
@@ -14,6 +15,7 @@ namespace sysds {
 
 BlockedMatrix BlockedMatrix::FromMatrix(const MatrixBlock& m,
                                         int64_t block_size) {
+  SYSDS_SPAN("dist", "reblock");
   BlockedMatrix out;
   out.SetShape(m.Rows(), m.Cols(), block_size);
   Statistics::Get().IncCounter("spark.reblocks");
@@ -73,6 +75,7 @@ StatusOr<BlockedMatrix> DistMatMult(const BlockedMatrix& a,
   if (a.Cols() != b.Rows() || a.BlockSize() != b.BlockSize()) {
     return InvalidArgument("distributed matmult: incompatible inputs");
   }
+  SYSDS_SPAN("dist", "matmult_shuffle");
   BlockedMatrix c;
   c.SetShape(a.Rows(), b.Cols(), a.BlockSize());
   int64_t rb = a.RowBlocks(), cb = b.ColBlocks(), kb = a.ColBlocks();
@@ -87,6 +90,7 @@ StatusOr<BlockedMatrix> DistMatMult(const BlockedMatrix& a,
       0, rb * cb, DefaultParallelism(), [&](int64_t tb, int64_t te) {
         for (int64_t t = tb; t < te; ++t) {
           int64_t bi = t / cb, bj = t % cb;
+          SYSDS_SPAN("dist", "mm_block_task");
           MatrixBlock acc;
           bool has = false;
           for (int64_t bk = 0; bk < kb; ++bk) {
@@ -128,6 +132,7 @@ StatusOr<BlockedMatrix> DistMatMult(const BlockedMatrix& a,
 StatusOr<BlockedMatrix> DistTsmmLeft(const BlockedMatrix& x) {
   // t(X)%*%X: per row-block stripe tsmm over the stripe's blocks, then a
   // tree-aggregate of partials (one pass here).
+  SYSDS_SPAN("dist", "tsmm");
   int64_t n = x.Cols();
   Statistics::Get().IncCounter("spark.shuffled_blocks",
                                static_cast<int64_t>(x.Blocks().size()));
@@ -173,6 +178,7 @@ StatusOr<BlockedMatrix> DistBinary(const BlockedMatrix& a,
   else if (opcode == "*") code = BinaryOpCode::kMul;
   else if (opcode == "/") code = BinaryOpCode::kDiv;
   else return InvalidArgument("distributed binary: unsupported op " + opcode);
+  SYSDS_SPAN("dist", "binary");
   // Aligned blocking => co-partitioned join, no shuffle (paper §2.4).
   BlockedMatrix c;
   c.SetShape(a.Rows(), a.Cols(), a.BlockSize());

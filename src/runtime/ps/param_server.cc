@@ -3,8 +3,12 @@
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sysds {
 
@@ -93,10 +97,15 @@ StatusOr<PsResult> PsTrain(const MatrixBlock& x, const MatrixBlock& y,
     }
   }
 
+  static obs::Counter* push_counter =
+      obs::MetricsRegistry::Get().GetCounter("ps.pushes");
   auto worker_fn = [&](int wid) {
+    obs::Tracer::SetCurrentThreadName("ps-worker-" + std::to_string(wid));
+    SYSDS_SPAN("ps", "worker#" + std::to_string(wid));
     int64_t rb = wid * rows_per;
     int64_t re = std::min(n, rb + rows_per);
     for (int epoch = 0; epoch < config.epochs; ++epoch) {
+      SYSDS_SPAN("ps", "epoch#" + std::to_string(epoch));
       for (int64_t batch = 0; batch < max_batches; ++batch) {
         int64_t bb = rb + batch * config.batch_size;
         int64_t be = std::min(re, bb + config.batch_size);
@@ -117,6 +126,7 @@ StatusOr<PsResult> PsTrain(const MatrixBlock& x, const MatrixBlock& y,
             }
           }
           pushes.fetch_add(1);
+          push_counter->Add(1);
         }
         if (config.mode == PsUpdateMode::kBSP) {
           std::unique_lock<std::mutex> lock(barrier_mutex);

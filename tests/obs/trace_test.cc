@@ -1,0 +1,199 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+
+namespace sysds {
+namespace obs {
+namespace {
+
+std::string ExportToString() {
+  std::ostringstream os;
+  Tracer::Get().ExportChromeTrace(os);
+  return os.str();
+}
+
+// Parses the export and returns the traceEvents array.
+std::vector<JsonValue> ParsedEvents(const std::string& json) {
+  auto doc = ParseJson(json);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  if (!doc.ok()) return {};
+  const JsonValue* events = doc->Find("traceEvents");
+  EXPECT_NE(events, nullptr);
+  if (events == nullptr) return {};
+  return events->AsArray();
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Get().Clear();
+    Tracer::Get().Enable();
+  }
+  void TearDown() override {
+    Tracer::Get().Disable();
+    Tracer::Get().Clear();
+  }
+};
+
+TEST_F(TraceTest, NestedSpansRecordContainedIntervals) {
+  {
+    ScopedSpan outer("test", "outer");
+    {
+      ScopedSpan inner("test", "inner");
+    }
+  }
+  Tracer::Get().Disable();
+
+  std::vector<JsonValue> events = ParsedEvents(ExportToString());
+  const JsonValue* outer = nullptr;
+  const JsonValue* inner = nullptr;
+  for (const JsonValue& ev : events) {
+    const JsonValue* name = ev.Find("name");
+    if (name == nullptr) continue;
+    if (name->AsString() == "outer") outer = &ev;
+    if (name->AsString() == "inner") inner = &ev;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  double ots = outer->Find("ts")->AsNumber();
+  double odur = outer->Find("dur")->AsNumber();
+  double its = inner->Find("ts")->AsNumber();
+  double idur = inner->Find("dur")->AsNumber();
+  // The inner complete event nests inside the outer one.
+  EXPECT_GE(its, ots);
+  EXPECT_LE(its + idur, ots + odur + 1e-6);
+  EXPECT_EQ(outer->Find("ph")->AsString(), "X");
+  EXPECT_EQ(outer->Find("cat")->AsString(), "test");
+}
+
+TEST_F(TraceTest, InstantEventsAppear) {
+  Tracer::Instant("test", "tick");
+  Tracer::Get().Disable();
+  std::vector<JsonValue> events = ParsedEvents(ExportToString());
+  bool found = false;
+  for (const JsonValue& ev : events) {
+    const JsonValue* name = ev.Find("name");
+    if (name != nullptr && name->AsString() == "tick") {
+      found = true;
+      EXPECT_EQ(ev.Find("ph")->AsString(), "i");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  Tracer::Get().Disable();
+  {
+    ScopedSpan span("test", "invisible");
+  }
+  Tracer::Instant("test", "also_invisible");
+  for (const JsonValue& ev : ParsedEvents(ExportToString())) {
+    const JsonValue* name = ev.Find("name");
+    ASSERT_NE(name, nullptr);
+    EXPECT_NE(name->AsString(), "invisible");
+    EXPECT_NE(name->AsString(), "also_invisible");
+  }
+}
+
+TEST_F(TraceTest, CrossThreadSpansLandOnDistinctNamedTracks) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      Tracer::SetCurrentThreadName("unit-worker-" + std::to_string(t));
+      for (int i = 0; i < 100; ++i) {
+        ScopedSpan span("test", "work");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  Tracer::Get().Disable();
+
+  std::vector<JsonValue> events = ParsedEvents(ExportToString());
+  std::set<int> work_tids;
+  std::set<std::string> thread_names;
+  int work_events = 0;
+  for (const JsonValue& ev : events) {
+    const JsonValue* name = ev.Find("name");
+    if (name == nullptr) continue;
+    if (name->AsString() == "work") {
+      ++work_events;
+      work_tids.insert(static_cast<int>(ev.Find("tid")->AsNumber()));
+    }
+    if (name->AsString() == "thread_name") {
+      thread_names.insert(ev.Find("args")->Find("name")->AsString());
+    }
+  }
+  EXPECT_EQ(work_events, kThreads * 100);
+  EXPECT_EQ(work_tids.size(), static_cast<size_t>(kThreads));
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(thread_names.count("unit-worker-" + std::to_string(t)));
+  }
+}
+
+TEST_F(TraceTest, RingBufferWrapKeepsNewestAndCountsDropped) {
+  Tracer::Get().SetBufferCapacity(64);
+  std::thread writer([] {
+    for (int i = 0; i < 1000; ++i) {
+      ScopedSpan span("test", "wrapped");
+    }
+  });
+  writer.join();
+  Tracer::Get().SetBufferCapacity(16384);
+  Tracer::Get().Disable();
+
+  std::string json = ExportToString();
+  std::vector<JsonValue> events = ParsedEvents(json);
+  int wrapped = 0;
+  for (const JsonValue& ev : events) {
+    const JsonValue* name = ev.Find("name");
+    if (name != nullptr && name->AsString() == "wrapped") ++wrapped;
+  }
+  EXPECT_EQ(wrapped, 64);  // newest events retained, export still valid JSON
+  EXPECT_NE(Tracer::Get().Summary().find("dropped"), std::string::npos);
+}
+
+TEST_F(TraceTest, SummaryAggregatesByCategoryAndName) {
+  for (int i = 0; i < 3; ++i) {
+    ScopedSpan span("cat", "op");
+  }
+  Tracer::Get().Disable();
+  std::vector<SpanAggregate> agg = Tracer::Get().Aggregate();
+  bool found = false;
+  for (const SpanAggregate& a : agg) {
+    if (a.category == "cat" && a.name == "op") {
+      found = true;
+      EXPECT_EQ(a.count, 3);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_NE(Tracer::Get().Summary().find("cat.op"), std::string::npos);
+}
+
+TEST_F(TraceTest, LongNamesAreTruncatedNotCorrupted) {
+  std::string long_name(200, 'x');
+  {
+    ScopedSpan span("test", long_name);
+  }
+  Tracer::Get().Disable();
+  std::vector<JsonValue> events = ParsedEvents(ExportToString());
+  bool found = false;
+  for (const JsonValue& ev : events) {
+    const JsonValue* name = ev.Find("name");
+    if (name != nullptr && name->AsString().find("xxx") == 0) {
+      found = true;
+      EXPECT_EQ(name->AsString().size(), TraceEvent::kNameCapacity);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sysds
