@@ -35,8 +35,8 @@ int main() {
     }
   }
 
-  SystemDSContext ctx;
-  auto r = ctx.Execute(R"(
+  auto ctx = SystemDSContext::Builder().Build();
+  auto r = ctx->Execute(R"(
     F = read('people.csv', data_type='frame', format='csv', header=TRUE)
     spec = "{\"recode\":[\"city\"],\"dummycode\":[\"city\"],\"impute\":[{\"name\":\"age\",\"method\":\"mean\"}],\"bin\":[{\"name\":\"age\",\"method\":\"equi-width\",\"numbins\":4}]}"
     [Xall, M] = transformencode(target=F, spec=spec)
@@ -63,7 +63,7 @@ int main() {
     consistency = sum((X2 - Xall)^2)
     print("encode/apply consistency (expect 0): " + consistency)
   )",
-                       {}, {"B", "M"});
+                        Inputs(), Outputs("B", "M"));
   if (!r.ok()) {
     std::cerr << "error: " << r.status() << "\n";
     return 1;

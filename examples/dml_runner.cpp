@@ -73,18 +73,20 @@ int main(int argc, char** argv) {
   buf << in.rdbuf();
 
   Statistics::Get().Reset();
-  SystemDSContext ctx(config);
-  if (!trace_path.empty()) ctx.EnableTracing(trace_path);
-  if (!metrics_path.empty()) ctx.EnableMetricsExport(metrics_path);
+  SystemDSContext::Builder builder;
+  builder.WithConfig(config);
+  if (!trace_path.empty()) builder.EnableTracing(trace_path);
+  if (!metrics_path.empty()) builder.EnableMetricsExport(metrics_path);
+  auto ctx = builder.Build();
   if (explain) {
-    auto plan = ctx.Explain(buf.str());
+    auto plan = ctx->Explain(buf.str());
     if (!plan.ok()) {
       std::cerr << "error: " << plan.status() << "\n";
       return 1;
     }
     std::cout << *plan;
   }
-  auto result = ctx.Execute(buf.str(), {}, {});
+  auto result = ctx->Execute(buf.str(), Inputs(), Outputs::None());
   if (!result.ok()) {
     std::cerr << "error: " << result.status() << "\n";
     return 1;
@@ -93,7 +95,7 @@ int main(int argc, char** argv) {
   if (config.statistics) {
     std::cout << "\n" << Statistics::Get().Report();
   }
-  Status flush = ctx.FlushObservability();
+  Status flush = ctx->FlushObservability();
   if (!flush.ok()) {
     std::cerr << "error: " << flush << "\n";
     return 1;

@@ -22,25 +22,23 @@ int main() {
   )";
 
   // Synthesize a dataset where only 3 of 12 features matter.
-  SystemDSContext gen;
-  auto g = gen.Execute(R"(
+  auto gen = SystemDSContext::Builder().Build();
+  auto g = gen->Execute(R"(
     X = rand(rows=2000, cols=12, seed=1)
     y = 3*X[,2] - 2*X[,5] + 0.5*X[,9]
     write(X, 'features.csv')
     write(y, 'labels.csv')
   )",
-                       {}, {});
+                        Inputs(), Outputs::None());
   if (!g.ok()) {
     std::cerr << "datagen error: " << g.status() << "\n";
     return 1;
   }
 
   auto run = [&](ReusePolicy policy, const char* label) -> int {
-    DMLConfig config;
-    config.reuse_policy = policy;
-    SystemDSContext ctx(config);
+    auto ctx = SystemDSContext::Builder().Reuse(policy).Build();
     Timer timer;
-    auto r = ctx.Execute(script, {}, {});
+    auto r = ctx->Execute(script, Inputs(), Outputs::None());
     if (!r.ok()) {
       std::cerr << "error: " << r.status() << "\n";
       return 1;
@@ -49,7 +47,7 @@ int main() {
               << "s) ===\n"
               << r->Output();
     if (policy != ReusePolicy::kNone) {
-      const LineageCacheStats& stats = ctx.Cache()->Stats();
+      LineageCacheStats stats = ctx->Cache()->Stats();
       std::cout << "lineage cache: " << stats.full_hits << " full hits, "
                 << stats.partial_hits << " partial hits\n";
     }

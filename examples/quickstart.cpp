@@ -11,10 +11,10 @@
 int main() {
   using namespace sysds;
 
-  SystemDSContext ctx;
+  auto ctx = SystemDSContext::Builder().Build();
 
   // 1) Scalars, matrices, control flow, and builtin functions in DML.
-  auto r1 = ctx.Execute(R"(
+  auto r1 = ctx->Execute(R"(
     X = rand(rows=100, cols=5, seed=42)
     mu = colMeans(X)
     sd = colSds(X)
@@ -22,7 +22,7 @@ int main() {
     s = sum(Z^2) / (nrow(Z) * ncol(Z))
     print("mean square of standardized data: " + s)
   )",
-                        {}, {"Z", "s"});
+                         Inputs(), Outputs("Z", "s"));
   if (!r1.ok()) {
     std::cerr << "error: " << r1.status() << "\n";
     return 1;
@@ -43,10 +43,8 @@ int main() {
   x.MarkNnzDirty();
   y.MarkNnzDirty();
 
-  auto r2 = ctx.Execute("B = lm(X, y, 0, 1e-10)\n",
-                        {{"X", SystemDSContext::Matrix(x)},
-                         {"y", SystemDSContext::Matrix(y)}},
-                        {"B"});
+  auto r2 = ctx->Execute("B = lm(X, y, 0, 1e-10)\n",
+                         Inputs().Matrix("X", x).Matrix("y", y), Outputs("B"));
   if (!r2.ok()) {
     std::cerr << "error: " << r2.status() << "\n";
     return 1;
@@ -56,17 +54,18 @@ int main() {
             << b.ToString() << "\n";
 
   // 3) JMLC-style prepared script: compile once, execute many times with
-  //    different inputs (low-latency scoring).
+  //    different inputs (low-latency scoring). The Inputs/Outputs overload
+  //    is thread-safe: per-call bindings over the shared compiled program.
   SymbolInfo xi;
   xi.dt = DataType::kMatrix;
-  auto prepared = ctx.Prepare("yhat = X %*% B\n", {{"X", xi}, {"B", xi}});
+  auto prepared = ctx->Prepare("yhat = X %*% B\n", {{"X", xi}, {"B", xi}});
   if (!prepared.ok()) {
     std::cerr << "error: " << prepared.status() << "\n";
     return 1;
   }
-  (*prepared)->BindMatrix("X", x);
-  (*prepared)->BindMatrix("B", b);
-  auto scored = (*prepared)->Execute({"yhat"});
+  auto scored =
+      (*prepared)->Execute(Inputs().Matrix("X", x).Matrix("B", b),
+                           Outputs("yhat"));
   if (!scored.ok()) {
     std::cerr << "error: " << scored.status() << "\n";
     return 1;

@@ -48,6 +48,35 @@ StatusOr<FrameBlock> ScriptResult::GetFrame(const std::string& name) const {
   return f->Frame();
 }
 
+Inputs& Inputs::Matrix(const std::string& name, MatrixBlock value) {
+  bindings_[name] = std::make_shared<MatrixObject>(std::move(value));
+  return *this;
+}
+Inputs& Inputs::Frame(const std::string& name, FrameBlock value) {
+  bindings_[name] = std::make_shared<FrameObject>(std::move(value));
+  return *this;
+}
+Inputs& Inputs::Scalar(const std::string& name, double value) {
+  bindings_[name] = ScalarObject::MakeDouble(value);
+  return *this;
+}
+Inputs& Inputs::Integer(const std::string& name, int64_t value) {
+  bindings_[name] = ScalarObject::MakeInt(value);
+  return *this;
+}
+Inputs& Inputs::Boolean(const std::string& name, bool value) {
+  bindings_[name] = ScalarObject::MakeBool(value);
+  return *this;
+}
+Inputs& Inputs::String(const std::string& name, std::string value) {
+  bindings_[name] = ScalarObject::MakeString(std::move(value));
+  return *this;
+}
+Inputs& Inputs::Bind(const std::string& name, DataPtr value) {
+  bindings_[name] = std::move(value);
+  return *this;
+}
+
 namespace {
 
 SymbolInfo InfoOf(const DataPtr& d) {
@@ -72,17 +101,58 @@ SymbolInfo InfoOf(const DataPtr& d) {
   return info;
 }
 
+struct RunOptions {
+  bool allow_recompile = true;
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  std::shared_ptr<CancellationToken> cancel;
+};
+
 StatusOr<ScriptResult> RunProgram(Program* program, const DMLConfig* config,
                                   LineageCache* cache, BufferPool* pool,
                                   const std::map<std::string, DataPtr>& inputs,
-                                  const std::vector<std::string>& outputs) {
+                                  const std::vector<std::string>& outputs,
+                                  const RunOptions& run = {}) {
   MatrixObject::SetBufferPool(pool);
   ExecutionContext ec(program, config);
   ec.SetCache(cache);
+  ec.SetRecompileAllowed(run.allow_recompile);
+  if (run.deadline.has_value()) {
+    // Fail fast if the deadline already passed before any work.
+    if (std::chrono::steady_clock::now() >= *run.deadline) {
+      return TimeoutError("request deadline expired before execution");
+    }
+    ec.SetDeadline(*run.deadline);
+  }
+  if (run.cancel != nullptr) {
+    if (run.cancel->Cancelled()) {
+      return CancelledError("request cancelled before execution");
+    }
+    ec.SetCancelToken(run.cancel);
+  }
   std::ostringstream out;
   ec.SetOut(&out);
   for (const auto& [name, value] : inputs) {
     ec.Vars().Set(name, value);
+  }
+  if (ec.TracingEnabled()) {
+    // Trace bound inputs by value identity, not variable name: with a
+    // reuse cache shared across executions (PreparedScript, serving), a
+    // name-only leaf would alias different inputs bound to the same name
+    // and serve one request's cached intermediates for another's data.
+    // Scalars trace their value (equal scalars legitimately reuse);
+    // matrices and frames trace the process-unique object id, so reuse
+    // happens exactly when callers share the same in-memory object.
+    for (const auto& [name, value] : inputs) {
+      if (auto* s = dynamic_cast<ScalarObject*>(value.get())) {
+        ec.Lineage()->Set(
+            name, LineageItem::Leaf("in", ValueTypeName(s->GetValueType()) +
+                                              (":" + s->AsString())));
+      } else {
+        ec.Lineage()->Set(name, LineageItem::Leaf(
+                                    "in", "obj" + std::to_string(
+                                                      value->ObjectId())));
+      }
+    }
   }
   SYSDS_RETURN_IF_ERROR(program->Execute(&ec));
   ScriptResult result;
@@ -100,18 +170,88 @@ StatusOr<ScriptResult> RunProgram(Program* program, const DMLConfig* config,
 
 }  // namespace
 
+SystemDSContext::Builder& SystemDSContext::Builder::WithConfig(
+    DMLConfig config) {
+  config_ = config;
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::NumThreads(int n) {
+  config_.num_threads = n;
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::CpMemoryBudget(
+    int64_t bytes) {
+  config_.cp_memory_budget = bytes;
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::BufferPoolLimit(
+    int64_t bytes) {
+  config_.buffer_pool_limit = bytes;
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::BlockSize(int64_t rows) {
+  config_.block_size = rows;
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::LineageTracing(bool on) {
+  config_.lineage_tracing = on;
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::Reuse(ReusePolicy policy) {
+  config_.reuse_policy = policy;
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::LineageCacheLimit(
+    int64_t bytes) {
+  config_.lineage_cache_limit = bytes;
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::LineageDedup(bool on) {
+  config_.lineage_dedup = on;
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::DynamicRecompilation(
+    bool on) {
+  config_.dynamic_recompilation = on;
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::Statistics(bool on) {
+  config_.statistics = on;
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::EnableTracing(
+    std::string path) {
+  trace_path_ = std::move(path);
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::EnableMetricsExport(
+    std::string path) {
+  metrics_path_ = std::move(path);
+  return *this;
+}
+
+std::unique_ptr<SystemDSContext> SystemDSContext::Builder::Build() const {
+  auto ctx = std::make_unique<SystemDSContext>(config_);
+  if (!trace_path_.empty()) ctx->EnableTracing(trace_path_);
+  if (!metrics_path_.empty()) ctx->EnableMetricsExport(metrics_path_);
+  return ctx;
+}
+
 SystemDSContext::SystemDSContext() : SystemDSContext(DMLConfig()) {}
 
-SystemDSContext::SystemDSContext(DMLConfig config) : config_(config) {
-  pool_ = std::make_unique<BufferPool>(config_.buffer_pool_limit);
-  cache_ = std::make_unique<LineageCache>(config_.lineage_cache_limit,
-                                          config_.reuse_policy);
+SystemDSContext::SystemDSContext(DMLConfig config)
+    : config_(std::make_shared<DMLConfig>(config)) {
+  pool_ = std::make_shared<BufferPool>(config_->buffer_pool_limit);
+  cache_ = std::make_shared<LineageCache>(config_->lineage_cache_limit,
+                                          config_->reuse_policy);
   MatrixObject::SetBufferPool(pool_.get());
 }
 
 SystemDSContext::~SystemDSContext() {
   FlushObservability();  // best-effort; failures only matter on explicit calls
-  MatrixObject::SetBufferPool(nullptr);
+  // Only clear the process-global pool if it is still ours: a PreparedScript
+  // or a second context may have installed a pool that must stay live.
+  MatrixObject::ClearBufferPool(pool_.get());
 }
 
 void SystemDSContext::EnableTracing(const std::string& path) {
@@ -160,33 +300,47 @@ DataPtr SystemDSContext::ScalarBool(bool v) {
   return ScalarObject::MakeBool(v);
 }
 
+StatusOr<ScriptResult> SystemDSContext::Execute(const std::string& script,
+                                                const Inputs& inputs,
+                                                const Outputs& outputs,
+                                                const ExecuteOptions& options) {
+  // The lineage cache holds values from prior executions; its policy is
+  // refreshed from the current config (benchmarks toggle reuse).
+  if (cache_->policy() != config_->reuse_policy) {
+    cache_ = std::make_shared<LineageCache>(config_->lineage_cache_limit,
+                                            config_->reuse_policy);
+  }
+  SymbolInfoMap infos;
+  for (const auto& [name, value] : inputs.Bindings()) {
+    infos[name] = InfoOf(value);
+  }
+  SYSDS_ASSIGN_OR_RETURN(std::unique_ptr<Program> program,
+                         CompileDML(script, *config_, infos));
+  RunOptions run;
+  run.deadline = options.deadline;
+  run.cancel = options.cancel;
+  return RunProgram(program.get(), config_.get(), cache_.get(), pool_.get(),
+                    inputs.Bindings(), outputs.Names(), run);
+}
+
 StatusOr<ScriptResult> SystemDSContext::Execute(
     const std::string& script, const std::map<std::string, DataPtr>& inputs,
     const std::vector<std::string>& outputs) {
-  // The lineage cache holds values from prior executions; its policy is
-  // refreshed from the current config (benchmarks toggle reuse).
-  if (cache_->policy() != config_.reuse_policy) {
-    cache_ = std::make_unique<LineageCache>(config_.lineage_cache_limit,
-                                            config_.reuse_policy);
-  }
-  SymbolInfoMap infos;
-  for (const auto& [name, value] : inputs) infos[name] = InfoOf(value);
-  SYSDS_ASSIGN_OR_RETURN(std::unique_ptr<Program> program,
-                         CompileDML(script, config_, infos));
-  return RunProgram(program.get(), &config_, cache_.get(), pool_.get(),
-                    inputs, outputs);
+  Inputs typed;
+  for (const auto& [name, value] : inputs) typed.Bind(name, value);
+  return Execute(script, typed, Outputs::FromVector(outputs));
 }
 
 StatusOr<std::unique_ptr<PreparedScript>> SystemDSContext::Prepare(
     const std::string& script,
     const std::map<std::string, SymbolInfo>& input_infos) {
   SYSDS_ASSIGN_OR_RETURN(std::unique_ptr<Program> program,
-                         CompileDML(script, config_, input_infos));
+                         CompileDML(script, *config_, input_infos));
   auto prepared = std::make_unique<PreparedScript>();
   prepared->program_ = std::move(program);
-  prepared->config_ = &config_;
-  prepared->cache_ = cache_.get();
-  prepared->pool_ = pool_.get();
+  prepared->config_ = config_;
+  prepared->cache_ = cache_;
+  prepared->pool_ = pool_;
   return prepared;
 }
 
@@ -194,7 +348,7 @@ StatusOr<std::string> SystemDSContext::Explain(
     const std::string& script,
     const std::map<std::string, SymbolInfo>& input_infos) {
   SYSDS_ASSIGN_OR_RETURN(std::unique_ptr<Program> program,
-                         CompileDML(script, config_, input_infos));
+                         CompileDML(script, *config_, input_infos));
   return program->Explain();
 }
 
@@ -218,9 +372,24 @@ void PreparedScript::BindString(const std::string& name, std::string value) {
 }
 
 StatusOr<ScriptResult> PreparedScript::Execute(
+    const Inputs& inputs, const Outputs& outputs,
+    const ExecuteOptions& options) const {
+  RunOptions run;
+  // The Program is shared by concurrent executors; in-place block
+  // recompilation would race (same reasoning as parfor workers).
+  run.allow_recompile = false;
+  run.deadline = options.deadline;
+  run.cancel = options.cancel;
+  return RunProgram(program_.get(), config_.get(), cache_.get(), pool_.get(),
+                    inputs.Bindings(), outputs.Names(), run);
+}
+
+StatusOr<ScriptResult> PreparedScript::Execute(
     const std::vector<std::string>& outputs) {
-  return RunProgram(program_.get(), config_, cache_, pool_, bindings_,
-                    outputs);
+  RunOptions run;
+  run.allow_recompile = false;
+  return RunProgram(program_.get(), config_.get(), cache_.get(), pool_.get(),
+                    bindings_, outputs, run);
 }
 
 }  // namespace sysds

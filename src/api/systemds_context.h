@@ -1,10 +1,15 @@
 #ifndef SYSDS_API_SYSTEMDS_CONTEXT_H_
 #define SYSDS_API_SYSTEMDS_CONTEXT_H_
 
+#include <chrono>
 #include <map>
 #include <memory>
+#include <optional>
 #include <ostream>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "common/config.h"
 #include "common/status.h"
@@ -45,11 +50,98 @@ class ScriptResult {
   std::string output_;
 };
 
+/// Typed input-binding builder: the value-carrying half of an execution
+/// request. Replaces the raw std::map<std::string, DataPtr> surface:
+///
+///   ctx.Execute(script,
+///               Inputs().Matrix("X", x).Scalar("eps", 1e-6),
+///               Outputs("B"));
+///
+/// An Inputs object is an immutable value once handed to Execute; build a
+/// fresh one per request (they are cheap: bindings are shared_ptrs).
+class Inputs {
+ public:
+  Inputs() = default;
+
+  Inputs& Matrix(const std::string& name, MatrixBlock value);
+  Inputs& Frame(const std::string& name, FrameBlock value);
+  Inputs& Scalar(const std::string& name, double value);
+  Inputs& Integer(const std::string& name, int64_t value);
+  Inputs& Boolean(const std::string& name, bool value);
+  Inputs& String(const std::string& name, std::string value);
+  /// Binds an already-constructed runtime object (shares, never copies).
+  Inputs& Bind(const std::string& name, DataPtr value);
+
+  const std::map<std::string, DataPtr>& Bindings() const { return bindings_; }
+
+ private:
+  std::map<std::string, DataPtr> bindings_;
+};
+
+/// Output selection for an execution request: `Outputs("B", "loss")`. At
+/// least one name is required by the constructor; use Outputs::None() for a
+/// script executed purely for its side effects (print/write).
+class Outputs {
+ public:
+  template <typename... Names,
+            typename = std::enable_if_t<
+                (sizeof...(Names) >= 1) &&
+                (std::is_convertible_v<Names, std::string> && ...)>>
+  explicit Outputs(Names&&... names) {
+    (names_.emplace_back(std::forward<Names>(names)), ...);
+  }
+
+  static Outputs None() { return Outputs(Tag{}); }
+  static Outputs FromVector(std::vector<std::string> names) {
+    Outputs o{Tag{}};
+    o.names_ = std::move(names);
+    return o;
+  }
+
+  Outputs& Add(std::string name) {
+    names_.push_back(std::move(name));
+    return *this;
+  }
+
+  const std::vector<std::string>& Names() const { return names_; }
+
+ private:
+  struct Tag {};
+  explicit Outputs(Tag) {}
+  std::vector<std::string> names_;
+};
+
+/// Per-request execution controls for the thread-safe execution paths.
+struct ExecuteOptions {
+  /// Absolute deadline; the interpreter polls it between instructions and
+  /// fails the request with StatusCode::kTimeout once expired.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Cooperative cancellation (StatusCode::kCancelled when fired).
+  std::shared_ptr<CancellationToken> cancel;
+};
+
 /// JMLC-style prepared script (paper §2.2(1)): compile once, bind in-memory
-/// inputs, execute repeatedly with low latency. Each Execute runs on a
-/// fresh symbol table; the lineage reuse cache persists across executions.
+/// inputs, execute repeatedly with low latency.
+///
+/// The const Execute(Inputs, Outputs) overload is thread-safe: any number
+/// of threads may execute one PreparedScript concurrently, each call runs
+/// on its own ExecutionContext/symbol table over the shared immutable
+/// Program, and the lineage reuse cache (sharded, internally synchronized)
+/// persists across executions. Because program blocks are shared across
+/// threads, dynamic recompilation is disabled on this path; pass complete
+/// SymbolInfo dimensions to Prepare so plans are compiled to final form.
+///
+/// A PreparedScript co-owns the config, lineage cache, and buffer pool of
+/// the context that prepared it, so it remains valid (and executable) after
+/// that context is destroyed.
 class PreparedScript {
  public:
+  /// Thread-safe execution with per-call bindings.
+  StatusOr<ScriptResult> Execute(const Inputs& inputs, const Outputs& outputs,
+                                 const ExecuteOptions& options = {}) const;
+
+  /// Deprecated mutable-binding surface. Not thread-safe: bindings are
+  /// stored on the PreparedScript itself. Prefer Execute(Inputs, Outputs).
   void BindMatrix(const std::string& name, MatrixBlock value);
   void BindFrame(const std::string& name, FrameBlock value);
   void BindDouble(const std::string& name, double value);
@@ -57,39 +149,89 @@ class PreparedScript {
   void BindBool(const std::string& name, bool value);
   void BindString(const std::string& name, std::string value);
 
-  /// Executes the precompiled program and collects `outputs`.
+  /// Deprecated: executes with the Bind*-accumulated bindings.
   StatusOr<ScriptResult> Execute(const std::vector<std::string>& outputs);
 
  private:
   friend class SystemDSContext;
   std::shared_ptr<Program> program_;
-  const DMLConfig* config_ = nullptr;
-  LineageCache* cache_ = nullptr;
-  BufferPool* pool_ = nullptr;
+  std::shared_ptr<const DMLConfig> config_;
+  std::shared_ptr<LineageCache> cache_;
+  std::shared_ptr<BufferPool> pool_;
   std::map<std::string, DataPtr> bindings_;
 };
 
 /// The MLContext-like entry point: owns configuration, the buffer pool, and
 /// the lineage reuse cache; compiles and executes DML scripts.
+///
+/// Construct through SystemDSContext::Builder, which fixes the
+/// configuration at construction time:
+///
+///   auto ctx = SystemDSContext::Builder()
+///                  .Reuse(ReusePolicy::kFull)
+///                  .NumThreads(4)
+///                  .EnableTracing("trace.json")
+///                  .Build();
 class SystemDSContext {
  public:
+  /// Fluent constructor: every knob of DMLConfig plus the observability
+  /// sinks, applied atomically at Build(). The built context's
+  /// configuration should be treated as immutable; concurrent executions
+  /// (PreparedScript / serve::ScoringService) rely on it not changing.
+  class Builder {
+   public:
+    Builder() = default;
+
+    /// Replaces the whole config (start from an existing DMLConfig).
+    Builder& WithConfig(DMLConfig config);
+    Builder& NumThreads(int n);
+    Builder& CpMemoryBudget(int64_t bytes);
+    Builder& BufferPoolLimit(int64_t bytes);
+    Builder& BlockSize(int64_t rows);
+    Builder& LineageTracing(bool on = true);
+    Builder& Reuse(ReusePolicy policy);
+    Builder& LineageCacheLimit(int64_t bytes);
+    Builder& LineageDedup(bool on = true);
+    Builder& DynamicRecompilation(bool on);
+    Builder& Statistics(bool on = true);
+    /// Folds SystemDSContext::EnableTracing into construction.
+    Builder& EnableTracing(std::string path);
+    /// Folds SystemDSContext::EnableMetricsExport into construction.
+    Builder& EnableMetricsExport(std::string path);
+
+    std::unique_ptr<SystemDSContext> Build() const;
+
+   private:
+    DMLConfig config_;
+    std::string trace_path_;
+    std::string metrics_path_;
+  };
+
   SystemDSContext();
   explicit SystemDSContext(DMLConfig config);
   ~SystemDSContext();
 
-  DMLConfig& Config() { return config_; }
+  SystemDSContext(const SystemDSContext&) = delete;
+  SystemDSContext& operator=(const SystemDSContext&) = delete;
+
+  /// Read-only view of the configuration fixed at construction.
+  const DMLConfig& config() const { return *config_; }
+
+  /// Deprecated escape hatch: mutable config reference. Mutating it after
+  /// construction is incompatible with concurrent execution; kept only so
+  /// pre-Builder call sites compile. Use Builder instead.
+  DMLConfig& Config() { return *config_; }
+
   LineageCache* Cache() { return cache_.get(); }
   BufferPool* Pool() { return pool_.get(); }
 
-  /// Turns on the span tracer (src/obs/): subsequent Compile/Execute calls
-  /// record compile phases, per-instruction spans, buffer-pool, lineage,
-  /// distributed, and federated events. The Chrome trace-event JSON is
-  /// written to `path` (open in chrome://tracing or ui.perfetto.dev) by
+  /// Deprecated: prefer Builder::EnableTracing. Turns on the span tracer
+  /// (src/obs/); the Chrome trace-event JSON is written to `path` by
   /// FlushObservability() or the destructor, whichever comes first.
   void EnableTracing(const std::string& path);
 
-  /// Writes the metrics-registry JSON export (counters, gauges, histograms,
-  /// per-opcode instruction timings) to `path` at flush/destruction time.
+  /// Deprecated: prefer Builder::EnableMetricsExport. Writes the
+  /// metrics-registry JSON export to `path` at flush/destruction time.
   void EnableMetricsExport(const std::string& path);
 
   /// Writes any configured trace/metrics outputs now and disables tracing.
@@ -97,13 +239,20 @@ class SystemDSContext {
   Status FlushObservability();
 
   /// One-shot execution: compile + run, returning requested outputs.
-  /// Inputs are bound under their names before execution.
+  StatusOr<ScriptResult> Execute(const std::string& script,
+                                 const Inputs& inputs, const Outputs& outputs,
+                                 const ExecuteOptions& options = {});
+
+  /// Deprecated shim over the raw-map binding surface; prefer the
+  /// Inputs/Outputs overload.
   StatusOr<ScriptResult> Execute(
       const std::string& script,
       const std::map<std::string, DataPtr>& inputs = {},
       const std::vector<std::string>& outputs = {});
 
-  /// Precompiles a script for repeated low-latency execution (JMLC).
+  /// Precompiles a script for repeated low-latency execution (JMLC). The
+  /// returned PreparedScript co-owns the context's cache/pool/config and
+  /// may outlive the context.
   StatusOr<std::unique_ptr<PreparedScript>> Prepare(
       const std::string& script,
       const std::map<std::string, SymbolInfo>& input_infos);
@@ -115,7 +264,7 @@ class SystemDSContext {
       const std::string& script,
       const std::map<std::string, SymbolInfo>& input_infos = {});
 
-  /// Convenience helpers to build input bindings.
+  /// Convenience helpers to build raw input bindings (deprecated surface).
   static DataPtr Matrix(MatrixBlock m);
   static DataPtr Frame(FrameBlock f);
   static DataPtr Scalar(double v);
@@ -124,9 +273,9 @@ class SystemDSContext {
   static DataPtr ScalarBool(bool v);
 
  private:
-  DMLConfig config_;
-  std::unique_ptr<BufferPool> pool_;
-  std::unique_ptr<LineageCache> cache_;
+  std::shared_ptr<DMLConfig> config_;
+  std::shared_ptr<BufferPool> pool_;
+  std::shared_ptr<LineageCache> cache_;
   std::string trace_path_;
   std::string metrics_path_;
 };

@@ -15,8 +15,22 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kOutOfRange: return "OutOfRange";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kOom: return "Oom";
+    case StatusCode::kTimeout: return "Timeout";
+    case StatusCode::kCancelled: return "Cancelled";
   }
   return "Unknown";
+}
+
+bool IsRetryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOom:
+    case StatusCode::kTimeout:
+    case StatusCode::kCancelled:
+      return true;
+    default:
+      return false;
+  }
 }
 
 std::string Status::ToString() const {
@@ -37,5 +51,8 @@ Status NotFound(std::string m) { return Status(StatusCode::kNotFound, std::move(
 Status Unimplemented(std::string m) { return Status(StatusCode::kUnimplemented, std::move(m)); }
 Status OutOfRange(std::string m) { return Status(StatusCode::kOutOfRange, std::move(m)); }
 Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(m)); }
+Status OomError(std::string m) { return Status(StatusCode::kOom, std::move(m)); }
+Status TimeoutError(std::string m) { return Status(StatusCode::kTimeout, std::move(m)); }
+Status CancelledError(std::string m) { return Status(StatusCode::kCancelled, std::move(m)); }
 
 }  // namespace sysds

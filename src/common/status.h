@@ -23,7 +23,19 @@ enum class StatusCode {
   kUnimplemented,
   kOutOfRange,
   kInternal,
+  // Serving / resource taxonomy: lets callers of the scoring service
+  // distinguish retryable conditions (transient resource pressure, an
+  // expired deadline, an explicit cancel) from fatal script errors.
+  kOom,             // memory budget / admission-queue capacity exhausted
+  kTimeout,         // request deadline expired (before or during execution)
+  kCancelled,       // request cancelled by the caller or service shutdown
 };
+
+/// True for error conditions a scoring-service client may meaningfully retry
+/// (possibly after backoff): resource exhaustion, deadline expiry, and
+/// cancellation. Parse/validate/compile/runtime failures are deterministic
+/// properties of the script+inputs and are fatal.
+bool IsRetryable(StatusCode code);
 
 /// Returns a short human-readable name for a status code, e.g. "ParseError".
 const char* StatusCodeName(StatusCode code);
@@ -53,6 +65,8 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
 
+inline bool IsRetryable(const Status& s) { return IsRetryable(s.code()); }
+
 Status InvalidArgument(std::string message);
 Status ParseError(std::string message);
 Status ValidateError(std::string message);
@@ -63,6 +77,9 @@ Status NotFound(std::string message);
 Status Unimplemented(std::string message);
 Status OutOfRange(std::string message);
 Status Internal(std::string message);
+Status OomError(std::string message);
+Status TimeoutError(std::string message);
+Status CancelledError(std::string message);
 
 /// Either a value of type T or an error Status. Accessing value() on an
 /// error is a programming bug and aborts in debug builds.

@@ -1,6 +1,7 @@
 #include "lineage/lineage.h"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -164,23 +165,46 @@ uint64_t LineagePatchHash(
 LineageCache::LineageCache(int64_t limit_bytes, ReusePolicy policy)
     : limit_bytes_(limit_bytes), policy_(policy) {}
 
+bool LineageCache::MayContain(uint64_t hash) {
+  const Shard& s = ShardFor(hash);
+  if (s.generation.load(std::memory_order_acquire) == 0) return false;
+  return (s.summary.load(std::memory_order_acquire) & SummaryBit(hash)) != 0;
+}
+
+DataPtr LineageCache::LockedLookup(uint64_t hash,
+                                   const LineageItem& expected) {
+  Shard& s = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(s.mutex);
+  auto it = s.entries.find(hash);
+  if (it == s.entries.end() || !it->second.item->Equals(expected)) {
+    return nullptr;
+  }
+  it->second.last_use = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return it->second.value;
+}
+
 DataPtr LineageCache::Probe(const LineageItemPtr& item) {
-  ++stats_.probes;
+  probes_.fetch_add(1, std::memory_order_relaxed);
   obs::Tracer::Instant("lineage", "cache_probe");
-  auto it = entries_.find(item->hash());
-  if (it == entries_.end() || !it->second.item->Equals(*item)) {
-    static obs::Counter* misses =
-        obs::MetricsRegistry::Get().GetCounter("lineage.cache_misses");
+  static obs::Counter* misses =
+      obs::MetricsRegistry::Get().GetCounter("lineage.cache_misses");
+  // Hot miss path: the generation counter and resident-hash summary of the
+  // shard prove absence without taking the shard mutex.
+  if (!MayContain(item->hash())) {
     misses->Add(1);
     return nullptr;
   }
-  it->second.last_use = ++clock_;
-  ++stats_.full_hits;
+  DataPtr hit = LockedLookup(item->hash(), *item);
+  if (hit == nullptr) {
+    misses->Add(1);
+    return nullptr;
+  }
+  full_hits_.fetch_add(1, std::memory_order_relaxed);
   static obs::Counter* hits =
       obs::MetricsRegistry::Get().GetCounter("lineage.cache_hits");
   hits->Add(1);
   obs::Tracer::Instant("lineage", "cache_hit");
-  return it->second.value;
+  return hit;
 }
 
 void LineageCache::Put(const LineageItemPtr& item, const DataPtr& value) {
@@ -191,36 +215,105 @@ void LineageCache::Put(const LineageItemPtr& item, const DataPtr& value) {
   puts->Add(1);
   int64_t size = m->EstimateSizeInBytes();
   if (size > limit_bytes_) return;
+  uint64_t hash = item->hash();
   Entry e;
   e.item = item;
   e.value = value;
   e.size = size;
-  e.last_use = ++clock_;
-  auto [it, inserted] = entries_.emplace(item->hash(), std::move(e));
-  if (!inserted) {
-    it->second.last_use = clock_;
-    return;
+  e.last_use = clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool inserted = false;
+  {
+    Shard& s = ShardFor(hash);
+    std::lock_guard<std::mutex> lock(s.mutex);
+    auto [it, fresh] = s.entries.emplace(hash, std::move(e));
+    if (!fresh) {
+      // Concurrent executors may compute the same intermediate; keep the
+      // first copy and just refresh its recency.
+      it->second.last_use = clock_.load(std::memory_order_relaxed);
+      return;
+    }
+    inserted = true;
+    ++s.puts;
+    s.summary.fetch_or(SummaryBit(hash), std::memory_order_release);
+    s.generation.fetch_add(1, std::memory_order_release);
   }
-  stats_.bytes += size;
-  ++stats_.puts;
-  EvictIfNeeded();
+  if (inserted) {
+    bytes_.fetch_add(size, std::memory_order_relaxed);
+    EvictIfNeeded();
+  }
 }
 
 void LineageCache::EvictIfNeeded() {
-  while (stats_.bytes > limit_bytes_ && !entries_.empty()) {
-    auto victim = entries_.begin();
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+  while (bytes_.load(std::memory_order_relaxed) > limit_bytes_) {
+    // Pass 1: find the shard holding the globally oldest entry (each shard
+    // is locked briefly; the snapshot may be slightly stale, which only
+    // perturbs LRU order, never correctness).
+    int victim_shard = -1;
+    int64_t oldest = std::numeric_limits<int64_t>::max();
+    for (int i = 0; i < kNumShards; ++i) {
+      std::lock_guard<std::mutex> lock(shards_[static_cast<size_t>(i)].mutex);
+      for (const auto& [hash, entry] :
+           shards_[static_cast<size_t>(i)].entries) {
+        if (entry.last_use < oldest) {
+          oldest = entry.last_use;
+          victim_shard = i;
+        }
+      }
+    }
+    if (victim_shard < 0) return;  // racing evictors emptied the cache
+    // Pass 2: evict that shard's current oldest entry and rebuild the
+    // resident-hash summary from the survivors.
+    Shard& s = shards_[static_cast<size_t>(victim_shard)];
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (s.entries.empty()) continue;
+    auto victim = s.entries.begin();
+    for (auto it = s.entries.begin(); it != s.entries.end(); ++it) {
       if (it->second.last_use < victim->second.last_use) victim = it;
     }
-    stats_.bytes -= victim->second.size;
-    ++stats_.evictions;
-    entries_.erase(victim);
+    bytes_.fetch_sub(victim->second.size, std::memory_order_relaxed);
+    ++s.evictions;
+    s.entries.erase(victim);
+    uint64_t summary = 0;
+    for (const auto& [hash, entry] : s.entries) summary |= SummaryBit(hash);
+    s.summary.store(summary, std::memory_order_release);
+  }
+}
+
+LineageCacheStats LineageCache::Stats() const {
+  LineageCacheStats stats;
+  stats.probes = probes_.load(std::memory_order_relaxed);
+  stats.bytes = bytes_.load(std::memory_order_relaxed);
+  stats.full_hits = full_hits_.load(std::memory_order_relaxed);
+  stats.partial_hits = partial_hits_.load(std::memory_order_relaxed);
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    stats.puts += s.puts;
+    stats.evictions += s.evictions;
+  }
+  return stats;
+}
+
+void LineageCache::ResetStats() {
+  probes_.store(0, std::memory_order_relaxed);
+  full_hits_.store(0, std::memory_order_relaxed);
+  partial_hits_.store(0, std::memory_order_relaxed);
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.puts = s.evictions = 0;
   }
 }
 
 void LineageCache::Clear() {
-  entries_.clear();
-  stats_.bytes = 0;
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    for (const auto& [hash, entry] : s.entries) {
+      bytes_.fetch_sub(entry.size, std::memory_order_relaxed);
+    }
+    s.entries.clear();
+    s.summary.store(0, std::memory_order_release);
+    // generation stays nonzero: it counts inserts ever, and a cleared shard
+    // is re-proven empty by the summary.
+  }
 }
 
 StatusOr<DataPtr> LineageCache::ProbePartial(const Instruction& instr,
@@ -249,11 +342,12 @@ StatusOr<DataPtr> LineageCache::ProbePartial(const Instruction& instr,
     probe_item = LineageItem::Node("tmm", {xi->inputs()[0],
                                            item->inputs()[1]});
   }
-  auto it = entries_.find(probe_item->hash());
-  if (it == entries_.end() || !it->second.item->Equals(*probe_item)) {
-    return DataPtr(nullptr);
-  }
-  auto* cached = dynamic_cast<MatrixObject*>(it->second.value.get());
+  if (!MayContain(probe_item->hash())) return DataPtr(nullptr);
+  // Pin the cached value via shared_ptr and run the compensation plan
+  // outside the shard lock (it may evict concurrently; the copy is safe).
+  DataPtr cached_value = LockedLookup(probe_item->hash(), *probe_item);
+  if (cached_value == nullptr) return DataPtr(nullptr);
+  auto* cached = dynamic_cast<MatrixObject*>(cached_value.get());
   if (cached == nullptr) return DataPtr(nullptr);
 
   // Compensation plan over the current X (and y for tmm).
@@ -308,7 +402,7 @@ StatusOr<DataPtr> LineageCache::ProbePartial(const Instruction& instr,
     }
     out.MarkNnzDirty();
     release();
-    ++stats_.partial_hits;
+    partial_hits_.fetch_add(1, std::memory_order_relaxed);
     DataPtr result = std::make_shared<MatrixObject>(std::move(out));
     Put(item, result);
     return result;
@@ -328,7 +422,7 @@ StatusOr<DataPtr> LineageCache::ProbePartial(const Instruction& instr,
   auto out_or = RBind(parts);
   release();
   if (!out_or.ok()) return DataPtr(nullptr);
-  ++stats_.partial_hits;
+  partial_hits_.fetch_add(1, std::memory_order_relaxed);
   DataPtr result = std::make_shared<MatrixObject>(std::move(*out_or));
   Put(item, result);
   return result;

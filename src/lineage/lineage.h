@@ -1,9 +1,12 @@
 #ifndef SYSDS_LINEAGE_LINEAGE_H_
 #define SYSDS_LINEAGE_LINEAGE_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -104,8 +107,21 @@ struct LineageCacheStats {
 /// The lineage-based reuse cache (paper §3.1): intermediates keyed by the
 /// hash of their lineage DAG, with full reuse and compensation-plan based
 /// partial reuse (column-augmented tsmm/tmm, the steplm pattern).
+///
+/// Thread-safe for concurrent scoring (src/serve/): entries are sharded by
+/// lineage hash with one mutex per shard, so probes/puts for different
+/// sub-DAGs proceed in parallel. The hot miss path takes no lock at all:
+/// each shard maintains an atomic generation counter (number of inserts
+/// ever) and a 64-bit resident-hash summary; a zero generation or a clear
+/// summary bit proves the hash is not resident, and only summary false
+/// positives fall through to the locked lookup. Eviction approximates a
+/// global LRU: a logical clock orders hits across shards and the eviction
+/// sweep removes the globally oldest entry until under the byte limit.
 class LineageCache {
  public:
+  static constexpr int kShardBits = 4;
+  static constexpr int kNumShards = 1 << kShardBits;
+
   LineageCache(int64_t limit_bytes, ReusePolicy policy);
 
   ReusePolicy policy() const { return policy_; }
@@ -117,6 +133,7 @@ class LineageCache {
   /// `item`: recognizes tsmm/tmm over cbind(A, v) when the result for A is
   /// cached, and computes the output via a compensation plan over the
   /// cached block plus the new column. Returns nullptr if not applicable.
+  /// The compensation plan itself runs outside any shard lock.
   StatusOr<DataPtr> ProbePartial(const Instruction& instr,
                                  const LineageItemPtr& item,
                                  ExecutionContext* ec);
@@ -125,8 +142,10 @@ class LineageCache {
   /// LRU eviction).
   void Put(const LineageItemPtr& item, const DataPtr& value);
 
-  const LineageCacheStats& Stats() const { return stats_; }
-  void ResetStats() { stats_ = LineageCacheStats{}; }
+  /// Aggregated snapshot over all shards (counters are exact; `bytes` is
+  /// the current occupancy).
+  LineageCacheStats Stats() const;
+  void ResetStats();
   void Clear();
 
  private:
@@ -137,13 +156,46 @@ class LineageCache {
     int64_t last_use = 0;
   };
 
+  // Sized and aligned to keep each shard's mutex and map on distinct cache
+  // lines under concurrent executors.
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::map<uint64_t, Entry> entries;
+    // Guarded by `mutex`.
+    int64_t puts = 0;
+    int64_t evictions = 0;
+    // Lock-free probe summaries: `generation` counts inserts ever made into
+    // the shard (0 = provably empty); `summary` has a bit set for every
+    // hash that may be resident (rebuilt under the mutex on eviction).
+    std::atomic<uint64_t> generation{0};
+    std::atomic<uint64_t> summary{0};
+  };
+
+  Shard& ShardFor(uint64_t hash) {
+    return shards_[hash & static_cast<uint64_t>(kNumShards - 1)];
+  }
+  static uint64_t SummaryBit(uint64_t hash) {
+    return 1ULL << ((hash >> kShardBits) & 63);
+  }
+  /// True if `hash` may be resident; lock-free, no false negatives.
+  bool MayContain(uint64_t hash);
+  /// Locks shards one at a time to evict the globally oldest entry until
+  /// total occupancy is back under the limit.
   void EvictIfNeeded();
+  /// Looks up `hash` in its shard and returns the value (bumping LRU) or
+  /// nullptr; `expected` guards against hash collisions. Counting the hit
+  /// is left to the caller (the partial path only counts after its
+  /// compensation plan actually served the result).
+  DataPtr LockedLookup(uint64_t hash, const LineageItem& expected);
 
   int64_t limit_bytes_;
   ReusePolicy policy_;
-  int64_t clock_ = 0;
-  std::map<uint64_t, Entry> entries_;
-  LineageCacheStats stats_;
+  std::atomic<int64_t> clock_{0};
+  std::atomic<int64_t> bytes_{0};
+  std::atomic<int64_t> probes_{0};
+  std::atomic<int64_t> full_hits_{0};
+  std::atomic<int64_t> partial_hits_{0};
+  std::array<Shard, kNumShards> shards_;
 };
 
 }  // namespace sysds

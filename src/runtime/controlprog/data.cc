@@ -25,7 +25,11 @@ obs::Counter* PoolMisses() {
       obs::MetricsRegistry::Get().GetCounter("bufferpool.misses");
   return c;
 }
+std::atomic<int64_t> g_next_object_id{1};
 }  // namespace
+
+Data::Data()
+    : object_id_(g_next_object_id.fetch_add(1, std::memory_order_relaxed)) {}
 
 DataPtr ScalarObject::MakeDouble(double v) {
   auto s = std::make_shared<ScalarObject>();
@@ -100,6 +104,10 @@ std::string ScalarObject::AsString() const {
 }
 
 void MatrixObject::SetBufferPool(BufferPool* pool) { g_buffer_pool = pool; }
+
+void MatrixObject::ClearBufferPool(BufferPool* expected) {
+  g_buffer_pool.compare_exchange_strong(expected, nullptr);
+}
 
 MatrixObject::MatrixObject(MatrixBlock block) {
   rows_ = block.Rows();

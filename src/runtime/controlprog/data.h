@@ -20,10 +20,21 @@ class FederatedMatrix;
 /// Base of all language-level runtime values held in symbol tables.
 class Data {
  public:
+  Data();
   virtual ~Data() = default;
   virtual DataType GetDataType() const = 0;
   virtual ValueType GetValueType() const = 0;
   virtual std::string DebugString() const = 0;
+
+  /// Process-unique identity, assigned at construction. Lineage tracing
+  /// uses it to identify bound in-memory inputs: two executions that bind
+  /// the same object trace the same leaf (and may reuse each other's
+  /// intermediates), while distinct objects — even with equal contents —
+  /// never alias.
+  int64_t ObjectId() const { return object_id_; }
+
+ private:
+  int64_t object_id_;
 };
 
 using DataPtr = std::shared_ptr<Data>;
@@ -93,6 +104,10 @@ class MatrixObject final : public Data {
 
   /// Process-wide buffer pool used for eviction (set by the context).
   static void SetBufferPool(BufferPool* pool);
+
+  /// Clears the process-wide pool only if it still points at `expected`: a
+  /// context tearing down must not null out a newer context's pool.
+  static void ClearBufferPool(BufferPool* expected);
 
  private:
   // Restores the block from the spill file. Caller holds mutex_; performs

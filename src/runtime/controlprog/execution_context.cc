@@ -99,11 +99,24 @@ void ExecutionContext::SetOutput(const Operand& op, DataPtr value) {
   vars_.Set(op.name, std::move(value));
 }
 
+Status ExecutionContext::CheckInterrupt() const {
+  if (cancel_ != nullptr && cancel_->Cancelled()) {
+    return CancelledError("execution cancelled");
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return TimeoutError("request deadline exceeded during execution");
+  }
+  return Status::Ok();
+}
+
 std::unique_ptr<ExecutionContext> ExecutionContext::CreateChild() const {
   auto child = std::make_unique<ExecutionContext>(program_, config_);
   child->cache_ = cache_;
   child->federated_ = federated_;
   child->out_ = out_;
+  child->has_deadline_ = has_deadline_;
+  child->deadline_ = deadline_;
+  child->cancel_ = cancel_;
   return child;
 }
 

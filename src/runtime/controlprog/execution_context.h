@@ -1,6 +1,8 @@
 #ifndef SYSDS_RUNTIME_CONTROLPROG_EXECUTION_CONTEXT_H_
 #define SYSDS_RUNTIME_CONTROLPROG_EXECUTION_CONTEXT_H_
 
+#include <atomic>
+#include <chrono>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -18,6 +20,21 @@ class BufferPool;
 class LineageMap;
 class LineageCache;
 class FederatedRegistry;
+
+/// Cooperative cancellation signal shared between a request submitter and
+/// the executing context tree (root, function scopes, parfor workers). The
+/// interpreter polls it between instructions, so cancellation takes effect
+/// at the next instruction boundary.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool Cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
 
 /// The variable environment of a (control) program scope.
 class SymbolTable {
@@ -78,6 +95,21 @@ class ExecutionContext {
   bool RecompileAllowed() const { return recompile_allowed_; }
   void SetRecompileAllowed(bool v) { recompile_allowed_ = v; }
 
+  // Per-request deadline and cancellation (serving): both are polled by the
+  // interpreter between instructions. Propagated to child contexts so
+  // function calls and parfor workers observe the same request lifetime.
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  void SetCancelToken(std::shared_ptr<CancellationToken> token) {
+    cancel_ = std::move(token);
+  }
+  /// Cheap test whether any interrupt source is configured (hot path guard).
+  bool HasInterrupt() const { return has_deadline_ || cancel_ != nullptr; }
+  /// kCancelled if the token fired, kTimeout if past the deadline, Ok else.
+  Status CheckInterrupt() const;
+
   /// Creates a child context for function calls / parfor workers.
   std::unique_ptr<ExecutionContext> CreateChild() const;
 
@@ -90,6 +122,9 @@ class ExecutionContext {
   FederatedRegistry* federated_ = nullptr;
   std::ostream* out_ = &std::cout;
   bool recompile_allowed_ = true;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::shared_ptr<CancellationToken> cancel_;
 };
 
 }  // namespace sysds

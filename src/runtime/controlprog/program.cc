@@ -65,11 +65,13 @@ Status ExecuteInstructions(const std::vector<InstructionPtr>& instructions,
                            ExecutionContext* ec) {
   const bool tracing = ec->TracingEnabled();
   const bool stats = ec->Config().statistics;
+  const bool interruptible = ec->HasInterrupt();
   LineageCache* cache = ec->Cache();
   const bool reuse =
       cache != nullptr && ec->Config().reuse_policy != ReusePolicy::kNone;
 
   for (const InstructionPtr& instr : instructions) {
+    if (interruptible) SYSDS_RETURN_IF_ERROR(ec->CheckInterrupt());
     SYSDS_SPAN("cp", instr->opcode());
     Timer timer;
     LineageItemPtr item;

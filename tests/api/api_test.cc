@@ -113,5 +113,163 @@ TEST(ApiTest, CompileErrorsSurfaceBeforeExecution) {
   EXPECT_EQ(r.status().code(), StatusCode::kValidateError);
 }
 
+TEST(ApiTest, BuilderFixesConfigAtConstruction) {
+  auto ctx = SystemDSContext::Builder()
+                 .NumThreads(2)
+                 .Reuse(ReusePolicy::kFull)
+                 .LineageCacheLimit(1 << 20)
+                 .Statistics(false)
+                 .Build();
+  EXPECT_EQ(ctx->config().num_threads, 2);
+  EXPECT_EQ(ctx->config().reuse_policy, ReusePolicy::kFull);
+  EXPECT_EQ(ctx->config().lineage_cache_limit, 1 << 20);
+  EXPECT_EQ(ctx->Cache()->policy(), ReusePolicy::kFull);
+}
+
+TEST(ApiTest, TypedInputsOutputsExecute) {
+  auto ctx = SystemDSContext::Builder().Build();
+  MatrixBlock x = MatrixBlock::Dense(3, 2, 2.0);
+  auto r = ctx->Execute("s = sum(X) * eps\nmsg = tag + \"!\"\n",
+                        Inputs()
+                            .Matrix("X", x)
+                            .Scalar("eps", 0.5)
+                            .String("tag", "done"),
+                        Outputs("s", "msg"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_DOUBLE_EQ(*r->GetDouble("s"), 6.0);
+  EXPECT_EQ(*r->GetString("msg"), "done!");
+}
+
+TEST(ApiTest, OutputsNoneForSideEffectScripts) {
+  auto ctx = SystemDSContext::Builder().Build();
+  auto r = ctx->Execute("print(\"hello\")\n", Inputs(), Outputs::None());
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NE(r->Output().find("hello"), std::string::npos);
+}
+
+TEST(ApiTest, PreparedScriptStatelessExecute) {
+  auto ctx = SystemDSContext::Builder().Build();
+  SymbolInfo mat;
+  mat.dt = DataType::kMatrix;
+  mat.dim1 = 4;
+  mat.dim2 = 4;
+  auto prepared = ctx->Prepare("y = sum(X)\n", {{"X", mat}});
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  // Per-call bindings: no state on the PreparedScript, calls do not
+  // interfere.
+  for (int i = 1; i <= 3; ++i) {
+    auto r = (*prepared)->Execute(
+        Inputs().Matrix("X",
+                        MatrixBlock::Dense(4, 4, static_cast<double>(i))),
+        Outputs("y"));
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_DOUBLE_EQ(*r->GetDouble("y"), 16.0 * i);
+  }
+}
+
+// Regression test: PreparedScript used to hold raw pointers into its
+// SystemDSContext (config, lineage cache, buffer pool) that dangled once
+// the context was destroyed. It now co-owns them.
+TEST(ApiTest, PreparedScriptOutlivesContext) {
+  std::unique_ptr<PreparedScript> prepared;
+  {
+    auto ctx = SystemDSContext::Builder().Reuse(ReusePolicy::kFull).Build();
+    SymbolInfo mat;
+    mat.dt = DataType::kMatrix;
+    mat.dim1 = 8;
+    mat.dim2 = 8;
+    auto p = ctx->Prepare("y = sum(t(X) %*% X)\n", {{"X", mat}});
+    ASSERT_TRUE(p.ok()) << p.status();
+    prepared = std::move(*p);
+  }  // context destroyed here
+  auto r = prepared->Execute(
+      Inputs().Matrix("X", MatrixBlock::Dense(8, 8, 1.0)), Outputs("y"));
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_DOUBLE_EQ(*r->GetDouble("y"), 8.0 * 8.0 * 8.0);
+}
+
+// Regression test: lineage used to trace bound inputs by variable name
+// only, so with a reuse cache shared across executions, a second request
+// binding a *different* matrix to "X" would be served the first request's
+// cached intermediates. Inputs are now traced by object identity.
+TEST(ApiTest, ReuseDoesNotAliasDistinctBoundInputs) {
+  auto ctx = SystemDSContext::Builder().Reuse(ReusePolicy::kFull).Build();
+  SymbolInfo mat;
+  mat.dt = DataType::kMatrix;
+  mat.dim1 = 4;
+  mat.dim2 = 4;
+  auto prepared = ctx->Prepare("y = sum(t(X) %*% X)\n", {{"X", mat}});
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  auto r1 = (*prepared)->Execute(
+      Inputs().Matrix("X", MatrixBlock::Dense(4, 4, 1.0)), Outputs("y"));
+  auto r2 = (*prepared)->Execute(
+      Inputs().Matrix("X", MatrixBlock::Dense(4, 4, 2.0)), Outputs("y"));
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_DOUBLE_EQ(*r1->GetDouble("y"), 64.0);    // 4x4 entries of 4
+  EXPECT_DOUBLE_EQ(*r2->GetDouble("y"), 256.0);   // 4x4 entries of 16
+
+  // Re-binding the same object does reuse cached intermediates.
+  DataPtr shared = SystemDSContext::Matrix(MatrixBlock::Dense(4, 4, 3.0));
+  auto r3 = (*prepared)->Execute(Inputs().Bind("X", shared), Outputs("y"));
+  int64_t hits_before = ctx->Cache()->Stats().full_hits;
+  auto r4 = (*prepared)->Execute(Inputs().Bind("X", shared), Outputs("y"));
+  ASSERT_TRUE(r3.ok() && r4.ok());
+  EXPECT_DOUBLE_EQ(*r3->GetDouble("y"), *r4->GetDouble("y"));
+  EXPECT_GT(ctx->Cache()->Stats().full_hits, hits_before);
+}
+
+TEST(ApiTest, ExpiredDeadlineFailsWithTimeout) {
+  auto ctx = SystemDSContext::Builder().Build();
+  SymbolInfo mat;
+  mat.dt = DataType::kMatrix;
+  auto prepared = ctx->Prepare("y = sum(X)\n", {{"X", mat}});
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  ExecuteOptions opts;
+  opts.deadline = std::chrono::steady_clock::now() -
+                  std::chrono::milliseconds(1);  // already in the past
+  auto r = (*prepared)->Execute(
+      Inputs().Matrix("X", MatrixBlock::Dense(2, 2, 1.0)), Outputs("y"),
+      opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+  EXPECT_TRUE(IsRetryable(r.status()));
+}
+
+TEST(ApiTest, CancellationTokenStopsExecution) {
+  auto ctx = SystemDSContext::Builder().Build();
+  SymbolInfo mat;
+  mat.dt = DataType::kMatrix;
+  auto prepared = ctx->Prepare("y = sum(X)\n", {{"X", mat}});
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  ExecuteOptions opts;
+  opts.cancel = std::make_shared<CancellationToken>();
+  opts.cancel->Cancel();  // cancelled before submission
+  auto r = (*prepared)->Execute(
+      Inputs().Matrix("X", MatrixBlock::Dense(2, 2, 1.0)), Outputs("y"),
+      opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+}
+
+TEST(ApiTest, DeadlineInterruptsLongLoop) {
+  auto ctx = SystemDSContext::Builder().Build();
+  // An effectively unbounded loop; only the instruction-level deadline
+  // poll can stop it.
+  SymbolInfo sc;
+  sc.dt = DataType::kScalar;
+  sc.vt = ValueType::kInt64;
+  auto prepared = ctx->Prepare(
+      "acc = 0\ni = 0\nwhile (i < n) { acc = acc + i\ni = i + 1 }\n",
+      {{"n", sc}});
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  ExecuteOptions opts;
+  opts.deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+  auto r = (*prepared)->Execute(Inputs().Integer("n", 2000000000),
+                                Outputs("acc"), opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+}
+
 }  // namespace
 }  // namespace sysds

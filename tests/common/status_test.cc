@@ -32,6 +32,30 @@ TEST(StatusTest, FactoryFunctionsSetCodes) {
   EXPECT_EQ(Internal("").code(), StatusCode::kInternal);
 }
 
+TEST(StatusTest, ServingTaxonomyCodesAndNames) {
+  EXPECT_EQ(OomError("").code(), StatusCode::kOom);
+  EXPECT_EQ(TimeoutError("").code(), StatusCode::kTimeout);
+  EXPECT_EQ(CancelledError("").code(), StatusCode::kCancelled);
+  EXPECT_EQ(OomError("queue full").ToString(), "Oom: queue full");
+  EXPECT_EQ(TimeoutError("late").ToString(), "Timeout: late");
+  EXPECT_EQ(CancelledError("gone").ToString(), "Cancelled: gone");
+}
+
+TEST(StatusTest, RetryableClassification) {
+  // Load-dependent failures are worth retrying with backoff...
+  EXPECT_TRUE(IsRetryable(OomError("")));
+  EXPECT_TRUE(IsRetryable(TimeoutError("")));
+  EXPECT_TRUE(IsRetryable(CancelledError("")));
+  // ...while deterministic failures are not.
+  EXPECT_FALSE(IsRetryable(ParseError("")));
+  EXPECT_FALSE(IsRetryable(ValidateError("")));
+  EXPECT_FALSE(IsRetryable(CompileError("")));
+  EXPECT_FALSE(IsRetryable(RuntimeError("")));
+  EXPECT_FALSE(IsRetryable(NotFound("")));
+  EXPECT_FALSE(IsRetryable(Internal("")));
+  EXPECT_FALSE(IsRetryable(Status::Ok()));
+}
+
 TEST(StatusOrTest, HoldsValue) {
   StatusOr<int> v = 42;
   ASSERT_TRUE(v.ok());
