@@ -1,12 +1,14 @@
 // Command-line DML runner (the `java -jar systemds` equivalent):
 //   dml_runner script.dml [-stats] [-lineage] [-reuse full|partial]
 //              [-explain] [-threads N] [--trace out.json]
-//              [--metrics out.json]
+//              [--metrics out.json] [--chaos-seed N]
 // Executes the script and prints script output; with -stats, prints the
 // heavy-hitter instruction profile afterwards. --trace records spans from
 // every runtime subsystem and writes Chrome trace-event JSON (open in
 // chrome://tracing or https://ui.perfetto.dev); --metrics dumps the metrics
-// registry (counters/gauges/histograms) as JSON.
+// registry (counters/gauges/histograms) as JSON. --chaos-seed N runs the
+// script under deterministic fault injection (FaultProfile::Standard()
+// with seed N); combine with --metrics to inspect the fault.* counters.
 
 #include <fstream>
 #include <iostream>
@@ -21,7 +23,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: " << argv[0]
               << " script.dml [-stats] [-lineage] [-reuse full|partial]"
-                 " [-threads N] [--trace out.json] [--metrics out.json]\n";
+                 " [-threads N] [--trace out.json] [--metrics out.json]"
+                 " [--chaos-seed N]\n";
     return 2;
   }
 
@@ -48,8 +51,14 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if ((arg == "--metrics" || arg == "-metrics") && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if ((arg == "--chaos-seed" || arg == "-chaos-seed") &&
+               i + 1 < argc) {
+      config.faults.enabled = true;
+      config.faults.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
+      config.faults.profile = FaultProfile::Standard();
     } else if (arg == "-reuse" || arg == "-threads" || arg == "--trace" ||
-               arg == "-trace" || arg == "--metrics" || arg == "-metrics") {
+               arg == "-trace" || arg == "--metrics" || arg == "-metrics" ||
+               arg == "--chaos-seed" || arg == "-chaos-seed") {
       std::cerr << arg << " requires a value\n";
       return 2;
     } else if (!arg.empty() && arg[0] != '-') {

@@ -229,6 +229,16 @@ SystemDSContext::Builder& SystemDSContext::Builder::EnableMetricsExport(
   metrics_path_ = std::move(path);
   return *this;
 }
+SystemDSContext::Builder& SystemDSContext::Builder::Chaos(FaultConfig faults) {
+  config_.faults = std::move(faults);
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::ChaosSeed(uint64_t seed) {
+  config_.faults.enabled = true;
+  config_.faults.seed = seed;
+  config_.faults.profile = FaultProfile::Standard();
+  return *this;
+}
 
 std::unique_ptr<SystemDSContext> SystemDSContext::Builder::Build() const {
   auto ctx = std::make_unique<SystemDSContext>(config_);
@@ -245,10 +255,15 @@ SystemDSContext::SystemDSContext(DMLConfig config)
   cache_ = std::make_shared<LineageCache>(config_->lineage_cache_limit,
                                           config_->reuse_policy);
   MatrixObject::SetBufferPool(pool_.get());
+  if (config_->faults.enabled) {
+    FaultInjector::Get().Configure(config_->faults);
+    owns_fault_injection_ = true;
+  }
 }
 
 SystemDSContext::~SystemDSContext() {
   FlushObservability();  // best-effort; failures only matter on explicit calls
+  if (owns_fault_injection_) FaultInjector::Get().Disable();
   // Only clear the process-global pool if it is still ours: a PreparedScript
   // or a second context may have installed a pool that must stay live.
   MatrixObject::ClearBufferPool(pool_.get());

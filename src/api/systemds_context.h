@@ -198,6 +198,13 @@ class SystemDSContext {
     Builder& EnableTracing(std::string path);
     /// Folds SystemDSContext::EnableMetricsExport into construction.
     Builder& EnableMetricsExport(std::string path);
+    /// Chaos testing: the built context configures the process-wide
+    /// FaultInjector with this FaultConfig at construction and disables it
+    /// again at destruction (see common/faults.h).
+    Builder& Chaos(FaultConfig faults);
+    /// Shorthand: FaultProfile::Standard() under the given seed
+    /// (`dml_runner --chaos-seed N` maps here).
+    Builder& ChaosSeed(uint64_t seed);
 
     std::unique_ptr<SystemDSContext> Build() const;
 
@@ -278,6 +285,9 @@ class SystemDSContext {
   std::shared_ptr<LineageCache> cache_;
   std::string trace_path_;
   std::string metrics_path_;
+  // True when this context enabled the process-wide FaultInjector (via
+  // DMLConfig::faults); the destructor then disables it.
+  bool owns_fault_injection_ = false;
 };
 
 }  // namespace sysds

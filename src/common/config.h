@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "common/faults.h"
+
 namespace sysds {
 
 /// How lineage-based reuse of intermediates operates (paper §3.1).
@@ -49,6 +51,11 @@ struct DMLConfig {
 
   // Print instruction-level statistics at the end of a script run.
   bool statistics = false;
+
+  // Chaos testing: when faults.enabled, SystemDSContext configures the
+  // process-wide FaultInjector at construction (see common/faults.h and
+  // SystemDSContext::Builder::Chaos/ChaosSeed).
+  FaultConfig faults;
 };
 
 }  // namespace sysds

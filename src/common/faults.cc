@@ -1,0 +1,171 @@
+#include "common/faults.h"
+
+#include "obs/metrics.h"
+
+namespace sysds {
+
+namespace {
+
+// splitmix64: a small, well-mixed hash; decisions are the high bits of the
+// mixed (seed, key, event) triple mapped to [0, 1).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t StreamKey(FaultLayer layer, int id, FaultKind kind) {
+  return (static_cast<uint64_t>(layer) << 40) |
+         (static_cast<uint64_t>(kind) << 32) |
+         static_cast<uint64_t>(static_cast<uint32_t>(id));
+}
+
+double UnitInterval(uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+}
+
+obs::Counter* InjectedCounter(FaultKind kind) {
+  static obs::Counter* counters[5] = {
+      obs::MetricsRegistry::Get().GetCounter("fault.injected.drop"),
+      obs::MetricsRegistry::Get().GetCounter("fault.injected.delay"),
+      obs::MetricsRegistry::Get().GetCounter("fault.injected.corrupt"),
+      obs::MetricsRegistry::Get().GetCounter("fault.injected.crash"),
+      obs::MetricsRegistry::Get().GetCounter("fault.injected.spill_error"),
+  };
+  return counters[static_cast<size_t>(kind)];
+}
+
+}  // namespace
+
+const char* FaultLayerName(FaultLayer layer) {
+  switch (layer) {
+    case FaultLayer::kFederated: return "federated";
+    case FaultLayer::kDist: return "dist";
+    case FaultLayer::kPs: return "ps";
+    case FaultLayer::kBufferPool: return "bufferpool";
+  }
+  return "unknown";
+}
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kMessageDrop: return "drop";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kCorruptPayload: return "corrupt";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kSpillIoError: return "spill_error";
+  }
+  return "unknown";
+}
+
+FaultProfile FaultProfile::Standard() {
+  FaultProfile p;
+  p.drop_prob = 0.10;
+  p.delay_prob = 0.05;
+  p.corrupt_prob = 0.05;
+  p.crash_prob = 0.02;
+  p.spill_error_prob = 0.10;
+  p.delay_ms = 5;
+  return p;
+}
+
+FaultInjector& FaultInjector::Get() {
+  static FaultInjector* injector = new FaultInjector();  // leaked on purpose
+  return *injector;
+}
+
+void FaultInjector::Configure(const FaultConfig& config) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    config_ = config;
+    event_seq_.clear();
+  }
+  decisions_.store(0, std::memory_order_relaxed);
+  enabled_.store(config.enabled, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  config_ = FaultConfig{};
+  event_seq_.clear();
+}
+
+bool FaultInjector::IsDead(FaultLayer layer, int id) const {
+  if (!enabled()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const FaultTarget& t : config_.profile.dead_targets) {
+    if (t.layer == layer && t.id == id) return true;
+  }
+  return false;
+}
+
+uint64_t FaultInjector::NextEvent(FaultLayer layer, int id, FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return event_seq_[StreamKey(layer, id, kind)]++;
+}
+
+bool FaultInjector::ShouldInject(FaultLayer layer, int id, FaultKind kind) {
+  if (!enabled()) return false;
+  double prob = 0.0;
+  uint64_t seed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const FaultProfile& p = config_.profile;
+    switch (kind) {
+      case FaultKind::kMessageDrop: prob = p.drop_prob; break;
+      case FaultKind::kDelay: prob = p.delay_prob; break;
+      case FaultKind::kCorruptPayload: prob = p.corrupt_prob; break;
+      case FaultKind::kCrash: prob = p.crash_prob; break;
+      case FaultKind::kSpillIoError: prob = p.spill_error_prob; break;
+    }
+    seed = config_.seed;
+    for (const FaultTarget& t : config_.profile.dead_targets) {
+      if (t.layer == layer && t.id == id) prob = 1.0;
+    }
+  }
+  decisions_.fetch_add(1, std::memory_order_relaxed);
+  if (prob <= 0.0) return false;
+  uint64_t event = NextEvent(layer, id, kind);
+  uint64_t h = Mix64(seed ^ Mix64(StreamKey(layer, id, kind) ^
+                                  Mix64(event + 0x51ULL)));
+  bool inject = prob >= 1.0 || UnitInterval(h) < prob;
+  if (inject) InjectedCounter(kind)->Add(1);
+  return inject;
+}
+
+int FaultInjector::DelayMs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return config_.profile.delay_ms;
+}
+
+void FaultInjector::CorruptPayload(FaultLayer layer, int id,
+                                   std::vector<uint8_t>* payload) {
+  if (payload == nullptr || payload->empty()) return;
+  uint64_t seed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    seed = config_.seed;
+  }
+  uint64_t event = NextEvent(layer, id, FaultKind::kCorruptPayload);
+  uint64_t h = Mix64(seed ^ Mix64(StreamKey(layer, id,
+                                            FaultKind::kCorruptPayload) +
+                                  event));
+  (*payload)[h % payload->size()] ^= 0xFF;
+}
+
+int FaultInjector::JitterMs(FaultLayer layer, int id, int attempt,
+                            int cap_ms) const {
+  if (cap_ms <= 0) return 0;
+  uint64_t seed = 0;
+  if (enabled()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    seed = config_.seed;
+  }
+  uint64_t h = Mix64(seed ^ Mix64(StreamKey(layer, id, FaultKind::kDelay) ^
+                                  (static_cast<uint64_t>(attempt) << 48)));
+  return static_cast<int>(h % static_cast<uint64_t>(cap_ms + 1));
+}
+
+}  // namespace sysds

@@ -1,0 +1,143 @@
+#ifndef SYSDS_COMMON_FAULTS_H_
+#define SYSDS_COMMON_FAULTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sysds {
+
+// Deterministic, seed-driven fault injection ("chaos mode"). The runtime's
+// fragile layers — federated request/response, the distributed-executor
+// simulator, the parameter server, and the buffer pool's spill paths — ask
+// the process-wide FaultInjector whether the next event at a given
+// (layer, id) should fail, be delayed, or be corrupted. Decisions are pure
+// functions of (seed, layer, id, per-key event counter), so two runs with
+// the same seed and the same per-site call order inject the identical fault
+// sequence: chaos tests are reproducible and failures bisectable.
+//
+// When disabled (the default), every hook reduces to one relaxed atomic
+// load and a branch — cheap enough to leave compiled into release builds
+// (bench/bench_chaos.cc keeps the disabled overhead under 1%).
+
+/// The runtime layer asking for a fault decision. Each layer consumes an
+/// independent decision stream per id.
+enum class FaultLayer : uint8_t {
+  kFederated = 0,   // id = federated site
+  kDist = 1,        // id = simulated executor task
+  kPs = 2,          // id = parameter-server worker
+  kBufferPool = 3,  // id = 0 (process-wide spill device)
+};
+
+/// Kinds of injectable faults. Not every kind is meaningful for every
+/// layer; layers only probe the kinds they model.
+enum class FaultKind : uint8_t {
+  kMessageDrop = 0,    // request or response lost (surfaces as a timeout)
+  kDelay = 1,          // response delayed by FaultProfile::delay_ms
+  kCorruptPayload = 2, // response payload bit-flipped (integrity check trips)
+  kCrash = 3,          // worker/executor crash: in-memory state lost
+  kSpillIoError = 4,   // buffer-pool spill write / evict-read fails
+};
+
+const char* FaultLayerName(FaultLayer layer);
+const char* FaultKindName(FaultKind kind);
+
+/// A permanently-failed component: every decision for (layer, id) of any
+/// kind reports failure, modeling e.g. a federated site that never answers.
+struct FaultTarget {
+  FaultLayer layer;
+  int id;
+};
+
+/// Per-deployment fault rates. Probabilities are in [0, 1] and evaluated
+/// independently per event.
+struct FaultProfile {
+  double drop_prob = 0.0;
+  double delay_prob = 0.0;
+  double corrupt_prob = 0.0;
+  double crash_prob = 0.0;
+  double spill_error_prob = 0.0;
+  /// Injected response delay (kDelay). Layers compare it against their
+  /// per-request timeout: a delay longer than the timeout is a timeout.
+  int delay_ms = 5;
+  /// Components that are dead for the whole run.
+  std::vector<FaultTarget> dead_targets;
+
+  /// The chaos-suite default: 10% message drop, occasional delay/corruption,
+  /// rare crashes, and spill errors (`dml_runner --chaos-seed`, ctest -L
+  /// chaos). Dead targets are added per scenario.
+  static FaultProfile Standard();
+};
+
+struct FaultConfig {
+  bool enabled = false;
+  uint64_t seed = 0;
+  FaultProfile profile;
+};
+
+/// Process-wide fault injector. Configure()/Disable() are safe to call at
+/// runtime (tests toggle per fixture); decision hooks are thread-safe.
+class FaultInjector {
+ public:
+  static FaultInjector& Get();
+
+  void Configure(const FaultConfig& config);
+  void Disable();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// True when (layer, id) is listed dead in the active profile.
+  bool IsDead(FaultLayer layer, int id) const;
+
+  /// Deterministically decides whether the next event of `kind` at
+  /// (layer, id) fails. Consumes one event from the (layer, id, kind)
+  /// stream; a retry is the next event and gets an independent decision.
+  /// Always false when disabled. Increments fault.injected.* on true.
+  bool ShouldInject(FaultLayer layer, int id, FaultKind kind);
+
+  /// Injected delay for a kDelay decision that returned true.
+  int DelayMs() const;
+
+  /// Deterministically flips one byte of `payload` (no-op when empty).
+  /// Callers invoke this after a true kCorruptPayload decision.
+  void CorruptPayload(FaultLayer layer, int id, std::vector<uint8_t>* payload);
+
+  /// Deterministic jitter in [0, cap_ms] for backoff randomization; also
+  /// usable when the injector is disabled (seeded from the key alone).
+  int JitterMs(FaultLayer layer, int id, int attempt, int cap_ms) const;
+
+  /// Total decisions evaluated since Configure (0 when disabled). Lets
+  /// tests assert the hooks actually ran.
+  int64_t Decisions() const { return decisions_.load(std::memory_order_relaxed); }
+
+ private:
+  FaultInjector() = default;
+
+  uint64_t NextEvent(FaultLayer layer, int id, FaultKind kind);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> decisions_{0};
+  mutable std::mutex mutex_;
+  FaultConfig config_;
+  // Per-(layer,id,kind) event counters backing the deterministic streams.
+  std::unordered_map<uint64_t, uint64_t> event_seq_;
+};
+
+/// RAII toggle for tests: configures the global injector on construction,
+/// disables it on destruction.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultConfig& config) {
+    FaultInjector::Get().Configure(config);
+  }
+  ~ScopedFaultInjection() { FaultInjector::Get().Disable(); }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+}  // namespace sysds
+
+#endif  // SYSDS_COMMON_FAULTS_H_

@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kOom: return "Oom";
     case StatusCode::kTimeout: return "Timeout";
     case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kCorrupt: return "Corrupt";
   }
   return "Unknown";
 }
@@ -27,6 +29,8 @@ bool IsRetryable(StatusCode code) {
     case StatusCode::kOom:
     case StatusCode::kTimeout:
     case StatusCode::kCancelled:
+    case StatusCode::kUnavailable:
+    case StatusCode::kCorrupt:
       return true;
     default:
       return false;
@@ -54,5 +58,7 @@ Status Internal(std::string m) { return Status(StatusCode::kInternal, std::move(
 Status OomError(std::string m) { return Status(StatusCode::kOom, std::move(m)); }
 Status TimeoutError(std::string m) { return Status(StatusCode::kTimeout, std::move(m)); }
 Status CancelledError(std::string m) { return Status(StatusCode::kCancelled, std::move(m)); }
+Status UnavailableError(std::string m) { return Status(StatusCode::kUnavailable, std::move(m)); }
+Status CorruptError(std::string m) { return Status(StatusCode::kCorrupt, std::move(m)); }
 
 }  // namespace sysds

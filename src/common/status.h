@@ -29,12 +29,17 @@ enum class StatusCode {
   kOom,             // memory budget / admission-queue capacity exhausted
   kTimeout,         // request deadline expired (before or during execution)
   kCancelled,       // request cancelled by the caller or service shutdown
+  // Fault-tolerance taxonomy (src/common/faults.h): transient transport or
+  // backend failures that the retry/failover layers produce and consume.
+  kUnavailable,     // backend/site/worker unreachable or circuit-broken
+  kCorrupt,         // payload failed integrity checks (truncated/bit-flipped)
 };
 
 /// True for error conditions a scoring-service client may meaningfully retry
-/// (possibly after backoff): resource exhaustion, deadline expiry, and
-/// cancellation. Parse/validate/compile/runtime failures are deterministic
-/// properties of the script+inputs and are fatal.
+/// (possibly after backoff): resource exhaustion, deadline expiry,
+/// cancellation, an unreachable backend, and a corrupted transfer (a
+/// retransmit gets a fresh copy). Parse/validate/compile/runtime failures
+/// are deterministic properties of the script+inputs and are fatal.
 bool IsRetryable(StatusCode code);
 
 /// Returns a short human-readable name for a status code, e.g. "ParseError".
@@ -80,6 +85,8 @@ Status Internal(std::string message);
 Status OomError(std::string message);
 Status TimeoutError(std::string message);
 Status CancelledError(std::string message);
+Status UnavailableError(std::string message);
+Status CorruptError(std::string message);
 
 /// Either a value of type T or an error Status. Accessing value() on an
 /// error is a programming bug and aborts in debug builds.

@@ -1,7 +1,10 @@
 #include "fed/federated.h"
 
 #include <cstring>
+#include <iostream>
+#include <limits>
 
+#include "common/faults.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -14,33 +17,93 @@
 
 namespace sysds {
 
+namespace {
+
+// Wire header: rows (8) + cols (8) + FNV-1a checksum of the cell bytes (8).
+constexpr size_t kWireHeaderBytes = 24;
+
+uint64_t Fnv1a(const uint8_t* data, size_t n) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Shared framing checks of ValidateMatrixPayload / DeserializeMatrix.
+Status ParseWireHeader(const std::vector<uint8_t>& buf, int64_t* rows,
+                       int64_t* cols) {
+  if (buf.size() < kWireHeaderBytes) {
+    return CorruptError("federated: truncated matrix payload (" +
+                        std::to_string(buf.size()) + " bytes)");
+  }
+  std::memcpy(rows, buf.data(), 8);
+  std::memcpy(cols, buf.data() + 8, 8);
+  if (*rows < 0 || *cols < 0) {
+    return CorruptError("federated: negative matrix dimensions in payload");
+  }
+  // Overflow-safe size check: rows*cols*8 must equal the remaining bytes.
+  uint64_t cells_avail = (buf.size() - kWireHeaderBytes) / 8;
+  if ((buf.size() - kWireHeaderBytes) % 8 != 0 ||
+      (*cols != 0 &&
+       static_cast<uint64_t>(*rows) >
+           std::numeric_limits<uint64_t>::max() /
+               static_cast<uint64_t>(*cols)) ||
+      static_cast<uint64_t>(*rows) * static_cast<uint64_t>(*cols) !=
+          cells_avail) {
+    return CorruptError("federated: malformed matrix payload (header " +
+                        std::to_string(*rows) + "x" + std::to_string(*cols) +
+                        " vs " + std::to_string(buf.size()) + " bytes)");
+  }
+  uint64_t checksum = 0;
+  std::memcpy(&checksum, buf.data() + 16, 8);
+  if (checksum != Fnv1a(buf.data() + kWireHeaderBytes,
+                        buf.size() - kWireHeaderBytes)) {
+    return CorruptError("federated: matrix payload checksum mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 std::vector<uint8_t> SerializeMatrix(const MatrixBlock& m) {
-  // Dense little-endian framing: rows, cols, then cells.
+  // Dense little-endian framing: rows, cols, checksum, then cells.
   int64_t rows = m.Rows(), cols = m.Cols();
-  std::vector<uint8_t> buf(16 + static_cast<size_t>(rows * cols) * 8);
+  std::vector<uint8_t> buf(kWireHeaderBytes +
+                           static_cast<size_t>(rows * cols) * 8);
   std::memcpy(buf.data(), &rows, 8);
   std::memcpy(buf.data() + 8, &cols, 8);
-  double* cells = reinterpret_cast<double*>(buf.data() + 16);
+  double* cells = reinterpret_cast<double*>(buf.data() + kWireHeaderBytes);
   for (int64_t r = 0; r < rows; ++r) {
     for (int64_t c = 0; c < cols; ++c) cells[r * cols + c] = m.Get(r, c);
   }
+  uint64_t checksum =
+      Fnv1a(buf.data() + kWireHeaderBytes, buf.size() - kWireHeaderBytes);
+  std::memcpy(buf.data() + 16, &checksum, 8);
   return buf;
 }
 
-StatusOr<MatrixBlock> DeserializeMatrix(const std::vector<uint8_t>& buf) {
-  if (buf.size() < 16) return IoError("federated: truncated matrix payload");
+Status ValidateMatrixPayload(const std::vector<uint8_t>& buf) {
   int64_t rows = 0, cols = 0;
-  std::memcpy(&rows, buf.data(), 8);
-  std::memcpy(&cols, buf.data() + 8, 8);
-  if (buf.size() != 16 + static_cast<size_t>(rows * cols) * 8) {
-    return IoError("federated: malformed matrix payload");
-  }
+  return ParseWireHeader(buf, &rows, &cols);
+}
+
+StatusOr<MatrixBlock> DeserializeMatrix(const std::vector<uint8_t>& buf) {
+  int64_t rows = 0, cols = 0;
+  SYSDS_RETURN_IF_ERROR(ParseWireHeader(buf, &rows, &cols));
   MatrixBlock m = MatrixBlock::Dense(rows, cols);
-  std::memcpy(m.DenseData(), buf.data() + 16,
+  std::memcpy(m.DenseData(), buf.data() + kWireHeaderBytes,
               static_cast<size_t>(rows * cols) * 8);
   m.MarkNnzDirty();
   m.ExamSparsity();
   return m;
+}
+
+bool IsFederatedDataLossError(const std::string& error) {
+  return error.find("crashed:") != std::string::npos ||
+         error.find("unknown input") != std::string::npos ||
+         error.find("unknown variable") != std::string::npos;
 }
 
 FederatedWorker::FederatedWorker(int id) : id_(id) {
@@ -68,6 +131,31 @@ FedMetrics& Metrics() {
       obs::MetricsRegistry::Get().GetCounter("fed.requests"),
       obs::MetricsRegistry::Get().GetCounter("fed.bytes_to_site"),
       obs::MetricsRegistry::Get().GetCounter("fed.bytes_from_site"),
+  };
+  return m;
+}
+
+struct FedFaultMetrics {
+  obs::Counter* retries;
+  obs::Counter* timeouts;
+  obs::Counter* corrupt_rejected;
+  obs::Counter* circuit_rejections;
+  obs::Counter* circuit_opens;
+  obs::Counter* local_fallbacks;
+  obs::Counter* reputs;
+  obs::Histogram* retry_latency_ns;
+};
+
+FedFaultMetrics& FaultMetrics() {
+  static FedFaultMetrics m = {
+      obs::MetricsRegistry::Get().GetCounter("fault.fed.retries"),
+      obs::MetricsRegistry::Get().GetCounter("fault.fed.timeouts"),
+      obs::MetricsRegistry::Get().GetCounter("fault.fed.corrupt_rejected"),
+      obs::MetricsRegistry::Get().GetCounter("fault.fed.circuit_rejections"),
+      obs::MetricsRegistry::Get().GetCounter("fault.fed.circuit_opens"),
+      obs::MetricsRegistry::Get().GetCounter("fault.fed.local_fallbacks"),
+      obs::MetricsRegistry::Get().GetCounter("fault.fed.reputs"),
+      obs::MetricsRegistry::Get().GetHistogram("fault.fed.retry_latency_ns"),
   };
   return m;
 }
@@ -118,7 +206,16 @@ void FederatedWorker::Loop() {
       req = request_;
     }
     FederatedMessage resp;
-    {
+    if (FaultInjector::Get().ShouldInject(FaultLayer::kFederated, id_,
+                                          FaultKind::kCrash)) {
+      // Simulated site crash: the process restarts with its in-memory
+      // variables gone; the in-flight request is answered with a data-loss
+      // error so the master re-ships partitions from source.
+      data_.clear();
+      resp.type = FederatedMessage::Type::kError;
+      resp.error = "crashed: site restarted, in-memory state lost";
+      obs::Tracer::Instant("fed", "site_crash");
+    } else {
       // Site-side processing span (its own named thread track).
       SYSDS_SPAN("fed", req->opcode.empty() ? "handle" : req->opcode.c_str());
       resp = Handle(*req);
@@ -195,6 +292,7 @@ FederatedRegistry::FederatedRegistry(int n) {
   for (int i = 0; i < n; ++i) {
     workers_.push_back(std::make_unique<FederatedWorker>(i));
   }
+  health_.resize(static_cast<size_t>(n));
 }
 
 int64_t FederatedRegistry::TotalBytesTransferred() const {
@@ -205,10 +303,133 @@ int64_t FederatedRegistry::TotalBytesTransferred() const {
   return total;
 }
 
+bool FederatedRegistry::SiteHealthy(int site) const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  return health_[static_cast<size_t>(site)].consecutive_call_failures <
+         kCircuitBreakerThreshold;
+}
+
+void FederatedRegistry::ReportCallResult(int site, bool ok) {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  SiteHealth& h = health_[static_cast<size_t>(site)];
+  if (ok) {
+    h.consecutive_call_failures = 0;
+    return;
+  }
+  ++h.consecutive_call_failures;
+  if (h.consecutive_call_failures == kCircuitBreakerThreshold) {
+    FaultMetrics().circuit_opens->Add(1);
+    obs::Tracer::Instant("fed", "circuit_open");
+  }
+}
+
+StatusOr<FederatedMessage> FederatedRegistry::Call(
+    int site, const FederatedMessage& msg, const FedCallOptions& options) {
+  if (site < 0 || site >= NumWorkers()) {
+    return InvalidArgument("fed call: no such site " + std::to_string(site));
+  }
+  if (!SiteHealthy(site)) {
+    FaultMetrics().circuit_rejections->Add(1);
+    return UnavailableError("fed site " + std::to_string(site) +
+                            ": circuit breaker open");
+  }
+  FaultInjector& inj = FaultInjector::Get();
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + options.overall_deadline;
+  bool retried = false;
+  Status last = UnavailableError("fed site " + std::to_string(site) +
+                                 ": no attempts made");
+  auto finish = [&](bool ok) {
+    ReportCallResult(site, ok);
+    if (retried) {
+      FaultMetrics().retry_latency_ns->Observe(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    }
+  };
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      retried = true;
+      FaultMetrics().retries->Add(1);
+      // Exponential backoff with deterministic jitter, capped by both the
+      // per-step cap and the overall deadline.
+      int64_t backoff_ms =
+          std::min<int64_t>(options.backoff_cap.count(),
+                            options.backoff_base.count() << (attempt - 1));
+      backoff_ms += inj.JitterMs(FaultLayer::kFederated, site, attempt,
+                                 static_cast<int>(backoff_ms));
+      auto wake =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(backoff_ms);
+      if (wake >= deadline) {
+        last = UnavailableError("fed site " + std::to_string(site) +
+                                ": retry deadline exhausted after " +
+                                std::to_string(attempt) + " attempts");
+        break;
+      }
+      std::this_thread::sleep_until(wake);
+    }
+    if (inj.IsDead(FaultLayer::kFederated, site)) {
+      FaultMetrics().timeouts->Add(1);
+      last = UnavailableError("fed site " + std::to_string(site) +
+                              ": request timed out (site dead)");
+      continue;
+    }
+    if (inj.ShouldInject(FaultLayer::kFederated, site,
+                         FaultKind::kMessageDrop)) {
+      FaultMetrics().timeouts->Add(1);
+      last = UnavailableError("fed site " + std::to_string(site) +
+                              ": request timed out (message dropped)");
+      continue;
+    }
+    if (inj.ShouldInject(FaultLayer::kFederated, site, FaultKind::kDelay)) {
+      int delay_ms = inj.DelayMs();
+      if (std::chrono::milliseconds(delay_ms) > options.request_timeout) {
+        FaultMetrics().timeouts->Add(1);
+        last = UnavailableError("fed site " + std::to_string(site) +
+                                ": response exceeded request timeout");
+        continue;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+    FederatedMessage resp = workers_[static_cast<size_t>(site)]->Request(msg);
+    if (resp.type == FederatedMessage::Type::kError) {
+      // Application-level error: the transport is healthy (keeps the
+      // circuit closed). Data loss surfaces retryable so callers run the
+      // re-put recovery; anything else is a deterministic failure.
+      finish(true);
+      if (IsFederatedDataLossError(resp.error)) {
+        return UnavailableError(resp.error);
+      }
+      return RuntimeError(resp.error);
+    }
+    if (!resp.payload.empty()) {
+      if (inj.enabled() && inj.ShouldInject(FaultLayer::kFederated, site,
+                                            FaultKind::kCorruptPayload)) {
+        inj.CorruptPayload(FaultLayer::kFederated, site, &resp.payload);
+      }
+      Status integrity = ValidateMatrixPayload(resp.payload);
+      if (!integrity.ok()) {
+        FaultMetrics().corrupt_rejected->Add(1);
+        last = integrity;
+        continue;  // retransmit
+      }
+    }
+    finish(true);
+    return resp;
+  }
+  finish(false);
+  return last;
+}
+
 StatusOr<FederatedMatrix> FederatedMatrix::Distribute(
     FederatedRegistry* registry, const MatrixBlock& m,
     const std::string& name) {
   FederatedMatrix fm(registry, m.Rows(), m.Cols());
+  // Retain the source: it models the durable input (HDFS block / lineage
+  // recompute) that failover pulls from when a site dies.
+  fm.source_ = std::make_shared<const MatrixBlock>(m);
   int n = registry->NumWorkers();
   int64_t rows_per = (m.Rows() + n - 1) / n;
   for (int w = 0; w < n; ++w) {
@@ -221,13 +442,78 @@ StatusOr<FederatedMatrix> FederatedMatrix::Distribute(
     put.type = FederatedMessage::Type::kPutMatrix;
     put.output_name = name;
     put.payload = SerializeMatrix(part);
-    FederatedMessage resp = registry->Worker(w)->Request(std::move(put));
-    if (resp.type == FederatedMessage::Type::kError) {
-      return RuntimeError(resp.error);
+    StatusOr<FederatedMessage> resp = registry->Call(w, put);
+    if (!resp.ok()) {
+      if (!IsRetryable(resp.status())) return resp.status();
+      // Site unreachable: record the partition anyway; every operation on
+      // it will degrade to local execution from source.
+      obs::Tracer::Instant("fed", "distribute_degraded");
     }
     fm.partitions_.push_back({w, rb, re, name});
   }
   return fm;
+}
+
+StatusOr<MatrixBlock> FederatedMatrix::SourceSlice(const Partition& p) const {
+  if (source_ == nullptr) {
+    return UnavailableError("federated: no source retained for partition of " +
+                            p.var_name);
+  }
+  return SliceMatrix(*source_, p.row_begin, p.row_end - 1, 0, cols_ - 1);
+}
+
+Status FederatedMatrix::RePut(const Partition& p) const {
+  SYSDS_ASSIGN_OR_RETURN(MatrixBlock part, SourceSlice(p));
+  FederatedMessage put;
+  put.type = FederatedMessage::Type::kPutMatrix;
+  put.output_name = p.var_name;
+  put.payload = SerializeMatrix(part);
+  SYSDS_ASSIGN_OR_RETURN(FederatedMessage resp,
+                         registry_->Call(p.worker_id, put));
+  (void)resp;
+  FaultMetrics().reputs->Add(1);
+  return Status::Ok();
+}
+
+StatusOr<MatrixBlock> FederatedMatrix::CallPartition(
+    const Partition& p, const FederatedMessage& req,
+    const std::function<Status()>& reput,
+    const std::function<StatusOr<MatrixBlock>()>& local) const {
+  Status last = UnavailableError("fed site " + std::to_string(p.worker_id) +
+                                 ": circuit breaker open");
+  if (registry_->SiteHealthy(p.worker_id)) {
+    StatusOr<FederatedMessage> resp = registry_->Call(p.worker_id, req);
+    if (!resp.ok() && resp.status().code() == StatusCode::kUnavailable &&
+        IsFederatedDataLossError(resp.status().message()) &&
+        source_ != nullptr && reput != nullptr) {
+      // The site is alive but lost its state (crash): re-ship the inputs
+      // from source and retry the operation once.
+      Status restored = reput();
+      if (restored.ok()) resp = registry_->Call(p.worker_id, req);
+    }
+    if (resp.ok()) return DeserializeMatrix(resp->payload);
+    last = resp.status();
+    if (!IsRetryable(last)) return last;  // deterministic site error
+  } else {
+    FaultMetrics().circuit_rejections->Add(1);
+  }
+  // Degradation ladder bottom: pull the partition local and execute in CP.
+  // One-time cost per call; bit-identical because the same single-threaded
+  // kernels run on the same slice the site held.
+  if (source_ == nullptr) return last;
+  {
+    std::lock_guard<std::mutex> lock(registry_->health_mutex_);
+    auto& h = registry_->health_[static_cast<size_t>(p.worker_id)];
+    if (!h.fallback_logged) {
+      h.fallback_logged = true;
+      std::cerr << "[sysds.fed] site " << p.worker_id
+                << " unavailable; executing its partitions locally in CP ("
+                << last.ToString() << ")\n";
+    }
+  }
+  FaultMetrics().local_fallbacks->Add(1);
+  obs::Tracer::Instant("fed", "local_fallback");
+  return local();
 }
 
 StatusOr<MatrixBlock> FederatedMatrix::TsmmLeft() const {
@@ -237,11 +523,14 @@ StatusOr<MatrixBlock> FederatedMatrix::TsmmLeft() const {
     req.type = FederatedMessage::Type::kExec;
     req.opcode = "tsmm";
     req.names = {p.var_name};
-    FederatedMessage resp = registry_->Worker(p.worker_id)->Request(req);
-    if (resp.type == FederatedMessage::Type::kError) {
-      return RuntimeError(resp.error);
-    }
-    SYSDS_ASSIGN_OR_RETURN(MatrixBlock part, DeserializeMatrix(resp.payload));
+    SYSDS_ASSIGN_OR_RETURN(
+        MatrixBlock part,
+        CallPartition(
+            p, req, [&] { return RePut(p); },
+            [&]() -> StatusOr<MatrixBlock> {
+              SYSDS_ASSIGN_OR_RETURN(MatrixBlock slice, SourceSlice(p));
+              return TransposeSelfMatMult(slice, true, 1);
+            }));
     SYSDS_ASSIGN_OR_RETURN(
         acc, BinaryMatrixMatrix(BinaryOpCode::kAdd, acc, part, 1));
   }
@@ -254,20 +543,29 @@ StatusOr<MatrixBlock> FederatedMatrix::Tmm(const FederatedMatrix& y) const {
   }
   MatrixBlock acc = MatrixBlock::Dense(cols_, y.cols_);
   for (size_t i = 0; i < partitions_.size(); ++i) {
-    if (partitions_[i].worker_id != y.partitions_[i].worker_id ||
-        partitions_[i].row_begin != y.partitions_[i].row_begin) {
+    const Partition& px = partitions_[i];
+    const Partition& py = y.partitions_[i];
+    if (px.worker_id != py.worker_id || px.row_begin != py.row_begin) {
       return InvalidArgument("federated tmm: misaligned partitions");
     }
     FederatedMessage req;
     req.type = FederatedMessage::Type::kExec;
     req.opcode = "tmm";
-    req.names = {partitions_[i].var_name, y.partitions_[i].var_name};
-    FederatedMessage resp =
-        registry_->Worker(partitions_[i].worker_id)->Request(req);
-    if (resp.type == FederatedMessage::Type::kError) {
-      return RuntimeError(resp.error);
-    }
-    SYSDS_ASSIGN_OR_RETURN(MatrixBlock part, DeserializeMatrix(resp.payload));
+    req.names = {px.var_name, py.var_name};
+    SYSDS_ASSIGN_OR_RETURN(
+        MatrixBlock part,
+        CallPartition(
+            px, req,
+            [&]() -> Status {
+              // A crash wipes every variable at the site: restore both.
+              SYSDS_RETURN_IF_ERROR(RePut(px));
+              return y.RePut(py);
+            },
+            [&]() -> StatusOr<MatrixBlock> {
+              SYSDS_ASSIGN_OR_RETURN(MatrixBlock xs, SourceSlice(px));
+              SYSDS_ASSIGN_OR_RETURN(MatrixBlock ys, y.SourceSlice(py));
+              return TransposeLeftMatMult(xs, ys, 1);
+            }));
     SYSDS_ASSIGN_OR_RETURN(
         acc, BinaryMatrixMatrix(BinaryOpCode::kAdd, acc, part, 1));
   }
@@ -285,11 +583,14 @@ StatusOr<MatrixBlock> FederatedMatrix::MatVec(const MatrixBlock& v) const {
     req.opcode = "matvec";
     req.names = {p.var_name};
     req.payload = SerializeMatrix(v);
-    FederatedMessage resp = registry_->Worker(p.worker_id)->Request(req);
-    if (resp.type == FederatedMessage::Type::kError) {
-      return RuntimeError(resp.error);
-    }
-    SYSDS_ASSIGN_OR_RETURN(MatrixBlock part, DeserializeMatrix(resp.payload));
+    SYSDS_ASSIGN_OR_RETURN(
+        MatrixBlock part,
+        CallPartition(
+            p, req, [&] { return RePut(p); },
+            [&]() -> StatusOr<MatrixBlock> {
+              SYSDS_ASSIGN_OR_RETURN(MatrixBlock slice, SourceSlice(p));
+              return MatMult(slice, v, 1);
+            }));
     for (int64_t r = 0; r < part.Rows(); ++r) {
       out.DenseData()[p.row_begin + r] = part.Get(r, 0);
     }
@@ -305,11 +606,15 @@ StatusOr<MatrixBlock> FederatedMatrix::ColSums() const {
     req.type = FederatedMessage::Type::kExec;
     req.opcode = "colsums";
     req.names = {p.var_name};
-    FederatedMessage resp = registry_->Worker(p.worker_id)->Request(req);
-    if (resp.type == FederatedMessage::Type::kError) {
-      return RuntimeError(resp.error);
-    }
-    SYSDS_ASSIGN_OR_RETURN(MatrixBlock part, DeserializeMatrix(resp.payload));
+    SYSDS_ASSIGN_OR_RETURN(
+        MatrixBlock part,
+        CallPartition(
+            p, req, [&] { return RePut(p); },
+            [&]() -> StatusOr<MatrixBlock> {
+              SYSDS_ASSIGN_OR_RETURN(MatrixBlock slice, SourceSlice(p));
+              return AggregateRowCol(AggOpCode::kSum, AggDirection::kCol,
+                                     slice, 1);
+            }));
     SYSDS_ASSIGN_OR_RETURN(
         acc, BinaryMatrixMatrix(BinaryOpCode::kAdd, acc, part, 1));
   }
@@ -322,11 +627,11 @@ StatusOr<MatrixBlock> FederatedMatrix::Collect() const {
     FederatedMessage req;
     req.type = FederatedMessage::Type::kGetMatrix;
     req.names = {p.var_name};
-    FederatedMessage resp = registry_->Worker(p.worker_id)->Request(req);
-    if (resp.type == FederatedMessage::Type::kError) {
-      return RuntimeError(resp.error);
-    }
-    SYSDS_ASSIGN_OR_RETURN(MatrixBlock part, DeserializeMatrix(resp.payload));
+    SYSDS_ASSIGN_OR_RETURN(
+        MatrixBlock part,
+        CallPartition(
+            p, req, [&] { return RePut(p); },
+            [&]() -> StatusOr<MatrixBlock> { return SourceSlice(p); }));
     for (int64_t r = 0; r < part.Rows(); ++r) {
       for (int64_t c = 0; c < cols_; ++c) {
         out.DenseRow(p.row_begin + r)[c] = part.Get(r, c);

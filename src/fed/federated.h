@@ -1,8 +1,10 @@
 #ifndef SYSDS_FED_FEDERATED_H_
 #define SYSDS_FED_FEDERATED_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -37,9 +39,29 @@ struct FederatedMessage {
   std::string error;
 };
 
-/// Serialization of matrices onto the simulated wire.
+/// Serialization of matrices onto the simulated wire. The frame carries an
+/// FNV-1a checksum of the cell bytes so receivers detect truncated or
+/// bit-flipped payloads (chaos mode injects both) as StatusCode::kCorrupt.
 std::vector<uint8_t> SerializeMatrix(const MatrixBlock& m);
 StatusOr<MatrixBlock> DeserializeMatrix(const std::vector<uint8_t>& buf);
+
+/// Integrity check without materializing the matrix: verifies framing,
+/// non-negative overflow-checked dimensions, and the checksum.
+Status ValidateMatrixPayload(const std::vector<uint8_t>& buf);
+
+/// Retry/backoff policy of one master->site call (FederatedRegistry::Call).
+/// Defaults keep chaos tests fast while exercising every path: exponential
+/// backoff with deterministic jitter, capped by an overall deadline.
+struct FedCallOptions {
+  int max_attempts = 4;
+  /// Per-request timeout: an injected delay longer than this counts as a
+  /// lost response (the simulated wire has no true async timeout).
+  std::chrono::milliseconds request_timeout{25};
+  std::chrono::milliseconds backoff_base{1};
+  std::chrono::milliseconds backoff_cap{8};
+  /// Overall deadline across all attempts and backoff sleeps.
+  std::chrono::milliseconds overall_deadline{2000};
+};
 
 /// One federated site: a worker thread with private local data, processing
 /// requests from its queue. Supported push-down operations keep raw data
@@ -49,6 +71,11 @@ StatusOr<MatrixBlock> DeserializeMatrix(const std::vector<uint8_t>& buf);
 ///   matvec   : out = X %*% v             (local rows x 1; v shipped in)
 ///   colsums / colsq : column aggregates
 ///   scale    : out = X * scalar
+///
+/// Chaos mode may crash the site between requests: its in-memory variables
+/// are dropped and the pending request answers with a data-loss error, after
+/// which masters re-ship partitions from their durable source (the
+/// simulation of recomputing from HDFS/lineage).
 class FederatedWorker {
  public:
   explicit FederatedWorker(int id);
@@ -57,6 +84,8 @@ class FederatedWorker {
   int id() const { return id_; }
 
   /// Synchronous request/response over the simulated wire (thread-safe).
+  /// This is the raw transport: no retries, no fault injection. Use
+  /// FederatedRegistry::Call for the fault-tolerant path.
   FederatedMessage Request(FederatedMessage msg);
 
   int64_t BytesReceived() const { return bytes_in_; }
@@ -83,7 +112,11 @@ class FederatedWorker {
   int64_t bytes_out_ = 0;
 };
 
-/// Owns the federated sites of one "deployment".
+/// True for site errors meaning the variable no longer exists at the site
+/// (crash wiped it); masters recover by re-shipping from source.
+bool IsFederatedDataLossError(const std::string& error);
+
+/// Owns the federated sites of one "deployment" and tracks per-site health.
 class FederatedRegistry {
  public:
   /// Creates `n` workers (sites).
@@ -94,12 +127,48 @@ class FederatedRegistry {
 
   int64_t TotalBytesTransferred() const;
 
+  /// Fault-tolerant request: retries transport failures (dropped/delayed/
+  /// corrupted responses) with exponential backoff + jitter under an
+  /// overall deadline, and feeds the per-site circuit breaker. Returns
+  ///   kUnavailable — site dead, circuit open, or retries exhausted
+  ///   kCorrupt     — payload still corrupt after retries
+  ///   kRuntimeError— site-level application error (bad opcode etc.)
+  /// Application errors caused by site data loss surface as kUnavailable
+  /// with the site's error text (see IsFederatedDataLossError).
+  StatusOr<FederatedMessage> Call(int site, const FederatedMessage& msg,
+                                  const FedCallOptions& options = {});
+
+  /// Circuit breaker: false once kCircuitBreakerThreshold consecutive
+  /// calls (not attempts) to the site failed. A healthy response closes
+  /// the breaker again.
+  bool SiteHealthy(int site) const;
+  static constexpr int kCircuitBreakerThreshold = 3;
+
  private:
+  struct SiteHealth {
+    int consecutive_call_failures = 0;
+    bool fallback_logged = false;
+  };
+
+  void ReportCallResult(int site, bool ok);
+
   std::vector<std::unique_ptr<FederatedWorker>> workers_;
+  mutable std::mutex health_mutex_;
+  std::vector<SiteHealth> health_;
+
+  friend class FederatedMatrix;
 };
 
 /// A federated tensor/matrix (paper §2.4): a metadata object holding
 /// references to remote partitions covering disjoint row ranges.
+///
+/// Fault tolerance: Distribute retains a handle to the source matrix (the
+/// durable input in a real deployment). When a site is dead or a call
+/// exhausts its retry budget, the operation degrades gracefully: the
+/// partition's slice is pulled local and the push-down kernel runs in CP
+/// with the same single-threaded kernels the site would use, so results
+/// stay bit-identical to the fault-free run (one-time cost, logged once
+/// per site, counted in fault.fed.local_fallbacks).
 class FederatedMatrix {
  public:
   struct Partition {
@@ -117,7 +186,9 @@ class FederatedMatrix {
   const std::vector<Partition>& Partitions() const { return partitions_; }
 
   /// Creates a federated matrix by row-partitioning a local matrix across
-  /// all workers of the registry (the data ships once at init).
+  /// all workers of the registry (the data ships once at init). Sites that
+  /// cannot be reached still get a partition entry; operations on them run
+  /// in degraded local mode.
   static StatusOr<FederatedMatrix> Distribute(FederatedRegistry* registry,
                                               const MatrixBlock& m,
                                               const std::string& name);
@@ -137,9 +208,25 @@ class FederatedMatrix {
   StatusOr<MatrixBlock> Collect() const;
 
  private:
+  /// Row slice of the retained source for partition p.
+  StatusOr<MatrixBlock> SourceSlice(const Partition& p) const;
+
+  /// Re-ships partition p from source after a site crash wiped it.
+  Status RePut(const Partition& p) const;
+
+  /// The degradation ladder shared by all push-down ops: healthy site ->
+  /// Call with retries -> crash recovery (reput + one more call) -> local
+  /// CP fallback. `reput` restores every site variable the request needs;
+  /// `local` computes the partition's contribution from source slices.
+  StatusOr<MatrixBlock> CallPartition(
+      const Partition& p, const FederatedMessage& req,
+      const std::function<Status()>& reput,
+      const std::function<StatusOr<MatrixBlock>()>& local) const;
+
   FederatedRegistry* registry_;
   int64_t rows_, cols_;
   std::vector<Partition> partitions_;
+  std::shared_ptr<const MatrixBlock> source_;
 };
 
 /// Federated linear regression (closed form): solves

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <unordered_set>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -16,6 +17,8 @@ struct PoolMetrics {
   obs::Gauge* cached_bytes;
   obs::Counter* evictions;
   obs::Counter* spilled_bytes;
+  obs::Counter* spill_retries;
+  obs::Counter* spill_repins;
 };
 
 PoolMetrics& Metrics() {
@@ -23,6 +26,8 @@ PoolMetrics& Metrics() {
       obs::MetricsRegistry::Get().GetGauge("bufferpool.cached_bytes"),
       obs::MetricsRegistry::Get().GetCounter("bufferpool.evictions"),
       obs::MetricsRegistry::Get().GetCounter("bufferpool.spilled_bytes"),
+      obs::MetricsRegistry::Get().GetCounter("fault.bufferpool.spill_retries"),
+      obs::MetricsRegistry::Get().GetCounter("fault.bufferpool.spill_repins"),
   };
   return m;
 }
@@ -88,15 +93,42 @@ void BufferPool::EvictIfNeededLocked() {
   if (cached_bytes_ <= limit_bytes_) return;
   std::error_code ec;
   std::filesystem::create_directories(spill_dir_, ec);
+  // Objects whose spill failed twice this pass: re-pinned in memory (entry
+  // and byte accounting stay intact) and skipped until the next pass.
+  std::unordered_set<MatrixObject*> repinned;
   auto it = lru_.begin();
   while (cached_bytes_ > limit_bytes_ && it != lru_.end()) {
     MatrixObject* victim = *it;
-    if (victim->PinCount() > 0 || !victim->IsCached()) {
+    if (victim->PinCount() > 0 || !victim->IsCached() ||
+        repinned.count(victim) > 0) {
       ++it;
       continue;
     }
-    std::string path =
-        spill_dir_ + "/m" + std::to_string(file_counter_++) + ".bin";
+    // Spill first, then account: entry and bytes are only removed once the
+    // block is safely on disk (a failed spill must not strand the object
+    // cached-but-untracked).
+    StatusOr<bool> evicted = false;
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      if (attempt > 0) Metrics().spill_retries->Add(1);
+      std::string path =
+          spill_dir_ + "/m" + std::to_string(file_counter_++) + ".bin";
+      SYSDS_SPAN("bufferpool", "spill");
+      evicted = victim->EvictTo(path);
+      if (evicted.ok()) break;
+    }
+    if (!evicted.ok()) {
+      // Degrade: keep the block resident and move on. The pool may stay
+      // over its limit until the spill device recovers.
+      Metrics().spill_repins->Add(1);
+      obs::Tracer::Instant("bufferpool", "spill_repin");
+      repinned.insert(victim);
+      ++it;
+      continue;
+    }
+    if (!*evicted) {  // raced with a concurrent pin
+      ++it;
+      continue;
+    }
     auto entry = entries_.find(victim);
     int64_t size = entry->second.second;
     it = lru_.erase(it);
@@ -106,12 +138,6 @@ void BufferPool::EvictIfNeededLocked() {
     Metrics().evictions->Add(1);
     Metrics().spilled_bytes->Add(size);
     obs::Tracer::Instant("bufferpool", "evict");
-    // EvictTo serializes and drops the block; it must not call back into
-    // the pool (we already removed the entry).
-    {
-      SYSDS_SPAN("bufferpool", "spill");
-      victim->EvictTo(path);
-    }
   }
   Metrics().cached_bytes->Set(cached_bytes_);
 }

@@ -1,8 +1,10 @@
 #include "runtime/controlprog/data.h"
 
 #include <atomic>
+#include <iostream>
 #include <sstream>
 
+#include "common/faults.h"
 #include "io/matrix_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -26,6 +28,17 @@ obs::Counter* PoolMisses() {
   return c;
 }
 std::atomic<int64_t> g_next_object_id{1};
+
+obs::Counter* RestoreRetries() {
+  static obs::Counter* c = obs::MetricsRegistry::Get().GetCounter(
+      "fault.bufferpool.restore_retries");
+  return c;
+}
+obs::Counter* RestoreFailures() {
+  static obs::Counter* c = obs::MetricsRegistry::Get().GetCounter(
+      "fault.bufferpool.restore_failures");
+  return c;
+}
 }  // namespace
 
 Data::Data()
@@ -136,7 +149,13 @@ const MatrixBlock& MatrixObject::AcquireRead() {
     ++pin_count_;
     if (block_ == nullptr) {
       SYSDS_SPAN("bufferpool", "restore");
-      RestoreLocked();
+      Status s = RestoreLocked();
+      if (!s.ok()) {
+        // Degraded: RestoreLocked materialized zeros so the pin contract
+        // holds; the script continues with a loud diagnostic.
+        std::cerr << "[sysds.bufferpool] restore failed, serving zeros: "
+                  << s.ToString() << "\n";
+      }
       restored = true;
       size = block_->EstimateSizeInBytes();
     }
@@ -159,31 +178,51 @@ void MatrixObject::Release() {
   if (pin_count_ > 0) --pin_count_;
 }
 
-void MatrixObject::EvictTo(const std::string& path) {
+StatusOr<bool> MatrixObject::EvictTo(const std::string& path) {
   // Called by the buffer pool (which holds its own lock); the object lock
   // closes the race against a concurrent AcquireRead pinning the block.
   std::lock_guard<std::mutex> lock(mutex_);
-  if (block_ == nullptr || pin_count_ > 0) return;
-  Status s = WriteMatrixBinary(*block_, path);
-  if (!s.ok()) return;  // keep in memory on spill failure
+  if (block_ == nullptr || pin_count_ > 0) return false;
+  if (FaultInjector::Get().ShouldInject(FaultLayer::kBufferPool, 0,
+                                        FaultKind::kSpillIoError)) {
+    return IoError("bufferpool: injected spill write error (" + path + ")");
+  }
+  SYSDS_RETURN_IF_ERROR(WriteMatrixBinary(*block_, path));
   evicted_path_ = path;
   block_.reset();
+  return true;
 }
 
-void MatrixObject::RestoreLocked() {
+Status MatrixObject::RestoreLocked() {
   if (evicted_path_.empty()) {
     // Should not happen; produce an empty block to fail loudly downstream.
     block_ = std::make_shared<MatrixBlock>(MatrixBlock::Dense(rows_, cols_));
-    return;
+    return Internal("bufferpool: restore without a spill file");
   }
-  auto restored = ReadMatrixBinary(evicted_path_);
+  Status last;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (attempt > 0) RestoreRetries()->Add(1);
+    if (FaultInjector::Get().ShouldInject(FaultLayer::kBufferPool, 0,
+                                          FaultKind::kSpillIoError)) {
+      last = IoError("bufferpool: injected evict-read error (" +
+                     evicted_path_ + ")");
+      continue;
+    }
+    auto restored = ReadMatrixBinary(evicted_path_);
+    if (!restored.ok()) {
+      last = restored.status();
+      continue;
+    }
+    std::remove(evicted_path_.c_str());
+    evicted_path_.clear();
+    block_ = std::make_shared<MatrixBlock>(std::move(restored).value());
+    return Status::Ok();
+  }
   std::remove(evicted_path_.c_str());
   evicted_path_.clear();
-  if (restored.ok()) {
-    block_ = std::make_shared<MatrixBlock>(std::move(restored).value());
-  } else {
-    block_ = std::make_shared<MatrixBlock>(MatrixBlock::Dense(rows_, cols_));
-  }
+  RestoreFailures()->Add(1);
+  block_ = std::make_shared<MatrixBlock>(MatrixBlock::Dense(rows_, cols_));
+  return last;
 }
 
 int64_t MatrixObject::EstimateSizeInBytes() const {

@@ -96,8 +96,11 @@ class MatrixObject final : public Data {
     return pin_count_;
   }
 
-  /// Buffer-pool hooks: drops the in-memory block after spilling.
-  void EvictTo(const std::string& path);
+  /// Buffer-pool hook: spills the block to `path` and drops it. Returns
+  /// true if the block was evicted, false if eviction was skipped (pinned
+  /// or already evicted), or an error when the spill write failed (the
+  /// block stays safely in memory; the pool retries once, then re-pins).
+  StatusOr<bool> EvictTo(const std::string& path);
   int64_t EstimateSizeInBytes() const;
 
   std::string DebugString() const override;
@@ -110,10 +113,13 @@ class MatrixObject final : public Data {
   static void ClearBufferPool(BufferPool* expected);
 
  private:
-  // Restores the block from the spill file. Caller holds mutex_; performs
-  // no buffer-pool calls (lock ordering: the pool locks pool->object, the
-  // acquire path must never nest object->pool).
-  void RestoreLocked();
+  // Restores the block from the spill file, retrying a failed read once
+  // (fault.bufferpool.restore_retries). Caller holds mutex_; performs no
+  // buffer-pool calls (lock ordering: the pool locks pool->object, the
+  // acquire path must never nest object->pool). On final failure the block
+  // is materialized as zeros and the error returned
+  // (fault.bufferpool.restore_failures).
+  Status RestoreLocked();
 
   mutable std::mutex mutex_;
   std::shared_ptr<MatrixBlock> block_;

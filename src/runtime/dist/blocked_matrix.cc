@@ -7,6 +7,7 @@
 #include "common/statistics.h"
 #include "common/thread_pool.h"
 #include "obs/trace.h"
+#include "runtime/dist/task_runner.h"
 #include "runtime/matrix/lib_elementwise.h"
 #include "runtime/matrix/lib_matmult.h"
 #include "runtime/matrix/op_codes.h"
@@ -82,47 +83,40 @@ StatusOr<BlockedMatrix> DistMatMult(const BlockedMatrix& a,
   // Replicated join on the shared dimension: every (i,k)x(k,j) pair is one
   // shuffled block pair in a real cluster.
   Statistics::Get().IncCounter("spark.shuffled_blocks", rb * cb * kb);
-  std::mutex mu;
+  // Each output block is one retryable task; results commit into per-task
+  // slots so re-executed or speculative attempts cannot reorder anything.
   std::vector<std::pair<BlockedMatrix::Key, MatrixBlock>> results(
       static_cast<size_t>(rb * cb));
-  std::vector<Status> statuses(static_cast<size_t>(rb * cb));
-  ThreadPool::Global().ParallelFor(
-      0, rb * cb, DefaultParallelism(), [&](int64_t tb, int64_t te) {
-        for (int64_t t = tb; t < te; ++t) {
-          int64_t bi = t / cb, bj = t % cb;
-          SYSDS_SPAN("dist", "mm_block_task");
-          MatrixBlock acc;
-          bool has = false;
-          for (int64_t bk = 0; bk < kb; ++bk) {
-            const MatrixBlock* ab = a.BlockAt(bi, bk);
-            const MatrixBlock* bb = b.BlockAt(bk, bj);
-            if (ab == nullptr || bb == nullptr) continue;
-            auto prod = MatMult(*ab, *bb, 1);
-            if (!prod.ok()) {
-              statuses[static_cast<size_t>(t)] = prod.status();
-              return;
-            }
-            if (!has) {
-              acc = std::move(*prod);
-              has = true;
-            } else {
-              auto sum = BinaryMatrixMatrix(BinaryOpCode::kAdd, acc, *prod, 1);
-              if (!sum.ok()) {
-                statuses[static_cast<size_t>(t)] = sum.status();
-                return;
-              }
-              acc = std::move(*sum);
-            }
-          }
-          if (has && acc.NonZeros() > 0) {
-            results[static_cast<size_t>(t)] = {{bi, bj}, std::move(acc)};
-            results[static_cast<size_t>(t)].second.ExamSparsity();
+  SYSDS_RETURN_IF_ERROR(RunRetryableTasks(
+      rb * cb,
+      [&](int64_t t)
+          -> StatusOr<std::pair<BlockedMatrix::Key, MatrixBlock>> {
+        int64_t bi = t / cb, bj = t % cb;
+        SYSDS_SPAN("dist", "mm_block_task");
+        MatrixBlock acc;
+        bool has = false;
+        for (int64_t bk = 0; bk < kb; ++bk) {
+          const MatrixBlock* ab = a.BlockAt(bi, bk);
+          const MatrixBlock* bb = b.BlockAt(bk, bj);
+          if (ab == nullptr || bb == nullptr) continue;
+          SYSDS_ASSIGN_OR_RETURN(MatrixBlock prod, MatMult(*ab, *bb, 1));
+          if (!has) {
+            acc = std::move(prod);
+            has = true;
           } else {
-            results[static_cast<size_t>(t)].first = {-1, -1};
+            SYSDS_ASSIGN_OR_RETURN(
+                acc, BinaryMatrixMatrix(BinaryOpCode::kAdd, acc, prod, 1));
           }
         }
-      });
-  for (const Status& s : statuses) SYSDS_RETURN_IF_ERROR(s);
+        if (has && acc.NonZeros() > 0) {
+          acc.ExamSparsity();
+          return std::make_pair(BlockedMatrix::Key{bi, bj}, std::move(acc));
+        }
+        return std::make_pair(BlockedMatrix::Key{-1, -1}, MatrixBlock());
+      },
+      [&](int64_t t, std::pair<BlockedMatrix::Key, MatrixBlock>&& r) {
+        results[static_cast<size_t>(t)] = std::move(r);
+      }));
   for (auto& [key, blk] : results) {
     if (key.first >= 0) c.MutableBlocks().emplace(key, std::move(blk));
   }
@@ -136,31 +130,46 @@ StatusOr<BlockedMatrix> DistTsmmLeft(const BlockedMatrix& x) {
   int64_t n = x.Cols();
   Statistics::Get().IncCounter("spark.shuffled_blocks",
                                static_cast<int64_t>(x.Blocks().size()));
+  // One retryable task per row-block stripe; partials commit into stripe
+  // slots and the tree-aggregate runs serially in stripe order afterwards,
+  // keeping the result bit-identical under re-execution and speculation.
+  std::vector<MatrixBlock> partials(static_cast<size_t>(x.RowBlocks()));
+  std::vector<uint8_t> present(static_cast<size_t>(x.RowBlocks()), 0);
+  SYSDS_RETURN_IF_ERROR(RunRetryableTasks(
+      x.RowBlocks(),
+      [&](int64_t bi) -> StatusOr<MatrixBlock> {
+        // Assemble the stripe (all column blocks of row-block bi).
+        int64_t rb = bi * x.BlockSize();
+        int64_t re = std::min(x.Rows(), rb + x.BlockSize());
+        MatrixBlock stripe(re - rb, n, /*sparse=*/false);
+        bool has = false;
+        for (int64_t bj = 0; bj < x.ColBlocks(); ++bj) {
+          const MatrixBlock* blk = x.BlockAt(bi, bj);
+          if (blk == nullptr) continue;
+          has = true;
+          int64_t cb = bj * x.BlockSize();
+          for (int64_t r = 0; r < blk->Rows(); ++r) {
+            for (int64_t c = 0; c < blk->Cols(); ++c) {
+              stripe.DenseRow(r)[cb + c] = blk->Get(r, c);
+            }
+          }
+        }
+        if (!has) return MatrixBlock();
+        stripe.MarkNnzDirty();
+        return TransposeSelfMatMult(stripe, true, 1);
+      },
+      [&](int64_t bi, MatrixBlock&& part) {
+        if (part.Rows() > 0) {
+          partials[static_cast<size_t>(bi)] = std::move(part);
+          present[static_cast<size_t>(bi)] = 1;
+        }
+      }));
   MatrixBlock acc = MatrixBlock::Dense(n, n);
   for (int64_t bi = 0; bi < x.RowBlocks(); ++bi) {
-    // Assemble the stripe (all column blocks of row-block bi).
-    int64_t rb = bi * x.BlockSize();
-    int64_t re = std::min(x.Rows(), rb + x.BlockSize());
-    MatrixBlock stripe(re - rb, n, /*sparse=*/false);
-    bool has = false;
-    for (int64_t bj = 0; bj < x.ColBlocks(); ++bj) {
-      const MatrixBlock* blk = x.BlockAt(bi, bj);
-      if (blk == nullptr) continue;
-      has = true;
-      int64_t cb = bj * x.BlockSize();
-      for (int64_t r = 0; r < blk->Rows(); ++r) {
-        for (int64_t c = 0; c < blk->Cols(); ++c) {
-          stripe.DenseRow(r)[cb + c] = blk->Get(r, c);
-        }
-      }
-    }
-    if (!has) continue;
-    stripe.MarkNnzDirty();
-    SYSDS_ASSIGN_OR_RETURN(MatrixBlock part,
-                           TransposeSelfMatMult(stripe, true,
-                                                DefaultParallelism()));
+    if (!present[static_cast<size_t>(bi)]) continue;
     SYSDS_ASSIGN_OR_RETURN(
-        acc, BinaryMatrixMatrix(BinaryOpCode::kAdd, acc, part, 1));
+        acc, BinaryMatrixMatrix(BinaryOpCode::kAdd, acc,
+                                partials[static_cast<size_t>(bi)], 1));
   }
   return BlockedMatrix::FromMatrix(acc, x.BlockSize());
 }
@@ -179,25 +188,36 @@ StatusOr<BlockedMatrix> DistBinary(const BlockedMatrix& a,
   else if (opcode == "/") code = BinaryOpCode::kDiv;
   else return InvalidArgument("distributed binary: unsupported op " + opcode);
   SYSDS_SPAN("dist", "binary");
-  // Aligned blocking => co-partitioned join, no shuffle (paper §2.4).
+  // Aligned blocking => co-partitioned join, no shuffle (paper §2.4). Each
+  // block pair is one retryable task committing into its own slot.
   BlockedMatrix c;
   c.SetShape(a.Rows(), a.Cols(), a.BlockSize());
-  for (int64_t bi = 0; bi < a.RowBlocks(); ++bi) {
-    for (int64_t bj = 0; bj < a.ColBlocks(); ++bj) {
-      const MatrixBlock* ab = a.BlockAt(bi, bj);
-      const MatrixBlock* bb = b.BlockAt(bi, bj);
-      int64_t rows = std::min(a.Rows() - bi * a.BlockSize(), a.BlockSize());
-      int64_t cols = std::min(a.Cols() - bj * a.BlockSize(), a.BlockSize());
-      MatrixBlock zero(rows, cols, /*sparse=*/true);
-      const MatrixBlock& lhs = ab != nullptr ? *ab : zero;
-      const MatrixBlock& rhs = bb != nullptr ? *bb : zero;
-      SYSDS_ASSIGN_OR_RETURN(MatrixBlock blk,
-                             BinaryMatrixMatrix(code, lhs, rhs, 1));
-      if (blk.NonZeros() > 0) {
-        c.MutableBlocks().emplace(BlockedMatrix::Key{bi, bj},
-                                  std::move(blk));
-      }
-    }
+  int64_t rbs = a.RowBlocks(), cbs = a.ColBlocks();
+  std::vector<MatrixBlock> blocks(static_cast<size_t>(rbs * cbs));
+  std::vector<uint8_t> present(static_cast<size_t>(rbs * cbs), 0);
+  SYSDS_RETURN_IF_ERROR(RunRetryableTasks(
+      rbs * cbs,
+      [&](int64_t t) -> StatusOr<MatrixBlock> {
+        int64_t bi = t / cbs, bj = t % cbs;
+        const MatrixBlock* ab = a.BlockAt(bi, bj);
+        const MatrixBlock* bb = b.BlockAt(bi, bj);
+        int64_t rows = std::min(a.Rows() - bi * a.BlockSize(), a.BlockSize());
+        int64_t cols = std::min(a.Cols() - bj * a.BlockSize(), a.BlockSize());
+        MatrixBlock zero(rows, cols, /*sparse=*/true);
+        const MatrixBlock& lhs = ab != nullptr ? *ab : zero;
+        const MatrixBlock& rhs = bb != nullptr ? *bb : zero;
+        return BinaryMatrixMatrix(code, lhs, rhs, 1);
+      },
+      [&](int64_t t, MatrixBlock&& blk) {
+        if (blk.NonZeros() > 0) {
+          blocks[static_cast<size_t>(t)] = std::move(blk);
+          present[static_cast<size_t>(t)] = 1;
+        }
+      }));
+  for (int64_t t = 0; t < rbs * cbs; ++t) {
+    if (!present[static_cast<size_t>(t)]) continue;
+    c.MutableBlocks().emplace(BlockedMatrix::Key{t / cbs, t % cbs},
+                              std::move(blocks[static_cast<size_t>(t)]));
   }
   return c;
 }

@@ -1,0 +1,24 @@
+#include "runtime/dist/task_runner.h"
+
+#include "obs/metrics.h"
+
+namespace sysds {
+namespace dist_internal {
+
+DistFaultMetrics& Metrics() {
+  static DistFaultMetrics m = {
+      obs::MetricsRegistry::Get().GetCounter("fault.dist.retries"),
+      obs::MetricsRegistry::Get().GetCounter("fault.dist.failed_tasks"),
+      obs::MetricsRegistry::Get().GetCounter("fault.dist.speculative"),
+      obs::MetricsRegistry::Get().GetCounter("fault.dist.speculative_wins"),
+  };
+  return m;
+}
+
+void BumpRetries() { Metrics().retries->Add(1); }
+void BumpFailed() { Metrics().failed_tasks->Add(1); }
+void BumpSpeculative() { Metrics().speculative->Add(1); }
+void BumpSpeculativeWin() { Metrics().speculative_wins->Add(1); }
+
+}  // namespace dist_internal
+}  // namespace sysds

@@ -1,0 +1,195 @@
+#ifndef SYSDS_RUNTIME_DIST_TASK_RUNNER_H_
+#define SYSDS_RUNTIME_DIST_TASK_RUNNER_H_
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/faults.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace sysds {
+
+namespace obs {
+class Counter;
+class Histogram;
+}  // namespace obs
+
+/// Scheduling policy of RunRetryableTasks — the simulated Spark scheduler's
+/// fault-tolerance knobs (bounded task re-execution + speculative execution
+/// of stragglers, mirroring spark.task.maxFailures / spark.speculation).
+struct TaskRunnerOptions {
+  /// Attempts per task before the stage fails (crash injection and compute
+  /// errors both consume attempts).
+  int max_attempts = 3;
+  /// Launch a duplicate attempt for tasks running far beyond their siblings.
+  bool speculation = true;
+  /// A task is a straggler once it runs longer than
+  /// max(straggler_floor, straggler_factor * p95 of completed durations),
+  /// evaluated only after half the stage completed.
+  double straggler_factor = 1.5;
+  std::chrono::milliseconds straggler_floor{20};
+  /// Monitor poll interval while the stage is in flight.
+  std::chrono::milliseconds poll{2};
+};
+
+namespace dist_internal {
+struct DistFaultMetrics {
+  obs::Counter* retries;           // fault.dist.retries
+  obs::Counter* failed_tasks;      // fault.dist.failed_tasks
+  obs::Counter* speculative;       // fault.dist.speculative
+  obs::Counter* speculative_wins;  // fault.dist.speculative_wins
+};
+DistFaultMetrics& Metrics();
+void BumpRetries();
+void BumpFailed();
+void BumpSpeculative();
+void BumpSpeculativeWin();
+}  // namespace dist_internal
+
+/// Runs `num_tasks` independent block tasks on the shared executor pool with
+/// bounded re-execution and straggler speculation. `compute(t)` produces the
+/// task's result (it must be a pure function of `t` so re-execution and
+/// duplicates are safe); `commit(t, result)` stores it. Each task commits
+/// exactly once even when a speculative duplicate races the original, so
+/// callers can commit into pre-sized slot vectors and accumulate serially
+/// afterwards for deterministic (bit-identical) results.
+///
+/// Chaos mode: each attempt probes FaultLayer::kDist with the task index as
+/// id. kDelay injects a straggler (sleep), kCrash loses the attempt (the
+/// simulated executor died; the task is re-executed, consuming an attempt).
+/// Returns the first permanent task failure, after all in-flight attempts
+/// drained.
+template <typename Compute, typename Commit>
+Status RunRetryableTasks(int64_t num_tasks, Compute&& compute, Commit&& commit,
+                         const TaskRunnerOptions& options = {}) {
+  if (num_tasks <= 0) return Status::Ok();
+  struct TaskState {
+    std::atomic<bool> committed{false};
+    std::atomic<int64_t> started_ns{-1};
+    std::atomic<bool> speculated{false};
+  };
+  std::vector<TaskState> states(static_cast<size_t>(num_tasks));
+  std::mutex mu;
+  std::condition_variable cv;
+  int64_t outstanding = 0;  // in-flight executions (originals + duplicates)
+  Status first_error;
+  std::vector<double> durations_ms;  // completed-task runtimes, for p95
+
+  auto now_ns = [] {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+
+  // One execution of task t: the original runs the full retry loop, a
+  // speculative duplicate gets a single attempt.
+  auto run = [&](int64_t t, bool speculative) {
+    FaultInjector& inj = FaultInjector::Get();
+    TaskState& st = states[static_cast<size_t>(t)];
+    int attempts = speculative ? 1 : options.max_attempts;
+    Status last;
+    for (int attempt = 0;
+         attempt < attempts && !st.committed.load(std::memory_order_acquire);
+         ++attempt) {
+      if (attempt > 0) dist_internal::BumpRetries();
+      int64_t t0 = now_ns();
+      int64_t expected = -1;
+      st.started_ns.compare_exchange_strong(expected, t0,
+                                            std::memory_order_relaxed);
+      if (inj.enabled()) {
+        if (inj.ShouldInject(FaultLayer::kDist, static_cast<int>(t),
+                             FaultKind::kDelay)) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(inj.DelayMs()));
+        }
+        if (inj.ShouldInject(FaultLayer::kDist, static_cast<int>(t),
+                             FaultKind::kCrash)) {
+          last = UnavailableError("dist task " + std::to_string(t) +
+                                  ": executor lost, re-executing");
+          continue;
+        }
+      }
+      auto result = compute(t);
+      if (!result.ok()) {
+        last = result.status();
+        continue;
+      }
+      if (!st.committed.exchange(true, std::memory_order_acq_rel)) {
+        commit(t, std::move(*result));
+        if (speculative) dist_internal::BumpSpeculativeWin();
+        double ms = static_cast<double>(now_ns() - t0) * 1e-6;
+        std::lock_guard<std::mutex> lock(mu);
+        durations_ms.push_back(ms);
+      }
+      last = Status::Ok();
+      break;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    if (!last.ok() && !speculative &&
+        !st.committed.load(std::memory_order_acquire)) {
+      dist_internal::BumpFailed();
+      if (first_error.ok()) first_error = last;
+    }
+    --outstanding;
+    cv.notify_all();
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    outstanding = num_tasks;
+  }
+  for (int64_t t = 0; t < num_tasks; ++t) {
+    ThreadPool::Global().Submit([&run, t] { run(t, /*speculative=*/false); });
+  }
+
+  // Wait for the stage, acting as the speculation monitor while we do.
+  std::unique_lock<std::mutex> lock(mu);
+  for (;;) {
+    if (cv.wait_for(lock, options.poll, [&] { return outstanding == 0; })) {
+      break;
+    }
+    if (!options.speculation ||
+        static_cast<int64_t>(durations_ms.size()) * 2 < num_tasks) {
+      continue;
+    }
+    std::vector<double> sorted = durations_ms;
+    std::sort(sorted.begin(), sorted.end());
+    double p95 = sorted[static_cast<size_t>(
+        0.95 * static_cast<double>(sorted.size() - 1))];
+    double threshold_ms =
+        std::max(static_cast<double>(options.straggler_floor.count()),
+                 options.straggler_factor * p95);
+    std::vector<int64_t> stragglers;
+    int64_t now = now_ns();
+    for (int64_t t = 0; t < num_tasks; ++t) {
+      TaskState& st = states[static_cast<size_t>(t)];
+      int64_t started = st.started_ns.load(std::memory_order_relaxed);
+      if (st.committed.load(std::memory_order_acquire) || started < 0) {
+        continue;
+      }
+      if (static_cast<double>(now - started) * 1e-6 <= threshold_ms) continue;
+      if (st.speculated.exchange(true, std::memory_order_relaxed)) continue;
+      stragglers.push_back(t);
+    }
+    outstanding += static_cast<int64_t>(stragglers.size());
+    lock.unlock();
+    for (int64_t t : stragglers) {
+      dist_internal::BumpSpeculative();
+      ThreadPool::Global().Submit([&run, t] { run(t, /*speculative=*/true); });
+    }
+    lock.lock();
+  }
+  return first_error;
+}
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_DIST_TASK_RUNNER_H_

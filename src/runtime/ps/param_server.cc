@@ -1,12 +1,15 @@
 #include "runtime/ps/param_server.h"
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/faults.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -60,6 +63,48 @@ double ComputeLoss(const MatrixBlock& x, const MatrixBlock& y,
   return loss / static_cast<double>(std::max<int64_t>(1, x.Rows()));
 }
 
+// Push/pull retry budget. Training runs make thousands of server calls, so
+// the budget must drive the per-call permanent-failure probability low
+// enough that a 10% drop rate (the chaos-suite default) rarely costs a
+// worker: 0.1^5 = 1e-5 per call.
+constexpr int kPsMaxAttempts = 5;
+
+struct PsFaultMetrics {
+  obs::Counter* retries;
+  obs::Counter* excluded;
+};
+
+PsFaultMetrics& FaultMetrics() {
+  static PsFaultMetrics m = {
+      obs::MetricsRegistry::Get().GetCounter("fault.ps.retries"),
+      obs::MetricsRegistry::Get().GetCounter("fault.ps.excluded_workers"),
+  };
+  return m;
+}
+
+/// One worker->server call (pull or push) under fault injection: a dropped
+/// message is retried with a short pause; the budget bounds how long a
+/// sick worker can hold up its round.
+template <typename Op>
+Status PsCall(int wid, const char* what, Op&& op) {
+  FaultInjector& inj = FaultInjector::Get();
+  for (int attempt = 0; attempt < kPsMaxAttempts; ++attempt) {
+    if (attempt > 0) {
+      FaultMetrics().retries->Add(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (inj.enabled() &&
+        inj.ShouldInject(FaultLayer::kPs, wid, FaultKind::kMessageDrop)) {
+      continue;
+    }
+    op();
+    return Status::Ok();
+  }
+  return UnavailableError("ps worker " + std::to_string(wid) + ": " + what +
+                          " failed after " + std::to_string(kPsMaxAttempts) +
+                          " attempts");
+}
+
 }  // namespace
 
 StatusOr<PsResult> PsTrain(const MatrixBlock& x, const MatrixBlock& y,
@@ -80,11 +125,15 @@ StatusOr<PsResult> PsTrain(const MatrixBlock& x, const MatrixBlock& y,
   std::mutex model_mutex;
   std::atomic<int64_t> pushes{0};
 
-  // BSP barrier.
+  // BSP barrier, adaptive to worker exclusion: `active_workers` is the
+  // barrier width; excluding a worker shrinks it and releases the round if
+  // the remaining waiters now fill it (no wedged barrier).
   std::mutex barrier_mutex;
   std::condition_variable barrier_cv;
   int barrier_count = 0;
   int64_t barrier_round = 0;
+  int active_workers = workers;
+  int excluded_count = 0;
 
   int64_t rows_per = (n + workers - 1) / workers;
   int64_t max_batches = 0;
@@ -99,31 +148,63 @@ StatusOr<PsResult> PsTrain(const MatrixBlock& x, const MatrixBlock& y,
 
   static obs::Counter* push_counter =
       obs::MetricsRegistry::Get().GetCounter("ps.pushes");
+
+  // Drops a worker from the aggregation: shrink the barrier and release the
+  // current round if everyone still active is already waiting on it.
+  auto exclude_worker = [&](int wid, const Status& why) {
+    FaultMetrics().excluded->Add(1);
+    obs::Tracer::Instant("ps", "worker_excluded");
+    std::lock_guard<std::mutex> lock(barrier_mutex);
+    --active_workers;
+    ++excluded_count;
+    std::cerr << "[sysds.ps] excluding worker " << wid
+              << " from aggregation: " << why.ToString() << "\n";
+    if (active_workers > 0 && barrier_count >= active_workers) {
+      barrier_count = 0;
+      ++barrier_round;
+    }
+    barrier_cv.notify_all();
+  };
+
   auto worker_fn = [&](int wid) {
     obs::Tracer::SetCurrentThreadName("ps-worker-" + std::to_string(wid));
     SYSDS_SPAN("ps", "worker#" + std::to_string(wid));
+    FaultInjector& inj = FaultInjector::Get();
     int64_t rb = wid * rows_per;
     int64_t re = std::min(n, rb + rows_per);
     for (int epoch = 0; epoch < config.epochs; ++epoch) {
       SYSDS_SPAN("ps", "epoch#" + std::to_string(epoch));
       for (int64_t batch = 0; batch < max_batches; ++batch) {
+        if (inj.enabled() &&
+            inj.ShouldInject(FaultLayer::kPs, wid, FaultKind::kCrash)) {
+          exclude_worker(wid, UnavailableError("worker crashed"));
+          return;
+        }
         int64_t bb = rb + batch * config.batch_size;
         int64_t be = std::min(re, bb + config.batch_size);
         if (bb < be) {
           // Pull.
           std::vector<double> local;
-          {
+          Status pulled = PsCall(wid, "pull", [&] {
             std::lock_guard<std::mutex> lock(model_mutex);
             local = weights;
+          });
+          if (!pulled.ok()) {
+            exclude_worker(wid, pulled);
+            return;
           }
           std::vector<double> grad = ComputeGradient(
               x, y, bb, be, local, config.objective, config.reg);
           // Push.
-          {
+          Status pushed = PsCall(wid, "push", [&] {
             std::lock_guard<std::mutex> lock(model_mutex);
             for (int64_t c = 0; c < m; ++c) {
               weights[c] -= config.learning_rate * grad[c];
             }
+          });
+          if (!pushed.ok()) {
+            exclude_worker(wid, pushed);
+            return;
           }
           pushes.fetch_add(1);
           push_counter->Add(1);
@@ -131,7 +212,7 @@ StatusOr<PsResult> PsTrain(const MatrixBlock& x, const MatrixBlock& y,
         if (config.mode == PsUpdateMode::kBSP) {
           std::unique_lock<std::mutex> lock(barrier_mutex);
           int64_t my_round = barrier_round;
-          if (++barrier_count == workers) {
+          if (++barrier_count >= active_workers) {
             barrier_count = 0;
             ++barrier_round;
             barrier_cv.notify_all();
@@ -149,12 +230,17 @@ StatusOr<PsResult> PsTrain(const MatrixBlock& x, const MatrixBlock& y,
   for (int w = 0; w < workers; ++w) threads.emplace_back(worker_fn, w);
   for (std::thread& t : threads) t.join();
 
+  if (excluded_count == workers) {
+    return UnavailableError(
+        "PsTrain: every worker was lost; no surviving aggregation");
+  }
   PsResult result;
   result.weights = MatrixBlock::Dense(m, 1);
   for (int64_t c = 0; c < m; ++c) result.weights.DenseData()[c] = weights[c];
   result.weights.MarkNnzDirty();
   result.final_loss = ComputeLoss(x, y, weights, config.objective);
   result.pushes = pushes.load();
+  result.excluded_workers = excluded_count;
   return result;
 }
 

@@ -33,6 +33,9 @@ struct PsResult {
   MatrixBlock weights;
   double final_loss = 0.0;
   int64_t pushes = 0;  // gradient pushes processed by the server
+  /// Workers dropped from the aggregation after exhausting their retry
+  /// budget (chaos mode); the barrier adapts so surviving workers finish.
+  int excluded_workers = 0;
 };
 
 /// In-process parameter server: the model lives at the "server" (mutex-
@@ -41,6 +44,13 @@ struct PsResult {
 /// BSP barriers after each round; ASP runs free. Data is row-partitioned
 /// across workers (each worker's shard stays private, mirroring the data-
 /// parallel execution SystemDS compiles for mini-batch training).
+///
+/// Fault tolerance: pull/push calls probe FaultLayer::kPs (id = worker).
+/// Dropped calls are retried (bounded, fault.ps.retries); a worker that
+/// crashes or exhausts its budget is excluded from the aggregation — the
+/// BSP barrier shrinks to the surviving workers instead of wedging
+/// (fault.ps.excluded_workers, PsResult::excluded_workers). Training only
+/// fails when every worker is lost.
 StatusOr<PsResult> PsTrain(const MatrixBlock& x, const MatrixBlock& y,
                            const PsConfig& config);
 

@@ -27,6 +27,11 @@ obs::Counter& DeadlineMissCounter() {
       obs::MetricsRegistry::Get().GetCounter("serve.deadline_misses");
   return *c;
 }
+obs::Counter& RetryableFailureCounter() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("serve.retryable_failures");
+  return *c;
+}
 obs::Counter& BatchesCounter() {
   static obs::Counter* c =
       obs::MetricsRegistry::Get().GetCounter("serve.batches");
@@ -156,6 +161,7 @@ ServiceStats ScoringService::Stats() const {
   s.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
+  s.retryable_failures = retryable_failures_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -235,6 +241,12 @@ void ScoringService::Resolve(Request& req, StatusOr<ScriptResult> result) {
     if (result.status().code() == StatusCode::kTimeout) {
       deadline_misses_.fetch_add(1, std::memory_order_relaxed);
       DeadlineMissCounter().Add(1);
+    }
+    if (IsRetryable(result.status())) {
+      // Chaos-degraded backends (kUnavailable/kCorrupt) and saturation
+      // (kOom/kTimeout/kCancelled) are transient from the client's view.
+      retryable_failures_.fetch_add(1, std::memory_order_relaxed);
+      RetryableFailureCounter().Add(1);
     }
   }
   LatencyHistogram().Observe(

@@ -67,6 +67,10 @@ struct ServiceStats {
   int64_t deadline_misses = 0;   // kTimeout before or during execution
   int64_t batches = 0;           // micro-batched executions
   int64_t batched_requests = 0;  // requests served through a batch
+  /// Failures with a retryable status (kOom/kTimeout/kCancelled/
+  /// kUnavailable/kCorrupt — see IsRetryable): a degraded backend surfaces
+  /// to clients as a retryable serve error, not kInternal.
+  int64_t retryable_failures = 0;
 };
 
 /// A model-scoring service over prepared scripts (the paper's §2.2(1)
@@ -162,6 +166,7 @@ class ScoringService {
   std::atomic<int64_t> deadline_misses_{0};
   std::atomic<int64_t> batches_{0};
   std::atomic<int64_t> batched_requests_{0};
+  std::atomic<int64_t> retryable_failures_{0};
 };
 
 }  // namespace serve

@@ -1,0 +1,167 @@
+#include "common/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/status.h"
+#include "fed/federated.h"
+#include "runtime/matrix/lib_datagen.h"
+
+namespace sysds {
+namespace {
+
+FaultConfig Config(uint64_t seed, double drop = 0.3) {
+  FaultConfig c;
+  c.enabled = true;
+  c.seed = seed;
+  c.profile.drop_prob = drop;
+  return c;
+}
+
+std::vector<bool> Decisions(uint64_t seed, int n) {
+  ScopedFaultInjection chaos(Config(seed));
+  std::vector<bool> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(FaultInjector::Get().ShouldInject(
+        FaultLayer::kFederated, 0, FaultKind::kMessageDrop));
+  }
+  return out;
+}
+
+TEST(FaultInjectorTest, DisabledInjectorIsInert) {
+  FaultInjector& inj = FaultInjector::Get();
+  inj.Disable();
+  EXPECT_FALSE(inj.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(inj.ShouldInject(FaultLayer::kFederated, 0,
+                                  FaultKind::kMessageDrop));
+  }
+  EXPECT_FALSE(inj.IsDead(FaultLayer::kFederated, 0));
+  EXPECT_EQ(inj.Decisions(), 0);
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisionStream) {
+  std::vector<bool> a = Decisions(7, 200);
+  std::vector<bool> b = Decisions(7, 200);
+  EXPECT_EQ(a, b);
+  int fired = 0;
+  for (bool d : a) fired += d ? 1 : 0;
+  // 30% drop over 200 events: the stream must be neither empty nor full.
+  EXPECT_GT(fired, 0);
+  EXPECT_LT(fired, 200);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  EXPECT_NE(Decisions(1, 200), Decisions(2, 200));
+}
+
+TEST(FaultInjectorTest, StreamsAreIndependentPerTargetAndKind) {
+  ScopedFaultInjection chaos([] {
+    FaultConfig c = Config(11, 0.5);
+    c.profile.crash_prob = 0.5;
+    return c;
+  }());
+  FaultInjector& inj = FaultInjector::Get();
+  std::vector<bool> site0, site1, crash0;
+  for (int i = 0; i < 100; ++i) {
+    site0.push_back(inj.ShouldInject(FaultLayer::kFederated, 0,
+                                     FaultKind::kMessageDrop));
+    site1.push_back(inj.ShouldInject(FaultLayer::kFederated, 1,
+                                     FaultKind::kMessageDrop));
+    crash0.push_back(
+        inj.ShouldInject(FaultLayer::kFederated, 0, FaultKind::kCrash));
+  }
+  EXPECT_NE(site0, site1);
+  EXPECT_NE(site0, crash0);
+  EXPECT_GE(inj.Decisions(), 300);
+}
+
+TEST(FaultInjectorTest, DeadTargetsAlwaysFail) {
+  FaultConfig c = Config(3, /*drop=*/0.0);
+  c.profile.dead_targets.push_back({FaultLayer::kFederated, 2});
+  ScopedFaultInjection chaos(c);
+  FaultInjector& inj = FaultInjector::Get();
+  EXPECT_TRUE(inj.IsDead(FaultLayer::kFederated, 2));
+  EXPECT_FALSE(inj.IsDead(FaultLayer::kFederated, 1));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(inj.ShouldInject(FaultLayer::kFederated, 2,
+                                 FaultKind::kMessageDrop));
+    EXPECT_FALSE(inj.ShouldInject(FaultLayer::kFederated, 1,
+                                  FaultKind::kMessageDrop));
+  }
+}
+
+TEST(FaultInjectorTest, ScopedInjectionDisablesOnExit) {
+  {
+    ScopedFaultInjection chaos(Config(5));
+    EXPECT_TRUE(FaultInjector::Get().enabled());
+  }
+  EXPECT_FALSE(FaultInjector::Get().enabled());
+}
+
+TEST(FaultInjectorTest, CorruptedPayloadFailsIntegrityCheck) {
+  ScopedFaultInjection chaos(Config(9));
+  MatrixBlock m = *RandMatrix(8, 5, -1, 1, 1.0, 42, RandPdf::kUniform, 1);
+  std::vector<uint8_t> payload = SerializeMatrix(m);
+  ASSERT_TRUE(ValidateMatrixPayload(payload).ok());
+  FaultInjector::Get().CorruptPayload(FaultLayer::kFederated, 0, &payload);
+  Status s = ValidateMatrixPayload(payload);
+  EXPECT_EQ(s.code(), StatusCode::kCorrupt);
+  EXPECT_EQ(DeserializeMatrix(payload).status().code(), StatusCode::kCorrupt);
+}
+
+TEST(FaultInjectorTest, JitterIsDeterministicAndBounded) {
+  FaultInjector& inj = FaultInjector::Get();
+  inj.Disable();
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    int j1 = inj.JitterMs(FaultLayer::kFederated, 1, attempt, 8);
+    int j2 = inj.JitterMs(FaultLayer::kFederated, 1, attempt, 8);
+    EXPECT_EQ(j1, j2);
+    EXPECT_GE(j1, 0);
+    EXPECT_LE(j1, 8);
+  }
+  EXPECT_EQ(inj.JitterMs(FaultLayer::kFederated, 1, 1, 0), 0);
+}
+
+TEST(FaultStatusTest, NewCodesAreRetryable) {
+  Status unavailable = UnavailableError("site down");
+  Status corrupt = CorruptError("bad checksum");
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(corrupt.code(), StatusCode::kCorrupt);
+  EXPECT_TRUE(IsRetryable(unavailable));
+  EXPECT_TRUE(IsRetryable(corrupt));
+  EXPECT_FALSE(IsRetryable(RuntimeError("bad opcode")));
+  EXPECT_FALSE(IsRetryable(Status::Ok()));
+  EXPECT_NE(unavailable.ToString().find("Unavailable"), std::string::npos);
+  EXPECT_NE(corrupt.ToString().find("Corrupt"), std::string::npos);
+}
+
+TEST(FaultSerializationTest, TruncatedAndMalformedPayloadsAreCorrupt) {
+  MatrixBlock m = *RandMatrix(4, 3, -1, 1, 1.0, 7, RandPdf::kUniform, 1);
+  std::vector<uint8_t> payload = SerializeMatrix(m);
+  // Truncation at every boundary must fail cleanly, never read past end.
+  for (size_t cut : {size_t{0}, size_t{8}, size_t{23}, payload.size() - 1}) {
+    std::vector<uint8_t> truncated(payload.begin(),
+                                   payload.begin() + static_cast<long>(cut));
+    EXPECT_EQ(DeserializeMatrix(truncated).status().code(),
+              StatusCode::kCorrupt)
+        << "cut=" << cut;
+  }
+  // Negative dimensions.
+  std::vector<uint8_t> negative = payload;
+  int64_t bad_rows = -4;
+  std::memcpy(negative.data(), &bad_rows, 8);
+  EXPECT_EQ(DeserializeMatrix(negative).status().code(), StatusCode::kCorrupt);
+  // Huge dimensions whose product overflows must not be trusted.
+  std::vector<uint8_t> huge = payload;
+  int64_t big = int64_t{1} << 62;
+  std::memcpy(huge.data(), &big, 8);
+  std::memcpy(huge.data() + 8, &big, 8);
+  EXPECT_EQ(DeserializeMatrix(huge).status().code(), StatusCode::kCorrupt);
+}
+
+}  // namespace
+}  // namespace sysds

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
+#include "api/systemds_context.h"
+#include "common/faults.h"
+#include "obs/metrics.h"
 #include "runtime/controlprog/data.h"
 
 namespace sysds {
@@ -9,8 +14,23 @@ namespace {
 
 class BufferPoolTest : public ::testing::Test {
  protected:
-  void TearDown() override { MatrixObject::SetBufferPool(nullptr); }
+  void TearDown() override {
+    MatrixObject::SetBufferPool(nullptr);
+    FaultInjector::Get().Disable();
+  }
 };
+
+FaultConfig SpillErrorConfig(double prob) {
+  FaultConfig c;
+  c.enabled = true;
+  c.seed = 1;
+  c.profile.spill_error_prob = prob;
+  return c;
+}
+
+int64_t FaultCounter(const std::string& name) {
+  return obs::MetricsRegistry::Get().CounterValue(name);
+}
 
 TEST_F(BufferPoolTest, TracksRegisteredBytes) {
   BufferPool pool(1 << 30);
@@ -83,6 +103,90 @@ TEST_F(BufferPoolTest, MetadataAvailableWhileEvicted) {
   EXPECT_EQ(a->Rows(), 64);
   EXPECT_EQ(a->Cols(), 32);
   EXPECT_EQ(a->NonZeros(), 64 * 32);
+}
+
+TEST_F(BufferPoolTest, SpillFailureRepinsAndKeepsAccountingConsistent) {
+  BufferPool pool(1 << 30);
+  MatrixObject::SetBufferPool(&pool);
+  std::vector<std::shared_ptr<MatrixObject>> objs;
+  for (int i = 0; i < 4; ++i) {
+    objs.push_back(std::make_shared<MatrixObject>(
+        MatrixBlock::Dense(100, 100, static_cast<double>(i + 1))));
+  }
+  int64_t tracked = pool.CachedBytes();
+  int64_t evictions_before = pool.EvictionCount();
+  int64_t repins_before = FaultCounter("fault.bufferpool.spill_repins");
+  int64_t retries_before = FaultCounter("fault.bufferpool.spill_retries");
+
+  // Every spill write fails: eviction must retry, then re-pin the victims
+  // in memory without corrupting LRU/byte accounting.
+  {
+    ScopedFaultInjection chaos(SpillErrorConfig(1.0));
+    pool.SetLimit(1024);
+    for (const auto& o : objs) EXPECT_TRUE(o->IsCached());
+    EXPECT_EQ(pool.CachedBytes(), tracked);  // nothing untracked or leaked
+    EXPECT_EQ(pool.EvictionCount(), evictions_before);
+    EXPECT_GT(FaultCounter("fault.bufferpool.spill_retries"), retries_before);
+    EXPECT_GT(FaultCounter("fault.bufferpool.spill_repins"), repins_before);
+  }
+
+  // Once the spill device recovers, the same pressure evicts normally.
+  pool.SetLimit(1023);  // re-trigger the eviction pass
+  EXPECT_GT(pool.EvictionCount(), evictions_before);
+  EXPECT_LE(pool.CachedBytes(), 1023);
+  // Evicted contents restore intact.
+  const MatrixBlock& restored = objs[0]->AcquireRead();
+  EXPECT_DOUBLE_EQ(restored.Get(50, 50), 1.0);
+  objs[0]->Release();
+}
+
+TEST_F(BufferPoolTest, RestoreFailureDegradesToZerosWithRetry) {
+  BufferPool pool(1 << 30);
+  MatrixObject::SetBufferPool(&pool);
+  auto obj = std::make_shared<MatrixObject>(MatrixBlock::Dense(64, 64, 3.0));
+  pool.SetLimit(64);  // spill it (injection off, so the write succeeds)
+  ASSERT_FALSE(obj->IsCached());
+
+  int64_t retries_before = FaultCounter("fault.bufferpool.restore_retries");
+  int64_t failures_before = FaultCounter("fault.bufferpool.restore_failures");
+  {
+    // Both the read and its retry fail: AcquireRead must still honor the
+    // pin contract, serving a zero block instead of crashing.
+    ScopedFaultInjection chaos(SpillErrorConfig(1.0));
+    const MatrixBlock& degraded = obj->AcquireRead();
+    EXPECT_EQ(degraded.Rows(), 64);
+    EXPECT_EQ(degraded.Cols(), 64);
+    EXPECT_DOUBLE_EQ(degraded.Get(10, 10), 0.0);
+    obj->Release();
+  }
+  EXPECT_GT(FaultCounter("fault.bufferpool.restore_retries"), retries_before);
+  EXPECT_GT(FaultCounter("fault.bufferpool.restore_failures"),
+            failures_before);
+}
+
+TEST_F(BufferPoolTest, ScriptCompletesUnderSpillFaults) {
+  // End-to-end: a script whose working set overflows a tiny pool completes
+  // with correct results even when every spill write fails (re-pin path).
+  int64_t repins_before = FaultCounter("fault.bufferpool.spill_repins");
+  FaultConfig chaos = SpillErrorConfig(1.0);
+  auto ctx = SystemDSContext::Builder()
+                 .BufferPoolLimit(32 * 1024)
+                 .Chaos(chaos)
+                 .Build();
+  const char* script = R"(
+    X = rand(rows=128, cols=64, min=0, max=1, seed=7)
+    Y = t(X) %*% X
+    Z = Y + Y
+    s = sum(Z)
+    print(s)
+  )";
+  auto result = ctx->Execute(script, Inputs(), Outputs("s"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto s = result->GetDouble("s");
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(std::isfinite(*s));
+  EXPECT_NE(*s, 0.0);
+  EXPECT_GT(FaultCounter("fault.bufferpool.spill_repins"), repins_before);
 }
 
 }  // namespace
