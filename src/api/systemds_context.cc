@@ -13,7 +13,8 @@ StatusOr<MatrixBlock> ScriptResult::GetMatrix(const std::string& name) const {
   auto it = values_.find(name);
   if (it == values_.end()) return NotFound("output '" + name + "' not found");
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, AsMatrix(it->second, name));
-  MatrixBlock copy = m->AcquireRead();
+  SYSDS_ASSIGN_OR_RETURN(const MatrixBlock* blk, m->AcquireRead());
+  MatrixBlock copy = *blk;
   m->Release();
   return copy;
 }

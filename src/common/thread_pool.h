@@ -39,6 +39,12 @@ class ThreadPool {
 
   size_t num_threads() const { return threads_.size(); }
 
+  /// True while the calling thread is executing a task on a pool worker.
+  /// Blocking helpers (ParallelFor, RunRetryableTasks) consult this to run
+  /// inline instead of enqueueing into — and then waiting on — an already
+  /// saturated pool, which would deadlock.
+  static bool InCurrentWorker();
+
   /// Process-wide pool sized by SYSDS_NUM_THREADS (default: hardware
   /// concurrency). Intentionally leaked to avoid shutdown ordering issues.
   static ThreadPool& Global();

@@ -309,11 +309,30 @@ bool FederatedRegistry::SiteHealthy(int site) const {
          kCircuitBreakerThreshold;
 }
 
+bool FederatedRegistry::AdmitCall(int site, bool* probe) {
+  *probe = false;
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  SiteHealth& h = health_[static_cast<size_t>(site)];
+  if (h.consecutive_call_failures < kCircuitBreakerThreshold) return true;
+  if (++h.rejections_since_probe >= kHalfOpenInterval) {
+    h.rejections_since_probe = 0;
+    *probe = true;
+    obs::Tracer::Instant("fed", "circuit_half_open");
+    return true;
+  }
+  return false;
+}
+
 void FederatedRegistry::ReportCallResult(int site, bool ok) {
   std::lock_guard<std::mutex> lock(health_mutex_);
   SiteHealth& h = health_[static_cast<size_t>(site)];
   if (ok) {
+    if (h.consecutive_call_failures >= kCircuitBreakerThreshold) {
+      obs::Tracer::Instant("fed", "circuit_close");
+      h.fallback_logged = false;  // a re-degradation is worth logging again
+    }
     h.consecutive_call_failures = 0;
+    h.rejections_since_probe = 0;
     return;
   }
   ++h.consecutive_call_failures;
@@ -328,11 +347,15 @@ StatusOr<FederatedMessage> FederatedRegistry::Call(
   if (site < 0 || site >= NumWorkers()) {
     return InvalidArgument("fed call: no such site " + std::to_string(site));
   }
-  if (!SiteHealthy(site)) {
+  bool probe = false;
+  if (!AdmitCall(site, &probe)) {
     FaultMetrics().circuit_rejections->Add(1);
     return UnavailableError("fed site " + std::to_string(site) +
                             ": circuit breaker open");
   }
+  // A half-open probe gets exactly one attempt: if the site is still dead
+  // it fails fast, if it recovered the success closes the breaker.
+  const int max_attempts = probe ? 1 : options.max_attempts;
   FaultInjector& inj = FaultInjector::Get();
   const auto start = std::chrono::steady_clock::now();
   const auto deadline = start + options.overall_deadline;
@@ -348,7 +371,7 @@ StatusOr<FederatedMessage> FederatedRegistry::Call(
               .count());
     }
   };
-  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0) {
       retried = true;
       FaultMetrics().retries->Add(1);
@@ -479,24 +502,21 @@ StatusOr<MatrixBlock> FederatedMatrix::CallPartition(
     const Partition& p, const FederatedMessage& req,
     const std::function<Status()>& reput,
     const std::function<StatusOr<MatrixBlock>()>& local) const {
-  Status last = UnavailableError("fed site " + std::to_string(p.worker_id) +
-                                 ": circuit breaker open");
-  if (registry_->SiteHealthy(p.worker_id)) {
-    StatusOr<FederatedMessage> resp = registry_->Call(p.worker_id, req);
-    if (!resp.ok() && resp.status().code() == StatusCode::kUnavailable &&
-        IsFederatedDataLossError(resp.status().message()) &&
-        source_ != nullptr && reput != nullptr) {
-      // The site is alive but lost its state (crash): re-ship the inputs
-      // from source and retry the operation once.
-      Status restored = reput();
-      if (restored.ok()) resp = registry_->Call(p.worker_id, req);
-    }
-    if (resp.ok()) return DeserializeMatrix(resp->payload);
-    last = resp.status();
-    if (!IsRetryable(last)) return last;  // deterministic site error
-  } else {
-    FaultMetrics().circuit_rejections->Add(1);
+  // Route through Call unconditionally: its admission logic rejects on an
+  // open circuit (cheaply) but also grants the periodic half-open probes
+  // that rediscover a recovered site.
+  StatusOr<FederatedMessage> resp = registry_->Call(p.worker_id, req);
+  if (!resp.ok() && resp.status().code() == StatusCode::kUnavailable &&
+      IsFederatedDataLossError(resp.status().message()) &&
+      source_ != nullptr && reput != nullptr) {
+    // The site is alive but lost its state (crash): re-ship the inputs
+    // from source and retry the operation once.
+    Status restored = reput();
+    if (restored.ok()) resp = registry_->Call(p.worker_id, req);
   }
+  if (resp.ok()) return DeserializeMatrix(resp->payload);
+  Status last = resp.status();
+  if (!IsRetryable(last)) return last;  // deterministic site error
   // Degradation ladder bottom: pull the partition local and execute in CP.
   // One-time cost per call; bit-identical because the same single-threaded
   // kernels run on the same slice the site held.

@@ -139,16 +139,28 @@ class FederatedRegistry {
                                   const FedCallOptions& options = {});
 
   /// Circuit breaker: false once kCircuitBreakerThreshold consecutive
-  /// calls (not attempts) to the site failed. A healthy response closes
-  /// the breaker again.
+  /// calls (not attempts) to the site failed. While open, every
+  /// kHalfOpenInterval-th rejected call is admitted as a single-attempt
+  /// half-open probe (see AdmitCall), so a recovered site is rediscovered
+  /// instead of being degraded forever. A healthy response closes the
+  /// breaker again.
   bool SiteHealthy(int site) const;
   static constexpr int kCircuitBreakerThreshold = 3;
+  static constexpr int kHalfOpenInterval = 4;
 
  private:
   struct SiteHealth {
     int consecutive_call_failures = 0;
+    int rejections_since_probe = 0;  // counts rejections while open
     bool fallback_logged = false;
   };
+
+  /// Admission decision for one call. Closed circuit: admit normally.
+  /// Open circuit: reject, except every kHalfOpenInterval-th rejection,
+  /// which is admitted with *probe=true — the caller limits it to a
+  /// single attempt so probing a still-dead site stays cheap. Counting
+  /// rejections (not wall time) keeps chaos runs deterministic.
+  bool AdmitCall(int site, bool* probe);
 
   void ReportCallResult(int site, bool ok);
 

@@ -353,9 +353,18 @@ StatusOr<DataPtr> LineageCache::ProbePartial(const Instruction& instr,
   // Compensation plan over the current X (and y for tmm).
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * xobj,
                          ec->GetMatrix(instr.inputs()[0]));
-  const MatrixBlock& x = xobj->AcquireRead();
+  // A pin failure here is a reuse miss, not a probe error: returning null
+  // routes the instruction to normal execution, which surfaces the error.
+  auto x_or = xobj->AcquireRead();
+  if (!x_or.ok()) return DataPtr(nullptr);
+  const MatrixBlock& x = **x_or;
   int64_t n = x.Cols();
-  const MatrixBlock& c = cached->AcquireRead();
+  auto c_or = cached->AcquireRead();
+  if (!c_or.ok()) {
+    xobj->Release();
+    return DataPtr(nullptr);
+  }
+  const MatrixBlock& c = **c_or;
   auto release = [&]() {
     xobj->Release();
     cached->Release();
@@ -411,7 +420,12 @@ StatusOr<DataPtr> LineageCache::ProbePartial(const Instruction& instr,
   // tmm: out = rbind(cached, t(v)%*%y).
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * yobj,
                          ec->GetMatrix(instr.inputs()[1]));
-  const MatrixBlock& y = yobj->AcquireRead();
+  auto y_or = yobj->AcquireRead();
+  if (!y_or.ok()) {
+    release();
+    return DataPtr(nullptr);
+  }
+  const MatrixBlock& y = **y_or;
   auto vty_or = TransposeLeftMatMult(v, y, threads);
   yobj->Release();
   if (!vty_or.ok()) {

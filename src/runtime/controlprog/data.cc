@@ -1,7 +1,6 @@
 #include "runtime/controlprog/data.h"
 
 #include <atomic>
-#include <iostream>
 #include <sstream>
 
 #include "common/faults.h"
@@ -137,7 +136,7 @@ MatrixObject::~MatrixObject() {
   if (!evicted_path_.empty()) std::remove(evicted_path_.c_str());
 }
 
-const MatrixBlock& MatrixObject::AcquireRead() {
+StatusOr<const MatrixBlock*> MatrixObject::AcquireRead() {
   // Pin BEFORE any pool interaction: a re-registration below may trigger
   // evictions, and an unpinned freshly-restored block could be chosen as
   // its own victim (returning a dangling reference).
@@ -151,10 +150,12 @@ const MatrixBlock& MatrixObject::AcquireRead() {
       SYSDS_SPAN("bufferpool", "restore");
       Status s = RestoreLocked();
       if (!s.ok()) {
-        // Degraded: RestoreLocked materialized zeros so the pin contract
-        // holds; the script continues with a loud diagnostic.
-        std::cerr << "[sysds.bufferpool] restore failed, serving zeros: "
-                  << s.ToString() << "\n";
+        // The acquire failed: undo the pin and surface the error instead
+        // of substituting data the script would silently compute with.
+        // The spill file is kept, so a later acquire can retry.
+        --pin_count_;
+        PoolMisses()->Add(1);
+        return s;
       }
       restored = true;
       size = block_->EstimateSizeInBytes();
@@ -170,7 +171,7 @@ const MatrixBlock& MatrixObject::AcquireRead() {
     if (restored) pool->Register(this, size);
     pool->Touch(this);
   }
-  return *result;
+  return result;
 }
 
 void MatrixObject::Release() {
@@ -195,8 +196,6 @@ StatusOr<bool> MatrixObject::EvictTo(const std::string& path) {
 
 Status MatrixObject::RestoreLocked() {
   if (evicted_path_.empty()) {
-    // Should not happen; produce an empty block to fail loudly downstream.
-    block_ = std::make_shared<MatrixBlock>(MatrixBlock::Dense(rows_, cols_));
     return Internal("bufferpool: restore without a spill file");
   }
   Status last;
@@ -218,10 +217,9 @@ Status MatrixObject::RestoreLocked() {
     block_ = std::make_shared<MatrixBlock>(std::move(restored).value());
     return Status::Ok();
   }
-  std::remove(evicted_path_.c_str());
-  evicted_path_.clear();
+  // Keep the spill file: the data still exists on disk, so the failure is
+  // retryable on the next acquire instead of a permanent loss.
   RestoreFailures()->Add(1);
-  block_ = std::make_shared<MatrixBlock>(MatrixBlock::Dense(rows_, cols_));
   return last;
 }
 

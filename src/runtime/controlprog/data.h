@@ -82,8 +82,12 @@ class MatrixObject final : public Data {
   int64_t NonZeros() const { return nnz_; }
 
   /// Pins the block in memory (restoring from disk if evicted) and returns
-  /// it. Callers must not mutate; Release() unpins.
-  const MatrixBlock& AcquireRead();
+  /// it. Callers must not mutate; Release() unpins. Fails (kIoError /
+  /// kCorrupt) when an evicted block cannot be restored from its spill
+  /// file even after a retry; the object is left unpinned with the spill
+  /// file intact, so a later acquire can try again once the I/O fault
+  /// clears. Callers must propagate the error — never substitute data.
+  StatusOr<const MatrixBlock*> AcquireRead();
   void Release();
 
   /// True if the in-memory block is currently present.
@@ -116,9 +120,9 @@ class MatrixObject final : public Data {
   // Restores the block from the spill file, retrying a failed read once
   // (fault.bufferpool.restore_retries). Caller holds mutex_; performs no
   // buffer-pool calls (lock ordering: the pool locks pool->object, the
-  // acquire path must never nest object->pool). On final failure the block
-  // is materialized as zeros and the error returned
-  // (fault.bufferpool.restore_failures).
+  // acquire path must never nest object->pool). On final failure the
+  // error is returned and the spill file is kept so the next acquire can
+  // retry (fault.bufferpool.restore_failures).
   Status RestoreLocked();
 
   mutable std::mutex mutex_;
@@ -175,6 +179,21 @@ class ListObject final : public Data {
 StatusOr<ScalarObject*> AsScalar(const DataPtr& d, const std::string& what);
 StatusOr<MatrixObject*> AsMatrix(const DataPtr& d, const std::string& what);
 StatusOr<FrameObject*> AsFrame(const DataPtr& d, const std::string& what);
+
+// Pins `obj` for reading and binds `ref` (a const MatrixBlock&) to the
+// pinned block, propagating restore failures to the caller. The _CLEANUP
+// variant runs `cleanup` before returning on failure — use it to Release()
+// pins acquired earlier in the same scope.
+#define SYSDS_ACQUIRE_READ_CLEANUP(ref, obj, cleanup)            \
+  auto SYSDS_CONCAT(_acquire_, __LINE__) = (obj)->AcquireRead(); \
+  if (!SYSDS_CONCAT(_acquire_, __LINE__).ok()) {                 \
+    cleanup;                                                     \
+    return SYSDS_CONCAT(_acquire_, __LINE__).status();           \
+  }                                                              \
+  const ::sysds::MatrixBlock& ref = **SYSDS_CONCAT(_acquire_, __LINE__)
+
+#define SYSDS_ACQUIRE_READ(ref, obj) \
+  SYSDS_ACQUIRE_READ_CLEANUP(ref, obj, (void)0)
 
 }  // namespace sysds
 

@@ -134,8 +134,8 @@ Status BinaryInstr::Execute(ExecutionContext* ec) {
   if (!s1 && !s2) {
     SYSDS_ASSIGN_OR_RETURN(MatrixObject * m1, ec->GetMatrix(in1));
     SYSDS_ASSIGN_OR_RETURN(MatrixObject * m2, ec->GetMatrix(in2));
-    const MatrixBlock& a = m1->AcquireRead();
-    const MatrixBlock& b = m2->AcquireRead();
+    SYSDS_ACQUIRE_READ(a, m1);
+    SYSDS_ACQUIRE_READ_CLEANUP(b, m2, m1->Release());
     auto result = BinaryMatrixMatrix(code, a, b, ec->NumThreads());
     m1->Release();
     m2->Release();
@@ -150,7 +150,7 @@ Status BinaryInstr::Execute(ExecutionContext* ec) {
   const Operand& sop = s1 ? in1 : in2;
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, ec->GetMatrix(mop));
   SYSDS_ASSIGN_OR_RETURN(double scalar, ec->GetDouble(sop));
-  const MatrixBlock& a = m->AcquireRead();
+  SYSDS_ACQUIRE_READ(a, m);
   MatrixBlock result =
       BinaryMatrixScalar(code, a, scalar, /*scalar_left=*/s1, ec->NumThreads());
   m->Release();
@@ -215,7 +215,7 @@ Status UnaryInstr::Execute(ExecutionContext* ec) {
     return Status::Ok();
   }
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, ec->GetMatrix(in));
-  const MatrixBlock& a = m->AcquireRead();
+  SYSDS_ACQUIRE_READ(a, m);
   MatrixBlock result = UnaryMatrix(code, a, ec->NumThreads());
   m->Release();
   ec->SetOutput(outputs()[0],
@@ -253,7 +253,7 @@ Status AggUnaryInstr::Execute(ExecutionContext* ec) {
   else return RuntimeError("unknown aggregate '" + op + "'");
 
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, ec->GetMatrix(inputs()[0]));
-  const MatrixBlock& a = m->AcquireRead();
+  SYSDS_ACQUIRE_READ(a, m);
   if (dir == AggDirection::kAll) {
     auto r = AggregateAll(agg, a, ec->NumThreads());
     m->Release();
@@ -275,7 +275,7 @@ Status AggUnaryInstr::Execute(ExecutionContext* ec) {
 
 Status CumAggInstr::Execute(ExecutionContext* ec) {
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, ec->GetMatrix(inputs()[0]));
-  const MatrixBlock& a = m->AcquireRead();
+  SYSDS_ACQUIRE_READ(a, m);
   MatrixBlock result;
   if (opcode() == "cumsum") result = CumSum(a);
   else if (opcode() == "cumprod") result = CumProd(a);

@@ -12,8 +12,8 @@ namespace sysds {
 Status MatMultInstr::Execute(ExecutionContext* ec) {
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m1, ec->GetMatrix(inputs()[0]));
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m2, ec->GetMatrix(inputs()[1]));
-  const MatrixBlock& a = m1->AcquireRead();
-  const MatrixBlock& b = m2->AcquireRead();
+  SYSDS_ACQUIRE_READ(a, m1);
+  SYSDS_ACQUIRE_READ_CLEANUP(b, m2, m1->Release());
   auto result = MatMult(a, b, ec->NumThreads());
   m1->Release();
   m2->Release();
@@ -25,7 +25,7 @@ Status MatMultInstr::Execute(ExecutionContext* ec) {
 
 Status TsmmInstr::Execute(ExecutionContext* ec) {
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, ec->GetMatrix(inputs()[0]));
-  const MatrixBlock& x = m->AcquireRead();
+  SYSDS_ACQUIRE_READ(x, m);
   auto result = TransposeSelfMatMult(x, left_, ec->NumThreads());
   m->Release();
   if (!result.ok()) return result.status();
@@ -37,8 +37,8 @@ Status TsmmInstr::Execute(ExecutionContext* ec) {
 Status TmmInstr::Execute(ExecutionContext* ec) {
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m1, ec->GetMatrix(inputs()[0]));
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m2, ec->GetMatrix(inputs()[1]));
-  const MatrixBlock& a = m1->AcquireRead();
-  const MatrixBlock& b = m2->AcquireRead();
+  SYSDS_ACQUIRE_READ(a, m1);
+  SYSDS_ACQUIRE_READ_CLEANUP(b, m2, m1->Release());
   auto result = TransposeLeftMatMult(a, b, ec->NumThreads());
   m1->Release();
   m2->Release();
@@ -50,7 +50,7 @@ Status TmmInstr::Execute(ExecutionContext* ec) {
 
 Status ReorgInstr::Execute(ExecutionContext* ec) {
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, ec->GetMatrix(inputs()[0]));
-  const MatrixBlock& a = m->AcquireRead();
+  SYSDS_ACQUIRE_READ(a, m);
   StatusOr<MatrixBlock> result = InvalidArgument("");
   const std::string& op = opcode();
   if (op == "t") {
@@ -126,7 +126,7 @@ Status IndexingInstr::Execute(ExecutionContext* ec) {
     return Status::Ok();
   }
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, ec->GetMatrix(inputs()[0]));
-  const MatrixBlock& a = m->AcquireRead();
+  SYSDS_ACQUIRE_READ(a, m);
   int64_t rl, ru, cl, cu;
   Status bounds =
       ResolveBounds(ec, inputs(), 1, a.Rows(), a.Cols(), &rl, &ru, &cl, &cu);
@@ -141,7 +141,7 @@ Status IndexingInstr::Execute(ExecutionContext* ec) {
 
 Status LeftIndexingInstr::Execute(ExecutionContext* ec) {
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, ec->GetMatrix(inputs()[0]));
-  const MatrixBlock& a = m->AcquireRead();
+  SYSDS_ACQUIRE_READ(a, m);
   int64_t rl, ru, cl, cu;
   Status bounds =
       ResolveBounds(ec, inputs(), 2, a.Rows(), a.Cols(), &rl, &ru, &cl, &cu);
@@ -154,7 +154,7 @@ Status LeftIndexingInstr::Execute(ExecutionContext* ec) {
   if (!rhs_op.is_literal && rhs_data != nullptr &&
       rhs_data->GetDataType() == DataType::kMatrix) {
     auto* rm = static_cast<MatrixObject*>(rhs_data.get());
-    const MatrixBlock& rhs = rm->AcquireRead();
+    SYSDS_ACQUIRE_READ_CLEANUP(rhs, rm, m->Release());
     result = LeftIndex(a, rhs, rl, ru, cl, cu);
     rm->Release();
   } else {
@@ -258,8 +258,13 @@ Status AppendInstr::Execute(ExecutionContext* ec) {
   std::vector<const MatrixBlock*> blocks;
   for (const Operand& in : inputs()) {
     SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, ec->GetMatrix(in));
+    auto blk = m->AcquireRead();
+    if (!blk.ok()) {
+      for (MatrixObject* o : objs) o->Release();
+      return blk.status();
+    }
     objs.push_back(m);
-    blocks.push_back(&m->AcquireRead());
+    blocks.push_back(*blk);
   }
   auto result = cbind_ ? CBind(blocks) : RBind(blocks);
   for (MatrixObject* m : objs) m->Release();
@@ -288,14 +293,17 @@ Status TernaryInstr::Execute(ExecutionContext* ec) {
     }
     // Matrix condition; yes/no arms may be matrices or scalars.
     SYSDS_ASSIGN_OR_RETURN(MatrixObject * mc, ec->GetMatrix(inputs()[0]));
-    const MatrixBlock& cond = mc->AcquireRead();
+    SYSDS_ACQUIRE_READ(cond, mc);
     auto arm = [&](const Operand& op_in, const MatrixBlock** blk,
                    MatrixObject** obj, double* scalar) -> Status {
       DataPtr d = ec->Vars().GetOrNull(op_in.name);
       if (!op_in.is_literal && d != nullptr &&
           d->GetDataType() == DataType::kMatrix) {
-        *obj = static_cast<MatrixObject*>(d.get());
-        *blk = &(*obj)->AcquireRead();
+        auto* m = static_cast<MatrixObject*>(d.get());
+        auto acquired = m->AcquireRead();
+        if (!acquired.ok()) return acquired.status();
+        *obj = m;  // only publish a successfully pinned object for cleanup
+        *blk = *acquired;
       } else {
         SYSDS_ASSIGN_OR_RETURN(*scalar, ec->GetDouble(op_in));
       }
@@ -329,8 +337,8 @@ Status TernaryInstr::Execute(ExecutionContext* ec) {
     if (inputs().size() > 2) {
       SYSDS_ASSIGN_OR_RETURN(w, ec->GetDouble(inputs()[2]));
     }
-    const MatrixBlock& a = ma->AcquireRead();
-    const MatrixBlock& b = mb->AcquireRead();
+    SYSDS_ACQUIRE_READ(a, ma);
+    SYSDS_ACQUIRE_READ_CLEANUP(b, mb, ma->Release());
     auto result = CTable(a, b, w);
     ma->Release();
     mb->Release();
@@ -349,10 +357,12 @@ bool SolveInstr::IsReusable() const {
 Status SolveInstr::Execute(ExecutionContext* ec) {
   const std::string& op = opcode();
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * ma, ec->GetMatrix(inputs()[0]));
-  const MatrixBlock& a = ma->AcquireRead();
+  SYSDS_ACQUIRE_READ(a, ma);
   if (op == "solve") {
-    SYSDS_ASSIGN_OR_RETURN(MatrixObject * mb, ec->GetMatrix(inputs()[1]));
-    const MatrixBlock& b = mb->AcquireRead();
+    auto mb_or = ec->GetMatrix(inputs()[1]);
+    if (!mb_or.ok()) { ma->Release(); return mb_or.status(); }
+    MatrixObject* mb = *mb_or;
+    SYSDS_ACQUIRE_READ_CLEANUP(b, mb, ma->Release());
     auto result = Solve(a, b);
     ma->Release();
     mb->Release();

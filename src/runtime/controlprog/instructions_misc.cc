@@ -24,7 +24,7 @@ Status CastInstr::Execute(ExecutionContext* ec) {
                             std::to_string(m->Rows()) + "x" +
                             std::to_string(m->Cols()) + ", expected 1x1");
       }
-      const MatrixBlock& b = m->AcquireRead();
+      SYSDS_ACQUIRE_READ(b, m);
       double v = b.Get(0, 0);
       m->Release();
       ec->SetOutput(outputs()[0], ScalarObject::MakeDouble(v));
@@ -62,7 +62,7 @@ Status CastInstr::Execute(ExecutionContext* ec) {
   }
   if (op == "as.frame") {
     if (auto* m = dynamic_cast<MatrixObject*>(d.get())) {
-      const MatrixBlock& b = m->AcquireRead();
+      SYSDS_ACQUIRE_READ(b, m);
       FrameBlock f = FrameBlock::FromMatrix(b);
       m->Release();
       ec->SetOutput(outputs()[0],
@@ -97,7 +97,7 @@ Status ParamBuiltinInstr::Execute(ExecutionContext* ec) {
     SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, ec->GetMatrix(*target));
     SYSDS_ASSIGN_OR_RETURN(double p, ec->GetDouble(*pattern));
     SYSDS_ASSIGN_OR_RETURN(double r, ec->GetDouble(*repl));
-    const MatrixBlock& a = m->AcquireRead();
+    SYSDS_ACQUIRE_READ(a, m);
     MatrixBlock result = ReplaceValues(a, p, r);
     m->Release();
     ec->SetOutput(outputs()[0],
@@ -109,7 +109,7 @@ Status ParamBuiltinInstr::Execute(ExecutionContext* ec) {
     SYSDS_ASSIGN_OR_RETURN(const Operand* margin, Param("margin"));
     SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, ec->GetMatrix(*target));
     SYSDS_ASSIGN_OR_RETURN(std::string mg, ec->GetString(*margin));
-    const MatrixBlock& a = m->AcquireRead();
+    SYSDS_ACQUIRE_READ(a, m);
     MatrixBlock result = RemoveEmpty(a, mg == "rows");
     m->Release();
     ec->SetOutput(outputs()[0],
@@ -126,7 +126,7 @@ Status ParamBuiltinInstr::Execute(ExecutionContext* ec) {
       m->Release();
       return RuntimeError("quantile: p must be in [0,1]");
     }
-    const MatrixBlock& a = m->AcquireRead();
+    SYSDS_ACQUIRE_READ(a, m);
     if (a.Cols() != 1 || a.Rows() == 0) {
       m->Release();
       return RuntimeError("quantile requires a non-empty column vector");
@@ -176,8 +176,8 @@ Status ParamBuiltinInstr::Execute(ExecutionContext* ec) {
                              ? PsObjective::kLogisticRegression
                              : PsObjective::kLinearRegression;
     }
-    const MatrixBlock& x = xm->AcquireRead();
-    const MatrixBlock& y = ym->AcquireRead();
+    SYSDS_ACQUIRE_READ(x, xm);
+    SYSDS_ACQUIRE_READ_CLEANUP(y, ym, xm->Release());
     auto result = PsTrain(x, y, config);
     xm->Release();
     ym->Release();
@@ -191,7 +191,7 @@ Status ParamBuiltinInstr::Execute(ExecutionContext* ec) {
     SYSDS_ASSIGN_OR_RETURN(DataPtr d, ec->Resolve(*target));
     std::string s;
     if (auto* m = dynamic_cast<MatrixObject*>(d.get())) {
-      const MatrixBlock& b = m->AcquireRead();
+      SYSDS_ACQUIRE_READ(b, m);
       s = b.ToString(100, 100);
       m->Release();
     } else {
@@ -245,7 +245,7 @@ Status ParamBuiltinInstr::Execute(ExecutionContext* ec) {
     SYSDS_ASSIGN_OR_RETURN(
         MultiColumnEncoder enc,
         MultiColumnEncoder::FromMeta(tspec, mf->Frame(), lf->Frame().Cols()));
-    const MatrixBlock& b = m->AcquireRead();
+    SYSDS_ACQUIRE_READ(b, m);
     auto decoded = enc.Decode(b, lf->Frame());
     m->Release();
     if (!decoded.ok()) return decoded.status();
@@ -281,7 +281,7 @@ Status WriteInstr::Execute(ExecutionContext* ec) {
   opts.header = header;
   opts.delimiter = sep;
   if (auto* m = dynamic_cast<MatrixObject*>(d.get())) {
-    const MatrixBlock& b = m->AcquireRead();
+    SYSDS_ACQUIRE_READ(b, m);
     Status s = WriteMatrix(b, path, ff, opts);
     m->Release();
     return s;
@@ -318,7 +318,7 @@ Status VariableInstr::Execute(ExecutionContext* ec) {
 Status PrintInstr::Execute(ExecutionContext* ec) {
   SYSDS_ASSIGN_OR_RETURN(DataPtr d, ec->Resolve(inputs()[0]));
   if (auto* m = dynamic_cast<MatrixObject*>(d.get())) {
-    const MatrixBlock& b = m->AcquireRead();
+    SYSDS_ACQUIRE_READ(b, m);
     ec->Out() << b.ToString() << std::endl;
     m->Release();
   } else if (auto* s = dynamic_cast<ScalarObject*>(d.get())) {

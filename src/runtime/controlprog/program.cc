@@ -401,7 +401,8 @@ Status ParForBlock::Execute(ExecutionContext* ec) {
     bool mergeable = orig_m != nullptr;
     MatrixBlock merged;
     if (mergeable) {
-      merged = orig_m->AcquireRead();  // copy
+      SYSDS_ASSIGN_OR_RETURN(const MatrixBlock* ob0, orig_m->AcquireRead());
+      merged = *ob0;  // copy
       orig_m->Release();
       merged.ToDense();
     }
@@ -417,8 +418,8 @@ Status ParForBlock::Execute(ExecutionContext* ec) {
         mergeable = false;
         continue;
       }
-      const MatrixBlock& wb = wm->AcquireRead();
-      const MatrixBlock& ob = orig_m->AcquireRead();
+      SYSDS_ACQUIRE_READ(wb, wm);
+      SYSDS_ACQUIRE_READ_CLEANUP(ob, orig_m, wm->Release());
       for (int64_t r = 0; r < merged.Rows(); ++r) {
         for (int64_t c = 0; c < merged.Cols(); ++c) {
           double nv = wb.Get(r, c);

@@ -17,8 +17,10 @@ Status SparkMatMultInstr::Execute(ExecutionContext* ec) {
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m1, ec->GetMatrix(inputs()[0]));
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m2, ec->GetMatrix(inputs()[1]));
   int64_t bs = BlockSizeOf(ec);
-  BlockedMatrix a = BlockedMatrix::FromMatrix(m1->AcquireRead(), bs);
-  BlockedMatrix b = BlockedMatrix::FromMatrix(m2->AcquireRead(), bs);
+  SYSDS_ACQUIRE_READ(a_blk, m1);
+  SYSDS_ACQUIRE_READ_CLEANUP(b_blk, m2, m1->Release());
+  BlockedMatrix a = BlockedMatrix::FromMatrix(a_blk, bs);
+  BlockedMatrix b = BlockedMatrix::FromMatrix(b_blk, bs);
   m1->Release();
   m2->Release();
   SYSDS_ASSIGN_OR_RETURN(BlockedMatrix c, DistMatMult(a, b));
@@ -31,8 +33,8 @@ Status SparkTsmmInstr::Execute(ExecutionContext* ec) {
     return RuntimeError("sp_tsmm: only left tsmm is distributed");
   }
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, ec->GetMatrix(inputs()[0]));
-  BlockedMatrix x = BlockedMatrix::FromMatrix(m->AcquireRead(),
-                                              BlockSizeOf(ec));
+  SYSDS_ACQUIRE_READ(x_blk, m);
+  BlockedMatrix x = BlockedMatrix::FromMatrix(x_blk, BlockSizeOf(ec));
   m->Release();
   SYSDS_ASSIGN_OR_RETURN(BlockedMatrix c, DistTsmmLeft(x));
   ec->SetOutput(outputs()[0], std::make_shared<MatrixObject>(c.ToMatrix()));
@@ -53,8 +55,10 @@ Status SparkBinaryInstr::Execute(ExecutionContext* ec) {
       (base_opcode_ == "+" || base_opcode_ == "-" || base_opcode_ == "*" ||
        base_opcode_ == "/")) {
     int64_t bs = BlockSizeOf(ec);
-    BlockedMatrix a = BlockedMatrix::FromMatrix(m1->AcquireRead(), bs);
-    BlockedMatrix b = BlockedMatrix::FromMatrix(m2->AcquireRead(), bs);
+    SYSDS_ACQUIRE_READ(a_blk, m1);
+    SYSDS_ACQUIRE_READ_CLEANUP(b_blk, m2, m1->Release());
+    BlockedMatrix a = BlockedMatrix::FromMatrix(a_blk, bs);
+    BlockedMatrix b = BlockedMatrix::FromMatrix(b_blk, bs);
     m1->Release();
     m2->Release();
     SYSDS_ASSIGN_OR_RETURN(BlockedMatrix c, DistBinary(a, b, base_opcode_));
@@ -70,8 +74,8 @@ Status SparkBinaryInstr::Execute(ExecutionContext* ec) {
 Status SparkAggUnaryInstr::Execute(ExecutionContext* ec) {
   if (base_opcode_ == "uasum") {
     SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, ec->GetMatrix(inputs()[0]));
-    BlockedMatrix a = BlockedMatrix::FromMatrix(m->AcquireRead(),
-                                                BlockSizeOf(ec));
+    SYSDS_ACQUIRE_READ(a_blk, m);
+    BlockedMatrix a = BlockedMatrix::FromMatrix(a_blk, BlockSizeOf(ec));
     m->Release();
     SYSDS_ASSIGN_OR_RETURN(MatrixBlock s, DistAggSum(a));
     ec->SetOutput(outputs()[0], ScalarObject::MakeDouble(s.Get(0, 0)));

@@ -66,7 +66,16 @@ void BumpSpeculativeWin();
 /// id. kDelay injects a straggler (sleep), kCrash loses the attempt (the
 /// simulated executor died; the task is re-executed, consuming an attempt).
 /// Returns the first permanent task failure, after all in-flight attempts
-/// drained.
+/// drained. A task fails permanently only when its *last* in-flight attempt
+/// ends uncommitted: an original that exhausts its budget while a
+/// speculative duplicate is still running defers the verdict to the
+/// duplicate.
+///
+/// When called from a pool worker (parfor bodies execute dist instructions
+/// on pool threads), the stage runs inline on the calling thread —
+/// sequential retry loop, no speculation — because queueing into and then
+/// blocking on the already saturated pool would deadlock (same guard as
+/// ThreadPool::ParallelFor).
 template <typename Compute, typename Commit>
 Status RunRetryableTasks(int64_t num_tasks, Compute&& compute, Commit&& commit,
                          const TaskRunnerOptions& options = {}) {
@@ -75,6 +84,10 @@ Status RunRetryableTasks(int64_t num_tasks, Compute&& compute, Commit&& commit,
     std::atomic<bool> committed{false};
     std::atomic<int64_t> started_ns{-1};
     std::atomic<bool> speculated{false};
+    // Guarded by mu.
+    int inflight = 1;     // executions running or queued (original + dup)
+    bool failed = false;  // permanent failure already recorded
+    Status last_error;
   };
   std::vector<TaskState> states(static_cast<size_t>(num_tasks));
   std::mutex mu;
@@ -133,10 +146,16 @@ Status RunRetryableTasks(int64_t num_tasks, Compute&& compute, Commit&& commit,
       break;
     }
     std::lock_guard<std::mutex> lock(mu);
-    if (!last.ok() && !speculative &&
+    if (!last.ok()) st.last_error = last;
+    --st.inflight;
+    // Permanent failure is decided by the task's last in-flight attempt: an
+    // exhausted original with a speculative duplicate still running leaves
+    // the verdict to the duplicate (which may yet commit).
+    if (st.inflight == 0 && !st.failed && !st.last_error.ok() &&
         !st.committed.load(std::memory_order_acquire)) {
+      st.failed = true;
       dist_internal::BumpFailed();
-      if (first_error.ok()) first_error = last;
+      if (first_error.ok()) first_error = st.last_error;
     }
     --outstanding;
     cv.notify_all();
@@ -145,6 +164,12 @@ Status RunRetryableTasks(int64_t num_tasks, Compute&& compute, Commit&& commit,
   {
     std::lock_guard<std::mutex> lock(mu);
     outstanding = num_tasks;
+  }
+  if (ThreadPool::InCurrentWorker()) {
+    // Nested stage on a pool worker: run inline, sequentially.
+    for (int64_t t = 0; t < num_tasks; ++t) run(t, /*speculative=*/false);
+    std::lock_guard<std::mutex> lock(mu);
+    return first_error;
   }
   for (int64_t t = 0; t < num_tasks; ++t) {
     ThreadPool::Global().Submit([&run, t] { run(t, /*speculative=*/false); });
@@ -172,11 +197,13 @@ Status RunRetryableTasks(int64_t num_tasks, Compute&& compute, Commit&& commit,
     for (int64_t t = 0; t < num_tasks; ++t) {
       TaskState& st = states[static_cast<size_t>(t)];
       int64_t started = st.started_ns.load(std::memory_order_relaxed);
-      if (st.committed.load(std::memory_order_acquire) || started < 0) {
+      if (st.committed.load(std::memory_order_acquire) || started < 0 ||
+          st.failed) {
         continue;
       }
       if (static_cast<double>(now - started) * 1e-6 <= threshold_ms) continue;
       if (st.speculated.exchange(true, std::memory_order_relaxed)) continue;
+      ++st.inflight;
       stragglers.push_back(t);
     }
     outstanding += static_cast<int64_t>(stragglers.size());

@@ -299,8 +299,16 @@ void ScoringService::ExecuteBatch(std::vector<Request>& batch) {
   for (Request& req : live) {
     auto* m = dynamic_cast<MatrixObject*>(
         req.inputs.Bindings().at(batch_input).get());
+    auto acquired = m->AcquireRead();
+    if (!acquired.ok()) {
+      // A request whose input can't be pinned poisons the whole batch;
+      // fall back to per-request execution so each surfaces its own error.
+      for (MatrixObject* p : pinned) p->Release();
+      for (Request& req2 : live) ExecuteSingle(req2);
+      return;
+    }
     pinned.push_back(m);
-    rows.push_back(&m->AcquireRead());
+    rows.push_back(*acquired);
   }
   StatusOr<MatrixBlock> stacked = RBind(rows);
   for (MatrixObject* m : pinned) m->Release();

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/faults.h"
 #include "runtime/matrix/lib_datagen.h"
 #include "runtime/matrix/lib_matmult.h"
 #include "runtime/matrix/lib_solve.h"
@@ -125,6 +126,58 @@ TEST(FederatedLmTest, PushDownMovesLessDataThanCentralize) {
   int64_t centralize =
       registry.TotalBytesTransferred() - after_init - pushdown;
   EXPECT_LT(pushdown * 5, centralize);  // at least 5x less traffic
+}
+
+TEST(FederatedCircuitBreakerTest, HalfOpenProbeRecoversSite) {
+  FederatedRegistry registry(1);
+  MatrixBlock m = Random(8, 3, 11);
+  FederatedMessage put;
+  put.type = FederatedMessage::Type::kPutMatrix;
+  put.output_name = "X";
+  put.payload = SerializeMatrix(m);
+  ASSERT_TRUE(registry.Call(0, put).ok());
+
+  FederatedMessage get;
+  get.type = FederatedMessage::Type::kGetMatrix;
+  get.names = {"X"};
+  FedCallOptions fast;
+  fast.max_attempts = 1;  // one attempt per call: breaker opens quickly
+
+  {
+    FaultConfig dead;
+    dead.enabled = true;
+    dead.seed = 1;
+    dead.profile.dead_targets = {{FaultLayer::kFederated, 0}};
+    ScopedFaultInjection chaos(dead);
+    for (int i = 0; i < FederatedRegistry::kCircuitBreakerThreshold; ++i) {
+      EXPECT_FALSE(registry.Call(0, get, fast).ok());
+    }
+    ASSERT_FALSE(registry.SiteHealthy(0));
+    // While the site stays dead, the periodic half-open probes fail and
+    // the breaker stays open.
+    for (int i = 0; i < 2 * FederatedRegistry::kHalfOpenInterval; ++i) {
+      EXPECT_FALSE(registry.Call(0, get, fast).ok());
+    }
+    EXPECT_FALSE(registry.SiteHealthy(0));
+  }
+
+  // Site recovered. The breaker still rejects fast — until the next
+  // half-open probe goes through, succeeds, and closes it for good.
+  int rejected = 0;
+  bool recovered = false;
+  for (int i = 0; i < FederatedRegistry::kHalfOpenInterval; ++i) {
+    auto r = registry.Call(0, get, fast);
+    if (r.ok()) {
+      recovered = true;
+      EXPECT_TRUE(DeserializeMatrix(r->payload)->EqualsApprox(m, 0));
+      break;
+    }
+    ++rejected;
+  }
+  EXPECT_TRUE(recovered);
+  EXPECT_EQ(rejected, FederatedRegistry::kHalfOpenInterval - 1);
+  EXPECT_TRUE(registry.SiteHealthy(0));
+  EXPECT_TRUE(registry.Call(0, get, fast).ok());  // closed: no rejections
 }
 
 TEST(FederatedMatrixTest, MisalignedTmmRejected) {

@@ -54,9 +54,10 @@ TEST_F(BufferPoolTest, EvictsLruAndRestoresTransparently) {
   EXPECT_LE(pool.CachedBytes(), 200 * 1024);
   // The first object was evicted; acquiring restores the exact contents.
   EXPECT_FALSE(objs[0]->IsCached());
-  const MatrixBlock& restored = objs[0]->AcquireRead();
-  EXPECT_DOUBLE_EQ(restored.Get(50, 50), 1.0);
-  EXPECT_EQ(restored.NonZeros(), 100 * 100);
+  auto restored = objs[0]->AcquireRead();
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_DOUBLE_EQ((*restored)->Get(50, 50), 1.0);
+  EXPECT_EQ((*restored)->NonZeros(), 100 * 100);
   objs[0]->Release();
 }
 
@@ -65,8 +66,7 @@ TEST_F(BufferPoolTest, PinnedObjectsAreNotEvicted) {
   MatrixObject::SetBufferPool(&pool);
   auto pinned =
       std::make_shared<MatrixObject>(MatrixBlock::Dense(100, 100, 7.0));
-  const MatrixBlock& block = pinned->AcquireRead();  // pin
-  (void)block;
+  ASSERT_TRUE(pinned->AcquireRead().ok());  // pin
   pool.SetLimit(1024);  // force eviction pressure
   // Allocate more to trigger eviction attempts.
   auto other =
@@ -88,10 +88,11 @@ TEST_F(BufferPoolTest, SparseBlocksSurviveEviction) {
     filler.push_back(
         std::make_shared<MatrixObject>(MatrixBlock::Dense(100, 100, 1.0)));
   }
-  const MatrixBlock& restored = obj->AcquireRead();
-  EXPECT_DOUBLE_EQ(restored.Get(3, 7), 1.5);
-  EXPECT_DOUBLE_EQ(restored.Get(400, 499), -2.5);
-  EXPECT_EQ(restored.NonZeros(), 2);
+  auto restored = obj->AcquireRead();
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_DOUBLE_EQ((*restored)->Get(3, 7), 1.5);
+  EXPECT_DOUBLE_EQ((*restored)->Get(400, 499), -2.5);
+  EXPECT_EQ((*restored)->NonZeros(), 2);
   obj->Release();
 }
 
@@ -135,12 +136,13 @@ TEST_F(BufferPoolTest, SpillFailureRepinsAndKeepsAccountingConsistent) {
   EXPECT_GT(pool.EvictionCount(), evictions_before);
   EXPECT_LE(pool.CachedBytes(), 1023);
   // Evicted contents restore intact.
-  const MatrixBlock& restored = objs[0]->AcquireRead();
-  EXPECT_DOUBLE_EQ(restored.Get(50, 50), 1.0);
+  auto restored = objs[0]->AcquireRead();
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_DOUBLE_EQ((*restored)->Get(50, 50), 1.0);
   objs[0]->Release();
 }
 
-TEST_F(BufferPoolTest, RestoreFailureDegradesToZerosWithRetry) {
+TEST_F(BufferPoolTest, RestoreFailurePropagatesAndStaysRetryable) {
   BufferPool pool(1 << 30);
   MatrixObject::SetBufferPool(&pool);
   auto obj = std::make_shared<MatrixObject>(MatrixBlock::Dense(64, 64, 3.0));
@@ -150,18 +152,25 @@ TEST_F(BufferPoolTest, RestoreFailureDegradesToZerosWithRetry) {
   int64_t retries_before = FaultCounter("fault.bufferpool.restore_retries");
   int64_t failures_before = FaultCounter("fault.bufferpool.restore_failures");
   {
-    // Both the read and its retry fail: AcquireRead must still honor the
-    // pin contract, serving a zero block instead of crashing.
+    // Both the read and its retry fail: the error must surface to the
+    // caller — never a substitute zeros block — and leave the object
+    // unpinned with its spill file intact.
     ScopedFaultInjection chaos(SpillErrorConfig(1.0));
-    const MatrixBlock& degraded = obj->AcquireRead();
-    EXPECT_EQ(degraded.Rows(), 64);
-    EXPECT_EQ(degraded.Cols(), 64);
-    EXPECT_DOUBLE_EQ(degraded.Get(10, 10), 0.0);
-    obj->Release();
+    auto acquired = obj->AcquireRead();
+    ASSERT_FALSE(acquired.ok());
+    EXPECT_EQ(acquired.status().code(), StatusCode::kIoError);
+    EXPECT_FALSE(obj->IsCached());
   }
   EXPECT_GT(FaultCounter("fault.bufferpool.restore_retries"), retries_before);
   EXPECT_GT(FaultCounter("fault.bufferpool.restore_failures"),
             failures_before);
+
+  // The failure is transient, not fatal: once the spill device recovers,
+  // the same acquire succeeds from the kept spill file.
+  auto recovered = obj->AcquireRead();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_DOUBLE_EQ((*recovered)->Get(10, 10), 3.0);
+  obj->Release();
 }
 
 TEST_F(BufferPoolTest, ScriptCompletesUnderSpillFaults) {

@@ -1,0 +1,71 @@
+#include "runtime/dist/task_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace sysds {
+namespace {
+
+TEST(TaskRunnerTest, CommitsEveryTaskExactlyOnce) {
+  const int64_t n = 64;
+  std::vector<int> commits(static_cast<size_t>(n), 0);
+  Status s = RunRetryableTasks(
+      n, [](int64_t t) -> StatusOr<int64_t> { return t * 2; },
+      [&](int64_t t, int64_t v) {
+        EXPECT_EQ(v, t * 2);
+        ++commits[static_cast<size_t>(t)];
+      });
+  ASSERT_TRUE(s.ok());
+  for (int c : commits) EXPECT_EQ(c, 1);
+}
+
+TEST(TaskRunnerTest, PermanentFailureSurfaces) {
+  Status s = RunRetryableTasks(
+      8,
+      [](int64_t t) -> StatusOr<int64_t> {
+        if (t == 5) return RuntimeError("task 5 is broken");
+        return t;
+      },
+      [](int64_t, int64_t) {});
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("task 5"), std::string::npos);
+}
+
+TEST(TaskRunnerTest, NestedOnPoolWorkerRunsInlineWithoutDeadlock) {
+  // parfor bodies execute dist instructions on pool workers; saturate every
+  // worker with a caller blocked in its own stage. Before the inline guard
+  // this deadlocked: each worker waited on subtasks that no free worker
+  // could ever pick up.
+  ThreadPool& pool = ThreadPool::Global();
+  const size_t workers = pool.num_threads();
+  std::atomic<int64_t> committed{0};
+  std::vector<std::promise<Status>> results(workers);
+  std::vector<std::future<Status>> stages;
+  for (size_t w = 0; w < workers; ++w) {
+    stages.push_back(results[w].get_future());
+    pool.Submit([&results, &committed, w] {
+      EXPECT_TRUE(ThreadPool::InCurrentWorker());
+      Status s = RunRetryableTasks(
+          16, [](int64_t t) -> StatusOr<int64_t> { return t; },
+          [&committed](int64_t, int64_t) {
+            committed.fetch_add(1, std::memory_order_relaxed);
+          });
+      results[w].set_value(s);
+    });
+  }
+  for (auto& f : stages) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(60)), std::future_status::ready)
+        << "nested RunRetryableTasks deadlocked on the saturated pool";
+    EXPECT_TRUE(f.get().ok());
+  }
+  EXPECT_EQ(committed.load(), static_cast<int64_t>(workers) * 16);
+}
+
+}  // namespace
+}  // namespace sysds
