@@ -9,7 +9,9 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace sysds_bench {
@@ -49,6 +51,68 @@ inline void PrintRow(double x, const std::vector<double>& values) {
   std::printf("%-12g", x);
   for (double v : values) std::printf("%14.4f", v);
   std::printf("\n");
+}
+
+/// Machine-readable result sink for the custom-main benchmarks (the
+/// figure-regeneration drivers that don't use the google-benchmark runner).
+/// Accumulates named records of {metric, value} pairs and writes them as
+///   {"scale": "...", "benchmarks": [{"name": "...", "m1": v1, ...}, ...]}
+/// so CI can diff runs without scraping stdout tables.
+class JsonResultWriter {
+ public:
+  explicit JsonResultWriter(std::string path) : path_(std::move(path)) {}
+
+  void Add(const std::string& name,
+           const std::vector<std::pair<std::string, double>>& metrics) {
+    records_.emplace_back(name, metrics);
+  }
+
+  bool Write() const {
+    std::ofstream out(path_);
+    if (!out) return false;
+    const char* env = std::getenv("SYSDS_BENCH_SCALE");
+    out << "{\n  \"scale\": \"" << (env == nullptr ? "small" : env)
+        << "\",\n  \"benchmarks\": [\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      out << "    {\"name\": \"" << records_[i].first << "\"";
+      for (const auto& [metric, value] : records_[i].second) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        out << ", \"" << metric << "\": " << buf;
+      }
+      out << "}" << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.good();
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::pair<
+      std::string, std::vector<std::pair<std::string, double>>>> records_;
+};
+
+/// For google-benchmark mains: returns argv with
+/// `--benchmark_out=<default_path> --benchmark_out_format=json` appended
+/// unless the caller already passed --benchmark_out. `storage` must outlive
+/// the returned vector (benchmark::Initialize keeps the pointers).
+inline std::vector<char*> WithDefaultJsonOut(
+    int argc, char** argv, const char* default_path,
+    std::vector<std::string>* storage) {
+  storage->clear();
+  bool has_out = false;
+  for (int i = 0; i < argc; ++i) {
+    storage->emplace_back(argv[i]);
+    if (storage->back().rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    storage->push_back(std::string("--benchmark_out=") + default_path);
+    storage->push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args;
+  args.reserve(storage->size());
+  for (std::string& s : *storage) args.push_back(s.data());
+  return args;
 }
 
 }  // namespace sysds_bench

@@ -1,0 +1,162 @@
+// Operator-fusion benchmark: single-pass fused pipelines vs. the unfused
+// instruction sequence for elementwise–aggregate chains. The headline
+// workload is the standardize-and-row-aggregate chain
+//   R = rowSums(((X - mu) / sigma)^2)
+// which unfused materializes three full-size intermediates; fused it is one
+// read of X and one write of R. Expected: >= 2x on paper-scale dense inputs
+// (memory-bandwidth bound), with bit-identical results — fused and unfused
+// share the same aggregation primitives, chunking, and zero-handling rules
+// (see DESIGN.md "Operator fusion"). Results also land in BENCH_fusion.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/systemds_context.h"
+#include "bench/bench_common.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "runtime/matrix/lib_datagen.h"
+
+namespace {
+
+using namespace sysds;
+using namespace sysds_bench;
+
+std::unique_ptr<SystemDSContext> MakeCtx(bool fusion) {
+  // Large budgets keep paper-scale intermediates CP-resident so the
+  // comparison measures the kernels, not spill traffic or backend choice.
+  return SystemDSContext::Builder()
+      .CpMemoryBudget(64LL << 30)
+      .BufferPoolLimit(16LL << 30)
+      .Fusion(fusion)
+      .Build();
+}
+
+struct Workload {
+  std::string name;
+  std::string script;
+  std::string output;
+  bool scalar_output;
+  const MatrixBlock* x;
+};
+
+template <typename F>
+double BestSeconds(int reps, F&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < std::max(1, reps); ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+int RunWorkload(const Workload& w, int reps, JsonResultWriter* json) {
+  auto fused_ctx = MakeCtx(true);
+  auto unfused_ctx = MakeCtx(false);
+  Outputs outs(w.output);
+
+  auto run = [&](SystemDSContext& ctx) {
+    return ctx.Execute(w.script, Inputs().Matrix("X", *w.x), outs);
+  };
+
+  // Correctness first: fused and unfused must agree bit-for-bit.
+  auto rf = run(*fused_ctx);
+  auto ru = run(*unfused_ctx);
+  if (!rf.ok() || !ru.ok()) {
+    std::fprintf(stderr, "%s: execution failed: %s\n", w.name.c_str(),
+                 (!rf.ok() ? rf.status() : ru.status()).ToString().c_str());
+    return 1;
+  }
+  bool identical;
+  if (w.scalar_output) {
+    auto vf = rf->GetDouble(w.output);
+    auto vu = ru->GetDouble(w.output);
+    identical = vf.ok() && vu.ok() && *vf == *vu;
+  } else {
+    auto mf = rf->GetMatrix(w.output);
+    auto mu = ru->GetMatrix(w.output);
+    identical = mf.ok() && mu.ok() && mf->EqualsApprox(*mu, 0.0);
+  }
+  if (!identical) {
+    std::fprintf(stderr, "%s: fused result differs from unfused!\n",
+                 w.name.c_str());
+  }
+
+  double fused_s = BestSeconds(reps, [&] { (void)run(*fused_ctx); });
+  double unfused_s = BestSeconds(reps, [&] { (void)run(*unfused_ctx); });
+
+  std::printf("%-28s %14.4f %14.4f %10.2fx %10s\n", w.name.c_str(),
+              unfused_s, fused_s, unfused_s / fused_s,
+              identical ? "identical" : "MISMATCH");
+  json->Add(w.name, {{"unfused_seconds", unfused_s},
+                     {"fused_seconds", fused_s},
+                     {"speedup", unfused_s / fused_s},
+                     {"identical", identical ? 1.0 : 0.0}});
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main() {
+  using namespace sysds;
+  using namespace sysds_bench;
+  Scale scale = GetScale();
+  auto dense =
+      RandMatrix(scale.rows, scale.cols, 0.0, 1.0, 1.0, 42,
+                 RandPdf::kUniform, DefaultParallelism());
+  auto sparse =
+      RandMatrix(scale.rows, scale.cols, -1.0, 1.0, 0.05, 43,
+                 RandPdf::kUniform, DefaultParallelism());
+  if (!dense.ok() || !sparse.ok()) {
+    std::fprintf(stderr, "datagen failed\n");
+    return 1;
+  }
+
+  std::vector<Workload> workloads = {
+      {"rowagg_chain_dense",
+       "R = rowSums(((X - 0.5) / 0.29)^2)", "R", false, &*dense},
+      {"fullagg_sigmoid_dense",
+       "s = sum(1 / (1 + exp(-X)))", "s", true, &*dense},
+      {"colagg_chain_dense",
+       "C = colSums((X * X) + X)", "C", false, &*dense},
+      {"elementwise_chain_dense",
+       "Y = ((X - 0.5) * 2) + (X * X)", "Y", false, &*dense},
+      {"fullagg_chain_sparse",
+       "s = sum((X * 2)^2)", "s", true, &*sparse},
+  };
+
+  std::printf("# Operator fusion: fused vs unfused, best-of-%d seconds\n",
+              std::max(1, scale.repetitions));
+  std::printf("%-28s %14s %14s %10s %10s\n", "workload", "unfused_s",
+              "fused_s", "speedup", "check");
+
+  JsonResultWriter json("BENCH_fusion.json");
+  int failures = 0;
+  for (const Workload& w : workloads) {
+    failures += RunWorkload(w, scale.repetitions, &json);
+  }
+  int64_t regions = sysds::obs::MetricsRegistry::Get()
+                        .GetCounter("fusion.regions")
+                        ->Value();
+  int64_t elided = sysds::obs::MetricsRegistry::Get()
+                       .GetCounter("fusion.intermediates_elided")
+                       ->Value();
+  std::printf("# fusion.regions=%lld fusion.intermediates_elided=%lld\n",
+              static_cast<long long>(regions),
+              static_cast<long long>(elided));
+  json.Add("fusion_metrics", {{"regions", static_cast<double>(regions)},
+                              {"intermediates_elided",
+                               static_cast<double>(elided)}});
+  if (!json.Write()) {
+    std::fprintf(stderr, "failed to write BENCH_fusion.json\n");
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "common/thread_pool.h"
 #include "runtime/matrix/lib_datagen.h"
 #include "runtime/matrix/lib_matmult.h"
@@ -111,4 +112,18 @@ BENCHMARK(BM_TransposeDense)->Arg(512)->Arg(1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Standard google-benchmark main plus a default JSON sink: results land in
+// BENCH_kernels.json (cwd) unless --benchmark_out= overrides it.
+int main(int argc, char** argv) {
+  std::vector<std::string> storage;
+  std::vector<char*> args = sysds_bench::WithDefaultJsonOut(
+      argc, argv, "BENCH_kernels.json", &storage);
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,7 @@
 // Command-line DML runner (the `java -jar systemds` equivalent):
 //   dml_runner script.dml [-stats] [-lineage] [-reuse full|partial]
 //              [-explain] [-threads N] [--trace out.json]
-//              [--metrics out.json] [--chaos-seed N]
+//              [--metrics out.json] [--chaos-seed N] [--no-fusion]
 // Executes the script and prints script output; with -stats, prints the
 // heavy-hitter instruction profile afterwards. --trace records spans from
 // every runtime subsystem and writes Chrome trace-event JSON (open in
@@ -9,6 +9,9 @@
 // registry (counters/gauges/histograms) as JSON. --chaos-seed N runs the
 // script under deterministic fault injection (FaultProfile::Standard()
 // with seed N); combine with --metrics to inspect the fault.* counters.
+// --no-fusion disables the operator-fusion planner (results are identical;
+// use it to isolate fusion when debugging or benchmarking — with fusion on,
+// --metrics reports fusion.regions and fusion.intermediates_elided).
 
 #include <fstream>
 #include <iostream>
@@ -24,7 +27,7 @@ int main(int argc, char** argv) {
     std::cerr << "usage: " << argv[0]
               << " script.dml [-stats] [-lineage] [-reuse full|partial]"
                  " [-threads N] [--trace out.json] [--metrics out.json]"
-                 " [--chaos-seed N]\n";
+                 " [--chaos-seed N] [--no-fusion]\n";
     return 2;
   }
 
@@ -51,6 +54,8 @@ int main(int argc, char** argv) {
       trace_path = argv[++i];
     } else if ((arg == "--metrics" || arg == "-metrics") && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (arg == "--no-fusion" || arg == "-no-fusion") {
+      config.fusion_enabled = false;
     } else if ((arg == "--chaos-seed" || arg == "-chaos-seed") &&
                i + 1 < argc) {
       config.faults.enabled = true;

@@ -216,6 +216,15 @@ SystemDSContext::Builder& SystemDSContext::Builder::DynamicRecompilation(
   config_.dynamic_recompilation = on;
   return *this;
 }
+SystemDSContext::Builder& SystemDSContext::Builder::Fusion(bool on) {
+  config_.fusion_enabled = on;
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::FusionThreshold(
+    int64_t bytes) {
+  config_.fusion_min_intermediate_bytes = bytes;
+  return *this;
+}
 SystemDSContext::Builder& SystemDSContext::Builder::Statistics(bool on) {
   config_.statistics = on;
   return *this;

@@ -193,6 +193,13 @@ class SystemDSContext {
     Builder& LineageCacheLimit(int64_t bytes);
     Builder& LineageDedup(bool on = true);
     Builder& DynamicRecompilation(bool on);
+    /// Operator fusion of elementwise(+aggregate) chains (`dml_runner
+    /// --no-fusion` maps to Fusion(false)). Fused and unfused plans produce
+    /// identical results; disable to debug or to benchmark the win.
+    Builder& Fusion(bool on);
+    /// Minimum dense-size estimate (bytes) an elided intermediate must
+    /// reach before a region is considered worth fusing.
+    Builder& FusionThreshold(int64_t bytes);
     Builder& Statistics(bool on = true);
     /// Folds SystemDSContext::EnableTracing into construction.
     Builder& EnableTracing(std::string path);

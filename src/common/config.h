@@ -46,6 +46,13 @@ struct DMLConfig {
   // Force all matrix operations to a backend (testing / benchmarking).
   bool force_spark = false;
 
+  // Operator fusion (compiler/fusion.h): single-pass fused pipelines for
+  // elementwise–aggregate chains. A region is fused only when it elides at
+  // least one intermediate whose dense estimate reaches the threshold, so
+  // tiny expressions keep the (cheaper to compile) unfused form.
+  bool fusion_enabled = true;
+  int64_t fusion_min_intermediate_bytes = 1024;
+
   // Dynamic recompilation of basic blocks when sizes were unknown (§2.3(3)).
   bool dynamic_recompilation = true;
 

@@ -1,8 +1,10 @@
 #ifndef SYSDS_COMMON_THREAD_POOL_H_
 #define SYSDS_COMMON_THREAD_POOL_H_
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -66,6 +68,15 @@ class ThreadPool {
 /// Number of threads the runtime should use for data-parallel kernels,
 /// honoring the SYSDS_NUM_THREADS environment variable.
 int DefaultParallelism();
+
+/// Shared static chunking policy for row-partitioned kernels: one chunk per
+/// thread, but at least 8 rows per chunk so tiny matrices stay serial.
+/// Deterministic reductions depend on every caller (fused and unfused paths
+/// alike) using this single policy, so do not fork per-kernel variants.
+inline int64_t PickChunks(int64_t rows, int num_threads) {
+  if (num_threads <= 1) return 1;
+  return std::min<int64_t>(num_threads, std::max<int64_t>(1, rows / 8));
+}
 
 }  // namespace sysds
 

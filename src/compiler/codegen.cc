@@ -3,8 +3,10 @@
 #include <map>
 #include <sstream>
 
+#include "compiler/fusion.h"
 #include "runtime/controlprog/instructions_cp.h"
 #include "runtime/dist/instructions_spark.h"
+#include "runtime/matrix/lib_fused.h"
 
 namespace sysds {
 
@@ -318,6 +320,16 @@ StatusOr<InstructionPtr> LopToInstruction(const Lop& lop) {
         instr = std::move(fc);
         break;
       }
+      case HopOp::kFusedOp: {
+        if (lop.inputs.empty() || !lop.inputs.back().is_literal) {
+          return CompileError("fused op missing micro-plan literal");
+        }
+        SYSDS_ASSIGN_OR_RETURN(
+            FusedPlan plan,
+            FusedPlan::Parse(lop.inputs.back().lit.AsString()));
+        instr = std::make_unique<FusedInstr>(std::move(plan));
+        break;
+      }
       case HopOp::kFedInit:
         instr = std::make_unique<SparkBinaryInstr>("fedinit-unsupported");
         return CompileError("federated init must be lowered by the fed module");
@@ -352,8 +364,12 @@ StatusOr<std::vector<InstructionPtr>> LopsToInstructions(
 
 StatusOr<std::vector<InstructionPtr>> GenerateInstructions(
     const std::vector<HopPtr>& roots, const DMLConfig& config) {
-  SelectExecTypes(roots, config);
-  SYSDS_ASSIGN_OR_RETURN(std::vector<Lop> lops, BuildLops(roots, config));
+  // Fusion runs on a copy-on-write rebuild so the caller's roots stay
+  // pristine for dynamic recompilation (which re-fuses with updated sizes).
+  std::vector<HopPtr> planned =
+      config.fusion_enabled ? PlanFusion(roots, config) : roots;
+  SelectExecTypes(planned, config);
+  SYSDS_ASSIGN_OR_RETURN(std::vector<Lop> lops, BuildLops(planned, config));
   return LopsToInstructions(lops);
 }
 

@@ -1,0 +1,34 @@
+#ifndef SYSDS_COMPILER_FUSION_H_
+#define SYSDS_COMPILER_FUSION_H_
+
+#include <vector>
+
+#include "common/config.h"
+#include "compiler/hop.h"
+
+namespace sysds {
+
+/// Operator-fusion planner (paper §2.3(2), codegen-style fused operators).
+///
+/// Greedily grows maximal single-consumer regions of CP-eligible elementwise
+/// kBinary/kUnary hops, optionally capped by one kAggUnary root, and replaces
+/// each profitable region with a kFusedOp hop whose serialized micro-plan
+/// rides along as a trailing string-literal input (see
+/// runtime/matrix/lib_fused.h for the plan grammar and execution semantics).
+///
+/// The input DAG is never mutated: PlanFusion returns a copy-on-write rebuild
+/// of `roots` where only fused regions (and their transitive consumers) are
+/// fresh nodes; untouched subtrees are shared. Callers keep the original
+/// roots for dynamic recompilation, which re-runs fusion against updated
+/// sizes simply by calling GenerateInstructions again.
+///
+/// A region is committed only when fusing actually removes work: at least
+/// one interior intermediate whose dense output estimate is at least
+/// `config.fusion_min_intermediate_bytes` is elided, and the region reads at
+/// least one full-shape matrix input to drive the row pipeline.
+std::vector<HopPtr> PlanFusion(const std::vector<HopPtr>& roots,
+                               const DMLConfig& config);
+
+}  // namespace sysds
+
+#endif  // SYSDS_COMPILER_FUSION_H_

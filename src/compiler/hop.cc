@@ -33,6 +33,7 @@ const char* HopOpName(HopOp op) {
     case HopOp::kSolve: return "solve";
     case HopOp::kFunctionCall: return "fcall";
     case HopOp::kFedInit: return "fedinit";
+    case HopOp::kFusedOp: return "fused";
   }
   return "?";
 }
@@ -112,14 +113,6 @@ double Hop::Sparsity() const {
   return static_cast<double>(nnz_) / (dim1_ * dim2_);
 }
 
-namespace {
-int64_t ScaledNnz(int64_t in_nnz, int64_t in_cells, int64_t out_cells) {
-  if (in_nnz < 0 || in_cells <= 0) return -1;
-  double sp = static_cast<double>(in_nnz) / in_cells;
-  return static_cast<int64_t>(sp * out_cells);
-}
-}  // namespace
-
 void Hop::RefreshSizeInformation() {
   auto in = [&](size_t k) -> Hop* {
     return k < inputs_.size() ? inputs_[k].get() : nullptr;
@@ -132,7 +125,8 @@ void Hop::RefreshSizeInformation() {
     case HopOp::kTransientRead:
     case HopOp::kPersistentRead:
     case HopOp::kFedInit:
-      break;  // dims set externally (symbol info / metadata)
+    case HopOp::kFusedOp:
+      break;  // dims set externally (symbol info / metadata / fusion planner)
     case HopOp::kTransientWrite:
     case HopOp::kPersistentWrite:
     case HopOp::kCumAgg:

@@ -40,6 +40,8 @@ enum class HopOp {
   kSolve,           // opcode: solve | cholesky | inv | det
   kFunctionCall,    // user or DML-bodied builtin function (multi-output)
   kFedInit,         // federated(addresses, ranges)
+  kFusedOp,         // fused elementwise(+aggregate) region; the serialized
+                    // micro-plan travels as a trailing string-literal input
 };
 
 const char* HopOpName(HopOp op);

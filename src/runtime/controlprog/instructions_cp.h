@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "runtime/controlprog/instruction.h"
+#include "runtime/matrix/lib_fused.h"
 
 namespace sysds {
 
@@ -42,6 +43,23 @@ class AggUnaryInstr final : public Instruction {
       : Instruction(opcode, ExecType::kCP) {}
   Status Execute(ExecutionContext* ec) override;
   bool IsReusable() const override;
+};
+
+/// Fused elementwise(+aggregate) pipeline over a micro-plan produced by the
+/// fusion planner (compiler/fusion.h). Operand layout: plan.num_inputs
+/// matrix inputs, then plan.num_scalars scalars, then the serialized plan as
+/// a trailing string literal (which thereby keys the lineage entry).
+class FusedInstr final : public Instruction {
+ public:
+  explicit FusedInstr(FusedPlan plan)
+      : Instruction("fused", ExecType::kCP), plan_(std::move(plan)) {}
+  Status Execute(ExecutionContext* ec) override;
+  bool IsReusable() const override;
+
+  const FusedPlan& plan() const { return plan_; }
+
+ private:
+  FusedPlan plan_;
 };
 
 class CumAggInstr final : public Instruction {

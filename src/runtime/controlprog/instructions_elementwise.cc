@@ -11,43 +11,19 @@ namespace sysds {
 namespace {
 
 StatusOr<BinaryOpCode> ParseBinaryOp(const std::string& op) {
-  if (op == "+") return BinaryOpCode::kAdd;
-  if (op == "-") return BinaryOpCode::kSub;
-  if (op == "*") return BinaryOpCode::kMul;
-  if (op == "/") return BinaryOpCode::kDiv;
-  if (op == "^") return BinaryOpCode::kPow;
-  if (op == "%%") return BinaryOpCode::kMod;
-  if (op == "%/%") return BinaryOpCode::kIntDiv;
-  if (op == "min") return BinaryOpCode::kMin;
-  if (op == "max") return BinaryOpCode::kMax;
-  if (op == "==") return BinaryOpCode::kEqual;
-  if (op == "!=") return BinaryOpCode::kNotEqual;
-  if (op == "<") return BinaryOpCode::kLess;
-  if (op == "<=") return BinaryOpCode::kLessEqual;
-  if (op == ">") return BinaryOpCode::kGreater;
-  if (op == ">=") return BinaryOpCode::kGreaterEqual;
-  if (op == "&") return BinaryOpCode::kAnd;
-  if (op == "|") return BinaryOpCode::kOr;
-  if (op == "xor") return BinaryOpCode::kXor;
-  return InvalidArgument("unknown binary opcode '" + op + "'");
+  BinaryOpCode code;
+  if (!ParseBinaryOpcode(op, &code)) {
+    return InvalidArgument("unknown binary opcode '" + op + "'");
+  }
+  return code;
 }
 
 StatusOr<UnaryOpCode> ParseUnaryOp(const std::string& op) {
-  if (op == "exp") return UnaryOpCode::kExp;
-  if (op == "log") return UnaryOpCode::kLog;
-  if (op == "sqrt") return UnaryOpCode::kSqrt;
-  if (op == "abs") return UnaryOpCode::kAbs;
-  if (op == "round") return UnaryOpCode::kRound;
-  if (op == "floor") return UnaryOpCode::kFloor;
-  if (op == "ceil") return UnaryOpCode::kCeil;
-  if (op == "sin") return UnaryOpCode::kSin;
-  if (op == "cos") return UnaryOpCode::kCos;
-  if (op == "tan") return UnaryOpCode::kTan;
-  if (op == "sign") return UnaryOpCode::kSign;
-  if (op == "!") return UnaryOpCode::kNot;
-  if (op == "uminus") return UnaryOpCode::kNegate;
-  if (op == "sigmoid") return UnaryOpCode::kSigmoid;
-  return InvalidArgument("unknown unary opcode '" + op + "'");
+  UnaryOpCode code;
+  if (!ParseUnaryOpcode(op, &code)) {
+    return InvalidArgument("unknown unary opcode '" + op + "'");
+  }
+  return code;
 }
 
 bool IsScalarOperand(const Operand& op, ExecutionContext* ec) {
@@ -229,28 +205,11 @@ bool AggUnaryInstr::IsReusable() const {
 
 Status AggUnaryInstr::Execute(ExecutionContext* ec) {
   const std::string& op = opcode();
-  AggDirection dir = AggDirection::kAll;
-  std::string base = op.substr(2);
-  if (op.rfind("uar", 0) == 0) {
-    dir = AggDirection::kRow;
-    base = op.substr(3);
-  } else if (op.rfind("uac", 0) == 0) {
-    dir = AggDirection::kCol;
-    base = op.substr(3);
-  }
+  AggDirection dir;
   AggOpCode agg;
-  if (base == "sum") agg = AggOpCode::kSum;
-  else if (base == "sumsq") agg = AggOpCode::kSumSq;
-  else if (base == "mean") agg = AggOpCode::kMean;
-  else if (base == "var") agg = AggOpCode::kVar;
-  else if (base == "sd") agg = AggOpCode::kSd;
-  else if (base == "min") agg = AggOpCode::kMin;
-  else if (base == "max") agg = AggOpCode::kMax;
-  else if (base == "nz") agg = AggOpCode::kNnz;
-  else if (base == "trace") agg = AggOpCode::kTrace;
-  else if (base == "imax") agg = AggOpCode::kIndexMax;
-  else if (base == "imin") agg = AggOpCode::kIndexMin;
-  else return RuntimeError("unknown aggregate '" + op + "'");
+  if (!ParseAggOpcode(op, &agg, &dir)) {
+    return RuntimeError("unknown aggregate '" + op + "'");
+  }
 
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, ec->GetMatrix(inputs()[0]));
   SYSDS_ACQUIRE_READ(a, m);

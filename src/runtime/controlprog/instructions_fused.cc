@@ -1,0 +1,79 @@
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+#include "runtime/controlprog/execution_context.h"
+#include "runtime/controlprog/instructions_cp.h"
+#include "runtime/matrix/lib_fused.h"
+
+namespace sysds {
+
+bool FusedInstr::IsReusable() const {
+  return !outputs().empty() && outputs()[0].dt == DataType::kMatrix;
+}
+
+Status FusedInstr::Execute(ExecutionContext* ec) {
+  SYSDS_SPAN("cp", "fused_pipeline");
+  size_t want = static_cast<size_t>(plan_.num_inputs + plan_.num_scalars) + 1;
+  if (inputs().size() != want) {
+    return RuntimeError("fused: operand count mismatch");
+  }
+
+  // Pin all matrix inputs; on any acquire failure release the pins taken so
+  // far and propagate (same discipline as the unfused instructions).
+  std::vector<MatrixObject*> objs;
+  std::vector<const MatrixBlock*> blocks;
+  objs.reserve(static_cast<size_t>(plan_.num_inputs));
+  blocks.reserve(static_cast<size_t>(plan_.num_inputs));
+  auto release_all = [&objs]() {
+    for (MatrixObject* o : objs) o->Release();
+  };
+  for (int i = 0; i < plan_.num_inputs; ++i) {
+    auto m = ec->GetMatrix(inputs()[static_cast<size_t>(i)]);
+    if (!m.ok()) {
+      release_all();
+      return m.status();
+    }
+    auto block = (*m)->AcquireRead();
+    if (!block.ok()) {
+      release_all();
+      return block.status();
+    }
+    objs.push_back(*m);
+    blocks.push_back(*block);
+  }
+
+  std::vector<double> scalars;
+  scalars.reserve(static_cast<size_t>(plan_.num_scalars));
+  for (int i = 0; i < plan_.num_scalars; ++i) {
+    auto v =
+        ec->GetDouble(inputs()[static_cast<size_t>(plan_.num_inputs + i)]);
+    if (!v.ok()) {
+      release_all();
+      return v.status();
+    }
+    scalars.push_back(*v);
+  }
+
+  auto result = ExecuteFusedPlan(plan_, blocks, scalars, ec->NumThreads());
+  release_all();
+  if (!result.ok()) return result.status();
+
+  if (result->is_scalar) {
+    // Mirror AggUnaryInstr's result typing: nnz counts are integers.
+    if (plan_.has_agg && plan_.agg == AggOpCode::kNnz) {
+      ec->SetOutput(outputs()[0], ScalarObject::MakeInt(
+                                      static_cast<int64_t>(result->scalar)));
+    } else {
+      ec->SetOutput(outputs()[0], ScalarObject::MakeDouble(result->scalar));
+    }
+  } else {
+    ec->SetOutput(outputs()[0], std::make_shared<MatrixObject>(
+                                    std::move(result->matrix)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace sysds

@@ -11,84 +11,79 @@ namespace sysds {
 
 namespace {
 
-// Kahan-compensated accumulator (SystemDS KahanPlus).
-struct Kahan {
-  double sum = 0.0;
-  double corr = 0.0;
-  void Add(double v) {
-    double y = v - corr;
-    double t = sum + y;
-    corr = (t - sum) - y;
-    sum = t;
-  }
-};
+using agg::CellStats;
+using agg::Finalize;
+using agg::Kahan;
+using agg::SkipZeros;
 
-struct RowStats {
-  Kahan sum;
-  Kahan sumsq;
-  double min = std::numeric_limits<double>::infinity();
-  double max = -std::numeric_limits<double>::infinity();
-  int64_t nnz = 0;
-  int64_t count = 0;
-  int64_t argmax = 0;
-  int64_t argmin = 0;
-  double argmax_val = -std::numeric_limits<double>::infinity();
-  double argmin_val = std::numeric_limits<double>::infinity();
-
-  void Add(double v, int64_t idx) {
-    sum.Add(v);
-    sumsq.Add(v * v);
-    min = std::fmin(min, v);
-    max = std::fmax(max, v);
-    nnz += (v != 0.0);
-    ++count;
-    if (v > argmax_val) { argmax_val = v; argmax = idx; }
-    if (v < argmin_val) { argmin_val = v; argmin = idx; }
-  }
-};
-
-double Finalize(AggOpCode op, const RowStats& s) {
-  switch (op) {
-    case AggOpCode::kSum: return s.sum.sum;
-    case AggOpCode::kSumSq: return s.sumsq.sum;
-    case AggOpCode::kMean: return s.count ? s.sum.sum / s.count : 0.0;
-    case AggOpCode::kVar: {
-      if (s.count < 2) return 0.0;
-      double mean = s.sum.sum / s.count;
-      return (s.sumsq.sum - s.count * mean * mean) / (s.count - 1);
-    }
-    case AggOpCode::kSd: {
-      if (s.count < 2) return 0.0;
-      double mean = s.sum.sum / s.count;
-      double var = (s.sumsq.sum - s.count * mean * mean) / (s.count - 1);
-      return std::sqrt(std::fmax(0.0, var));
-    }
-    case AggOpCode::kMin: return s.count ? s.min : 0.0;
-    case AggOpCode::kMax: return s.count ? s.max : 0.0;
-    case AggOpCode::kNnz: return static_cast<double>(s.nnz);
-    case AggOpCode::kIndexMax: return static_cast<double>(s.argmax + 1);
-    case AggOpCode::kIndexMin: return static_cast<double>(s.argmin + 1);
-    case AggOpCode::kTrace: return s.sum.sum;
-  }
-  return std::nan("");
-}
-
-// Folds all cells of row r into the stats, including implicit zeros of
-// sparse rows (min/max/mean must see zeros).
-void ScanRow(const MatrixBlock& a, int64_t r, RowStats* stats) {
+// Folds all cells of row r into the stats in column order. With skip_zeros,
+// v == 0.0 cells (stored or implicit) are skipped so the result is
+// independent of the storage format; without it, implicit zeros of sparse
+// rows are visited too (min/max/mean must see zeros).
+void ScanRow(const MatrixBlock& a, int64_t r, CellStats* stats,
+             bool skip_zeros) {
   int64_t cols = a.Cols();
   if (!a.IsSparse()) {
     const double* row = a.DenseRow(r);
-    for (int64_t j = 0; j < cols; ++j) stats->Add(row[j], j);
-  } else {
-    const SparseRow& row = a.SparseData().Row(r);
-    int64_t p = 0;
-    for (int64_t j = 0; j < cols; ++j) {
-      if (p < row.Size() && row.Indexes()[p] == j) {
-        stats->Add(row.Values()[p++], j);
-      } else {
-        stats->Add(0.0, j);
+    if (skip_zeros) {
+      for (int64_t j = 0; j < cols; ++j) {
+        double v = row[j];
+        if (v != 0.0) stats->Add(v, j);
       }
+    } else {
+      for (int64_t j = 0; j < cols; ++j) stats->Add(row[j], j);
+    }
+    return;
+  }
+  const SparseRow& row = a.SparseData().Row(r);
+  if (skip_zeros) {
+    for (int64_t p = 0; p < row.Size(); ++p) {
+      double v = row.Values()[p];
+      if (v != 0.0) stats->Add(v, row.Indexes()[p]);
+    }
+    return;
+  }
+  int64_t p = 0;
+  for (int64_t j = 0; j < cols; ++j) {
+    if (p < row.Size() && row.Indexes()[p] == j) {
+      stats->Add(row.Values()[p++], j);
+    } else {
+      stats->Add(0.0, j);
+    }
+  }
+}
+
+// Column-direction variant: folds row r into the per-column stats array,
+// using the row index as the running cell index.
+void ScanRowIntoCols(const MatrixBlock& a, int64_t r, CellStats* stats,
+                     bool skip_zeros) {
+  int64_t cols = a.Cols();
+  if (!a.IsSparse()) {
+    const double* row = a.DenseRow(r);
+    if (skip_zeros) {
+      for (int64_t j = 0; j < cols; ++j) {
+        double v = row[j];
+        if (v != 0.0) stats[j].Add(v, r);
+      }
+    } else {
+      for (int64_t j = 0; j < cols; ++j) stats[j].Add(row[j], r);
+    }
+    return;
+  }
+  const SparseRow& row = a.SparseData().Row(r);
+  if (skip_zeros) {
+    for (int64_t p = 0; p < row.Size(); ++p) {
+      double v = row.Values()[p];
+      if (v != 0.0) stats[row.Indexes()[p]].Add(v, r);
+    }
+    return;
+  }
+  int64_t p = 0;
+  for (int64_t j = 0; j < cols; ++j) {
+    if (p < row.Size() && row.Indexes()[p] == j) {
+      stats[j].Add(row.Values()[p++], r);
+    } else {
+      stats[j].Add(0.0, r);
     }
   }
 }
@@ -97,7 +92,6 @@ void ScanRow(const MatrixBlock& a, int64_t r, RowStats* stats) {
 
 StatusOr<double> AggregateAll(AggOpCode op, const MatrixBlock& a,
                               int num_threads) {
-  (void)num_threads;
   if (op == AggOpCode::kTrace) {
     if (a.Rows() != a.Cols()) {
       return InvalidArgument("trace requires a square matrix");
@@ -109,39 +103,39 @@ StatusOr<double> AggregateAll(AggOpCode op, const MatrixBlock& a,
   if (op == AggOpCode::kIndexMax || op == AggOpCode::kIndexMin) {
     return InvalidArgument("indexmax/indexmin are row-wise aggregates");
   }
-  // Fast sparse path for sum-like aggregates (zeros contribute nothing).
-  if (a.IsSparse() &&
-      (op == AggOpCode::kSum || op == AggOpCode::kSumSq ||
-       op == AggOpCode::kNnz)) {
-    Kahan k;
-    int64_t nnz = 0;
-    for (int64_t r = 0; r < a.Rows(); ++r) {
-      const SparseRow& row = a.SparseData().Row(r);
-      for (int64_t p = 0; p < row.Size(); ++p) {
-        double v = row.Values()[p];
-        k.Add(op == AggOpCode::kSumSq ? v * v : v);
-        nnz += (v != 0.0);
-      }
-    }
-    if (op == AggOpCode::kNnz) return static_cast<double>(nnz);
-    return k.sum;
+  if (op == AggOpCode::kSum && !a.IsSparse()) {
+    int64_t cols = a.Cols();
+    return agg::FullSumChunked(a.Rows(), num_threads, [&]() {
+             return [&](int64_t r, Kahan* k) {
+               agg::SumDenseRowInto(a.DenseRow(r), cols, k);
+             };
+           })
+        .sum;
   }
-  RowStats stats;
-  for (int64_t r = 0; r < a.Rows(); ++r) ScanRow(a, r, &stats);
+  bool skip = SkipZeros(op);
+  CellStats stats = agg::FullAggChunked(a.Rows(), num_threads, [&]() {
+    return [&](int64_t r, CellStats* s) { ScanRow(a, r, s, skip); };
+  });
   return Finalize(op, stats);
 }
 
 StatusOr<MatrixBlock> AggregateRowCol(AggOpCode op, AggDirection dir,
                                       const MatrixBlock& a, int num_threads) {
+  bool skip = SkipZeros(op);
   if (dir == AggDirection::kRow) {
     MatrixBlock c = MatrixBlock::Dense(a.Rows(), 1);
+    bool sum_fast = op == AggOpCode::kSum && !a.IsSparse();
+    int64_t cols = a.Cols();
     ThreadPool::Global().ParallelFor(
-        0, a.Rows(),
-        num_threads <= 1 ? 1 : std::min<int64_t>(num_threads, a.Rows()),
+        0, a.Rows(), PickChunks(a.Rows(), num_threads),
         [&](int64_t rb, int64_t re) {
           for (int64_t r = rb; r < re; ++r) {
-            RowStats stats;
-            ScanRow(a, r, &stats);
+            if (sum_fast) {
+              c.DenseData()[r] = agg::SumDenseRow(a.DenseRow(r), cols);
+              continue;
+            }
+            CellStats stats;
+            ScanRow(a, r, &stats, skip);
             c.DenseData()[r] = Finalize(op, stats);
           }
         });
@@ -149,25 +143,13 @@ StatusOr<MatrixBlock> AggregateRowCol(AggOpCode op, AggDirection dir,
     return c;
   }
   if (dir == AggDirection::kCol) {
-    // Column aggregates: one stats object per column, single pass over rows.
     int64_t cols = a.Cols();
-    std::vector<RowStats> stats(static_cast<size_t>(cols));
-    for (int64_t r = 0; r < a.Rows(); ++r) {
-      if (!a.IsSparse()) {
-        const double* row = a.DenseRow(r);
-        for (int64_t j = 0; j < cols; ++j) stats[j].Add(row[j], r);
-      } else {
-        const SparseRow& row = a.SparseData().Row(r);
-        int64_t p = 0;
-        for (int64_t j = 0; j < cols; ++j) {
-          if (p < row.Size() && row.Indexes()[p] == j) {
-            stats[j].Add(row.Values()[p++], r);
-          } else {
-            stats[j].Add(0.0, r);
-          }
-        }
-      }
-    }
+    std::vector<CellStats> stats =
+        agg::ColAggChunked(a.Rows(), cols, num_threads, [&]() {
+          return [&](int64_t r, CellStats* s) {
+            ScanRowIntoCols(a, r, s, skip);
+          };
+        });
     MatrixBlock c = MatrixBlock::Dense(1, cols);
     for (int64_t j = 0; j < cols; ++j) {
       c.DenseData()[j] = Finalize(op, stats[j]);

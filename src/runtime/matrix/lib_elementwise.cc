@@ -1,6 +1,7 @@
 #include "runtime/matrix/lib_elementwise.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/thread_pool.h"
 
@@ -28,9 +29,13 @@ bool ResolveBroadcast(const MatrixBlock& a, const MatrixBlock& b,
   return false;
 }
 
-int64_t PickChunks(int64_t rows, int num_threads) {
-  if (num_threads <= 1) return 1;
-  return std::min<int64_t>(num_threads, std::max<int64_t>(1, rows / 16));
+// Counts nonzeros in a freshly written dense row while it is still hot in
+// cache, so result blocks can use ExamSparsity(known_nnz) instead of a
+// second full-matrix scan.
+int64_t CountRowNnz(const double* row, int64_t cols) {
+  int64_t nnz = 0;
+  for (int64_t j = 0; j < cols; ++j) nnz += (row[j] != 0.0);
+  return nnz;
 }
 
 // Sparse-sparse multiply: intersect rows (the only fully sparse-safe op).
@@ -98,6 +103,7 @@ StatusOr<MatrixBlock> BinaryMatrixMatrix(BinaryOpCode op,
     if (ResolveBroadcast(b, a, &rkind)) {
       MatrixBlock c = MatrixBlock::Dense(b.Rows(), b.Cols());
       int64_t cols = b.Cols();
+      int64_t nnz = 0;
       for (int64_t r = 0; r < b.Rows(); ++r) {
         double* crow = c.DenseRow(r);
         for (int64_t j = 0; j < cols; ++j) {
@@ -106,9 +112,9 @@ StatusOr<MatrixBlock> BinaryMatrixMatrix(BinaryOpCode op,
                                                            : a.Get(r, j);
           crow[j] = ApplyBinary(op, av, b.Get(r, j));
         }
+        nnz += CountRowNnz(crow, cols);
       }
-      c.MarkNnzDirty();
-      c.ExamSparsity();
+      c.ExamSparsity(nnz);
       return c;
     }
     return InvalidArgument(
@@ -127,9 +133,11 @@ StatusOr<MatrixBlock> BinaryMatrixMatrix(BinaryOpCode op,
 
   MatrixBlock c = MatrixBlock::Dense(a.Rows(), a.Cols());
   int64_t cols = a.Cols();
+  std::atomic<int64_t> nnz{0};
   ThreadPool::Global().ParallelFor(
       0, a.Rows(), PickChunks(a.Rows(), num_threads),
       [&](int64_t rb, int64_t re) {
+        int64_t local = 0;
         for (int64_t r = rb; r < re; ++r) {
           double* crow = c.DenseRow(r);
           for (int64_t j = 0; j < cols; ++j) {
@@ -144,10 +152,11 @@ StatusOr<MatrixBlock> BinaryMatrixMatrix(BinaryOpCode op,
             }
             crow[j] = ApplyBinary(op, av, bv);
           }
+          local += CountRowNnz(crow, cols);
         }
+        nnz.fetch_add(local, std::memory_order_relaxed);
       });
-  c.MarkNnzDirty();
-  c.ExamSparsity();
+  c.ExamSparsity(nnz.load(std::memory_order_relaxed));
   return c;
 }
 
@@ -175,9 +184,11 @@ MatrixBlock BinaryMatrixScalar(BinaryOpCode op, const MatrixBlock& a,
 
   MatrixBlock c = MatrixBlock::Dense(a.Rows(), a.Cols());
   int64_t cols = a.Cols();
+  std::atomic<int64_t> nnz{0};
   ThreadPool::Global().ParallelFor(
       0, a.Rows(), PickChunks(a.Rows(), num_threads),
       [&](int64_t rb, int64_t re) {
+        int64_t local = 0;
         for (int64_t r = rb; r < re; ++r) {
           double* crow = c.DenseRow(r);
           if (!a.IsSparse()) {
@@ -195,10 +206,11 @@ MatrixBlock BinaryMatrixScalar(BinaryOpCode op, const MatrixBlock& a,
                                                   : ApplyBinary(op, v, scalar);
             }
           }
+          local += CountRowNnz(crow, cols);
         }
+        nnz.fetch_add(local, std::memory_order_relaxed);
       });
-  c.MarkNnzDirty();
-  c.ExamSparsity();
+  c.ExamSparsity(nnz.load(std::memory_order_relaxed));
   return c;
 }
 
@@ -221,9 +233,11 @@ MatrixBlock UnaryMatrix(UnaryOpCode op, const MatrixBlock& a,
   MatrixBlock c = MatrixBlock::Dense(a.Rows(), a.Cols());
   int64_t cols = a.Cols();
   double zero_result = ApplyUnary(op, 0.0);
+  std::atomic<int64_t> nnz{0};
   ThreadPool::Global().ParallelFor(
       0, a.Rows(), PickChunks(a.Rows(), num_threads),
       [&](int64_t rb, int64_t re) {
+        int64_t local = 0;
         for (int64_t r = rb; r < re; ++r) {
           double* crow = c.DenseRow(r);
           if (!a.IsSparse()) {
@@ -236,10 +250,11 @@ MatrixBlock UnaryMatrix(UnaryOpCode op, const MatrixBlock& a,
               crow[ra.Indexes()[p]] = ApplyUnary(op, ra.Values()[p]);
             }
           }
+          local += CountRowNnz(crow, cols);
         }
+        nnz.fetch_add(local, std::memory_order_relaxed);
       });
-  c.MarkNnzDirty();
-  c.ExamSparsity();
+  c.ExamSparsity(nnz.load(std::memory_order_relaxed));
   return c;
 }
 
@@ -257,9 +272,11 @@ StatusOr<MatrixBlock> TernaryIfElse(const MatrixBlock& cond,
   }
   MatrixBlock c = MatrixBlock::Dense(cond.Rows(), cond.Cols());
   int64_t cols = cond.Cols();
+  std::atomic<int64_t> nnz{0};
   ThreadPool::Global().ParallelFor(
       0, cond.Rows(), PickChunks(cond.Rows(), num_threads),
       [&](int64_t rb, int64_t re) {
+        int64_t local = 0;
         for (int64_t r = rb; r < re; ++r) {
           double* crow = c.DenseRow(r);
           for (int64_t j = 0; j < cols; ++j) {
@@ -267,10 +284,11 @@ StatusOr<MatrixBlock> TernaryIfElse(const MatrixBlock& cond,
             crow[j] = take_a ? (a ? a->Get(r, j) : a_scalar)
                              : (b ? b->Get(r, j) : b_scalar);
           }
+          local += CountRowNnz(crow, cols);
         }
+        nnz.fetch_add(local, std::memory_order_relaxed);
       });
-  c.MarkNnzDirty();
-  c.ExamSparsity();
+  c.ExamSparsity(nnz.load(std::memory_order_relaxed));
   return c;
 }
 

@@ -1,0 +1,97 @@
+#ifndef SYSDS_RUNTIME_MATRIX_LIB_FUSED_H_
+#define SYSDS_RUNTIME_MATRIX_LIB_FUSED_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/matrix/matrix_block.h"
+#include "runtime/matrix/op_codes.h"
+
+namespace sysds {
+
+/// How a fused-region matrix input broadcasts against the region shape.
+enum class FusedInputKind : uint8_t {
+  kFull,    // rows x cols
+  kColVec,  // rows x 1, broadcast across columns
+  kRowVec,  // 1 x cols, broadcast across rows
+};
+
+/// Operand reference inside a fused micro-plan: a matrix input, the result
+/// of a previous step, or a scalar input.
+struct FusedRef {
+  enum Kind : uint8_t { kInput, kStep, kScalar };
+  Kind kind = kInput;
+  int idx = 0;
+};
+
+/// One elementwise operation of the pipeline. Steps are evaluated in order;
+/// step i may only reference steps < i (register-machine form).
+struct FusedStep {
+  bool is_binary = true;
+  BinaryOpCode bop = BinaryOpCode::kAdd;
+  UnaryOpCode uop = UnaryOpCode::kExp;
+  FusedRef a;
+  FusedRef b;  // ignored for unary steps
+};
+
+/// A serialized-able micro-plan for a fused elementwise(+aggregate) region.
+/// The textual form (Serialize/Parse) rides on the kFusedOp HOP as a string
+/// literal, which makes it part of the instruction's lineage key for free.
+///
+/// Grammar (fields ';'-separated):
+///   in<N>;sc<M>;k<kinds>;<step>;...;out:t<R>[;agg:<ua-opcode>]
+///   step :=  b<binop>:<ref>,<ref>  |  u<unop>:<ref>
+///   ref  :=  i<N> (matrix input) | t<N> (step result) | s<N> (scalar)
+///   kinds := one char per matrix input: F (full), C (colvec), R (rowvec)
+/// Example: "in1;sc2;kF;b-:i0,s0;b/:t0,s1;b^:t1,s1;out:t2;agg:uarsum"
+struct FusedPlan {
+  int num_inputs = 0;
+  int num_scalars = 0;
+  std::vector<FusedInputKind> input_kinds;
+  std::vector<FusedStep> steps;
+  int root = -1;
+  bool has_agg = false;
+  AggOpCode agg = AggOpCode::kSum;
+  AggDirection agg_dir = AggDirection::kAll;
+
+  std::string Serialize() const;
+  static StatusOr<FusedPlan> Parse(const std::string& text);
+
+  /// Structural validation: reference bounds, topological step order, root
+  /// in range, supported aggregate.
+  Status Validate() const;
+
+  /// Number of full-size intermediates a fused execution avoids
+  /// materializing (every non-root step, plus the root when an aggregate
+  /// consumes it).
+  int64_t IntermediatesElided() const {
+    if (steps.empty()) return 0;
+    return has_agg ? static_cast<int64_t>(steps.size())
+                   : static_cast<int64_t>(steps.size()) - 1;
+  }
+};
+
+/// Result of a fused execution: a scalar for full aggregates, otherwise a
+/// matrix (rows x 1 / 1 x cols for row/col aggregates, rows x cols for pure
+/// elementwise regions).
+struct FusedResult {
+  bool is_scalar = false;
+  double scalar = 0.0;
+  MatrixBlock matrix;
+};
+
+/// Interprets the micro-plan in a single pass over the inputs, row-chunk
+/// parallel with per-chunk scratch rows. Aggregates use the shared
+/// agg:: primitives (same chunking, zero handling, and chunk-ordered merge
+/// as the unfused kernels) so results are bit-identical to the unfused
+/// instruction sequence. A sparse-driver fast path kicks in when the single
+/// full input is sparse and the pipeline maps zero to zero at every step.
+StatusOr<FusedResult> ExecuteFusedPlan(
+    const FusedPlan& plan, const std::vector<const MatrixBlock*>& inputs,
+    const std::vector<double>& scalars, int num_threads);
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_MATRIX_LIB_FUSED_H_

@@ -121,9 +121,16 @@ void GemmSparseSparseRows(const MatrixBlock& a, const MatrixBlock& b,
   }
 }
 
-int64_t PickChunks(int64_t rows, int num_threads) {
-  if (num_threads <= 1) return 1;
-  return std::min<int64_t>(num_threads, std::max<int64_t>(1, rows / 8));
+// Mirrors the computed upper triangle of an n x n dense symmetric result
+// into the lower triangle, row-parallel (each row i writes only its own
+// cells [0, i) and reads completed upper-triangle cells).
+void MirrorLowerTriangle(double* pc, int64_t n, int num_threads) {
+  ThreadPool::Global().ParallelFor(
+      0, n, PickChunks(n, num_threads), [&](int64_t rb, int64_t re) {
+        for (int64_t i = rb; i < re; ++i) {
+          for (int64_t j = 0; j < i; ++j) pc[i * n + j] = pc[j * n + i];
+        }
+      });
 }
 
 }  // namespace
@@ -191,8 +198,7 @@ StatusOr<MatrixBlock> TransposeSelfMatMult(const MatrixBlock& x, bool left,
           }
         });
     // Mirror the upper triangle.
-    for (int64_t i = 0; i < m; ++i)
-      for (int64_t j = 0; j < i; ++j) c.DenseRow(i)[j] = c.DenseRow(j)[i];
+    MirrorLowerTriangle(c.DenseData(), m, num_threads);
     c.MarkNnzDirty();
     c.ExamSparsity();
     return c;
@@ -219,8 +225,7 @@ StatusOr<MatrixBlock> TransposeSelfMatMult(const MatrixBlock& x, bool left,
             }
           }
         });
-    for (int64_t i = 0; i < n; ++i)
-      for (int64_t j = 0; j < i; ++j) pc[i * n + j] = pc[j * n + i];
+    MirrorLowerTriangle(pc, n, num_threads);
     c.MarkNnzDirty();
     c.ExamSparsity();
     return c;
@@ -268,8 +273,7 @@ StatusOr<MatrixBlock> TransposeSelfMatMult(const MatrixBlock& x, bool left,
     for (int64_t i = 0; i < n * n; ++i) pc[i] += acc[i];
   }
   // Mirror upper to lower triangle.
-  for (int64_t i = 0; i < n; ++i)
-    for (int64_t j = 0; j < i; ++j) pc[i * n + j] = pc[j * n + i];
+  MirrorLowerTriangle(pc, n, num_threads);
   c.MarkNnzDirty();
   c.ExamSparsity();
   return c;

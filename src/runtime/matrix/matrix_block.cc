@@ -115,7 +115,14 @@ bool MatrixBlock::EvalSparseFormat(int64_t rows, int64_t cols,
 
 void MatrixBlock::ExamSparsity() {
   MarkNnzDirty();
-  bool should_be_sparse = EvalSparseFormat(rows_, cols_, Sparsity());
+  ExamSparsity(NonZeros());
+}
+
+void MatrixBlock::ExamSparsity(int64_t known_nnz) {
+  nnz_ = known_nnz;
+  double cells = static_cast<double>(rows_) * static_cast<double>(cols_);
+  double sparsity = cells > 0 ? static_cast<double>(known_nnz) / cells : 0.0;
+  bool should_be_sparse = EvalSparseFormat(rows_, cols_, sparsity);
   if (should_be_sparse && !sparse_) {
     ToSparse();
   } else if (!should_be_sparse && sparse_) {

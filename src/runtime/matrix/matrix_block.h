@@ -71,6 +71,11 @@ class MatrixBlock {
   /// if beneficial, mirroring MatrixBlock.examSparsity() in SystemDS.
   void ExamSparsity();
 
+  /// ExamSparsity variant for kernels that already counted nonzeros while
+  /// writing the result: skips the extra full scan implied by
+  /// MarkNnzDirty() + Sparsity().
+  void ExamSparsity(int64_t known_nnz);
+
   /// Whether a matrix of the given shape/sparsity should be stored sparse.
   static bool EvalSparseFormat(int64_t rows, int64_t cols, double sparsity);
 

@@ -69,53 +69,72 @@ std::string AggOpName(AggOpCode op, AggDirection dir) {
   return base;
 }
 
-double ApplyBinary(BinaryOpCode op, double a, double b) {
-  switch (op) {
-    case BinaryOpCode::kAdd: return a + b;
-    case BinaryOpCode::kSub: return a - b;
-    case BinaryOpCode::kMul: return a * b;
-    case BinaryOpCode::kDiv: return a / b;
-    case BinaryOpCode::kPow: return std::pow(a, b);
-    case BinaryOpCode::kMod: {
-      if (b == 0.0) return std::nan("");
-      double r = std::fmod(a, b);
-      if (r != 0.0 && ((r < 0.0) != (b < 0.0))) r += b;
-      return r;
-    }
-    case BinaryOpCode::kIntDiv: return std::floor(a / b);
-    case BinaryOpCode::kMin: return std::fmin(a, b);
-    case BinaryOpCode::kMax: return std::fmax(a, b);
-    case BinaryOpCode::kEqual: return a == b ? 1.0 : 0.0;
-    case BinaryOpCode::kNotEqual: return a != b ? 1.0 : 0.0;
-    case BinaryOpCode::kLess: return a < b ? 1.0 : 0.0;
-    case BinaryOpCode::kLessEqual: return a <= b ? 1.0 : 0.0;
-    case BinaryOpCode::kGreater: return a > b ? 1.0 : 0.0;
-    case BinaryOpCode::kGreaterEqual: return a >= b ? 1.0 : 0.0;
-    case BinaryOpCode::kAnd: return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
-    case BinaryOpCode::kOr: return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
-    case BinaryOpCode::kXor: return ((a != 0.0) != (b != 0.0)) ? 1.0 : 0.0;
-  }
-  return std::nan("");
+bool ParseBinaryOpcode(const std::string& op, BinaryOpCode* out) {
+  if (op == "+") *out = BinaryOpCode::kAdd;
+  else if (op == "-") *out = BinaryOpCode::kSub;
+  else if (op == "*") *out = BinaryOpCode::kMul;
+  else if (op == "/") *out = BinaryOpCode::kDiv;
+  else if (op == "^") *out = BinaryOpCode::kPow;
+  else if (op == "%%") *out = BinaryOpCode::kMod;
+  else if (op == "%/%") *out = BinaryOpCode::kIntDiv;
+  else if (op == "min") *out = BinaryOpCode::kMin;
+  else if (op == "max") *out = BinaryOpCode::kMax;
+  else if (op == "==") *out = BinaryOpCode::kEqual;
+  else if (op == "!=") *out = BinaryOpCode::kNotEqual;
+  else if (op == "<") *out = BinaryOpCode::kLess;
+  else if (op == "<=") *out = BinaryOpCode::kLessEqual;
+  else if (op == ">") *out = BinaryOpCode::kGreater;
+  else if (op == ">=") *out = BinaryOpCode::kGreaterEqual;
+  else if (op == "&") *out = BinaryOpCode::kAnd;
+  else if (op == "|") *out = BinaryOpCode::kOr;
+  else if (op == "xor") *out = BinaryOpCode::kXor;
+  else return false;
+  return true;
 }
 
-double ApplyUnary(UnaryOpCode op, double a) {
-  switch (op) {
-    case UnaryOpCode::kExp: return std::exp(a);
-    case UnaryOpCode::kLog: return std::log(a);
-    case UnaryOpCode::kSqrt: return std::sqrt(a);
-    case UnaryOpCode::kAbs: return std::fabs(a);
-    case UnaryOpCode::kRound: return std::round(a);
-    case UnaryOpCode::kFloor: return std::floor(a);
-    case UnaryOpCode::kCeil: return std::ceil(a);
-    case UnaryOpCode::kSin: return std::sin(a);
-    case UnaryOpCode::kCos: return std::cos(a);
-    case UnaryOpCode::kTan: return std::tan(a);
-    case UnaryOpCode::kSign: return a > 0 ? 1.0 : (a < 0 ? -1.0 : 0.0);
-    case UnaryOpCode::kNot: return a == 0.0 ? 1.0 : 0.0;
-    case UnaryOpCode::kNegate: return -a;
-    case UnaryOpCode::kSigmoid: return 1.0 / (1.0 + std::exp(-a));
+bool ParseUnaryOpcode(const std::string& op, UnaryOpCode* out) {
+  if (op == "exp") *out = UnaryOpCode::kExp;
+  else if (op == "log") *out = UnaryOpCode::kLog;
+  else if (op == "sqrt") *out = UnaryOpCode::kSqrt;
+  else if (op == "abs") *out = UnaryOpCode::kAbs;
+  else if (op == "round") *out = UnaryOpCode::kRound;
+  else if (op == "floor") *out = UnaryOpCode::kFloor;
+  else if (op == "ceil") *out = UnaryOpCode::kCeil;
+  else if (op == "sin") *out = UnaryOpCode::kSin;
+  else if (op == "cos") *out = UnaryOpCode::kCos;
+  else if (op == "tan") *out = UnaryOpCode::kTan;
+  else if (op == "sign") *out = UnaryOpCode::kSign;
+  else if (op == "!") *out = UnaryOpCode::kNot;
+  else if (op == "uminus") *out = UnaryOpCode::kNegate;
+  else if (op == "sigmoid") *out = UnaryOpCode::kSigmoid;
+  else return false;
+  return true;
+}
+
+bool ParseAggOpcode(const std::string& op, AggOpCode* out, AggDirection* dir) {
+  if (op.rfind("ua", 0) != 0) return false;
+  *dir = AggDirection::kAll;
+  std::string base = op.substr(2);
+  if (op.rfind("uar", 0) == 0) {
+    *dir = AggDirection::kRow;
+    base = op.substr(3);
+  } else if (op.rfind("uac", 0) == 0) {
+    *dir = AggDirection::kCol;
+    base = op.substr(3);
   }
-  return std::nan("");
+  if (base == "sum") *out = AggOpCode::kSum;
+  else if (base == "sumsq") *out = AggOpCode::kSumSq;
+  else if (base == "mean") *out = AggOpCode::kMean;
+  else if (base == "var") *out = AggOpCode::kVar;
+  else if (base == "sd") *out = AggOpCode::kSd;
+  else if (base == "min") *out = AggOpCode::kMin;
+  else if (base == "max") *out = AggOpCode::kMax;
+  else if (base == "nz" || base == "nnz") *out = AggOpCode::kNnz;
+  else if (base == "trace") *out = AggOpCode::kTrace;
+  else if (base == "imax") *out = AggOpCode::kIndexMax;
+  else if (base == "imin") *out = AggOpCode::kIndexMin;
+  else return false;
+  return true;
 }
 
 bool IsSparseSafeBinary(BinaryOpCode op) {

@@ -74,10 +74,73 @@ const char* BinaryOpName(BinaryOpCode op);
 const char* UnaryOpName(UnaryOpCode op);
 std::string AggOpName(AggOpCode op, AggDirection dir);
 
-/// Applies a scalar binary op (shared by matrix kernels and the scalar
-/// instruction path).
-double ApplyBinary(BinaryOpCode op, double a, double b);
-double ApplyUnary(UnaryOpCode op, double a);
+/// Textual-opcode parsers shared by the instruction decoders, the fusion
+/// planner, and the fused-plan (de)serializer. Return false on unknown
+/// opcodes. The accepted strings are exactly the BinaryOpName/UnaryOpName
+/// spellings; ParseAggOpcode accepts "ua"/"uar"/"uac" prefixed bases
+/// ("sum", "sumsq", "mean", "var", "sd", "min", "max", "nz"/"nnz", "trace",
+/// "imax", "imin").
+bool ParseBinaryOpcode(const std::string& op, BinaryOpCode* out);
+bool ParseUnaryOpcode(const std::string& op, UnaryOpCode* out);
+bool ParseAggOpcode(const std::string& op, AggOpCode* out, AggDirection* dir);
+
+/// Applies a scalar binary op. Shared by the matrix kernels, the fused
+/// pipeline interpreter, and the scalar instruction path — fused and
+/// unfused execution are bit-identical because both fold cells through
+/// this one function. Defined inline so the kernels' inner loops can
+/// inline it and hoist the opcode switch out of the column loop.
+inline double ApplyBinary(BinaryOpCode op, double a, double b) {
+  switch (op) {
+    case BinaryOpCode::kAdd: return a + b;
+    case BinaryOpCode::kSub: return a - b;
+    case BinaryOpCode::kMul: return a * b;
+    case BinaryOpCode::kDiv: return a / b;
+    case BinaryOpCode::kPow:
+      // x^2 dominates standardization/variance pipelines; a single rounded
+      // multiply is the correctly rounded pow(x, 2) and ~20x cheaper.
+      if (b == 2.0) return a * a;
+      return std::pow(a, b);
+    case BinaryOpCode::kMod: {
+      if (b == 0.0) return std::nan("");
+      double r = std::fmod(a, b);
+      if (r != 0.0 && ((r < 0.0) != (b < 0.0))) r += b;
+      return r;
+    }
+    case BinaryOpCode::kIntDiv: return std::floor(a / b);
+    case BinaryOpCode::kMin: return std::fmin(a, b);
+    case BinaryOpCode::kMax: return std::fmax(a, b);
+    case BinaryOpCode::kEqual: return a == b ? 1.0 : 0.0;
+    case BinaryOpCode::kNotEqual: return a != b ? 1.0 : 0.0;
+    case BinaryOpCode::kLess: return a < b ? 1.0 : 0.0;
+    case BinaryOpCode::kLessEqual: return a <= b ? 1.0 : 0.0;
+    case BinaryOpCode::kGreater: return a > b ? 1.0 : 0.0;
+    case BinaryOpCode::kGreaterEqual: return a >= b ? 1.0 : 0.0;
+    case BinaryOpCode::kAnd: return (a != 0.0 && b != 0.0) ? 1.0 : 0.0;
+    case BinaryOpCode::kOr: return (a != 0.0 || b != 0.0) ? 1.0 : 0.0;
+    case BinaryOpCode::kXor: return ((a != 0.0) != (b != 0.0)) ? 1.0 : 0.0;
+  }
+  return std::nan("");
+}
+
+inline double ApplyUnary(UnaryOpCode op, double a) {
+  switch (op) {
+    case UnaryOpCode::kExp: return std::exp(a);
+    case UnaryOpCode::kLog: return std::log(a);
+    case UnaryOpCode::kSqrt: return std::sqrt(a);
+    case UnaryOpCode::kAbs: return std::fabs(a);
+    case UnaryOpCode::kRound: return std::round(a);
+    case UnaryOpCode::kFloor: return std::floor(a);
+    case UnaryOpCode::kCeil: return std::ceil(a);
+    case UnaryOpCode::kSin: return std::sin(a);
+    case UnaryOpCode::kCos: return std::cos(a);
+    case UnaryOpCode::kTan: return std::tan(a);
+    case UnaryOpCode::kSign: return a > 0 ? 1.0 : (a < 0 ? -1.0 : 0.0);
+    case UnaryOpCode::kNot: return a == 0.0 ? 1.0 : 0.0;
+    case UnaryOpCode::kNegate: return -a;
+    case UnaryOpCode::kSigmoid: return 1.0 / (1.0 + std::exp(-a));
+  }
+  return std::nan("");
+}
 
 /// True when op(x, 0)==0 for all x in the relevant operand position, i.e.
 /// the operation preserves sparsity for sparse inputs (e.g. `*`).

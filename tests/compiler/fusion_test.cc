@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/systemds_context.h"
+#include "compiler/fusion.h"
+#include "runtime/matrix/lib_fused.h"
+
+namespace sysds {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Micro-plan (de)serialization.
+
+TEST(FusedPlanTest, SerializeParseRoundTrip) {
+  const std::string text =
+      "in1;sc2;kF;b-:i0,s0;b/:t0,s1;b^:t1,s1;out:t2;agg:uarsum";
+  auto plan = FusedPlan::Parse(text);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->num_inputs, 1);
+  EXPECT_EQ(plan->num_scalars, 2);
+  ASSERT_EQ(plan->input_kinds.size(), 1u);
+  EXPECT_EQ(plan->input_kinds[0], FusedInputKind::kFull);
+  ASSERT_EQ(plan->steps.size(), 3u);
+  EXPECT_TRUE(plan->steps[0].is_binary);
+  EXPECT_EQ(plan->steps[0].bop, BinaryOpCode::kSub);
+  EXPECT_EQ(plan->root, 2);
+  EXPECT_TRUE(plan->has_agg);
+  EXPECT_EQ(plan->agg, AggOpCode::kSum);
+  EXPECT_EQ(plan->agg_dir, AggDirection::kRow);
+  EXPECT_EQ(plan->Serialize(), text);
+  EXPECT_EQ(plan->IntermediatesElided(), 3);
+}
+
+TEST(FusedPlanTest, UnaryStepsAndElementwiseRoot) {
+  const std::string text = "in2;sc0;kFC;b*:i0,i1;uexp:t0;out:t1";
+  auto plan = FusedPlan::Parse(text);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_FALSE(plan->has_agg);
+  EXPECT_FALSE(plan->steps[1].is_binary);
+  EXPECT_EQ(plan->steps[1].uop, UnaryOpCode::kExp);
+  EXPECT_EQ(plan->input_kinds[1], FusedInputKind::kColVec);
+  EXPECT_EQ(plan->Serialize(), text);
+  EXPECT_EQ(plan->IntermediatesElided(), 1);
+}
+
+TEST(FusedPlanTest, RejectsMalformedPlans) {
+  // Forward (non-topological) step reference.
+  EXPECT_FALSE(FusedPlan::Parse("in1;sc0;kF;b+:i0,t5;uexp:t0;out:t1").ok());
+  // Missing output segment.
+  EXPECT_FALSE(FusedPlan::Parse("in1;sc0;kF;uexp:i0").ok());
+  // Input index out of range.
+  EXPECT_FALSE(FusedPlan::Parse("in1;sc0;kF;b+:i0,i3;out:t0").ok());
+  // Scalar index out of range.
+  EXPECT_FALSE(FusedPlan::Parse("in1;sc1;kF;b+:i0,s4;out:t0").ok());
+  // Kind string length mismatch.
+  EXPECT_FALSE(FusedPlan::Parse("in2;sc0;kF;b+:i0,i1;out:t0").ok());
+  // Unknown opcode.
+  EXPECT_FALSE(FusedPlan::Parse("in1;sc0;kF;bqq:i0,i0;out:t0").ok());
+  // Unsupported aggregates (argument-tracking / diagonal reads).
+  EXPECT_FALSE(
+      FusedPlan::Parse("in1;sc0;kF;uexp:i0;out:t0;agg:uatrace").ok());
+  EXPECT_FALSE(
+      FusedPlan::Parse("in1;sc0;kF;uexp:i0;out:t0;agg:uarimax").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Planner behavior on hand-built HOP DAGs.
+
+HopPtr MakeMatrixRead(const std::string& name, int64_t rows, int64_t cols) {
+  return MakeTransientRead(name, DataType::kMatrix, ValueType::kFP64, rows,
+                           cols, rows * cols);
+}
+
+HopPtr MakeBinary(const std::string& opcode, HopPtr a, HopPtr b,
+                  int64_t rows, int64_t cols) {
+  auto h = std::make_shared<Hop>(HopOp::kBinary, opcode, DataType::kMatrix,
+                                 ValueType::kFP64);
+  h->AddInput(std::move(a));
+  h->AddInput(std::move(b));
+  h->set_dims(rows, cols);
+  return h;
+}
+
+HopPtr MakeAgg(const std::string& opcode, HopPtr in, int64_t rows,
+               int64_t cols) {
+  DataType dt =
+      rows == 0 && cols == 0 ? DataType::kScalar : DataType::kMatrix;
+  auto h =
+      std::make_shared<Hop>(HopOp::kAggUnary, opcode, dt, ValueType::kFP64);
+  h->AddInput(std::move(in));
+  if (dt == DataType::kMatrix) h->set_dims(rows, cols);
+  return h;
+}
+
+TEST(FusionPlannerTest, FusesElementwiseChainIntoAggregate) {
+  HopPtr x = MakeMatrixRead("X", 100, 50);
+  HopPtr sub = MakeBinary("-", x, MakeLiteralHop(LitValue::Double(0.5)),
+                          100, 50);
+  HopPtr div = MakeBinary("/", sub, MakeLiteralHop(LitValue::Double(0.29)),
+                          100, 50);
+  HopPtr agg = MakeAgg("uarsum", div, 100, 1);
+  std::vector<HopPtr> roots = {MakeTransientWrite("R", agg)};
+
+  DMLConfig config;
+  std::vector<HopPtr> planned = PlanFusion(roots, config);
+  ASSERT_EQ(planned.size(), 1u);
+  // Original DAG untouched (the recompiler depends on this).
+  EXPECT_EQ(roots[0]->inputs()[0]->op(), HopOp::kAggUnary);
+  const HopPtr& fused = planned[0]->inputs()[0];
+  ASSERT_EQ(fused->op(), HopOp::kFusedOp);
+  // Row aggregate: the fused hop takes the aggregate's output shape.
+  EXPECT_EQ(fused->dim1(), 100);
+  EXPECT_EQ(fused->dim2(), 1);
+  // Inputs: X, two scalar literals, trailing plan literal.
+  ASSERT_EQ(fused->inputs().size(), 4u);
+  EXPECT_EQ(fused->inputs()[0]->name(), "X");
+  ASSERT_EQ(fused->inputs().back()->op(), HopOp::kLiteral);
+  auto plan = FusedPlan::Parse(fused->inputs().back()->literal().AsString());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->has_agg);
+  EXPECT_EQ(plan->agg_dir, AggDirection::kRow);
+  EXPECT_EQ(plan->steps.size(), 2u);
+  EXPECT_EQ(plan->num_inputs, 1);
+  EXPECT_EQ(plan->num_scalars, 2);
+}
+
+TEST(FusionPlannerTest, MultiConsumerIntermediateStaysMaterialized) {
+  HopPtr x = MakeMatrixRead("X", 100, 50);
+  HopPtr shared = MakeBinary("-", x, MakeLiteralHop(LitValue::Double(1.0)),
+                             100, 50);
+  HopPtr sq = MakeBinary("^", shared, MakeLiteralHop(LitValue::Double(2.0)),
+                         100, 50);
+  HopPtr agg = MakeAgg("uasum", sq, 0, 0);
+  std::vector<HopPtr> roots = {MakeTransientWrite("s", agg),
+                               MakeTransientWrite("T", shared)};
+
+  DMLConfig config;
+  std::vector<HopPtr> planned = PlanFusion(roots, config);
+  const HopPtr& fused = planned[0]->inputs()[0];
+  ASSERT_EQ(fused->op(), HopOp::kFusedOp);
+  // `shared` has two consumers, so the region stops at it: it stays a
+  // materialized input of the fused op rather than a step.
+  EXPECT_EQ(fused->inputs()[0].get(), shared.get());
+  auto plan = FusedPlan::Parse(fused->inputs().back()->literal().AsString());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->steps.size(), 1u);
+  // The second root still writes the original chain.
+  EXPECT_EQ(planned[1]->inputs()[0].get(), shared.get());
+}
+
+TEST(FusionPlannerTest, ThresholdGateBlocksSmallRegions) {
+  HopPtr x = MakeMatrixRead("X", 100, 50);
+  HopPtr sub = MakeBinary("-", x, MakeLiteralHop(LitValue::Double(0.5)),
+                          100, 50);
+  HopPtr agg = MakeAgg("uarsum", sub, 100, 1);
+  std::vector<HopPtr> roots = {MakeTransientWrite("R", agg)};
+
+  DMLConfig config;
+  config.fusion_min_intermediate_bytes = 1LL << 40;
+  std::vector<HopPtr> planned = PlanFusion(roots, config);
+  // No region committed: the planner returns the original roots.
+  EXPECT_EQ(planned[0].get(), roots[0].get());
+}
+
+TEST(FusionPlannerTest, ElementwiseOnlyRegionNeedsTwoSteps) {
+  HopPtr x = MakeMatrixRead("X", 100, 50);
+  HopPtr y = MakeMatrixRead("Y", 100, 50);
+  HopPtr add = MakeBinary("+", x, y, 100, 50);
+  HopPtr mul = MakeBinary("*", add, x, 100, 50);
+  std::vector<HopPtr> roots = {MakeTransientWrite("Z", mul)};
+
+  DMLConfig config;
+  std::vector<HopPtr> planned = PlanFusion(roots, config);
+  const HopPtr& fused = planned[0]->inputs()[0];
+  ASSERT_EQ(fused->op(), HopOp::kFusedOp);
+  auto plan = FusedPlan::Parse(fused->inputs().back()->literal().AsString());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->has_agg);
+  EXPECT_EQ(plan->steps.size(), 2u);
+  EXPECT_EQ(plan->num_inputs, 2);
+  // Elementwise root elides steps-1 intermediates.
+  EXPECT_EQ(plan->IntermediatesElided(), 1);
+
+  // A single lone op never fuses.
+  std::vector<HopPtr> lone = {MakeTransientWrite("W", add)};
+  std::vector<HopPtr> planned2 = PlanFusion(lone, config);
+  EXPECT_EQ(planned2[0].get(), lone[0].get());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end plan rendering.
+
+TEST(FusionExplainTest, FusedOpcodeAppearsOnlyWhenEnabled) {
+  const std::string script =
+      "X = rand(rows=100, cols=50, seed=1)\n"
+      "R = rowSums(((X - 0.5) / 0.29)^2)\n"
+      "s = sum(R)\n"
+      "print(s)\n";
+
+  SystemDSContext on;  // fusion defaults to enabled
+  auto plan_on = on.Explain(script);
+  ASSERT_TRUE(plan_on.ok()) << plan_on.status();
+  EXPECT_NE(plan_on->find("fused"), std::string::npos);
+
+  DMLConfig config;
+  config.fusion_enabled = false;
+  SystemDSContext off(config);
+  auto plan_off = off.Explain(script);
+  ASSERT_TRUE(plan_off.ok()) << plan_off.status();
+  EXPECT_EQ(plan_off->find("fused"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sysds
