@@ -2,6 +2,7 @@
 //   dml_runner script.dml [-stats] [-lineage] [-reuse full|partial]
 //              [-explain] [-threads N] [--trace out.json]
 //              [--metrics out.json] [--chaos-seed N] [--no-fusion]
+//              [--compress]
 // Executes the script and prints script output; with -stats, prints the
 // heavy-hitter instruction profile afterwards. --trace records spans from
 // every runtime subsystem and writes Chrome trace-event JSON (open in
@@ -12,6 +13,9 @@
 // --no-fusion disables the operator-fusion planner (results are identical;
 // use it to isolate fusion when debugging or benchmarking — with fusion on,
 // --metrics reports fusion.regions and fusion.intermediates_elided).
+// --compress enables workload-aware compressed linear algebra: loops over
+// large read-only matrices run on compressed column groups (results are
+// identical; --metrics reports the compress.* counters).
 
 #include <fstream>
 #include <iostream>
@@ -27,7 +31,7 @@ int main(int argc, char** argv) {
     std::cerr << "usage: " << argv[0]
               << " script.dml [-stats] [-lineage] [-reuse full|partial]"
                  " [-threads N] [--trace out.json] [--metrics out.json]"
-                 " [--chaos-seed N] [--no-fusion]\n";
+                 " [--chaos-seed N] [--no-fusion] [--compress]\n";
     return 2;
   }
 
@@ -56,6 +60,8 @@ int main(int argc, char** argv) {
       metrics_path = argv[++i];
     } else if (arg == "--no-fusion" || arg == "-no-fusion") {
       config.fusion_enabled = false;
+    } else if (arg == "--compress" || arg == "-compress") {
+      config.compression_enabled = true;
     } else if ((arg == "--chaos-seed" || arg == "-chaos-seed") &&
                i + 1 < argc) {
       config.faults.enabled = true;

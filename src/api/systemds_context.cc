@@ -225,6 +225,20 @@ SystemDSContext::Builder& SystemDSContext::Builder::FusionThreshold(
   config_.fusion_min_intermediate_bytes = bytes;
   return *this;
 }
+SystemDSContext::Builder& SystemDSContext::Builder::Compression(bool on) {
+  config_.compression_enabled = on;
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::CompressionMinRatio(
+    double ratio) {
+  config_.compression_min_ratio = ratio;
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::CompressionMinSize(
+    int64_t bytes) {
+  config_.compression_min_size_bytes = bytes;
+  return *this;
+}
 SystemDSContext::Builder& SystemDSContext::Builder::Statistics(bool on) {
   config_.statistics = on;
   return *this;

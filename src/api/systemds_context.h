@@ -200,6 +200,15 @@ class SystemDSContext {
     /// Minimum dense-size estimate (bytes) an elided intermediate must
     /// reach before a region is considered worth fusing.
     Builder& FusionThreshold(int64_t bytes);
+    /// Workload-aware compressed linear algebra (`dml_runner --compress`
+    /// maps to Compression(true)). When on, a compiler rewrite injects
+    /// compress() before loops for large read-only matrices and matrix
+    /// instructions dispatch to compressed kernels transparently.
+    Builder& Compression(bool on = true);
+    /// Minimum estimated compression ratio before the planner compresses.
+    Builder& CompressionMinRatio(double ratio);
+    /// Matrices below this in-memory size are never compressed.
+    Builder& CompressionMinSize(int64_t bytes);
     Builder& Statistics(bool on = true);
     /// Folds SystemDSContext::EnableTracing into construction.
     Builder& EnableTracing(std::string path);

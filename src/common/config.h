@@ -56,6 +56,23 @@ struct DMLConfig {
   // Dynamic recompilation of basic blocks when sizes were unknown (§2.3(3)).
   bool dynamic_recompilation = true;
 
+  // Workload-aware compressed linear algebra (§3.4). When enabled, a
+  // compiler rewrite injects compress() for large loop-invariant read-only
+  // matrices, matrix instructions dispatch to compressed kernels with
+  // decompress-and-retry fallback, and the buffer pool accounts/spills
+  // compressed blocks in compressed form.
+  bool compression_enabled = false;
+  // The sampling-based planner only compresses when the estimated ratio
+  // (in-memory bytes / compressed bytes) reaches this gate.
+  double compression_min_ratio = 1.2;
+  // Matrices below this in-memory size are never compressed (the planner
+  // sample would cost more than the savings).
+  int64_t compression_min_size_bytes = 64 * 1024;
+  // Rows sampled by the planner's estimators.
+  int64_t compression_sample_rows = 2048;
+  // Maximum width of a co-coded column group.
+  int64_t compression_max_group_cols = 4;
+
   // Print instruction-level statistics at the end of a script run.
   bool statistics = false;
 

@@ -7,6 +7,7 @@
 #include "builtins/registry.h"
 #include "compiler/codegen.h"
 #include "compiler/compiler.h"
+#include "compiler/compress_rewrite.h"
 #include "compiler/hop.h"
 #include "compiler/rewrites.h"
 #include "lang/parser.h"
@@ -1380,6 +1381,10 @@ StatusOr<std::unique_ptr<Program>> CompileDML(const std::string& source,
     SYSDS_RETURN_IF_ERROR(compiler.AddFunctionAsts(ast.functions));
     SymbolInfoMap symbols = inputs;
     SYSDS_RETURN_IF_ERROR(compiler.CompileTopLevel(ast.statements, &symbols));
+  }
+  if (config.compression_enabled) {
+    SYSDS_SPAN("compiler", "compress_rewrite");
+    InjectCompression(program.get(), config);
   }
   return program;
 }

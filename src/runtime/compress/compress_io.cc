@@ -1,0 +1,107 @@
+#include "runtime/compress/compress_io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace sysds {
+
+namespace {
+
+// "SDSCMP01" little-endian.
+constexpr uint64_t kCompressedMagic = 0x313030504D435344ULL;
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void WriteVec(std::ofstream& out, const std::vector<T>& v) {
+  int64_t n = static_cast<int64_t>(v.size());
+  WritePod(out, n);
+  if (n > 0) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(n * sizeof(T)));
+  }
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+bool ReadVec(std::ifstream& in, std::vector<T>* v) {
+  int64_t n = 0;
+  if (!ReadPod(in, &n) || n < 0) return false;
+  v->resize(static_cast<size_t>(n));
+  if (n > 0) {
+    in.read(reinterpret_cast<char*>(v->data()),
+            static_cast<std::streamsize>(n * sizeof(T)));
+  }
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status WriteCompressedBinary(const CompressedMatrixBlock& c,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return IoError("cannot open '" + path + "' for writing");
+  WritePod(out, kCompressedMagic);
+  WritePod(out, c.Rows());
+  WritePod(out, c.Cols());
+  WritePod(out, c.NonZeros());
+  WritePod(out, c.NumColGroups());
+  for (const ColGroup& g : c.Groups()) {
+    WritePod(out, static_cast<uint8_t>(g.encoding));
+    WritePod(out, g.sdc_default);
+    WriteVec(out, g.cols);
+    WriteVec(out, g.dict);
+    WriteVec(out, g.codes8);
+    WriteVec(out, g.codes16);
+    WriteVec(out, g.run_starts);
+    WriteVec(out, g.run_codes);
+    WriteVec(out, g.sdc_rows);
+    WriteVec(out, g.sdc_codes);
+    WriteVec(out, g.values);
+    WriteVec(out, g.col_has_nonfinite);
+  }
+  out.flush();
+  if (!out) return IoError("failed writing compressed block to '" + path + "'");
+  return Status::Ok();
+}
+
+StatusOr<CompressedMatrixBlock> ReadCompressedBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IoError("cannot open '" + path + "' for reading");
+  uint64_t magic = 0;
+  int64_t rows = 0, cols = 0, nnz = 0, ngroups = 0;
+  if (!ReadPod(in, &magic) || magic != kCompressedMagic) {
+    return IoError("'" + path + "' is not a SystemDS compressed matrix");
+  }
+  if (!ReadPod(in, &rows) || !ReadPod(in, &cols) || !ReadPod(in, &nnz) ||
+      !ReadPod(in, &ngroups) || ngroups < 0) {
+    return IoError("truncated compressed matrix header in '" + path + "'");
+  }
+  std::vector<ColGroup> groups(static_cast<size_t>(ngroups));
+  for (ColGroup& g : groups) {
+    uint8_t enc = 0;
+    bool ok = ReadPod(in, &enc) && ReadPod(in, &g.sdc_default) &&
+              ReadVec(in, &g.cols) && ReadVec(in, &g.dict) &&
+              ReadVec(in, &g.codes8) && ReadVec(in, &g.codes16) &&
+              ReadVec(in, &g.run_starts) && ReadVec(in, &g.run_codes) &&
+              ReadVec(in, &g.sdc_rows) && ReadVec(in, &g.sdc_codes) &&
+              ReadVec(in, &g.values) && ReadVec(in, &g.col_has_nonfinite);
+    if (!ok || enc > static_cast<uint8_t>(ColEncoding::kSDC)) {
+      return CorruptError("truncated compressed matrix group in '" + path +
+                          "'");
+    }
+    g.encoding = static_cast<ColEncoding>(enc);
+  }
+  return CompressedMatrixBlock::FromParts(rows, cols, nnz, std::move(groups));
+}
+
+}  // namespace sysds

@@ -1,0 +1,23 @@
+#ifndef SYSDS_RUNTIME_COMPRESS_COMPRESS_IO_H_
+#define SYSDS_RUNTIME_COMPRESS_COMPRESS_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "runtime/compress/compressed_block.h"
+
+namespace sysds {
+
+/// Binary serialization of a CompressedMatrixBlock: little-endian header
+/// (own magic, rows, cols, nnz, group count) followed by one record per
+/// column group. Used by the buffer pool to spill compressed blocks in
+/// compressed form — the spill file is a fraction of the dense block and
+/// restore skips re-running the planner.
+Status WriteCompressedBinary(const CompressedMatrixBlock& c,
+                             const std::string& path);
+
+StatusOr<CompressedMatrixBlock> ReadCompressedBinary(const std::string& path);
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_COMPRESS_COMPRESS_IO_H_

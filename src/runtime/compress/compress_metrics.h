@@ -1,0 +1,64 @@
+#ifndef SYSDS_RUNTIME_COMPRESS_COMPRESS_METRICS_H_
+#define SYSDS_RUNTIME_COMPRESS_COMPRESS_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace sysds {
+namespace compress_metrics {
+
+// compress.* observability shared by the compress instruction, the
+// transparent instruction dispatch, and the buffer-pool integration.
+
+inline obs::Counter* PlannerInvocations() {
+  static obs::Counter* c = obs::MetricsRegistry::Get().GetCounter(
+      "compress.planner_invocations");
+  return c;
+}
+
+/// compress() produced a compressed block.
+inline obs::Counter* CompressedBlocks() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("compress.compressed_blocks");
+  return c;
+}
+
+/// Planner decided compression does not pay off (min-ratio gate).
+inline obs::Counter* SkippedNotWorthwhile() {
+  static obs::Counter* c = obs::MetricsRegistry::Get().GetCounter(
+      "compress.skipped_not_worthwhile");
+  return c;
+}
+
+/// Input below compression_min_size_bytes.
+inline obs::Counter* SkippedSmall() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("compress.skipped_small");
+  return c;
+}
+
+/// An instruction executed a compressed kernel directly.
+inline obs::Counter* DispatchHits() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("compress.dispatch_hits");
+  return c;
+}
+
+/// A compressed kernel was unsupported; the instruction decompressed and
+/// retried on the uncompressed path.
+inline obs::Counter* DispatchFallbacks() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("compress.dispatch_fallbacks");
+  return c;
+}
+
+/// Achieved compression ratios, x100 (a ratio of 8.5 observes 850).
+inline obs::Histogram* RatioX100() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Get().GetHistogram("compress.ratio_x100");
+  return h;
+}
+
+}  // namespace compress_metrics
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_COMPRESS_COMPRESS_METRICS_H_

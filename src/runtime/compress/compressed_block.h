@@ -6,25 +6,97 @@
 
 #include "common/status.h"
 #include "runtime/matrix/matrix_block.h"
+#include "runtime/matrix/op_codes.h"
 
 namespace sysds {
 
-/// Lossless compressed linear algebra (paper §3.4, after Elgohary et al.,
-/// "Compressed Linear Algebra for Large-Scale Machine Learning"): columns
-/// with few distinct values are stored as a per-column dictionary plus a
-/// dense code array (DDC-1: one byte per cell); high-cardinality columns
-/// fall back to uncompressed storage. Key linear-algebra operations execute
-/// directly on the compressed representation — value-indexed pre-
-/// aggregation turns O(rows) work into O(#distinct) per column where
-/// possible — without decompressing.
+struct CompressionPlan;
+
+/// Column-group encodings (paper §3.4, after Elgohary et al., "Compressed
+/// Linear Algebra for Large-Scale Machine Learning"):
+///  - kDDC1/kDDC2: dense dictionary coding, one code per row (1 or 2 bytes)
+///    indexing a dictionary of distinct value tuples.
+///  - kRLE: run-length encoding of the code sequence — runs of identical
+///    tuples store one (start, code) pair per run.
+///  - kSDC: sparse dictionary coding — a default tuple covers most rows and
+///    only the exception rows store (row, code) pairs.
+///  - kUncompressed: plain column-major values (high-cardinality or
+///    NaN-containing columns; NaN breaks dictionary ordering, see Compress).
+enum class ColEncoding : uint8_t {
+  kUncompressed = 0,
+  kDDC1 = 1,
+  kDDC2 = 2,
+  kRLE = 3,
+  kSDC = 4,
+};
+
+const char* ColEncodingName(ColEncoding e);
+
+/// A group of adjacent columns sharing one dictionary of value tuples
+/// (co-coding). Groups always cover a contiguous, ascending column range so
+/// that iterating groups in order visits global columns in ascending order —
+/// the compressed kernels rely on this to replay the uncompressed kernels'
+/// per-cell accumulation order exactly (see RightMatMult).
+struct ColGroup {
+  ColEncoding encoding = ColEncoding::kUncompressed;
+  std::vector<int64_t> cols;   // ascending, contiguous global column ids
+  // Dictionary: NumValues() tuples of NumCols() doubles, row-major.
+  std::vector<double> dict;
+  std::vector<uint8_t> codes8;     // kDDC1: one code per row
+  std::vector<uint16_t> codes16;   // kDDC2
+  std::vector<int64_t> run_starts; // kRLE: ascending; run i spans
+                                   // [run_starts[i], run_starts[i+1])
+  std::vector<uint16_t> run_codes;
+  std::vector<int64_t> sdc_rows;   // kSDC: sorted exception rows
+  std::vector<uint16_t> sdc_codes;
+  uint16_t sdc_default = 0;        // kSDC: dictionary index of the default
+  std::vector<double> values;      // kUncompressed: column-major values
+  // Per local column: true if any cell is NaN/Inf. Operand-side zero
+  // skipping (e.g. v[c] == 0 in a right-multiply) is only safe for columns
+  // of finite values — 0 * Inf must still produce NaN.
+  std::vector<uint8_t> col_has_nonfinite;
+
+  int64_t NumCols() const { return static_cast<int64_t>(cols.size()); }
+  int64_t NumValues() const {
+    return cols.empty() ? 0 : static_cast<int64_t>(dict.size()) / NumCols();
+  }
+  bool IsCompressed() const { return encoding != ColEncoding::kUncompressed; }
+  /// Payload bytes of this group's arrays (buffer-pool accounting).
+  int64_t SizeInBytes() const;
+};
+
+/// Lossless compressed matrix (paper §3.4): a list of column groups, each
+/// with its own encoding. Key linear-algebra operations execute directly on
+/// the compressed representation — value-indexed pre-aggregation turns
+/// O(rows) work into O(#distinct) per group where possible — without
+/// decompressing. Per-row kernels (Decompress, RightMatMult) replay the
+/// uncompressed kernels' per-cell operation order and zero handling, so
+/// their results are bit-identical to the uncompressed path; dictionary-
+/// aggregated kernels (Sum, LeftMatMult, TsmmLeft) reassociate adds and are
+/// deterministic but only approximately equal.
 class CompressedMatrixBlock {
  public:
-  /// Compresses a matrix column-by-column. Columns with more than 255
-  /// distinct values stay uncompressed.
+  /// Compresses a matrix with the default planner settings. Every column is
+  /// kept (columns that do not pay off become uncompressed groups); use the
+  /// planner's `worthwhile` gate to decide whether to compress at all.
   static CompressedMatrixBlock Compress(const MatrixBlock& m);
+
+  /// Compresses following a planner-produced group layout; groups are built
+  /// in parallel. The plan's encodings are hints from sampled estimates: the
+  /// exact per-group scan upgrades DDC1->DDC2 when the true distinct count
+  /// exceeds 255 and falls back to uncompressed on NaN or >65535 distinct.
+  static CompressedMatrixBlock Compress(const MatrixBlock& m,
+                                        const CompressionPlan& plan,
+                                        int num_threads);
+
+  /// Reassembles a block from deserialized parts (compress_io).
+  static CompressedMatrixBlock FromParts(int64_t rows, int64_t cols,
+                                         int64_t nnz,
+                                         std::vector<ColGroup> groups);
 
   int64_t Rows() const { return rows_; }
   int64_t Cols() const { return cols_; }
+  int64_t NonZeros() const { return nnz_; }
 
   /// Ratio of uncompressed (dense) size to compressed size; > 1 means the
   /// compression pays off.
@@ -33,41 +105,76 @@ class CompressedMatrixBlock {
 
   /// Number of dictionary-coded columns (vs. uncompressed fallbacks).
   int64_t NumCompressedColumns() const;
+  int64_t NumColGroups() const { return static_cast<int64_t>(groups_.size()); }
+  /// True when no group fell back to uncompressed storage (the compressed
+  /// tsmm kernel requires this).
+  bool AllGroupsCompressed() const;
 
-  /// Reconstructs the uncompressed matrix.
-  MatrixBlock Decompress() const;
+  const std::vector<ColGroup>& Groups() const { return groups_; }
+
+  /// Reconstructs the uncompressed matrix (row-chunk parallel).
+  MatrixBlock Decompress(int num_threads = 1) const;
 
   double Get(int64_t r, int64_t c) const;
 
   // ---- compressed operations (no decompression) ----
 
-  /// sum(X): per DDC column, counts per code value times the dictionary.
-  double Sum() const;
+  /// sum(X): per-code counts times the dictionary (value-indexed
+  /// pre-aggregation). Deterministic; approximately equal to the Kahan
+  /// uncompressed aggregate.
+  double Sum(int num_threads = 1) const;
 
   /// colSums(X) as 1 x cols.
   MatrixBlock ColSums() const;
 
-  /// X %*% v for v of shape cols x 1: per DDC column the dictionary is
-  /// pre-scaled by v[c], then codes index the scaled dictionary.
-  StatusOr<MatrixBlock> MatVecRight(const MatrixBlock& v) const;
+  /// Full aggregate to a scalar for the dictionary-friendly subset
+  /// (kSum, kMean, kNnz exact-count, kMin, kMax); Unimplemented otherwise
+  /// (callers decompress and retry).
+  StatusOr<double> Aggregate(AggOpCode op) const;
 
-  /// t(X) %*% y for y of shape rows x 1: per DDC column, y-values
-  /// accumulate into per-code buckets (value-indexed aggregation).
-  StatusOr<MatrixBlock> VecMatLeft(const MatrixBlock& y) const;
+  /// Column aggregate (1 x cols) for kSum, kMean, kNnz, kMin, kMax.
+  StatusOr<MatrixBlock> AggregateCols(AggOpCode op) const;
 
-  /// X * scalar executed on dictionaries only (O(#distinct) per column).
+  /// X %*% b: dictionaries are pre-scaled where possible and codes index
+  /// the scaled dictionary. Per-cell accumulation order and zero handling
+  /// match the dense tiled GEMM kernel exactly, so the result is
+  /// bit-identical to MatMult on the decompressed input.
+  StatusOr<MatrixBlock> RightMatMult(const MatrixBlock& b,
+                                     int num_threads = 1) const;
+
+  /// X %*% v for v of shape cols x 1 (compat wrapper over RightMatMult).
+  StatusOr<MatrixBlock> MatVecRight(const MatrixBlock& v) const {
+    return RightMatMult(v, 1);
+  }
+
+  /// t(X) %*% b for b of shape rows x n: b-rows accumulate into per-code
+  /// buckets (value-indexed aggregation), then one dictionary contraction
+  /// per group.
+  StatusOr<MatrixBlock> LeftMatMult(const MatrixBlock& b,
+                                    int num_threads = 1) const;
+
+  /// t(X) %*% y compat wrapper over LeftMatMult.
+  StatusOr<MatrixBlock> VecMatLeft(const MatrixBlock& y) const {
+    return LeftMatMult(y, 1);
+  }
+
+  /// t(X) %*% X via per-group-pair code co-occurrence counts contracted
+  /// with the dictionaries: O(rows * pairs) counting plus O(di * dj) per
+  /// pair, independent of the output size. Requires AllGroupsCompressed();
+  /// Unimplemented otherwise (callers decompress and retry).
+  StatusOr<MatrixBlock> TsmmLeft(int num_threads = 1) const;
+
+  /// X * scalar executed on dictionaries only (O(#distinct) per group).
   CompressedMatrixBlock ScaleByScalar(double s) const;
 
  private:
-  struct ColGroup {
-    bool compressed = false;
-    std::vector<double> dict;      // distinct values (DDC)
-    std::vector<uint8_t> codes;    // rows entries indexing dict
-    std::vector<double> values;    // uncompressed fallback (rows entries)
-  };
-
   int64_t rows_ = 0, cols_ = 0;
+  int64_t nnz_ = 0;
   std::vector<ColGroup> groups_;
+  // col_to_group_[c] = index into groups_ owning global column c.
+  std::vector<int32_t> col_to_group_;
+
+  void RebuildColIndex();
 };
 
 }  // namespace sysds

@@ -1,0 +1,273 @@
+#include "runtime/compress/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+namespace sysds {
+
+namespace {
+
+// Fixed per-group overhead charged to every compressed candidate so that
+// marginal wins on tiny columns do not flip the decision.
+constexpr double kGroupOverheadBytes = 64.0;
+constexpr int64_t kMaxDistinct = 65535;  // DDC2 code domain
+
+// Deterministic sample row indices: up to 16 contiguous segments spread
+// evenly over the rows. `segment_of[i]` identifies the segment of sample
+// position i so run estimation only counts within-segment adjacencies.
+void BuildSampleRows(int64_t rows, int64_t sample_rows,
+                     std::vector<int64_t>* sample,
+                     std::vector<int32_t>* segment_of) {
+  int64_t s = std::min(rows, std::max<int64_t>(1, sample_rows));
+  int64_t segments = std::min<int64_t>(16, std::max<int64_t>(1, s / 128));
+  int64_t seg_len = (s + segments - 1) / segments;
+  int64_t stride = rows <= seg_len * segments
+                       ? seg_len
+                       : (rows - seg_len) / std::max<int64_t>(1, segments - 1);
+  sample->clear();
+  segment_of->clear();
+  for (int64_t seg = 0; seg < segments && static_cast<int64_t>(sample->size()) < s;
+       ++seg) {
+    int64_t start = std::min(seg * stride, rows - seg_len);
+    start = std::max<int64_t>(0, start);
+    for (int64_t r = start;
+         r < std::min(rows, start + seg_len) &&
+         static_cast<int64_t>(sample->size()) < s;
+         ++r) {
+      // Overlapping segments on tiny inputs would double-count rows.
+      if (!sample->empty() && sample->back() >= r) continue;
+      sample->push_back(r);
+      segment_of->push_back(static_cast<int32_t>(seg));
+    }
+  }
+}
+
+// Chao-style scale-up of the sampled distinct count: values seen exactly
+// once in the sample predict further unseen values in the unsampled rows.
+int64_t EstimateDistinct(int64_t d_sample, int64_t f1, int64_t rows,
+                         int64_t sampled) {
+  if (sampled <= 0) return 0;
+  if (sampled >= rows) return d_sample;
+  double est = static_cast<double>(d_sample) +
+               static_cast<double>(f1) *
+                   (static_cast<double>(rows - sampled) / sampled);
+  return std::min<int64_t>(
+      rows, std::max<int64_t>(d_sample, static_cast<int64_t>(est)));
+}
+
+struct ColumnStats {
+  bool has_nan = false;
+  int64_t d_sample = 0;
+  int64_t est_distinct = 0;
+  int64_t est_runs = 0;
+  double default_share = 0;          // sampled frequency of the mode
+  std::vector<int32_t> sample_codes; // sample-local dictionary codes
+};
+
+ColumnStats ScanColumn(const MatrixBlock& m, int64_t col,
+                       const std::vector<int64_t>& sample,
+                       const std::vector<int32_t>& segment_of) {
+  ColumnStats st;
+  std::unordered_map<double, int64_t> counts;
+  std::unordered_map<double, int32_t> codes;
+  st.sample_codes.reserve(sample.size());
+  int64_t changes = 0, adjacent = 0;
+  double prev = 0;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    double v = m.Get(sample[i], col);
+    if (std::isnan(v)) {
+      st.has_nan = true;
+      return st;
+    }
+    auto inserted = codes.emplace(v, static_cast<int32_t>(codes.size()));
+    st.sample_codes.push_back(inserted.first->second);
+    ++counts[v];
+    if (i > 0 && segment_of[i] == segment_of[i - 1]) {
+      ++adjacent;
+      if (v != prev) ++changes;
+    }
+    prev = v;
+  }
+  st.d_sample = static_cast<int64_t>(counts.size());
+  int64_t f1 = 0, max_count = 0;
+  for (const auto& kv : counts) {
+    if (kv.second == 1) ++f1;
+    max_count = std::max(max_count, kv.second);
+  }
+  int64_t rows = m.Rows();
+  int64_t sampled = static_cast<int64_t>(sample.size());
+  st.est_distinct = EstimateDistinct(st.d_sample, f1, rows, sampled);
+  st.est_runs =
+      1 + (adjacent > 0 ? changes * std::max<int64_t>(0, rows - 1) / adjacent
+                        : (st.d_sample > 1 ? rows : 0));
+  st.default_share =
+      sampled > 0 ? static_cast<double>(max_count) / sampled : 0.0;
+  return st;
+}
+
+// Estimated bytes of one encoding for a (possibly co-coded) group. Returns
+// infinity when the encoding cannot represent the group.
+double EncodingBytes(ColEncoding e, int64_t rows, int64_t ncols,
+                     int64_t distinct, int64_t runs, double default_share) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double dict = static_cast<double>(distinct) * ncols * 8;
+  switch (e) {
+    case ColEncoding::kUncompressed:
+      return static_cast<double>(rows) * ncols * 8;
+    case ColEncoding::kDDC1:
+      if (distinct > 255) return kInf;
+      return kGroupOverheadBytes + rows * 1.0 + dict;
+    case ColEncoding::kDDC2:
+      if (distinct > kMaxDistinct) return kInf;
+      return kGroupOverheadBytes + rows * 2.0 + dict;
+    case ColEncoding::kRLE:
+      if (distinct > kMaxDistinct || ncols != 1) return kInf;
+      return kGroupOverheadBytes + static_cast<double>(runs) * 10.0 + dict;
+    case ColEncoding::kSDC:
+      if (distinct > kMaxDistinct || ncols != 1) return kInf;
+      return kGroupOverheadBytes +
+             (1.0 - default_share) * rows * 10.0 + dict;
+  }
+  return kInf;
+}
+
+struct Candidate {
+  ColEncoding encoding = ColEncoding::kUncompressed;
+  double bytes = 0;
+};
+
+Candidate BestEncoding(int64_t rows, int64_t ncols, int64_t distinct,
+                       int64_t runs, double default_share) {
+  Candidate best{ColEncoding::kUncompressed,
+                 EncodingBytes(ColEncoding::kUncompressed, rows, ncols,
+                               distinct, runs, default_share)};
+  for (ColEncoding e : {ColEncoding::kDDC1, ColEncoding::kDDC2,
+                        ColEncoding::kRLE, ColEncoding::kSDC}) {
+    double b = EncodingBytes(e, rows, ncols, distinct, runs, default_share);
+    if (b < best.bytes) best = {e, b};
+  }
+  return best;
+}
+
+// Working state of the greedy co-coding pass.
+struct GroupState {
+  std::vector<int64_t> cols;
+  ColEncoding encoding = ColEncoding::kUncompressed;
+  double bytes = 0;
+  int64_t est_distinct = 0;
+  std::vector<int32_t> sample_codes;  // joint sample-local codes
+  int64_t domain = 0;                 // joint sample distinct count
+};
+
+}  // namespace
+
+CompressionPlan CompressionPlanner::Plan(const MatrixBlock& m,
+                                         const CompressionSettings& settings) {
+  CompressionPlan plan;
+  int64_t rows = m.Rows(), cols = m.Cols();
+  if (rows <= 0 || cols <= 0) {
+    plan.worthwhile = false;
+    return plan;
+  }
+  std::vector<int64_t> sample;
+  std::vector<int32_t> segment_of;
+  BuildSampleRows(rows, settings.sample_rows, &sample, &segment_of);
+  plan.sampled_rows = static_cast<int64_t>(sample.size());
+
+  // Per-column stats and initial single-column groups.
+  std::vector<GroupState> groups;
+  groups.reserve(static_cast<size_t>(cols));
+  for (int64_t c = 0; c < cols; ++c) {
+    ColumnStats st = ScanColumn(m, c, sample, segment_of);
+    GroupState g;
+    g.cols = {c};
+    if (st.has_nan) {
+      g.encoding = ColEncoding::kUncompressed;
+      g.bytes = static_cast<double>(rows) * 8;
+      g.est_distinct = 0;
+    } else {
+      Candidate best = BestEncoding(rows, 1, st.est_distinct, st.est_runs,
+                                    st.default_share);
+      g.encoding = best.encoding;
+      g.bytes = best.bytes;
+      g.est_distinct = st.est_distinct;
+      g.sample_codes = std::move(st.sample_codes);
+      g.domain = st.d_sample;
+    }
+    groups.push_back(std::move(g));
+  }
+
+  // Greedy adjacent co-coding: merge the running group with the next column
+  // when the estimated joint dictionary-coded size beats the separate sizes.
+  std::vector<GroupState> coded;
+  for (GroupState& next : groups) {
+    if (coded.empty()) {
+      coded.push_back(std::move(next));
+      continue;
+    }
+    GroupState& cur = coded.back();
+    bool try_merge = settings.cocode && cur.encoding != ColEncoding::kUncompressed &&
+                     next.encoding != ColEncoding::kUncompressed &&
+                     static_cast<int64_t>(cur.cols.size()) <
+                         settings.max_group_cols &&
+                     !cur.sample_codes.empty() && !next.sample_codes.empty();
+    if (try_merge) {
+      // Joint sample distinct count + f1 over combined codes.
+      std::unordered_map<int64_t, int64_t> joint;
+      std::vector<int32_t> joint_codes(cur.sample_codes.size());
+      std::unordered_map<int64_t, int32_t> remap;
+      for (size_t i = 0; i < cur.sample_codes.size(); ++i) {
+        int64_t key = static_cast<int64_t>(cur.sample_codes[i]) * next.domain +
+                      next.sample_codes[i];
+        ++joint[key];
+        auto ins = remap.emplace(key, static_cast<int32_t>(remap.size()));
+        joint_codes[i] = ins.first->second;
+      }
+      int64_t d_sample = static_cast<int64_t>(joint.size());
+      int64_t f1 = 0;
+      for (const auto& kv : joint) f1 += (kv.second == 1);
+      int64_t est_joint = EstimateDistinct(
+          d_sample, f1, rows, static_cast<int64_t>(cur.sample_codes.size()));
+      int64_t ncols = static_cast<int64_t>(cur.cols.size()) + 1;
+      double ddc1 = EncodingBytes(ColEncoding::kDDC1, rows, ncols, est_joint,
+                                  0, 0);
+      double ddc2 = EncodingBytes(ColEncoding::kDDC2, rows, ncols, est_joint,
+                                  0, 0);
+      double joint_bytes = std::min(ddc1, ddc2);
+      if (joint_bytes < cur.bytes + next.bytes) {
+        cur.cols.push_back(next.cols[0]);
+        cur.encoding = ddc1 <= ddc2 ? ColEncoding::kDDC1 : ColEncoding::kDDC2;
+        cur.bytes = joint_bytes;
+        cur.est_distinct = est_joint;
+        cur.sample_codes = std::move(joint_codes);
+        cur.domain = d_sample;
+        continue;
+      }
+    }
+    coded.push_back(std::move(next));
+  }
+
+  bool any_compressed = false;
+  for (GroupState& g : coded) {
+    PlannedGroup pg;
+    pg.cols = std::move(g.cols);
+    pg.encoding = g.encoding;
+    pg.est_distinct = g.est_distinct;
+    pg.est_bytes = g.bytes;
+    any_compressed |= g.encoding != ColEncoding::kUncompressed;
+    plan.est_compressed_bytes += g.bytes;
+    plan.groups.push_back(std::move(pg));
+  }
+  double base = static_cast<double>(m.EstimateSizeInBytes());
+  plan.est_ratio = plan.est_compressed_bytes > 0
+                       ? base / plan.est_compressed_bytes
+                       : 1.0;
+  plan.worthwhile = any_compressed && plan.est_ratio >= settings.min_ratio;
+  return plan;
+}
+
+}  // namespace sysds

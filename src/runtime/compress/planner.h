@@ -1,0 +1,65 @@
+#ifndef SYSDS_RUNTIME_COMPRESS_PLANNER_H_
+#define SYSDS_RUNTIME_COMPRESS_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/compress/compressed_block.h"
+#include "runtime/matrix/matrix_block.h"
+
+namespace sysds {
+
+/// Knobs of the sampling-based compression planner (config surface:
+/// DMLConfig::compression_*).
+struct CompressionSettings {
+  // Rows to sample for the estimates. The sample is a set of contiguous row
+  // segments spread evenly over the matrix: contiguity preserves adjacency
+  // for the RLE run estimate while the spread keeps distinct-count
+  // estimates honest. Deterministic — no RNG, so plans are reproducible.
+  int64_t sample_rows = 2048;
+  // A matrix is only worth compressing when (estimated) in-memory size /
+  // compressed size reaches this ratio.
+  double min_ratio = 1.2;
+  // Upper bound on co-coded group width.
+  int64_t max_group_cols = 4;
+  // Greedy adjacent-column co-coding (merge two groups when the joint
+  // dictionary is estimated smaller than the separate ones).
+  bool cocode = true;
+};
+
+/// One planned column group: which adjacent columns to co-code and the
+/// encoding chosen from the sampled estimates.
+struct PlannedGroup {
+  std::vector<int64_t> cols;
+  ColEncoding encoding = ColEncoding::kUncompressed;
+  // Sampled estimates behind the decision (exposed for tests/metrics).
+  int64_t est_distinct = 0;
+  double est_bytes = 0;
+};
+
+struct CompressionPlan {
+  std::vector<PlannedGroup> groups;
+  double est_compressed_bytes = 0;
+  // Estimated (current in-memory size) / (compressed size); sparse inputs
+  // are measured against their sparse size, not the dense upper bound.
+  double est_ratio = 0;
+  // est_ratio >= min_ratio and at least one group compresses.
+  bool worthwhile = false;
+  int64_t sampled_rows = 0;
+};
+
+/// Sampling-based compression planner (cost-gated plan selection in the
+/// spirit of Boehm's runtime-plan costing): estimates per-column distinct
+/// counts (Chao-style scale-up of sample distincts), RLE run counts and SDC
+/// default-value frequency from a row sample, prices every encoding per
+/// column, greedily co-codes adjacent correlated columns, and applies the
+/// min-ratio gate.
+class CompressionPlanner {
+ public:
+  static CompressionPlan Plan(const MatrixBlock& m,
+                              const CompressionSettings& settings);
+};
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_COMPRESS_PLANNER_H_

@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/bufferpool/buffer_pool.h"
+#include "runtime/compress/compress_io.h"
 
 namespace sysds {
 
@@ -36,6 +37,14 @@ obs::Counter* RestoreRetries() {
 obs::Counter* RestoreFailures() {
   static obs::Counter* c = obs::MetricsRegistry::Get().GetCounter(
       "fault.bufferpool.restore_failures");
+  return c;
+}
+
+// A kernel without a compressed implementation forced an on-demand
+// decompression of a compressed object.
+obs::Counter* DecompressFallbacks() {
+  static obs::Counter* c = obs::MetricsRegistry::Get().GetCounter(
+      "compress.decompress_fallbacks");
   return c;
 }
 }  // namespace
@@ -131,6 +140,19 @@ MatrixObject::MatrixObject(MatrixBlock block) {
   }
 }
 
+MatrixObject::MatrixObject(CompressedMatrixBlock block) {
+  rows_ = block.Rows();
+  cols_ = block.Cols();
+  nnz_ = block.NonZeros();
+  compressed_ =
+      std::make_shared<const CompressedMatrixBlock>(std::move(block));
+  if (BufferPool* pool = g_buffer_pool.load()) {
+    // Compressed blocks are accounted at their compressed size — the point
+    // of §3.4: more live data fits under the same memory budget.
+    pool->Register(this, compressed_->EstimateSizeInBytes());
+  }
+}
+
 MatrixObject::~MatrixObject() {
   if (BufferPool* pool = g_buffer_pool.load()) pool->Unregister(this);
   if (!evicted_path_.empty()) std::remove(evicted_path_.c_str());
@@ -146,7 +168,7 @@ StatusOr<const MatrixBlock*> MatrixObject::AcquireRead() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++pin_count_;
-    if (block_ == nullptr) {
+    if (block_ == nullptr && compressed_ == nullptr) {
       SYSDS_SPAN("bufferpool", "restore");
       Status s = RestoreLocked();
       if (!s.ok()) {
@@ -158,8 +180,17 @@ StatusOr<const MatrixBlock*> MatrixObject::AcquireRead() {
         return s;
       }
       restored = true;
-      size = block_->EstimateSizeInBytes();
     }
+    if (block_ == nullptr && compressed_ != nullptr) {
+      // Materialize an uncompressed view for kernels without a compressed
+      // implementation. The compressed form stays authoritative — eviction
+      // spills it, not the decompressed copy.
+      SYSDS_SPAN("compress", "decompress_on_read");
+      block_ = std::make_shared<MatrixBlock>(compressed_->Decompress());
+      DecompressFallbacks()->Add(1);
+      restored = true;
+    }
+    if (restored) size = EstimateSizeLocked();
     result = block_.get();
   }
   if (restored) {
@@ -179,18 +210,66 @@ void MatrixObject::Release() {
   if (pin_count_ > 0) --pin_count_;
 }
 
+StatusOr<const CompressedMatrixBlock*> MatrixObject::AcquireCompressed() {
+  const CompressedMatrixBlock* result;
+  bool restored = false;
+  int64_t size = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pin_count_;
+    if (compressed_ == nullptr) {
+      if (!spilled_compressed_) {
+        --pin_count_;
+        return Internal("matrix has no compressed representation");
+      }
+      SYSDS_SPAN("bufferpool", "restore");
+      Status s = RestoreLocked();
+      if (!s.ok() || compressed_ == nullptr) {
+        --pin_count_;
+        PoolMisses()->Add(1);
+        return s.ok() ? Internal("compressed restore produced no block") : s;
+      }
+      restored = true;
+      size = EstimateSizeLocked();
+    }
+    result = compressed_.get();
+  }
+  if (restored) {
+    PoolMisses()->Add(1);
+  } else {
+    PoolHits()->Add(1);
+  }
+  if (BufferPool* pool = g_buffer_pool.load()) {
+    if (restored) pool->Register(this, size);
+    pool->Touch(this);
+  }
+  return result;
+}
+
 StatusOr<bool> MatrixObject::EvictTo(const std::string& path) {
   // Called by the buffer pool (which holds its own lock); the object lock
   // closes the race against a concurrent AcquireRead pinning the block.
   std::lock_guard<std::mutex> lock(mutex_);
-  if (block_ == nullptr || pin_count_ > 0) return false;
+  if ((block_ == nullptr && compressed_ == nullptr) || pin_count_ > 0) {
+    return false;
+  }
   if (FaultInjector::Get().ShouldInject(FaultLayer::kBufferPool, 0,
                                         FaultKind::kSpillIoError)) {
     return IoError("bufferpool: injected spill write error (" + path + ")");
   }
-  SYSDS_RETURN_IF_ERROR(WriteMatrixBinary(*block_, path));
+  if (compressed_ != nullptr) {
+    // Spill in compressed form (§3.4): the file is a fraction of the dense
+    // block and a restore skips re-running the planner. The decompressed
+    // copy, if any, is discarded — it can be rebuilt from the spill.
+    SYSDS_RETURN_IF_ERROR(WriteCompressedBinary(*compressed_, path));
+    spilled_compressed_ = true;
+  } else {
+    SYSDS_RETURN_IF_ERROR(WriteMatrixBinary(*block_, path));
+    spilled_compressed_ = false;
+  }
   evicted_path_ = path;
   block_.reset();
+  compressed_.reset();
   return true;
 }
 
@@ -206,6 +285,19 @@ Status MatrixObject::RestoreLocked() {
       last = IoError("bufferpool: injected evict-read error (" +
                      evicted_path_ + ")");
       continue;
+    }
+    if (spilled_compressed_) {
+      auto restored = ReadCompressedBinary(evicted_path_);
+      if (!restored.ok()) {
+        last = restored.status();
+        continue;
+      }
+      std::remove(evicted_path_.c_str());
+      evicted_path_.clear();
+      spilled_compressed_ = false;
+      compressed_ = std::make_shared<const CompressedMatrixBlock>(
+          std::move(restored).value());
+      return Status::Ok();
     }
     auto restored = ReadMatrixBinary(evicted_path_);
     if (!restored.ok()) {
@@ -223,19 +315,30 @@ Status MatrixObject::RestoreLocked() {
   return last;
 }
 
-int64_t MatrixObject::EstimateSizeInBytes() const {
-  return block_ ? block_->EstimateSizeInBytes()
-                : MatrixBlock::EstimateSizeInBytes(
-                      rows_, cols_,
-                      rows_ * cols_ > 0
-                          ? static_cast<double>(nnz_) / (rows_ * cols_)
+int64_t MatrixObject::EstimateSizeLocked() const {
+  if (block_ == nullptr && compressed_ == nullptr) {
+    return MatrixBlock::EstimateSizeInBytes(
+        rows_, cols_,
+        rows_ * cols_ > 0 ? static_cast<double>(nnz_) / (rows_ * cols_)
                           : 0.0);
+  }
+  int64_t total = 0;
+  if (block_) total += block_->EstimateSizeInBytes();
+  if (compressed_) total += compressed_->EstimateSizeInBytes();
+  return total;
+}
+
+int64_t MatrixObject::EstimateSizeInBytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return EstimateSizeLocked();
 }
 
 std::string MatrixObject::DebugString() const {
   std::ostringstream os;
-  os << "matrix " << rows_ << "x" << cols_ << " nnz=" << nnz_
-     << (block_ ? " (cached)" : " (evicted)");
+  os << "matrix " << rows_ << "x" << cols_ << " nnz=" << nnz_;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (compressed_) os << " (compressed)";
+  os << (block_ || compressed_ ? " (cached)" : " (evicted)");
   return os.str();
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "common/types.h"
+#include "runtime/compress/compressed_block.h"
 #include "runtime/frame/frame_block.h"
 #include "runtime/matrix/matrix_block.h"
 #include "runtime/tensor/tensor_block.h"
@@ -72,6 +73,11 @@ class ScalarObject final : public Data {
 class MatrixObject final : public Data {
  public:
   explicit MatrixObject(MatrixBlock block);
+  /// Wraps a compressed block (paper §3.4). The compressed form stays
+  /// authoritative: AcquireRead materializes an uncompressed copy on demand
+  /// for kernels without a compressed implementation, while AcquireCompressed
+  /// serves the transparent compressed dispatch in the instructions.
+  explicit MatrixObject(CompressedMatrixBlock block);
   ~MatrixObject() override;
 
   DataType GetDataType() const override { return DataType::kMatrix; }
@@ -89,6 +95,19 @@ class MatrixObject final : public Data {
   /// clears. Callers must propagate the error — never substitute data.
   StatusOr<const MatrixBlock*> AcquireRead();
   void Release();
+
+  /// True when this object carries a compressed representation (in memory
+  /// or spilled in compressed form). Instructions consult this before
+  /// attempting compressed dispatch.
+  bool HasCompressed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return compressed_ != nullptr || spilled_compressed_;
+  }
+
+  /// Pins the compressed block (restoring a compressed spill file if
+  /// needed) and returns it; Release() unpins. Fails when the object holds
+  /// no compressed representation — gate on HasCompressed().
+  StatusOr<const CompressedMatrixBlock*> AcquireCompressed();
 
   /// True if the in-memory block is currently present.
   bool IsCached() const {
@@ -125,8 +144,17 @@ class MatrixObject final : public Data {
   // retry (fault.bufferpool.restore_failures).
   Status RestoreLocked();
 
+  // Sum of the in-memory representations (caller holds mutex_); falls back
+  // to the metadata estimate when everything is evicted.
+  int64_t EstimateSizeLocked() const;
+
   mutable std::mutex mutex_;
   std::shared_ptr<MatrixBlock> block_;
+  // Compressed representation (§3.4). May coexist with block_ after a
+  // decompress-on-demand; eviction then spills only the compressed form.
+  std::shared_ptr<const CompressedMatrixBlock> compressed_;
+  // True while evicted_path_ holds the compressed serialization format.
+  bool spilled_compressed_ = false;
   std::string evicted_path_;
   int64_t rows_ = 0, cols_ = 0, nnz_ = 0;
   int64_t pin_count_ = 0;

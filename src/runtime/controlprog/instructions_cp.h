@@ -213,6 +213,26 @@ class WriteInstr final : public Instruction {
   char sep = ',';
 };
 
+/// compress(X): plans and applies column compression (§3.4). The rewrite
+/// injects it for large loop-invariant read-only inputs; it is lenient by
+/// design — a missing variable, a non-matrix, an already-compressed input,
+/// a too-small matrix, or a plan under the min-ratio gate all pass the
+/// input through unchanged, so injected instructions can never fail a
+/// previously-working script.
+class CompressInstr final : public Instruction {
+ public:
+  CompressInstr() : Instruction("compress", ExecType::kCP) {}
+  Status Execute(ExecutionContext* ec) override;
+};
+
+/// decompress(X): materializes the uncompressed block of a compressed
+/// matrix (no-op pass-through for uncompressed inputs).
+class DecompressInstr final : public Instruction {
+ public:
+  DecompressInstr() : Instruction("decompress", ExecType::kCP) {}
+  Status Execute(ExecutionContext* ec) override;
+};
+
 /// Variable maintenance: rmvar (inputs), cpvar (input -> output).
 class VariableInstr final : public Instruction {
  public:

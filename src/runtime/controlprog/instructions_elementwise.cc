@@ -1,5 +1,6 @@
 #include <cmath>
 
+#include "runtime/compress/compress_metrics.h"
 #include "runtime/controlprog/execution_context.h"
 #include "runtime/controlprog/instructions_cp.h"
 #include "runtime/matrix/lib_agg.h"
@@ -212,6 +213,44 @@ Status AggUnaryInstr::Execute(ExecutionContext* ec) {
   }
 
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, ec->GetMatrix(inputs()[0]));
+  // Compressed dispatch (§3.4): full and column aggregates of the
+  // dictionary-friendly subset run on per-code counts; anything else
+  // (row aggregates, var/sd, ...) decompresses and retries.
+  if (m->HasCompressed() && dir != AggDirection::kRow) {
+    auto comp = m->AcquireCompressed();
+    if (comp.ok()) {
+      if (dir == AggDirection::kAll) {
+        auto r = (*comp)->Aggregate(agg);
+        m->Release();
+        if (r.ok()) {
+          compress_metrics::DispatchHits()->Add(1);
+          if (agg == AggOpCode::kNnz) {
+            ec->SetOutput(outputs()[0],
+                          ScalarObject::MakeInt(static_cast<int64_t>(*r)));
+          } else {
+            ec->SetOutput(outputs()[0], ScalarObject::MakeDouble(*r));
+          }
+          return Status::Ok();
+        }
+        if (r.status().code() != StatusCode::kUnimplemented) {
+          return r.status();
+        }
+      } else {
+        auto r = (*comp)->AggregateCols(agg);
+        m->Release();
+        if (r.ok()) {
+          compress_metrics::DispatchHits()->Add(1);
+          ec->SetOutput(outputs()[0],
+                        std::make_shared<MatrixObject>(std::move(*r)));
+          return Status::Ok();
+        }
+        if (r.status().code() != StatusCode::kUnimplemented) {
+          return r.status();
+        }
+      }
+      compress_metrics::DispatchFallbacks()->Add(1);
+    }
+  }
   SYSDS_ACQUIRE_READ(a, m);
   if (dir == AggDirection::kAll) {
     auto r = AggregateAll(agg, a, ec->NumThreads());

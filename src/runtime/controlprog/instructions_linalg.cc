@@ -1,4 +1,6 @@
 #include "common/util.h"
+#include "obs/trace.h"
+#include "runtime/compress/compress_metrics.h"
 #include "runtime/controlprog/execution_context.h"
 #include "runtime/controlprog/instructions_cp.h"
 #include "runtime/matrix/lib_datagen.h"
@@ -12,6 +14,24 @@ namespace sysds {
 Status MatMultInstr::Execute(ExecutionContext* ec) {
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m1, ec->GetMatrix(inputs()[0]));
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m2, ec->GetMatrix(inputs()[1]));
+  // Transparent compressed dispatch (§3.4): a compressed left operand
+  // multiplies without decompressing; the kernel replays the uncompressed
+  // accumulation order, so the result is bit-identical.
+  if (m1->HasCompressed()) {
+    auto comp = m1->AcquireCompressed();
+    if (comp.ok()) {
+      SYSDS_SPAN("compress", "matmult_dispatch");
+      SYSDS_ACQUIRE_READ_CLEANUP(b, m2, m1->Release());
+      auto result = (*comp)->RightMatMult(b, ec->NumThreads());
+      m1->Release();
+      m2->Release();
+      if (!result.ok()) return result.status();
+      compress_metrics::DispatchHits()->Add(1);
+      ec->SetOutput(outputs()[0],
+                    std::make_shared<MatrixObject>(std::move(*result)));
+      return Status::Ok();
+    }
+  }
   SYSDS_ACQUIRE_READ(a, m1);
   SYSDS_ACQUIRE_READ_CLEANUP(b, m2, m1->Release());
   auto result = MatMult(a, b, ec->NumThreads());
@@ -25,6 +45,27 @@ Status MatMultInstr::Execute(ExecutionContext* ec) {
 
 Status TsmmInstr::Execute(ExecutionContext* ec) {
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m, ec->GetMatrix(inputs()[0]));
+  // Compressed t(X)%*%X via per-group value-indexed pre-aggregation — the
+  // hot op of the lmDS pattern. Unsupported layouts (uncompressed fallback
+  // groups, oversized dictionary pair tables) decompress and retry.
+  if (left_ && m->HasCompressed()) {
+    auto comp = m->AcquireCompressed();
+    if (comp.ok()) {
+      SYSDS_SPAN("compress", "tsmm_dispatch");
+      auto result = (*comp)->TsmmLeft(ec->NumThreads());
+      m->Release();
+      if (result.ok()) {
+        compress_metrics::DispatchHits()->Add(1);
+        ec->SetOutput(outputs()[0],
+                      std::make_shared<MatrixObject>(std::move(*result)));
+        return Status::Ok();
+      }
+      if (result.status().code() != StatusCode::kUnimplemented) {
+        return result.status();
+      }
+      compress_metrics::DispatchFallbacks()->Add(1);
+    }
+  }
   SYSDS_ACQUIRE_READ(x, m);
   auto result = TransposeSelfMatMult(x, left_, ec->NumThreads());
   m->Release();
@@ -37,6 +78,22 @@ Status TsmmInstr::Execute(ExecutionContext* ec) {
 Status TmmInstr::Execute(ExecutionContext* ec) {
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m1, ec->GetMatrix(inputs()[0]));
   SYSDS_ASSIGN_OR_RETURN(MatrixObject * m2, ec->GetMatrix(inputs()[1]));
+  // Compressed t(A)%*%B: b-rows collapse into per-code buckets.
+  if (m1->HasCompressed()) {
+    auto comp = m1->AcquireCompressed();
+    if (comp.ok()) {
+      SYSDS_SPAN("compress", "tmm_dispatch");
+      SYSDS_ACQUIRE_READ_CLEANUP(b, m2, m1->Release());
+      auto result = (*comp)->LeftMatMult(b, ec->NumThreads());
+      m1->Release();
+      m2->Release();
+      if (!result.ok()) return result.status();
+      compress_metrics::DispatchHits()->Add(1);
+      ec->SetOutput(outputs()[0],
+                    std::make_shared<MatrixObject>(std::move(*result)));
+      return Status::Ok();
+    }
+  }
   SYSDS_ACQUIRE_READ(a, m1);
   SYSDS_ACQUIRE_READ_CLEANUP(b, m2, m1->Release());
   auto result = TransposeLeftMatMult(a, b, ec->NumThreads());

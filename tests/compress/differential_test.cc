@@ -1,0 +1,285 @@
+// Differential suite for the compressed runtime: every supported operation
+// is compared against the uncompressed kernel across seeds, shapes,
+// sparsities, and cardinalities. Per-row kernels (Decompress, Get,
+// RightMatMult) must match *bit-for-bit* (zero tolerance, NaN-aware);
+// aggregated kernels (LeftMatMult, TsmmLeft, Sum) reassociate adds and are
+// held to a tight tolerance instead — see DESIGN.md "Compressed linear
+// algebra: determinism".
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "runtime/compress/compressed_block.h"
+#include "runtime/compress/planner.h"
+#include "runtime/matrix/lib_datagen.h"
+#include "runtime/matrix/lib_matmult.h"
+
+namespace sysds {
+namespace {
+
+// Deterministic test matrix: each column categorical with `card` distinct
+// nonzero values, zeroed with probability (1 - sparsity).
+MatrixBlock MakeData(int64_t rows, int64_t cols, int card, double sparsity,
+                     uint64_t seed) {
+  std::mt19937_64 gen(seed);
+  std::uniform_real_distribution<double> u(0, 1);
+  MatrixBlock m = MatrixBlock::Dense(rows, cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      double v = u(gen) < sparsity
+                     ? 1.0 + static_cast<double>(gen() % card) * 0.5
+                     : 0.0;
+      m.DenseRow(r)[c] = v;
+    }
+  }
+  m.MarkNnzDirty();
+  m.ExamSparsity();
+  return m;
+}
+
+// Bit-exact comparison that treats NaN cells as equal (EqualsApprox cannot:
+// NaN != NaN).
+void ExpectBitIdentical(const MatrixBlock& got, const MatrixBlock& want,
+                        const std::string& what) {
+  ASSERT_EQ(got.Rows(), want.Rows()) << what;
+  ASSERT_EQ(got.Cols(), want.Cols()) << what;
+  for (int64_t r = 0; r < want.Rows(); ++r) {
+    for (int64_t c = 0; c < want.Cols(); ++c) {
+      double g = got.Get(r, c), w = want.Get(r, c);
+      if (std::isnan(w)) {
+        EXPECT_TRUE(std::isnan(g)) << what << " at (" << r << "," << c << ")";
+      } else {
+        EXPECT_DOUBLE_EQ(g, w) << what << " at (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+// Tolerance comparison for reassociating kernels; non-finite cells must
+// still match exactly (NaN vs NaN, same-signed Inf).
+void ExpectClose(const MatrixBlock& got, const MatrixBlock& want, double tol,
+                 const std::string& what) {
+  ASSERT_EQ(got.Rows(), want.Rows()) << what;
+  ASSERT_EQ(got.Cols(), want.Cols()) << what;
+  for (int64_t r = 0; r < want.Rows(); ++r) {
+    for (int64_t c = 0; c < want.Cols(); ++c) {
+      double g = got.Get(r, c), w = want.Get(r, c);
+      if (std::isnan(w)) {
+        EXPECT_TRUE(std::isnan(g)) << what << " at (" << r << "," << c << ")";
+      } else if (std::isinf(w)) {
+        EXPECT_EQ(g, w) << what << " at (" << r << "," << c << ")";
+      } else {
+        EXPECT_NEAR(g, w, tol * (1.0 + std::fabs(w)))
+            << what << " at (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+void ExpectScalarClose(double got, double want, double tol,
+                       const std::string& what) {
+  if (std::isnan(want)) {
+    EXPECT_TRUE(std::isnan(got)) << what;
+  } else if (std::isinf(want)) {
+    EXPECT_EQ(got, want) << what;
+  } else {
+    EXPECT_NEAR(got, want, tol * (1.0 + std::fabs(want))) << what;
+  }
+}
+
+void CheckAllOps(const MatrixBlock& m, uint64_t seed) {
+  CompressedMatrixBlock c = CompressedMatrixBlock::Compress(m);
+
+  // Exact per-row kernels.
+  ExpectBitIdentical(c.Decompress(), m, "Decompress");
+  ExpectBitIdentical(c.Decompress(4), m, "Decompress(4)");
+  for (int64_t r = 0; r < m.Rows(); r += 7) {
+    for (int64_t col = 0; col < m.Cols(); ++col) {
+      double w = m.Get(r, col);
+      if (std::isnan(w)) {
+        EXPECT_TRUE(std::isnan(c.Get(r, col)));
+      } else {
+        EXPECT_DOUBLE_EQ(c.Get(r, col), w);
+      }
+    }
+  }
+
+  auto v = RandMatrix(m.Cols(), 1, -1, 1, 1.0, seed + 100, RandPdf::kUniform,
+                      1);
+  auto got_mv = c.RightMatMult(*v, 2);
+  auto want_mv = MatMult(m, *v, 1);
+  ASSERT_TRUE(got_mv.ok()) << got_mv.status();
+  ASSERT_TRUE(want_mv.ok()) << want_mv.status();
+  ExpectBitIdentical(*got_mv, *want_mv, "RightMatMult vec");
+
+  auto b = RandMatrix(m.Cols(), 3, -2, 2, 1.0, seed + 101, RandPdf::kUniform,
+                      1);
+  auto got_mm = c.RightMatMult(*b, 2);
+  auto want_mm = MatMult(m, *b, 1);
+  ASSERT_TRUE(got_mm.ok()) << got_mm.status();
+  ASSERT_TRUE(want_mm.ok()) << want_mm.status();
+  ExpectBitIdentical(*got_mm, *want_mm, "RightMatMult mat");
+
+  // Reassociating kernels: tight tolerance.
+  auto y = RandMatrix(m.Rows(), 1, -1, 1, 1.0, seed + 102, RandPdf::kUniform,
+                      1);
+  auto got_vm = c.LeftMatMult(*y, 2);
+  auto want_vm = TransposeLeftMatMult(m, *y, 1);
+  ASSERT_TRUE(got_vm.ok()) << got_vm.status();
+  ASSERT_TRUE(want_vm.ok()) << want_vm.status();
+  ExpectClose(*got_vm, *want_vm, 1e-9, "LeftMatMult");
+
+  auto got_tsmm = c.TsmmLeft(2);
+  auto want_tsmm = TransposeSelfMatMult(m, true, 1);
+  ASSERT_TRUE(want_tsmm.ok()) << want_tsmm.status();
+  if (got_tsmm.ok()) {
+    ExpectClose(*got_tsmm, *want_tsmm, 1e-9, "TsmmLeft");
+  }
+
+  // Aggregates.
+  double want_sum = 0, want_min = m.Rows() > 0 ? m.Get(0, 0) : 0,
+         want_max = want_min;
+  for (int64_t r = 0; r < m.Rows(); ++r) {
+    for (int64_t col = 0; col < m.Cols(); ++col) {
+      double val = m.Get(r, col);
+      want_sum += val;
+      want_min = std::fmin(want_min, val);
+      want_max = std::fmax(want_max, val);
+    }
+  }
+  ExpectScalarClose(c.Sum(2), want_sum, 1e-9, "Sum");
+  auto agg_min = c.Aggregate(AggOpCode::kMin);
+  auto agg_max = c.Aggregate(AggOpCode::kMax);
+  if (m.Rows() > 0) {
+    ASSERT_TRUE(agg_min.ok()) << agg_min.status();
+    ASSERT_TRUE(agg_max.ok()) << agg_max.status();
+    EXPECT_DOUBLE_EQ(*agg_min, want_min);
+    EXPECT_DOUBLE_EQ(*agg_max, want_max);
+  }
+  auto cs = c.AggregateCols(AggOpCode::kSum);
+  ASSERT_TRUE(cs.ok()) << cs.status();
+  for (int64_t col = 0; col < m.Cols(); ++col) {
+    double want_col = 0;
+    for (int64_t r = 0; r < m.Rows(); ++r) want_col += m.Get(r, col);
+    ExpectScalarClose(cs->Get(0, col), want_col, 1e-9, "ColSum");
+  }
+}
+
+TEST(CompressDifferentialTest, SweepSeedsShapesSparsitiesCardinalities) {
+  const int64_t shapes[][2] = {{64, 3}, {500, 8}, {1000, 1}};
+  for (uint64_t seed : {11u, 12u}) {
+    for (const auto& shape : shapes) {
+      for (double sparsity : {1.0, 0.2}) {
+        for (int card : {2, 7, 40}) {
+          SCOPED_TRACE(testing::Message()
+                       << "seed=" << seed << " shape=" << shape[0] << "x"
+                       << shape[1] << " sparsity=" << sparsity
+                       << " card=" << card);
+          CheckAllOps(MakeData(shape[0], shape[1], card, sparsity, seed),
+                      seed);
+        }
+      }
+    }
+  }
+}
+
+TEST(CompressDifferentialTest, SingleRowMatrix) {
+  CheckAllOps(MakeData(1, 4, 3, 1.0, 21), 21);
+}
+
+TEST(CompressDifferentialTest, AllConstantMatrix) {
+  MatrixBlock m = MatrixBlock::Dense(400, 3);
+  for (int64_t r = 0; r < 400; ++r) {
+    for (int64_t c = 0; c < 3; ++c) m.DenseRow(r)[c] = 3.14;
+  }
+  m.MarkNnzDirty();
+  CheckAllOps(m, 22);
+  CompressedMatrixBlock c = CompressedMatrixBlock::Compress(m);
+  EXPECT_GT(c.CompressionRatio(), 4.0);
+}
+
+TEST(CompressDifferentialTest, AllZeroMatrix) {
+  MatrixBlock m = MatrixBlock::Dense(256, 4);
+  m.MarkNnzDirty();
+  m.ExamSparsity();
+  CheckAllOps(m, 23);
+}
+
+// Satellite regression: NaN values must never enter a dictionary (NaN !=
+// NaN breaks map ordering and would silently drop or duplicate tuples).
+// Columns containing NaN fall back to uncompressed storage and still
+// roundtrip losslessly.
+TEST(CompressDifferentialTest, NanColumnRoundtripsLossless) {
+  MatrixBlock m = MakeData(300, 4, 5, 1.0, 31);
+  m.DenseRow(13)[1] = std::nan("");
+  m.DenseRow(250)[1] = std::nan("");
+  m.MarkNnzDirty();
+  CheckAllOps(m, 31);
+  CompressedMatrixBlock c = CompressedMatrixBlock::Compress(m);
+  EXPECT_TRUE(std::isnan(c.Get(13, 1)));
+  EXPECT_TRUE(std::isnan(c.Get(250, 1)));
+  // The other columns still compress.
+  EXPECT_GT(c.NumCompressedColumns(), 0);
+}
+
+TEST(CompressDifferentialTest, InfValuesRoundtrip) {
+  MatrixBlock m = MakeData(200, 3, 4, 1.0, 32);
+  m.DenseRow(7)[0] = std::numeric_limits<double>::infinity();
+  m.DenseRow(8)[0] = -std::numeric_limits<double>::infinity();
+  m.MarkNnzDirty();
+  CheckAllOps(m, 32);
+}
+
+// Satellite regression: zero-skip divergence. A compressed kernel may only
+// skip a column whose multiplier is zero when the column holds no
+// non-finite values — finite * 0 is exactly +-0 and never changes the
+// accumulator, but Inf * 0 must produce NaN exactly like the uncompressed
+// kernel does.
+TEST(CompressDifferentialTest, ZeroVectorTimesInfColumnMatchesUncompressed) {
+  MatrixBlock m = MakeData(100, 3, 4, 1.0, 33);
+  m.DenseRow(40)[2] = std::numeric_limits<double>::infinity();
+  m.MarkNnzDirty();
+  CompressedMatrixBlock c = CompressedMatrixBlock::Compress(m);
+  MatrixBlock v = MatrixBlock::Dense(3, 1);
+  v.DenseRow(0)[0] = 1.0;
+  v.DenseRow(1)[0] = 0.5;
+  v.DenseRow(2)[0] = 0.0;  // zero multiplier against the Inf column
+  v.MarkNnzDirty();
+  auto got = c.RightMatMult(v, 2);
+  auto want = MatMult(m, v, 1);
+  ASSERT_TRUE(got.ok()) << got.status();
+  ASSERT_TRUE(want.ok()) << want.status();
+  EXPECT_TRUE(std::isnan(want->Get(40, 0)));  // Inf * 0 in the reference
+  ExpectBitIdentical(*got, *want, "zero-vector x Inf-column");
+}
+
+// Parallel compression and parallel kernels must be deterministic.
+TEST(CompressDifferentialTest, ParallelCompressionDeterministic) {
+  MatrixBlock m = MakeData(2000, 6, 9, 0.7, 41);
+  CompressionPlan plan = CompressionPlanner::Plan(m, CompressionSettings());
+  CompressedMatrixBlock c1 = CompressedMatrixBlock::Compress(m, plan, 1);
+  CompressedMatrixBlock c4 = CompressedMatrixBlock::Compress(m, plan, 4);
+  ExpectBitIdentical(c1.Decompress(), c4.Decompress(), "parallel compress");
+  auto t1 = c4.TsmmLeft(1);
+  auto t4 = c4.TsmmLeft(4);
+  ASSERT_TRUE(t1.ok()) << t1.status();
+  ASSERT_TRUE(t4.ok()) << t4.status();
+  ExpectBitIdentical(*t4, *t1, "parallel tsmm");
+}
+
+TEST(CompressDifferentialTest, ShapeMismatchRejected) {
+  MatrixBlock m = MakeData(50, 4, 3, 1.0, 51);
+  CompressedMatrixBlock c = CompressedMatrixBlock::Compress(m);
+  MatrixBlock bad = MatrixBlock::Dense(3, 1);
+  EXPECT_FALSE(c.RightMatMult(bad, 1).ok());
+  MatrixBlock bad_left = MatrixBlock::Dense(49, 1);
+  EXPECT_FALSE(c.LeftMatMult(bad_left, 1).ok());
+}
+
+}  // namespace
+}  // namespace sysds

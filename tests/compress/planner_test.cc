@@ -1,0 +1,142 @@
+#include "runtime/compress/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "runtime/matrix/matrix_block.h"
+
+namespace sysds {
+namespace {
+
+MatrixBlock FromFn(int64_t rows, int64_t cols, double (*fn)(int64_t, int64_t)) {
+  MatrixBlock m = MatrixBlock::Dense(rows, cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) m.DenseRow(r)[c] = fn(r, c);
+  }
+  m.MarkNnzDirty();
+  return m;
+}
+
+TEST(CompressionPlannerTest, LongRunsChooseRle) {
+  // 20 runs of 500 identical values each: RLE prices far below DDC-1.
+  MatrixBlock m = FromFn(10000, 1, [](int64_t r, int64_t) {
+    return static_cast<double>(r / 500);
+  });
+  CompressionPlan plan = CompressionPlanner::Plan(m, CompressionSettings());
+  ASSERT_EQ(plan.groups.size(), 1u);
+  EXPECT_EQ(plan.groups[0].encoding, ColEncoding::kRLE);
+  EXPECT_TRUE(plan.worthwhile);
+}
+
+TEST(CompressionPlannerTest, SkewedColumnChoosesSdc) {
+  // 95% one default value, 5% exceptions over ~100 distinct values in
+  // random positions (so RLE sees many runs and loses to SDC).
+  MatrixBlock m = MatrixBlock::Dense(10000, 1);
+  std::mt19937 gen(42);
+  std::uniform_real_distribution<double> u(0, 1);
+  for (int64_t r = 0; r < 10000; ++r) {
+    m.DenseRow(r)[0] = u(gen) < 0.95
+                           ? 7.0
+                           : 1000.0 + static_cast<double>(gen() % 100);
+  }
+  m.MarkNnzDirty();
+  CompressionPlan plan = CompressionPlanner::Plan(m, CompressionSettings());
+  ASSERT_EQ(plan.groups.size(), 1u);
+  EXPECT_EQ(plan.groups[0].encoding, ColEncoding::kSDC);
+  EXPECT_TRUE(plan.worthwhile);
+}
+
+TEST(CompressionPlannerTest, MediumCardinalityChoosesDdc2) {
+  // ~300 distinct values: over the DDC-1 code domain (255), within DDC-2.
+  MatrixBlock m = FromFn(10000, 1, [](int64_t r, int64_t) {
+    return static_cast<double>((r * 7919) % 300);
+  });
+  CompressionPlan plan = CompressionPlanner::Plan(m, CompressionSettings());
+  ASSERT_EQ(plan.groups.size(), 1u);
+  EXPECT_EQ(plan.groups[0].encoding, ColEncoding::kDDC2);
+  EXPECT_GT(plan.groups[0].est_distinct, 255);
+}
+
+TEST(CompressionPlannerTest, HighCardinalityStaysUncompressed) {
+  // Every value distinct: the dictionary alone would exceed the raw data.
+  MatrixBlock m = FromFn(10000, 1, [](int64_t r, int64_t) {
+    return static_cast<double>(r) * 1.000001;
+  });
+  CompressionPlan plan = CompressionPlanner::Plan(m, CompressionSettings());
+  ASSERT_EQ(plan.groups.size(), 1u);
+  EXPECT_EQ(plan.groups[0].encoding, ColEncoding::kUncompressed);
+  EXPECT_FALSE(plan.worthwhile);
+}
+
+TEST(CompressionPlannerTest, NanColumnStaysUncompressed) {
+  // NaN breaks dictionary ordering (NaN != NaN): the planner must route
+  // the column to the uncompressed fallback, never into a dictionary.
+  MatrixBlock m = FromFn(1000, 1, [](int64_t r, int64_t) {
+    return r == 17 ? std::nan("") : static_cast<double>(r % 5);
+  });
+  CompressionPlan plan = CompressionPlanner::Plan(m, CompressionSettings());
+  ASSERT_EQ(plan.groups.size(), 1u);
+  EXPECT_EQ(plan.groups[0].encoding, ColEncoding::kUncompressed);
+}
+
+TEST(CompressionPlannerTest, MinRatioGates) {
+  MatrixBlock m = FromFn(5000, 4, [](int64_t r, int64_t c) {
+    return static_cast<double>((r * (c + 3)) % 5);
+  });
+  CompressionSettings loose;
+  EXPECT_TRUE(CompressionPlanner::Plan(m, loose).worthwhile);
+  CompressionSettings strict;
+  strict.min_ratio = 1000.0;
+  EXPECT_FALSE(CompressionPlanner::Plan(m, strict).worthwhile);
+}
+
+TEST(CompressionPlannerTest, CocodeMergesCorrelatedColumns) {
+  // Perfectly correlated adjacent columns: the joint dictionary has the
+  // same cardinality as either column alone, so one co-coded group with a
+  // shared code array beats two separate groups.
+  MatrixBlock m = FromFn(10000, 2, [](int64_t r, int64_t c) {
+    return static_cast<double>((r % 5) * (c + 1));
+  });
+  CompressionPlan plan = CompressionPlanner::Plan(m, CompressionSettings());
+  ASSERT_EQ(plan.groups.size(), 1u);
+  EXPECT_EQ(plan.groups[0].cols.size(), 2u);
+  EXPECT_NE(plan.groups[0].encoding, ColEncoding::kUncompressed);
+}
+
+TEST(CompressionPlannerTest, CocodeRespectsMaxGroupCols) {
+  MatrixBlock m = FromFn(10000, 6, [](int64_t r, int64_t) {
+    return static_cast<double>(r % 4);
+  });
+  CompressionSettings settings;
+  settings.max_group_cols = 2;
+  CompressionPlan plan = CompressionPlanner::Plan(m, settings);
+  for (const PlannedGroup& g : plan.groups) {
+    EXPECT_LE(g.cols.size(), 2u);
+  }
+}
+
+TEST(CompressionPlannerTest, EmptyMatrixNotWorthwhile) {
+  MatrixBlock m = MatrixBlock::Dense(0, 3);
+  CompressionPlan plan = CompressionPlanner::Plan(m, CompressionSettings());
+  EXPECT_FALSE(plan.worthwhile);
+  EXPECT_TRUE(plan.groups.empty());
+}
+
+TEST(CompressionPlannerTest, PlanIsDeterministic) {
+  MatrixBlock m = FromFn(3000, 3, [](int64_t r, int64_t c) {
+    return static_cast<double>((r + c) % 11);
+  });
+  CompressionPlan a = CompressionPlanner::Plan(m, CompressionSettings());
+  CompressionPlan b = CompressionPlanner::Plan(m, CompressionSettings());
+  ASSERT_EQ(a.groups.size(), b.groups.size());
+  for (size_t i = 0; i < a.groups.size(); ++i) {
+    EXPECT_EQ(a.groups[i].cols, b.groups[i].cols);
+    EXPECT_EQ(a.groups[i].encoding, b.groups[i].encoding);
+  }
+  EXPECT_EQ(a.est_compressed_bytes, b.est_compressed_bytes);
+}
+
+}  // namespace
+}  // namespace sysds
