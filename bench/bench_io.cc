@@ -10,7 +10,7 @@
 #include "common/thread_pool.h"
 #include "common/util.h"
 #include "io/format_descriptor.h"
-#include "io/matrix_io.h"
+#include "io/io.h"
 #include "runtime/matrix/lib_datagen.h"
 
 using namespace sysds;
@@ -27,7 +27,8 @@ int main() {
   std::string bin = (dir / "X.bin").string();
 
   auto x = RandMatrix(rows, cols, 0.0, 1.0, 1.0, 1, RandPdf::kUniform, 1);
-  if (!WriteMatrixCsv(*x, csv).ok() || !WriteMatrixBinary(*x, bin).ok()) {
+  if (!io::Write(*x, csv, FormatDescriptor::Csv()).ok() ||
+      !io::Write(*x, bin, FormatDescriptor::Binary()).ok()) {
     return 1;
   }
   double csv_mb =
@@ -44,24 +45,21 @@ int main() {
   };
 
   {
-    CsvOptions opts;
-    opts.num_threads = 1;
     Timer t;
-    auto m = ReadMatrixCsv(csv, opts);
+    auto m = io::Read(csv, FormatDescriptor::Csv(',', false, 1));
     report("csv single-threaded", t.ElapsedSeconds());
     if (!m->EqualsApprox(*x, 1e-9)) return 1;
   }
   {
-    CsvOptions opts;
-    opts.num_threads = DefaultParallelism();
     Timer t;
-    auto m = ReadMatrixCsv(csv, opts);
+    auto m = io::Read(
+        csv, FormatDescriptor::Csv(',', false, DefaultParallelism()));
     report("csv multi-threaded", t.ElapsedSeconds());
     if (!m->EqualsApprox(*x, 1e-9)) return 1;
   }
   {
     Timer t;
-    auto m = ReadMatrixBinary(bin);
+    auto m = io::Read(bin, FormatDescriptor::Binary());
     report("binary block format", t.ElapsedSeconds());
     if (!m->EqualsApprox(*x, 1e-9)) return 1;
   }
@@ -74,9 +72,8 @@ int main() {
     }
     desc_json += "]}";
     auto desc = ParseFormatDescriptor(desc_json);
-    auto reader = GenerateReader(*desc);
     Timer t;
-    auto frame = (*reader)(csv);
+    auto frame = io::ReadFrame(csv, *desc);
     report("generated reader (frame)", t.ElapsedSeconds());
     if (!frame.ok()) return 1;
   }

@@ -31,7 +31,8 @@ int main(int argc, char** argv) {
     std::cerr << "usage: " << argv[0]
               << " script.dml [-stats] [-lineage] [-reuse full|partial]"
                  " [-threads N] [--trace out.json] [--metrics out.json]"
-                 " [--chaos-seed N] [--no-fusion] [--compress]\n";
+                 " [--chaos-seed N] [--no-fusion] [--compress]"
+                 " [--transform-compressed] [--transform-threads N]\n";
     return 2;
   }
 
@@ -62,6 +63,12 @@ int main(int argc, char** argv) {
       config.fusion_enabled = false;
     } else if (arg == "--compress" || arg == "-compress") {
       config.compression_enabled = true;
+    } else if (arg == "--transform-compressed" ||
+               arg == "-transform-compressed") {
+      config.transform_output = TransformOutputFormat::kCompressed;
+    } else if ((arg == "--transform-threads" || arg == "-transform-threads") &&
+               i + 1 < argc) {
+      config.transform_num_threads = std::atoi(argv[++i]);
     } else if ((arg == "--chaos-seed" || arg == "-chaos-seed") &&
                i + 1 < argc) {
       config.faults.enabled = true;
@@ -69,7 +76,8 @@ int main(int argc, char** argv) {
       config.faults.profile = FaultProfile::Standard();
     } else if (arg == "-reuse" || arg == "-threads" || arg == "--trace" ||
                arg == "-trace" || arg == "--metrics" || arg == "-metrics" ||
-               arg == "--chaos-seed" || arg == "-chaos-seed") {
+               arg == "--chaos-seed" || arg == "-chaos-seed" ||
+               arg == "--transform-threads" || arg == "-transform-threads") {
       std::cerr << arg << " requires a value\n";
       return 2;
     } else if (!arg.empty() && arg[0] != '-') {

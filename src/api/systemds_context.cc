@@ -239,6 +239,15 @@ SystemDSContext::Builder& SystemDSContext::Builder::CompressionMinSize(
   config_.compression_min_size_bytes = bytes;
   return *this;
 }
+SystemDSContext::Builder& SystemDSContext::Builder::TransformThreads(int n) {
+  config_.transform_num_threads = n;
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::TransformOutput(
+    TransformOutputFormat format) {
+  config_.transform_output = format;
+  return *this;
+}
 SystemDSContext::Builder& SystemDSContext::Builder::Statistics(bool on) {
   config_.statistics = on;
   return *this;

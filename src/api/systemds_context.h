@@ -209,6 +209,15 @@ class SystemDSContext {
     Builder& CompressionMinRatio(double ratio);
     /// Matrices below this in-memory size are never compressed.
     Builder& CompressionMinSize(int64_t bytes);
+    /// Threads for transformencode/transformapply/transformdecode (0 =
+    /// the context's NumThreads). Fit/apply are chunked pipelines whose
+    /// results are bit-identical at every thread count.
+    Builder& TransformThreads(int n);
+    /// Output representation of transformencode/transformapply
+    /// (`dml_runner --transform-compressed` maps to
+    /// TransformOutput(kCompressed)). kAuto prices bytes per column;
+    /// compression enablement upgrades kDense to kAuto at compile time.
+    Builder& TransformOutput(TransformOutputFormat format);
     Builder& Statistics(bool on = true);
     /// Folds SystemDSContext::EnableTracing into construction.
     Builder& EnableTracing(std::string path);

@@ -5,7 +5,7 @@
 #include "api/systemds_context.h"
 #include "common/thread_pool.h"
 #include "common/util.h"
-#include "io/matrix_io.h"
+#include "io/io.h"
 #include "runtime/matrix/lib_datagen.h"
 #include "runtime/matrix/lib_elementwise.h"
 #include "runtime/matrix/lib_matmult.h"
@@ -20,9 +20,7 @@ namespace {
 // Single-threaded CSV read (the TF/Julia baselines parse sequentially;
 // string-to-double parsing is compute-intensive, §4.2 observation 1).
 StatusOr<MatrixBlock> ReadCsvSingleThreaded(const std::string& path) {
-  CsvOptions opts;
-  opts.num_threads = 1;
-  return ReadMatrixCsv(path, opts);
+  return io::Read(path, FormatDescriptor::Csv(',', false, 1));
 }
 
 Status WriteModels(const std::vector<MatrixBlock>& models,
@@ -32,7 +30,7 @@ Status WriteModels(const std::vector<MatrixBlock>& models,
   ptrs.reserve(models.size());
   for (const MatrixBlock& m : models) ptrs.push_back(&m);
   SYSDS_ASSIGN_OR_RETURN(MatrixBlock all, CBind(ptrs));
-  return WriteMatrixCsv(all, path);
+  return io::Write(all, path, FormatDescriptor::Csv());
 }
 
 StatusOr<MatrixBlock> RidgeSolve(const MatrixBlock& xtx,
@@ -191,8 +189,8 @@ Status GenerateSweepData(int64_t rows, int64_t cols, double sparsity,
       RandMatrix(rows, 1, -0.01, 0.01, 1.0, seed + 2, RandPdf::kUniform, 1));
   SYSDS_ASSIGN_OR_RETURN(
       y, BinaryMatrixMatrix(BinaryOpCode::kAdd, y, noise, 1));
-  SYSDS_RETURN_IF_ERROR(WriteMatrixCsv(x, x_csv));
-  return WriteMatrixCsv(y, y_csv);
+  SYSDS_RETURN_IF_ERROR(io::Write(x, x_csv, FormatDescriptor::Csv()));
+  return io::Write(y, y_csv, FormatDescriptor::Csv());
 }
 
 }  // namespace sysds

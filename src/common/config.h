@@ -14,6 +14,18 @@ enum class ReusePolicy {
   kPartial,      // full + compensation-plan based partial reuse
 };
 
+/// Output representation of transformencode/transformapply (§4.2 + §3.4):
+/// dummy-coded and recoded columns are natural DDC column groups, so the
+/// encoder can emit a CompressedMatrixBlock directly, skipping the dense
+/// intermediate and the sampling planner (the fitted dictionary gives exact
+/// cardinalities). kAuto prices bytes per column like the compression
+/// planner and falls back to dense below the min-ratio gate.
+enum class TransformOutputFormat {
+  kDense,       // always a dense/sparse MatrixBlock (legacy behaviour)
+  kCompressed,  // always a CompressedMatrixBlock
+  kAuto,        // per-column byte pricing + min-ratio gate decides
+};
+
 /// Global execution configuration. One instance is attached to each
 /// SystemDSContext; the defaults model the paper's driver configuration
 /// (local CP with optional distributed/federated operations chosen by
@@ -72,6 +84,15 @@ struct DMLConfig {
   int64_t compression_sample_rows = 2048;
   // Maximum width of a co-coded column group.
   int64_t compression_max_group_cols = 4;
+
+  // Feature-transform pipeline (runtime/frame/transform.h). The compiler
+  // plans the encode output format per instruction (PlanTransformOutputs):
+  // kDense is upgraded to kAuto when compression is enabled, so encode
+  // outputs feed downstream lmDS-style sweeps in compressed form.
+  TransformOutputFormat transform_output = TransformOutputFormat::kDense;
+  // Threads for transform fit/apply (0 = the instruction-level parallelism,
+  // i.e. num_threads / DefaultParallelism).
+  int transform_num_threads = 0;
 
   // Print instruction-level statistics at the end of a script run.
   bool statistics = false;

@@ -1386,6 +1386,10 @@ StatusOr<std::unique_ptr<Program>> CompileDML(const std::string& source,
     SYSDS_SPAN("compiler", "compress_rewrite");
     InjectCompression(program.get(), config);
   }
+  {
+    SYSDS_SPAN("compiler", "plan_transform_outputs");
+    PlanTransformOutputs(program.get(), config);
+  }
   return program;
 }
 

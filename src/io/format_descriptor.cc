@@ -39,10 +39,49 @@ StatusOr<FormatDescriptor> ParseFormatDescriptor(const std::string& json) {
       desc.columns.push_back(cd);
     }
   }
-  if (desc.columns.empty()) {
+  if (const JsonValue* t = root.Find("num_threads")) {
+    desc.num_threads = static_cast<int>(t->AsNumber());
+  }
+  // Matrix kinds carry their full layout in the file; only the generated
+  // frame readers need a column specification up front.
+  bool generated_kind = desc.kind == "delimited" ||
+                        desc.kind == "fixed-width" ||
+                        desc.kind == "key-value";
+  if (generated_kind && desc.columns.empty()) {
     return InvalidArgument("format descriptor requires 'columns'");
   }
   return desc;
+}
+
+FormatDescriptor FormatDescriptor::Csv(char delimiter, bool header,
+                                       int num_threads) {
+  FormatDescriptor d;
+  d.kind = "csv";
+  d.delimiter = delimiter;
+  d.header = header;
+  d.num_threads = num_threads;
+  return d;
+}
+
+FormatDescriptor FormatDescriptor::Binary() {
+  FormatDescriptor d;
+  d.kind = "binary";
+  return d;
+}
+
+FormatDescriptor FormatDescriptor::Ijv() {
+  FormatDescriptor d;
+  d.kind = "ijv";
+  return d;
+}
+
+StatusOr<FormatDescriptor> FormatDescriptor::FromFormatName(
+    const std::string& name) {
+  std::string n = ToLower(name);
+  if (n == "csv" || n == "text") return Csv();
+  if (n == "binary" || n == "bin") return Binary();
+  if (n == "ijv" || n == "mm" || n == "matrixmarket") return Ijv();
+  return InvalidArgument("unknown file format '" + name + "'");
 }
 
 namespace {

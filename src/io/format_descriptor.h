@@ -19,19 +19,37 @@ namespace sysds {
 /// widths, key order) are resolved once at generation time, not per line.
 ///
 /// Supported format kinds:
-///  - "delimited": delimiter, optional header, typed columns
-///  - "fixed-width": byte widths per column
-///  - "key-value": lines of k=v pairs, keys mapped to columns
+///  - "csv": delimited numeric matrix / string frame text
+///  - "binary": SystemDS binary block format (matrix)
+///  - "ijv": MatrixMarket-style coordinate text (matrix)
+///  - "delimited": delimiter, optional header, typed columns (frame)
+///  - "fixed-width": byte widths per column (frame)
+///  - "key-value": lines of k=v pairs, keys mapped to columns (frame)
+///
+/// The descriptor doubles as the key of the io:: format registry: every
+/// reader/writer is looked up by `kind`, so adding a format is one
+/// RegisterFormat call, not a new set of free functions.
 struct FormatDescriptor {
   std::string kind;
   char delimiter = ',';
   bool header = false;
+  // Parser threads for formats with parallel readers (0 = DefaultParallelism).
+  int num_threads = 0;
   struct ColumnDesc {
     std::string name;
     ValueType type = ValueType::kString;
     int64_t width = 0;  // fixed-width only
   };
   std::vector<ColumnDesc> columns;
+
+  // Convenience factories for the built-in matrix formats.
+  static FormatDescriptor Csv(char delimiter = ',', bool header = false,
+                              int num_threads = 0);
+  static FormatDescriptor Binary();
+  static FormatDescriptor Ijv();
+  /// Maps a user-facing format name ("csv"/"text", "binary"/"bin",
+  /// "ijv"/"mm"/"matrixmarket") to a descriptor of the canonical kind.
+  static StatusOr<FormatDescriptor> FromFormatName(const std::string& name);
 };
 
 /// Parses a JSON format descriptor, e.g.

@@ -1,0 +1,94 @@
+#ifndef SYSDS_IO_IO_H_
+#define SYSDS_IO_IO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "io/format_descriptor.h"
+#include "runtime/frame/frame_block.h"
+#include "runtime/matrix/matrix_block.h"
+
+namespace sysds {
+namespace io {
+
+/// A format's read side. Implementations override the entry points they
+/// support; the defaults return Unimplemented so a matrix-only format (e.g.
+/// binary blocks) needs no frame stub and vice versa.
+class Reader {
+ public:
+  virtual ~Reader() = default;
+  virtual StatusOr<MatrixBlock> ReadMatrix(const std::string& path,
+                                           const FormatDescriptor& desc) const;
+  virtual StatusOr<FrameBlock> ReadFrame(const std::string& path,
+                                         const FormatDescriptor& desc,
+                                         const std::vector<ValueType>& schema)
+      const;
+};
+
+/// A format's write side; same default-Unimplemented contract as Reader.
+class Writer {
+ public:
+  virtual ~Writer() = default;
+  virtual Status WriteMatrix(const MatrixBlock& m, const std::string& path,
+                             const FormatDescriptor& desc) const;
+  virtual Status WriteFrame(const FrameBlock& f, const std::string& path,
+                            const FormatDescriptor& desc) const;
+};
+
+/// Registry mapping FormatDescriptor::kind to its Reader/Writer. The
+/// built-in formats (csv, binary, ijv, and the generated frame kinds
+/// delimited/fixed-width/key-value) self-register; external formats add one
+/// RegisterFormat call. Lookup is by exact kind string — callers usually go
+/// through FormatDescriptor::FromFormatName first.
+class FormatRegistry {
+ public:
+  static FormatRegistry& Get();
+
+  /// Registers (or replaces) a format; either side may be null for
+  /// read-only / write-only formats.
+  void RegisterFormat(const std::string& kind, std::unique_ptr<Reader> reader,
+                      std::unique_ptr<Writer> writer);
+
+  StatusOr<const Reader*> FindReader(const std::string& kind) const;
+  StatusOr<const Writer*> FindWriter(const std::string& kind) const;
+  std::vector<std::string> Kinds() const;
+
+ private:
+  FormatRegistry();
+  struct Entry {
+    std::unique_ptr<Reader> reader;
+    std::unique_ptr<Writer> writer;
+  };
+  std::vector<std::pair<std::string, Entry>> formats_;
+};
+
+// ---------------------------------------------------------------------------
+// Unified entry points: one Read/Write pair for every format, keyed by the
+// descriptor. These replace the per-format free functions of matrix_io.h
+// (ReadMatrixCsv, WriteMatrixBinary, ...), which survive only as deprecated
+// shims over this API for one release.
+
+/// Reads a matrix in the format named by desc.kind.
+StatusOr<MatrixBlock> Read(const std::string& path,
+                           const FormatDescriptor& desc);
+
+/// Reads a frame. An empty schema means all-string columns inferred from
+/// the first row (csv) or the descriptor's columns (generated kinds).
+StatusOr<FrameBlock> ReadFrame(const std::string& path,
+                               const FormatDescriptor& desc,
+                               const std::vector<ValueType>& schema = {});
+
+/// Writes a matrix in the format named by desc.kind.
+Status Write(const MatrixBlock& m, const std::string& path,
+             const FormatDescriptor& desc);
+
+/// Writes a frame in the format named by desc.kind.
+Status Write(const FrameBlock& f, const std::string& path,
+             const FormatDescriptor& desc);
+
+}  // namespace io
+}  // namespace sysds
+
+#endif  // SYSDS_IO_IO_H_

@@ -1,15 +1,21 @@
 #include "io/matrix_io.h"
 
-#include <algorithm>
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <vector>
-
-#include "common/thread_pool.h"
 #include "common/util.h"
 
 namespace sysds {
+
+// Deprecated shim layer: every entry point forwards to the io:: format
+// registry. Kept one release for out-of-tree callers; nothing inside the
+// repo should call these (callers were migrated to io::Read/io::Write).
+
+namespace {
+
+FormatDescriptor CsvDesc(const CsvOptions& opts) {
+  return FormatDescriptor::Csv(opts.delimiter, opts.header,
+                               opts.num_threads);
+}
+
+}  // namespace
 
 StatusOr<FileFormat> ParseFileFormat(const std::string& name) {
   std::string n = ToLower(name);
@@ -19,283 +25,30 @@ StatusOr<FileFormat> ParseFileFormat(const std::string& name) {
   return InvalidArgument("unknown file format '" + name + "'");
 }
 
-namespace {
-
-StatusOr<std::string> ReadFileToString(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return IoError("cannot open '" + path + "' for reading");
-  std::string content((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-  return content;
-}
-
-// Splits [0, size) into chunks aligned to line boundaries.
-std::vector<std::pair<size_t, size_t>> LineAlignedChunks(
-    const std::string& data, int num_chunks) {
-  std::vector<std::pair<size_t, size_t>> chunks;
-  size_t size = data.size();
-  size_t target = size / static_cast<size_t>(num_chunks) + 1;
-  size_t begin = 0;
-  while (begin < size) {
-    size_t end = std::min(size, begin + target);
-    while (end < size && data[end] != '\n') ++end;
-    if (end < size) ++end;  // include the newline
-    chunks.emplace_back(begin, end);
-    begin = end;
-  }
-  return chunks;
-}
-
-// Fast double parse of data[b..e): strtod on a bounded token.
-inline double ParseDoubleToken(const char* s, size_t len) {
-  char buf[64];
-  len = std::min(len, sizeof(buf) - 1);
-  std::memcpy(buf, s, len);
-  buf[len] = '\0';
-  return std::strtod(buf, nullptr);
-}
-
-}  // namespace
-
 StatusOr<MatrixBlock> ReadMatrixCsv(const std::string& path,
                                     const CsvOptions& opts) {
-  SYSDS_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
-  int threads = opts.num_threads > 0 ? opts.num_threads : DefaultParallelism();
-
-  // First pass: find row offsets is implicit in chunking; we count columns
-  // from the first data line.
-  size_t pos = 0;
-  if (opts.header) {
-    size_t nl = data.find('\n');
-    pos = nl == std::string::npos ? data.size() : nl + 1;
-  }
-  if (pos >= data.size()) return MatrixBlock::Dense(0, 0);
-
-  size_t first_end = data.find('\n', pos);
-  if (first_end == std::string::npos) first_end = data.size();
-  int64_t cols = 1;
-  for (size_t i = pos; i < first_end; ++i) {
-    if (data[i] == opts.delimiter) ++cols;
-  }
-
-  // Count rows (newlines in the body; tolerate missing trailing newline).
-  int64_t rows = 0;
-  for (size_t i = pos; i < data.size(); ++i) {
-    if (data[i] == '\n') ++rows;
-  }
-  if (!data.empty() && data.back() != '\n') ++rows;
-
-  MatrixBlock m = MatrixBlock::Dense(rows, cols);
-  std::string body = data.substr(pos);
-  auto chunks = LineAlignedChunks(body, threads);
-
-  // Precompute the starting row of each chunk.
-  std::vector<int64_t> chunk_row(chunks.size() + 1, 0);
-  for (size_t c = 0; c < chunks.size(); ++c) {
-    int64_t lines = 0;
-    for (size_t i = chunks[c].first; i < chunks[c].second; ++i) {
-      if (body[i] == '\n') ++lines;
-    }
-    if (chunks[c].second == body.size() && !body.empty() &&
-        body.back() != '\n') {
-      ++lines;
-    }
-    chunk_row[c + 1] = chunk_row[c] + lines;
-  }
-
-  std::vector<Status> chunk_status(chunks.size());
-  ThreadPool::Global().ParallelFor(
-      0, static_cast<int64_t>(chunks.size()),
-      static_cast<int64_t>(chunks.size()), [&](int64_t cb, int64_t ce) {
-        for (int64_t c = cb; c < ce; ++c) {
-          const char* p = body.data() + chunks[c].first;
-          const char* end = body.data() + chunks[c].second;
-          int64_t row = chunk_row[c];
-          while (p < end) {
-            const char* line_end = static_cast<const char*>(
-                std::memchr(p, '\n', static_cast<size_t>(end - p)));
-            if (line_end == nullptr) line_end = end;
-            double* out = m.DenseRow(row);
-            int64_t col = 0;
-            const char* tok = p;
-            for (const char* q = p; q <= line_end; ++q) {
-              if (q == line_end || *q == opts.delimiter) {
-                if (col < cols) {
-                  out[col++] = ParseDoubleToken(
-                      tok, static_cast<size_t>(q - tok));
-                }
-                tok = q + 1;
-              }
-            }
-            if (col != cols) {
-              chunk_status[c] = IoError(
-                  "csv: row " + std::to_string(row + 1) + " has " +
-                  std::to_string(col) + " columns, expected " +
-                  std::to_string(cols));
-              return;
-            }
-            ++row;
-            p = line_end + 1;
-          }
-        }
-      });
-  for (const Status& s : chunk_status) SYSDS_RETURN_IF_ERROR(s);
-  m.MarkNnzDirty();
-  m.ExamSparsity();
-  return m;
+  return io::Read(path, CsvDesc(opts));
 }
 
 Status WriteMatrixCsv(const MatrixBlock& m, const std::string& path,
                       const CsvOptions& opts) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return IoError("cannot open '" + path + "' for writing");
-  char buf[64];
-  for (int64_t r = 0; r < m.Rows(); ++r) {
-    for (int64_t c = 0; c < m.Cols(); ++c) {
-      double v = m.Get(r, c);
-      int len = std::snprintf(buf, sizeof(buf), "%.17g", v);
-      if (c > 0) std::fputc(opts.delimiter, f);
-      std::fwrite(buf, 1, static_cast<size_t>(len), f);
-    }
-    std::fputc('\n', f);
-  }
-  std::fclose(f);
-  return Status::Ok();
-}
-
-namespace {
-constexpr uint64_t kBinaryMagic = 0x53595344424d4231ULL;  // "SYSDBMB1"
-}  // namespace
-
-Status WriteMatrixBinary(const MatrixBlock& m, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return IoError("cannot open '" + path + "' for writing");
-  uint64_t magic = kBinaryMagic;
-  int64_t rows = m.Rows(), cols = m.Cols(), nnz = m.NonZeros();
-  uint8_t sparse = m.IsSparse() ? 1 : 0;
-  out.write(reinterpret_cast<const char*>(&magic), 8);
-  out.write(reinterpret_cast<const char*>(&rows), 8);
-  out.write(reinterpret_cast<const char*>(&cols), 8);
-  out.write(reinterpret_cast<const char*>(&nnz), 8);
-  out.write(reinterpret_cast<const char*>(&sparse), 1);
-  if (!m.IsSparse()) {
-    out.write(reinterpret_cast<const char*>(m.DenseData()),
-              static_cast<std::streamsize>(rows * cols * 8));
-  } else {
-    for (int64_t r = 0; r < rows; ++r) {
-      const SparseRow& row = m.SparseData().Row(r);
-      int64_t n = row.Size();
-      out.write(reinterpret_cast<const char*>(&n), 8);
-      out.write(reinterpret_cast<const char*>(row.Indexes()),
-                static_cast<std::streamsize>(n * 8));
-      out.write(reinterpret_cast<const char*>(row.Values()),
-                static_cast<std::streamsize>(n * 8));
-    }
-  }
-  if (!out) return IoError("write failed for '" + path + "'");
-  return Status::Ok();
+  return io::Write(m, path, CsvDesc(opts));
 }
 
 StatusOr<MatrixBlock> ReadMatrixBinary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return IoError("cannot open '" + path + "' for reading");
-  uint64_t magic = 0;
-  int64_t rows = 0, cols = 0, nnz = 0;
-  uint8_t sparse = 0;
-  in.read(reinterpret_cast<char*>(&magic), 8);
-  if (magic != kBinaryMagic) {
-    return IoError("'" + path + "' is not a SystemDS binary matrix");
-  }
-  in.read(reinterpret_cast<char*>(&rows), 8);
-  in.read(reinterpret_cast<char*>(&cols), 8);
-  in.read(reinterpret_cast<char*>(&nnz), 8);
-  in.read(reinterpret_cast<char*>(&sparse), 1);
-  MatrixBlock m(rows, cols, sparse != 0);
-  if (!sparse) {
-    in.read(reinterpret_cast<char*>(m.DenseData()),
-            static_cast<std::streamsize>(rows * cols * 8));
-  } else {
-    for (int64_t r = 0; r < rows; ++r) {
-      int64_t n = 0;
-      in.read(reinterpret_cast<char*>(&n), 8);
-      SparseRow& row = m.SparseData().Row(r);
-      row.Reserve(n);
-      std::vector<int64_t> idx(static_cast<size_t>(n));
-      std::vector<double> val(static_cast<size_t>(n));
-      in.read(reinterpret_cast<char*>(idx.data()),
-              static_cast<std::streamsize>(n * 8));
-      in.read(reinterpret_cast<char*>(val.data()),
-              static_cast<std::streamsize>(n * 8));
-      for (int64_t p = 0; p < n; ++p) row.Append(idx[p], val[p]);
-    }
-  }
-  if (!in) return IoError("truncated binary matrix '" + path + "'");
-  m.SetNonZeros(nnz);
-  return m;
+  return io::Read(path, FormatDescriptor::Binary());
 }
 
-Status WriteMatrixIjv(const MatrixBlock& m, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return IoError("cannot open '" + path + "' for writing");
-  std::fprintf(f, "%%%% %lld %lld %lld\n",
-               static_cast<long long>(m.Rows()),
-               static_cast<long long>(m.Cols()),
-               static_cast<long long>(m.NonZeros()));
-  for (int64_t r = 0; r < m.Rows(); ++r) {
-    if (m.IsSparse()) {
-      const SparseRow& row = m.SparseData().Row(r);
-      for (int64_t p = 0; p < row.Size(); ++p) {
-        std::fprintf(f, "%lld %lld %.17g\n", static_cast<long long>(r + 1),
-                     static_cast<long long>(row.Indexes()[p] + 1),
-                     row.Values()[p]);
-      }
-    } else {
-      for (int64_t c = 0; c < m.Cols(); ++c) {
-        double v = m.Get(r, c);
-        if (v != 0.0) {
-          std::fprintf(f, "%lld %lld %.17g\n", static_cast<long long>(r + 1),
-                       static_cast<long long>(c + 1), v);
-        }
-      }
-    }
-  }
-  std::fclose(f);
-  return Status::Ok();
+Status WriteMatrixBinary(const MatrixBlock& m, const std::string& path) {
+  return io::Write(m, path, FormatDescriptor::Binary());
 }
 
 StatusOr<MatrixBlock> ReadMatrixIjv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return IoError("cannot open '" + path + "' for reading");
-  std::string header;
-  if (!std::getline(in, header) || header.size() < 2 ||
-      header.compare(0, 2, "%%") != 0) {
-    return IoError("ijv: missing %% header in '" + path + "'");
-  }
-  long long rows = 0, cols = 0, nnz = 0;
-  if (std::sscanf(header.c_str(), "%%%% %lld %lld %lld", &rows, &cols,
-                  &nnz) < 2) {
-    return IoError("ijv: malformed header '" + header + "'");
-  }
-  double sparsity = rows * cols > 0
-                        ? static_cast<double>(nnz) / (rows * cols)
-                        : 1.0;
-  MatrixBlock m(rows, cols,
-                MatrixBlock::EvalSparseFormat(rows, cols, sparsity));
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    long long r = 0, c = 0;
-    double v = 0.0;
-    if (std::sscanf(line.c_str(), "%lld %lld %lf", &r, &c, &v) != 3) {
-      return IoError("ijv: malformed line '" + line + "'");
-    }
-    if (r < 1 || r > rows || c < 1 || c > cols) {
-      return IoError("ijv: cell index out of declared bounds");
-    }
-    m.Set(r - 1, c - 1, v);
-  }
-  m.MarkNnzDirty();
-  return m;
+  return io::Read(path, FormatDescriptor::Ijv());
+}
+
+Status WriteMatrixIjv(const MatrixBlock& m, const std::string& path) {
+  return io::Write(m, path, FormatDescriptor::Ijv());
 }
 
 StatusOr<MatrixBlock> ReadMatrix(const std::string& path, FileFormat format,
@@ -321,67 +74,12 @@ Status WriteMatrix(const MatrixBlock& m, const std::string& path,
 StatusOr<FrameBlock> ReadFrameCsv(const std::string& path,
                                   const std::vector<ValueType>& schema,
                                   const CsvOptions& opts) {
-  SYSDS_ASSIGN_OR_RETURN(std::string data, ReadFileToString(path));
-  std::vector<std::string> lines;
-  size_t start = 0;
-  while (start < data.size()) {
-    size_t nl = data.find('\n', start);
-    if (nl == std::string::npos) nl = data.size();
-    if (nl > start) lines.push_back(data.substr(start, nl - start));
-    start = nl + 1;
-  }
-  if (lines.empty()) return FrameBlock(0, schema);
-
-  std::vector<std::string> names;
-  size_t body_start = 0;
-  if (opts.header) {
-    names = SplitString(lines[0], opts.delimiter);
-    body_start = 1;
-  }
-  int64_t rows = static_cast<int64_t>(lines.size() - body_start);
-  std::vector<ValueType> sch = schema;
-  int64_t cols = static_cast<int64_t>(
-      SplitString(lines[body_start < lines.size() ? body_start : 0],
-                  opts.delimiter)
-          .size());
-  if (sch.empty()) {
-    sch.assign(static_cast<size_t>(cols), ValueType::kString);
-  }
-  if (static_cast<int64_t>(sch.size()) != cols) {
-    return IoError("frame csv: schema size does not match column count");
-  }
-  FrameBlock f(rows, sch, names);
-  for (int64_t r = 0; r < rows; ++r) {
-    std::vector<std::string> cells =
-        SplitString(lines[static_cast<size_t>(r) + body_start],
-                    opts.delimiter);
-    if (static_cast<int64_t>(cells.size()) != cols) {
-      return IoError("frame csv: ragged row " + std::to_string(r + 1));
-    }
-    for (int64_t c = 0; c < cols; ++c) f.SetString(r, c, cells[c]);
-  }
-  return f;
+  return io::ReadFrame(path, CsvDesc(opts), schema);
 }
 
 Status WriteFrameCsv(const FrameBlock& f, const std::string& path,
                      const CsvOptions& opts) {
-  std::ofstream out(path);
-  if (!out) return IoError("cannot open '" + path + "' for writing");
-  if (opts.header) {
-    for (int64_t c = 0; c < f.Cols(); ++c) {
-      if (c > 0) out << opts.delimiter;
-      out << f.ColumnNames()[c];
-    }
-    out << "\n";
-  }
-  for (int64_t r = 0; r < f.Rows(); ++r) {
-    for (int64_t c = 0; c < f.Cols(); ++c) {
-      if (c > 0) out << opts.delimiter;
-      out << f.GetString(r, c);
-    }
-    out << "\n";
-  }
-  return Status::Ok();
+  return io::Write(f, path, CsvDesc(opts));
 }
 
 }  // namespace sysds

@@ -4,50 +4,48 @@
 #include <string>
 
 #include "common/status.h"
+#include "io/io.h"
 #include "runtime/frame/frame_block.h"
 #include "runtime/matrix/matrix_block.h"
 
 namespace sysds {
 
-/// Supported external formats (§3.2: CSV/text plus an efficient binary
-/// block format; IJV doubles as the MatrixMarket-style text format).
+// DEPRECATED: this header survives one release as a shim layer. The
+// per-format free functions below forward to the io:: format registry
+// (io/io.h) — use io::Read / io::ReadFrame / io::Write with a
+// FormatDescriptor instead. New formats register with FormatRegistry and
+// never appear here.
+
+/// DEPRECATED: use FormatDescriptor::FromFormatName.
 enum class FileFormat { kCsv, kBinary, kIjv };
 
 StatusOr<FileFormat> ParseFileFormat(const std::string& name);
 
+/// DEPRECATED: use FormatDescriptor fields (delimiter/header/num_threads).
 struct CsvOptions {
   char delimiter = ',';
   bool header = false;
-  // Number of parser threads (0 = DefaultParallelism). The reader splits
-  // the file into line-aligned chunks parsed in parallel — the
-  // "multi-threaded I/O ... because string-to-double parsing is compute-
-  // intensive" observation of §4.2.
+  // Number of parser threads (0 = DefaultParallelism).
   int num_threads = 0;
 };
 
-// Matrix readers/writers.
+// DEPRECATED matrix readers/writers; thin wrappers over io::Read/io::Write.
 StatusOr<MatrixBlock> ReadMatrixCsv(const std::string& path,
                                     const CsvOptions& opts = {});
 Status WriteMatrixCsv(const MatrixBlock& m, const std::string& path,
                       const CsvOptions& opts = {});
-
-/// Binary block format: little-endian header (magic, rows, cols, nnz,
-/// format flag) followed by dense cells or per-row sparse runs.
 StatusOr<MatrixBlock> ReadMatrixBinary(const std::string& path);
 Status WriteMatrixBinary(const MatrixBlock& m, const std::string& path);
-
-/// IJV text: "row col value" per line, 1-based, with a "%%" header line
-/// carrying dims (MatrixMarket coordinate subset).
 StatusOr<MatrixBlock> ReadMatrixIjv(const std::string& path);
 Status WriteMatrixIjv(const MatrixBlock& m, const std::string& path);
 
-/// Dispatch by format.
+// DEPRECATED dispatch by format enum.
 StatusOr<MatrixBlock> ReadMatrix(const std::string& path, FileFormat format,
                                  const CsvOptions& opts = {});
 Status WriteMatrix(const MatrixBlock& m, const std::string& path,
                    FileFormat format, const CsvOptions& opts = {});
 
-// Frame readers/writers (CSV with optional header and schema line).
+// DEPRECATED frame readers/writers.
 StatusOr<FrameBlock> ReadFrameCsv(const std::string& path,
                                   const std::vector<ValueType>& schema,
                                   const CsvOptions& opts = {});

@@ -314,6 +314,76 @@ int64_t ColGroup::SizeInBytes() const {
          static_cast<int64_t>(col_has_nonfinite.size());
 }
 
+StatusOr<ColGroup> BuildDdcGroupFromCodes(std::vector<int64_t> cols,
+                                          std::vector<double> dict,
+                                          const uint16_t* codes, int64_t rows,
+                                          int64_t* nnz_out) {
+  const int64_t ncols = static_cast<int64_t>(cols.size());
+  if (ncols == 0 || dict.empty() || dict.size() % cols.size() != 0) {
+    return InvalidArgument("ddc group: dict must hold whole tuples");
+  }
+  const int64_t d = static_cast<int64_t>(dict.size()) / ncols;
+  if (d > kMaxDictSize) {
+    return InvalidArgument("ddc group: dictionary exceeds 65536 tuples");
+  }
+  ColGroup g;
+  g.cols = std::move(cols);
+  g.dict = std::move(dict);
+  g.col_has_nonfinite.assign(static_cast<size_t>(ncols), 0);
+  std::vector<int32_t> tuple_nnz(static_cast<size_t>(d), 0);
+  for (int64_t k = 0; k < d; ++k) {
+    for (int64_t j = 0; j < ncols; ++j) {
+      double v = g.dict[static_cast<size_t>(k * ncols + j)];
+      if (!std::isfinite(v)) g.col_has_nonfinite[static_cast<size_t>(j)] = 1;
+      tuple_nnz[static_cast<size_t>(k)] += (v != 0.0);
+    }
+  }
+  int64_t nnz = 0;
+  if (d <= 256) {
+    g.encoding = ColEncoding::kDDC1;
+    g.codes8.resize(static_cast<size_t>(rows));
+    for (int64_t r = 0; r < rows; ++r) {
+      uint16_t c = codes[r];
+      if (c >= d) return InvalidArgument("ddc group: code out of range");
+      g.codes8[static_cast<size_t>(r)] = static_cast<uint8_t>(c);
+      nnz += tuple_nnz[c];
+    }
+  } else {
+    g.encoding = ColEncoding::kDDC2;
+    g.codes16.assign(codes, codes + rows);
+    for (int64_t r = 0; r < rows; ++r) {
+      uint16_t c = codes[r];
+      if (c >= d) return InvalidArgument("ddc group: code out of range");
+      nnz += tuple_nnz[c];
+    }
+  }
+  *nnz_out += nnz;
+  return g;
+}
+
+ColGroup BuildUncompressedGroup(std::vector<int64_t> cols,
+                                std::vector<double> values, int64_t rows,
+                                int64_t* nnz_out) {
+  const int64_t ncols = static_cast<int64_t>(cols.size());
+  ColGroup g;
+  g.encoding = ColEncoding::kUncompressed;
+  g.cols = std::move(cols);
+  g.values = std::move(values);
+  g.col_has_nonfinite.assign(static_cast<size_t>(ncols), 0);
+  int64_t nnz = 0;
+  for (int64_t j = 0; j < ncols; ++j) {
+    const double* src = g.values.data() + j * rows;
+    bool nonfinite = false;
+    for (int64_t r = 0; r < rows; ++r) {
+      nnz += (src[r] != 0.0);
+      nonfinite |= !std::isfinite(src[r]);
+    }
+    g.col_has_nonfinite[static_cast<size_t>(j)] = nonfinite ? 1 : 0;
+  }
+  *nnz_out += nnz;
+  return g;
+}
+
 void CompressedMatrixBlock::RebuildColIndex() {
   col_to_group_.assign(static_cast<size_t>(cols_), -1);
   for (size_t gi = 0; gi < groups_.size(); ++gi) {

@@ -65,6 +65,25 @@ struct ColGroup {
   int64_t SizeInBytes() const;
 };
 
+/// Direct-encode construction of a dictionary-coded group, bypassing the
+/// sampling planner: the producer (transformencode's direct-to-compressed
+/// sink) already knows the exact dictionary and per-row codes — recode
+/// codes *are* DDC codes. `dict` holds row-major tuples over `cols`;
+/// `codes[r]` indexes a tuple and every code must be < the tuple count,
+/// which must be <= 65536. Picks kDDC1/kDDC2 from the dictionary size and
+/// derives nnz (accumulated into *nnz_out) and the per-column nonfinite
+/// flags from the dictionary alone.
+StatusOr<ColGroup> BuildDdcGroupFromCodes(std::vector<int64_t> cols,
+                                          std::vector<double> dict,
+                                          const uint16_t* codes, int64_t rows,
+                                          int64_t* nnz_out);
+
+/// Uncompressed fallback group from column-major values (`rows` cells per
+/// column); computes nnz (into *nnz_out) and the nonfinite flags by scan.
+ColGroup BuildUncompressedGroup(std::vector<int64_t> cols,
+                                std::vector<double> values, int64_t rows,
+                                int64_t* nnz_out);
+
 /// Lossless compressed matrix (paper §3.4): a list of column groups, each
 /// with its own encoding. Key linear-algebra operations execute directly on
 /// the compressed representation — value-indexed pre-aggregation turns

@@ -4,7 +4,7 @@
 #include <sstream>
 
 #include "common/faults.h"
-#include "io/matrix_io.h"
+#include "io/io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "runtime/bufferpool/buffer_pool.h"
@@ -264,7 +264,8 @@ StatusOr<bool> MatrixObject::EvictTo(const std::string& path) {
     SYSDS_RETURN_IF_ERROR(WriteCompressedBinary(*compressed_, path));
     spilled_compressed_ = true;
   } else {
-    SYSDS_RETURN_IF_ERROR(WriteMatrixBinary(*block_, path));
+    SYSDS_RETURN_IF_ERROR(
+        io::Write(*block_, path, FormatDescriptor::Binary()));
     spilled_compressed_ = false;
   }
   evicted_path_ = path;
@@ -299,7 +300,7 @@ Status MatrixObject::RestoreLocked() {
           std::move(restored).value());
       return Status::Ok();
     }
-    auto restored = ReadMatrixBinary(evicted_path_);
+    auto restored = io::Read(evicted_path_, FormatDescriptor::Binary());
     if (!restored.ok()) {
       last = restored.status();
       continue;

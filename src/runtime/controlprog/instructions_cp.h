@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/config.h"
 #include "common/status.h"
 #include "runtime/controlprog/instruction.h"
 #include "runtime/matrix/lib_fused.h"
@@ -184,6 +185,13 @@ class ParamBuiltinInstr final : public Instruction {
   bool IsReusable() const override;
 
   std::vector<std::string>& ParamNames() { return param_names_; }
+
+  /// Planned output representation for transformencode/transformapply,
+  /// stamped by the compiler's PlanTransformOutputs pass: kDense unless the
+  /// config (or the compression rewrite) marks encode outputs
+  /// compression-eligible, in which case Apply prices bytes per column and
+  /// may emit a CompressedMatrixBlock directly.
+  TransformOutputFormat planned_output = TransformOutputFormat::kDense;
 
  private:
   StatusOr<const Operand*> Param(const std::string& name) const;

@@ -3,7 +3,7 @@
 #include <sstream>
 #include <vector>
 
-#include "io/matrix_io.h"
+#include "io/io.h"
 #include "lineage/lineage.h"
 #include "runtime/ps/param_server.h"
 #include "runtime/controlprog/execution_context.h"
@@ -87,6 +87,39 @@ bool ParamBuiltinInstr::IsReusable() const {
   return opcode() == "replace" || opcode() == "removeEmpty" ||
          opcode() == "order" || opcode() == "table";
 }
+
+namespace {
+
+// Encode options for transformencode/transformapply: the compiler-planned
+// output format (falling back to the session config for instructions built
+// outside the compiler), the configured transform parallelism, and the
+// compression planner's min-ratio gate for kAuto pricing.
+EncodeOptions TransformEncodeOptions(ExecutionContext* ec,
+                                     TransformOutputFormat planned) {
+  const DMLConfig& cfg = ec->Config();
+  EncodeOptions opts;
+  opts.output =
+      planned != TransformOutputFormat::kDense ? planned : cfg.transform_output;
+  opts.num_threads = cfg.transform_num_threads > 0 ? cfg.transform_num_threads
+                                                   : ec->NumThreads();
+  opts.min_ratio = cfg.compression_min_ratio;
+  return opts;
+}
+
+// Binds an encode result to a variable: compressed outputs become
+// compressed matrix objects directly (no dense intermediate), so downstream
+// compressed kernels run on them as if the compression rewrite had fired.
+void SetEncodedOutput(ExecutionContext* ec, const Operand& out,
+                      EncodedOutput x) {
+  if (x.IsCompressed()) {
+    ec->SetOutput(out,
+                  std::make_shared<MatrixObject>(std::move(x.Compressed())));
+  } else {
+    ec->SetOutput(out, std::make_shared<MatrixObject>(std::move(x.Dense())));
+  }
+}
+
+}  // namespace
 
 Status ParamBuiltinInstr::Execute(ExecutionContext* ec) {
   const std::string& op = opcode();
@@ -207,10 +240,12 @@ Status ParamBuiltinInstr::Execute(ExecutionContext* ec) {
     SYSDS_ASSIGN_OR_RETURN(std::string spec_json, ec->GetString(*spec));
     SYSDS_ASSIGN_OR_RETURN(TransformSpec tspec,
                            ParseTransformSpec(spec_json, f->Frame()));
-    SYSDS_ASSIGN_OR_RETURN(MultiColumnEncoder enc,
-                           MultiColumnEncoder::Fit(f->Frame(), tspec));
-    SYSDS_ASSIGN_OR_RETURN(MatrixBlock x, enc.Apply(f->Frame()));
-    ec->SetOutput(outputs()[0], std::make_shared<MatrixObject>(std::move(x)));
+    EncodeOptions opts = TransformEncodeOptions(ec, planned_output);
+    SYSDS_ASSIGN_OR_RETURN(
+        MultiColumnEncoder enc,
+        MultiColumnEncoder::Fit(f->Frame(), tspec, opts.num_threads));
+    SYSDS_ASSIGN_OR_RETURN(EncodedOutput x, enc.Apply(f->Frame(), opts));
+    SetEncodedOutput(ec, outputs()[0], std::move(x));
     ec->SetOutput(outputs()[1],
                   std::make_shared<FrameObject>(enc.MetaFrame()));
     return Status::Ok();
@@ -227,8 +262,9 @@ Status ParamBuiltinInstr::Execute(ExecutionContext* ec) {
     SYSDS_ASSIGN_OR_RETURN(
         MultiColumnEncoder enc,
         MultiColumnEncoder::FromMeta(tspec, mf->Frame(), f->Frame().Cols()));
-    SYSDS_ASSIGN_OR_RETURN(MatrixBlock x, enc.Apply(f->Frame()));
-    ec->SetOutput(outputs()[0], std::make_shared<MatrixObject>(std::move(x)));
+    EncodeOptions opts = TransformEncodeOptions(ec, planned_output);
+    SYSDS_ASSIGN_OR_RETURN(EncodedOutput x, enc.Apply(f->Frame(), opts));
+    SetEncodedOutput(ec, outputs()[0], std::move(x));
     return Status::Ok();
   }
   if (op == "transformdecode") {
@@ -246,7 +282,9 @@ Status ParamBuiltinInstr::Execute(ExecutionContext* ec) {
         MultiColumnEncoder enc,
         MultiColumnEncoder::FromMeta(tspec, mf->Frame(), lf->Frame().Cols()));
     SYSDS_ACQUIRE_READ(b, m);
-    auto decoded = enc.Decode(b, lf->Frame());
+    auto decoded =
+        enc.Decode(b, lf->Frame(), TransformEncodeOptions(ec, planned_output)
+                                       .num_threads);
     m->Release();
     if (!decoded.ok()) return decoded.status();
     ec->SetOutput(outputs()[0],
@@ -258,17 +296,20 @@ Status ParamBuiltinInstr::Execute(ExecutionContext* ec) {
 
 Status ReadInstr::Execute(ExecutionContext* ec) {
   SYSDS_ASSIGN_OR_RETURN(std::string path, ec->GetString(inputs()[0]));
-  SYSDS_ASSIGN_OR_RETURN(FileFormat ff, ParseFileFormat(format));
-  CsvOptions opts;
-  opts.header = header;
-  opts.delimiter = sep;
-  opts.num_threads = ec->NumThreads();
+  SYSDS_ASSIGN_OR_RETURN(FormatDescriptor desc,
+                         FormatDescriptor::FromFormatName(format));
+  desc.header = header;
+  desc.delimiter = sep;
+  desc.num_threads = ec->NumThreads();
   if (data_type == "frame") {
-    SYSDS_ASSIGN_OR_RETURN(FrameBlock f, ReadFrameCsv(path, {}, opts));
+    // Frames are csv text regardless of the matrix format name.
+    FormatDescriptor fdesc =
+        FormatDescriptor::Csv(sep, header, ec->NumThreads());
+    SYSDS_ASSIGN_OR_RETURN(FrameBlock f, io::ReadFrame(path, fdesc));
     ec->SetOutput(outputs()[0], std::make_shared<FrameObject>(std::move(f)));
     return Status::Ok();
   }
-  SYSDS_ASSIGN_OR_RETURN(MatrixBlock m, ReadMatrix(path, ff, opts));
+  SYSDS_ASSIGN_OR_RETURN(MatrixBlock m, io::Read(path, desc));
   ec->SetOutput(outputs()[0], std::make_shared<MatrixObject>(std::move(m)));
   return Status::Ok();
 }
@@ -276,18 +317,18 @@ Status ReadInstr::Execute(ExecutionContext* ec) {
 Status WriteInstr::Execute(ExecutionContext* ec) {
   SYSDS_ASSIGN_OR_RETURN(DataPtr d, ec->Resolve(inputs()[0]));
   SYSDS_ASSIGN_OR_RETURN(std::string path, ec->GetString(inputs()[1]));
-  SYSDS_ASSIGN_OR_RETURN(FileFormat ff, ParseFileFormat(format));
-  CsvOptions opts;
-  opts.header = header;
-  opts.delimiter = sep;
+  SYSDS_ASSIGN_OR_RETURN(FormatDescriptor desc,
+                         FormatDescriptor::FromFormatName(format));
+  desc.header = header;
+  desc.delimiter = sep;
   if (auto* m = dynamic_cast<MatrixObject*>(d.get())) {
     SYSDS_ACQUIRE_READ(b, m);
-    Status s = WriteMatrix(b, path, ff, opts);
+    Status s = io::Write(b, path, desc);
     m->Release();
     return s;
   }
   if (auto* f = dynamic_cast<FrameObject*>(d.get())) {
-    return WriteFrameCsv(f->Frame(), path, opts);
+    return io::Write(f->Frame(), path, FormatDescriptor::Csv(sep, header));
   }
   if (auto* s = dynamic_cast<ScalarObject*>(d.get())) {
     std::ofstream out(path);

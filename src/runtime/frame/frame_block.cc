@@ -71,6 +71,16 @@ void FrameBlock::SetDouble(int64_t r, int64_t c, double v) {
   }
 }
 
+const std::string* FrameBlock::StringData(int64_t c) const {
+  const Column& col = columns_[static_cast<size_t>(c)];
+  return col.IsString() ? col.str.data() : nullptr;
+}
+
+const double* FrameBlock::NumericData(int64_t c) const {
+  const Column& col = columns_[static_cast<size_t>(c)];
+  return col.IsString() ? nullptr : col.num.data();
+}
+
 void FrameBlock::AppendRow() {
   ++rows_;
   for (Column& col : columns_) {

@@ -35,6 +35,13 @@ class FrameBlock {
   void SetString(int64_t r, int64_t c, const std::string& v);
   void SetDouble(int64_t r, int64_t c, double v);
 
+  /// Direct read-only view of a string column's cells, or nullptr for
+  /// numeric columns. The encode hot loops use these instead of GetString
+  /// (which copies the cell) / GetDouble.
+  const std::string* StringData(int64_t c) const;
+  /// Direct view of a numeric column's cells, or nullptr for string columns.
+  const double* NumericData(int64_t c) const;
+
   /// Appends an empty row (cells default to 0/"").
   void AppendRow();
 

@@ -1,0 +1,63 @@
+#ifndef SYSDS_RUNTIME_FRAME_TRANSFORM_METRICS_H_
+#define SYSDS_RUNTIME_FRAME_TRANSFORM_METRICS_H_
+
+#include "obs/metrics.h"
+
+namespace sysds {
+namespace transform_metrics {
+
+// transform.* observability shared by the encoder (fit/apply/decode) and
+// the transformencode/transformapply/transformdecode instructions.
+
+inline obs::Counter* FitCalls() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("transform.fit_calls");
+  return c;
+}
+
+inline obs::Counter* ApplyCalls() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("transform.apply_calls");
+  return c;
+}
+
+inline obs::Counter* DecodeCalls() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("transform.decode_calls");
+  return c;
+}
+
+/// Rows encoded by Apply (dense and compressed sinks alike).
+inline obs::Counter* RowsEncoded() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("transform.rows_encoded");
+  return c;
+}
+
+/// Apply emitted a CompressedMatrixBlock directly (no dense intermediate).
+inline obs::Counter* DirectCompressedOutputs() {
+  static obs::Counter* c = obs::MetricsRegistry::Get().GetCounter(
+      "transform.direct_compressed_outputs");
+  return c;
+}
+
+/// Apply emitted a dense/sparse MatrixBlock (kDense, or kAuto under the
+/// min-ratio gate).
+inline obs::Counter* DenseOutputs() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("transform.dense_outputs");
+  return c;
+}
+
+/// Byte-pricing ratio (dense bytes / compressed bytes) of direct-compressed
+/// outputs, x100 (a ratio of 8.5 observes 850).
+inline obs::Histogram* OutputRatioX100() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Get().GetHistogram("transform.output_ratio_x100");
+  return h;
+}
+
+}  // namespace transform_metrics
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_FRAME_TRANSFORM_METRICS_H_
