@@ -16,6 +16,11 @@
 // --compress enables workload-aware compressed linear algebra: loops over
 // large read-only matrices run on compressed column groups (results are
 // identical; --metrics reports the compress.* counters).
+// --checkpoint-dir DIR snapshots loop-carried variables of outermost loops
+// into crash-safe checkpoint files every --checkpoint-interval iterations
+// (default 1; <= 0 selects the adaptive cost gate). After a crash, rerun
+// the same command with --resume to restart from the last committed
+// checkpoint instead of iteration 0 (--metrics reports recovery.*).
 
 #include <fstream>
 #include <iostream>
@@ -32,7 +37,9 @@ int main(int argc, char** argv) {
               << " script.dml [-stats] [-lineage] [-reuse full|partial]"
                  " [-threads N] [--trace out.json] [--metrics out.json]"
                  " [--chaos-seed N] [--no-fusion] [--compress]"
-                 " [--transform-compressed] [--transform-threads N]\n";
+                 " [--transform-compressed] [--transform-threads N]"
+                 " [--checkpoint-dir DIR] [--checkpoint-interval N]"
+                 " [--resume]\n";
     return 2;
   }
 
@@ -74,9 +81,20 @@ int main(int argc, char** argv) {
       config.faults.enabled = true;
       config.faults.seed = static_cast<uint64_t>(std::atoll(argv[++i]));
       config.faults.profile = FaultProfile::Standard();
+    } else if ((arg == "--checkpoint-dir" || arg == "-checkpoint-dir") &&
+               i + 1 < argc) {
+      config.checkpoint_dir = argv[++i];
+    } else if ((arg == "--checkpoint-interval" ||
+                arg == "-checkpoint-interval") &&
+               i + 1 < argc) {
+      config.checkpoint_interval = std::atoll(argv[++i]);
+    } else if (arg == "--resume" || arg == "-resume") {
+      config.checkpoint_resume = true;
     } else if (arg == "-reuse" || arg == "-threads" || arg == "--trace" ||
                arg == "-trace" || arg == "--metrics" || arg == "-metrics" ||
                arg == "--chaos-seed" || arg == "-chaos-seed" ||
+               arg == "--checkpoint-dir" || arg == "-checkpoint-dir" ||
+               arg == "--checkpoint-interval" || arg == "-checkpoint-interval" ||
                arg == "--transform-threads" || arg == "-transform-threads") {
       std::cerr << arg << " requires a value\n";
       return 2;

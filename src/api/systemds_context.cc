@@ -3,9 +3,11 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/util.h"
 #include "compiler/compiler.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/recovery/checkpoint_manager.h"
 
 namespace sysds {
 
@@ -132,6 +134,21 @@ StatusOr<ScriptResult> RunProgram(Program* program, const DMLConfig* config,
   }
   std::ostringstream out;
   ec.SetOut(&out);
+  // Checkpoint/restart: one manager per run, bound to the root context only
+  // (children never checkpoint). The program identity hash versions the
+  // checkpoint state: a manifest from a different program is rejected.
+  std::unique_ptr<CheckpointManager> checkpoints;
+  if (!config->checkpoint_dir.empty()) {
+    CheckpointManager::Options opts;
+    opts.dir = config->checkpoint_dir;
+    opts.interval = config->checkpoint_interval;
+    opts.cost_factor = config->checkpoint_cost_factor;
+    opts.resume = config->checkpoint_resume;
+    checkpoints = std::make_unique<CheckpointManager>(
+        std::move(opts), ProgramIdentityHash(program->Explain()));
+    SYSDS_RETURN_IF_ERROR(checkpoints->PrepareResume());
+    ec.SetCheckpoints(checkpoints.get());
+  }
   for (const auto& [name, value] : inputs) {
     ec.Vars().Set(name, value);
   }
@@ -270,6 +287,21 @@ SystemDSContext::Builder& SystemDSContext::Builder::ChaosSeed(uint64_t seed) {
   config_.faults.enabled = true;
   config_.faults.seed = seed;
   config_.faults.profile = FaultProfile::Standard();
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::Checkpointing(
+    std::string dir, int64_t interval) {
+  config_.checkpoint_dir = std::move(dir);
+  config_.checkpoint_interval = interval;
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::CheckpointCostFactor(
+    double factor) {
+  config_.checkpoint_cost_factor = factor;
+  return *this;
+}
+SystemDSContext::Builder& SystemDSContext::Builder::Resume(bool on) {
+  config_.checkpoint_resume = on;
   return *this;
 }
 

@@ -230,6 +230,19 @@ class SystemDSContext {
     /// Shorthand: FaultProfile::Standard() under the given seed
     /// (`dml_runner --chaos-seed N` maps here).
     Builder& ChaosSeed(uint64_t seed);
+    /// Checkpoint/restart (`dml_runner --checkpoint-dir DIR`): outermost
+    /// loops snapshot loop-carried state into `dir` every `interval`
+    /// completed iterations (interval <= 0 selects the adaptive cost
+    /// gate). Crash-safe: every file is CRC-checksummed and committed by
+    /// atomic rename.
+    Builder& Checkpointing(std::string dir, int64_t interval = 1);
+    /// Adaptive-gate cost factor (lost work >= factor x write cost).
+    Builder& CheckpointCostFactor(double factor);
+    /// Resume from the checkpoint directory (`dml_runner --resume`): the
+    /// deterministic program prefix re-executes, then execution fast-
+    /// forwards past the checkpointed iterations. The resumed run is
+    /// bit-identical to an uninterrupted one.
+    Builder& Resume(bool on = true);
 
     std::unique_ptr<SystemDSContext> Build() const;
 

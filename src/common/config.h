@@ -101,6 +101,21 @@ struct DMLConfig {
   // process-wide FaultInjector at construction (see common/faults.h and
   // SystemDSContext::Builder::Chaos/ChaosSeed).
   FaultConfig faults;
+
+  // Checkpoint/restart (src/runtime/recovery/). When checkpoint_dir is
+  // non-empty, outermost annotated loops snapshot their loop-carried
+  // variables into crash-safe checkpoint files; a later run with
+  // checkpoint_resume set re-executes the deterministic prefix and fast-
+  // forwards to the last committed checkpoint. See
+  // SystemDSContext::Builder::Checkpointing/Resume.
+  std::string checkpoint_dir;
+  // Checkpoint every N-th completed iteration; <= 0 selects the adaptive
+  // cost gate (lost-work vs estimated-write-cost).
+  int64_t checkpoint_interval = 1;
+  // Adaptive gate: checkpoint when estimated lost work exceeds this factor
+  // times the estimated checkpoint write cost.
+  double checkpoint_cost_factor = 2.0;
+  bool checkpoint_resume = false;
 };
 
 }  // namespace sysds

@@ -1,0 +1,37 @@
+#include "common/crc32.h"
+
+namespace sysds {
+
+namespace {
+
+// Table generated once at first use from the reflected polynomial; the
+// classic byte-at-a-time algorithm is plenty for spill/checkpoint sizes
+// (memory bandwidth dominates these paths, not the checksum).
+const uint32_t* CrcTable() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+void Crc32::Update(const void* data, size_t len) {
+  const uint32_t* table = CrcTable();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = state_;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+}  // namespace sysds

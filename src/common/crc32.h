@@ -1,0 +1,37 @@
+#ifndef SYSDS_COMMON_CRC32_H_
+#define SYSDS_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sysds {
+
+/// Incremental CRC-32 (IEEE 802.3 / zlib polynomial 0xEDB88320). Used as
+/// the integrity check on every durable artifact the runtime writes —
+/// buffer-pool spill files, checkpoint objects, checkpoint manifests — so a
+/// torn or bit-flipped file is detected (StatusCode::kCorrupt) instead of
+/// deserialized into garbage.
+class Crc32 {
+ public:
+  /// Feeds `len` bytes into the running checksum.
+  void Update(const void* data, size_t len);
+
+  /// The checksum over everything fed so far.
+  uint32_t Value() const { return state_ ^ 0xFFFFFFFFu; }
+
+  void Reset() { state_ = 0xFFFFFFFFu; }
+
+  /// One-shot convenience.
+  static uint32_t Of(const void* data, size_t len) {
+    Crc32 c;
+    c.Update(data, len);
+    return c.Value();
+  }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace sysds
+
+#endif  // SYSDS_COMMON_CRC32_H_

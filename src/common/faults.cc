@@ -44,6 +44,7 @@ const char* FaultLayerName(FaultLayer layer) {
     case FaultLayer::kDist: return "dist";
     case FaultLayer::kPs: return "ps";
     case FaultLayer::kBufferPool: return "bufferpool";
+    case FaultLayer::kRecovery: return "recovery";
   }
   return "unknown";
 }
@@ -108,6 +109,23 @@ uint64_t FaultInjector::NextEvent(FaultLayer layer, int id, FaultKind kind) {
 
 bool FaultInjector::ShouldInject(FaultLayer layer, int id, FaultKind kind) {
   if (!enabled()) return false;
+  // Checkpoint-boundary kill points are exact, not probabilistic: the N-th
+  // probe of the (kRecovery, id) crash stream injects, every other probe
+  // does not. The event counter still advances through NextEvent so the
+  // stream is hermetic across Configure() calls like every other stream.
+  if (layer == FaultLayer::kRecovery && kind == FaultKind::kCrash) {
+    int64_t kill_at;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      kill_at = config_.profile.crash_at_boundary;
+    }
+    decisions_.fetch_add(1, std::memory_order_relaxed);
+    if (kill_at < 1) return false;
+    uint64_t event = NextEvent(layer, id, kind);
+    bool inject = static_cast<int64_t>(event) + 1 == kill_at;
+    if (inject) InjectedCounter(kind)->Add(1);
+    return inject;
+  }
   double prob = 0.0;
   uint64_t seed;
   {
@@ -153,6 +171,27 @@ void FaultInjector::CorruptPayload(FaultLayer layer, int id,
                                             FaultKind::kCorruptPayload) +
                                   event));
   (*payload)[h % payload->size()] ^= 0xFF;
+}
+
+FaultConfig FaultInjector::CurrentConfig() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return config_;
+}
+
+ScopedFaultInjection::ScopedFaultInjection(const FaultConfig& config)
+    : previous_(FaultInjector::Get().CurrentConfig()) {
+  FaultInjector::Get().Configure(config);
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  // Restore (rather than plain Disable) so nested scopes hand control back
+  // to the enclosing scope's profile; Configure resets all decision
+  // streams either way, keeping scopes hermetic.
+  if (previous_.enabled) {
+    FaultInjector::Get().Configure(previous_);
+  } else {
+    FaultInjector::Get().Disable();
+  }
 }
 
 int FaultInjector::JitterMs(FaultLayer layer, int id, int attempt,

@@ -30,7 +30,13 @@ enum class FaultLayer : uint8_t {
   kDist = 1,        // id = simulated executor task
   kPs = 2,          // id = parameter-server worker
   kBufferPool = 3,  // id = 0 (process-wide spill device)
+  kRecovery = 4,    // id = checkpointed loop id (kPsRecoveryId for PsTrain)
 };
+
+/// The kRecovery stream id used by the parameter server's round-boundary
+/// kill points (loop ids are small non-negative integers; this is out of
+/// their range).
+constexpr int kPsRecoveryId = 1 << 20;
 
 /// Kinds of injectable faults. Not every kind is meaningful for every
 /// layer; layers only probe the kinds they model.
@@ -65,6 +71,13 @@ struct FaultProfile {
   int delay_ms = 5;
   /// Components that are dead for the whole run.
   std::vector<FaultTarget> dead_targets;
+  /// Deterministic process-crash kill point for checkpoint/restart tests:
+  /// when >= 1, the N-th kCrash probe (1-based, counted per (kRecovery, id)
+  /// stream) on the kRecovery layer injects a crash — i.e. execution aborts
+  /// at exactly the N-th checkpoint boundary. Probability-based crash_prob
+  /// never applies to kRecovery; kill points are exact by design so chaos
+  /// suites can target iteration {1, k/2, k-1} boundaries.
+  int64_t crash_at_boundary = 0;
 
   /// The chaos-suite default: 10% message drop, occasional delay/corruption,
   /// rare crashes, and spill errors (`dml_runner --chaos-seed`, ctest -L
@@ -113,6 +126,11 @@ class FaultInjector {
   /// tests assert the hooks actually ran.
   int64_t Decisions() const { return decisions_.load(std::memory_order_relaxed); }
 
+  /// Snapshot of the active configuration (a default FaultConfig when
+  /// disabled). ScopedFaultInjection uses it to restore the enclosing
+  /// scope's configuration on destruction.
+  FaultConfig CurrentConfig() const;
+
  private:
   FaultInjector() = default;
 
@@ -126,16 +144,25 @@ class FaultInjector {
   std::unordered_map<uint64_t, uint64_t> event_seq_;
 };
 
-/// RAII toggle for tests: configures the global injector on construction,
-/// disables it on destruction.
+/// RAII toggle for tests: configures the global injector on construction
+/// and restores the previous configuration on destruction.
+///
+/// Scopes are fully hermetic: Configure() resets every per-(layer,id,kind)
+/// decision stream, and destruction re-Configures (not merely disables), so
+/// the streams are reset again for whatever follows. Two identical scopes
+/// therefore observe identical decision sequences regardless of how many
+/// events earlier scopes consumed — chaos tests cannot order-couple — and
+/// nested scopes restore the outer scope's configuration (with fresh
+/// streams) instead of leaving the injector disabled.
 class ScopedFaultInjection {
  public:
-  explicit ScopedFaultInjection(const FaultConfig& config) {
-    FaultInjector::Get().Configure(config);
-  }
-  ~ScopedFaultInjection() { FaultInjector::Get().Disable(); }
+  explicit ScopedFaultInjection(const FaultConfig& config);
+  ~ScopedFaultInjection();
   ScopedFaultInjection(const ScopedFaultInjection&) = delete;
   ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  FaultConfig previous_;
 };
 
 }  // namespace sysds

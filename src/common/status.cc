@@ -20,6 +20,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kCancelled: return "Cancelled";
     case StatusCode::kUnavailable: return "Unavailable";
     case StatusCode::kCorrupt: return "Corrupt";
+    case StatusCode::kAborted: return "Aborted";
   }
   return "Unknown";
 }
@@ -60,5 +61,6 @@ Status TimeoutError(std::string m) { return Status(StatusCode::kTimeout, std::mo
 Status CancelledError(std::string m) { return Status(StatusCode::kCancelled, std::move(m)); }
 Status UnavailableError(std::string m) { return Status(StatusCode::kUnavailable, std::move(m)); }
 Status CorruptError(std::string m) { return Status(StatusCode::kCorrupt, std::move(m)); }
+Status AbortedError(std::string m) { return Status(StatusCode::kAborted, std::move(m)); }
 
 }  // namespace sysds

@@ -33,6 +33,11 @@ enum class StatusCode {
   // backend failures that the retry/failover layers produce and consume.
   kUnavailable,     // backend/site/worker unreachable or circuit-broken
   kCorrupt,         // payload failed integrity checks (truncated/bit-flipped)
+  // Checkpoint/restart (src/runtime/recovery/): a simulated process crash
+  // at a checkpoint-boundary kill point. Deliberately NOT retryable: the
+  // in-process run must unwind completely, exactly as a real crash would;
+  // recovery happens via a fresh run with `--resume`.
+  kAborted,
 };
 
 /// True for error conditions a scoring-service client may meaningfully retry
@@ -87,6 +92,7 @@ Status TimeoutError(std::string message);
 Status CancelledError(std::string message);
 Status UnavailableError(std::string message);
 Status CorruptError(std::string message);
+Status AbortedError(std::string message);
 
 /// Either a value of type T or an error Status. Accessing value() on an
 /// error is a programming bug and aborts in debug builds.

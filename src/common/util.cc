@@ -113,11 +113,34 @@ double Xoshiro::NextGaussian() {
   return r * std::cos(2.0 * M_PI * u2);
 }
 
-uint64_t GenerateSeed() {
+namespace {
+
+std::atomic<uint64_t>& SeedBase() {
+  static std::atomic<uint64_t> base{static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count())};
+  return base;
+}
+
+std::atomic<uint64_t>& SeedCounter() {
   static std::atomic<uint64_t> counter{0x9e3779b97f4a7c15ULL};
-  uint64_t t = static_cast<uint64_t>(
-      std::chrono::steady_clock::now().time_since_epoch().count());
-  return HashCombine(t, counter.fetch_add(1));
+  return counter;
+}
+
+}  // namespace
+
+uint64_t GenerateSeed() {
+  return HashCombine(SeedBase().load(std::memory_order_relaxed),
+                     SeedCounter().fetch_add(1, std::memory_order_relaxed));
+}
+
+SeedState GetSeedState() {
+  return SeedState{SeedBase().load(std::memory_order_relaxed),
+                   SeedCounter().load(std::memory_order_relaxed)};
+}
+
+void SetSeedState(const SeedState& state) {
+  SeedBase().store(state.base, std::memory_order_relaxed);
+  SeedCounter().store(state.counter, std::memory_order_relaxed);
 }
 
 }  // namespace sysds

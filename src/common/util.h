@@ -63,9 +63,23 @@ class Xoshiro {
   double gauss_ = 0.0;
 };
 
-/// Returns a fresh pseudo-random seed (time + counter based); callers that
-/// need reproducibility must pass explicit seeds instead.
+/// Returns a fresh pseudo-random seed; callers that need reproducibility
+/// must pass explicit seeds instead. Seeds are HashCombine(base, counter++)
+/// where `base` is captured once per process (from the clock) and `counter`
+/// is monotonic — so a run's auto-generated seed sequence is a pure function
+/// of the (base, counter) state, which checkpoint manifests record and
+/// restore to make resumed runs bit-identical to uninterrupted ones.
 uint64_t GenerateSeed();
+
+/// The process RNG-seed state backing GenerateSeed(). Recorded in checkpoint
+/// manifests; SetSeedState on resume replays the original run's sequence.
+struct SeedState {
+  uint64_t base = 0;
+  uint64_t counter = 0;
+};
+
+SeedState GetSeedState();
+void SetSeedState(const SeedState& state);
 
 }  // namespace sysds
 

@@ -9,6 +9,7 @@
 #include "compiler/compiler.h"
 #include "compiler/compress_rewrite.h"
 #include "compiler/hop.h"
+#include "compiler/liveness.h"
 #include "compiler/rewrites.h"
 #include "lang/parser.h"
 #include "obs/trace.h"
@@ -1389,6 +1390,10 @@ StatusOr<std::unique_ptr<Program>> CompileDML(const std::string& source,
   {
     SYSDS_SPAN("compiler", "plan_transform_outputs");
     PlanTransformOutputs(program.get(), config);
+  }
+  {
+    SYSDS_SPAN("compiler", "loop_liveness");
+    AnnotateLoopLiveness(program.get());
   }
   return program;
 }

@@ -1,0 +1,120 @@
+#include "compiler/liveness.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sysds {
+
+namespace {
+
+// Read/write sets over a block subtree. Reads track matrix- and frame-typed
+// variable operands (scalars are cheap enough to always checkpoint via the
+// write set, and scalar reads are never lineage-validated); writes track
+// every output name regardless of type.
+void CollectInstructions(const std::vector<InstructionPtr>& instructions,
+                         std::set<std::string>* reads,
+                         std::set<std::string>* writes) {
+  for (const auto& instr : instructions) {
+    for (const Operand& in : instr->inputs()) {
+      if (!in.is_literal &&
+          (in.dt == DataType::kMatrix || in.dt == DataType::kFrame)) {
+        reads->insert(in.name);
+      }
+    }
+    for (const Operand& out : instr->outputs()) writes->insert(out.name);
+  }
+}
+
+void CollectBlocks(const std::vector<ProgramBlockPtr>& blocks,
+                   std::set<std::string>* reads,
+                   std::set<std::string>* writes) {
+  for (const auto& block : blocks) {
+    ProgramBlock* b = block.get();
+    if (auto* bb = dynamic_cast<BasicBlock*>(b)) {
+      CollectInstructions(bb->Instructions(), reads, writes);
+    } else if (auto* ifb = dynamic_cast<IfBlock*>(b)) {
+      CollectInstructions(ifb->GetPredicate().instructions, reads, writes);
+      CollectBlocks(ifb->ThenBlocks(), reads, writes);
+      CollectBlocks(ifb->ElseBlocks(), reads, writes);
+    } else if (auto* wb = dynamic_cast<WhileBlock*>(b)) {
+      CollectInstructions(wb->GetPredicate().instructions, reads, writes);
+      CollectBlocks(wb->Body(), reads, writes);
+    } else if (auto* fb = dynamic_cast<ForBlock*>(b)) {
+      CollectInstructions(fb->From().instructions, reads, writes);
+      CollectInstructions(fb->To().instructions, reads, writes);
+      CollectInstructions(fb->Increment().instructions, reads, writes);
+      writes->insert(fb->LoopVar());
+      if (auto* pfb = dynamic_cast<ParForBlock*>(b)) {
+        for (const std::string& v : pfb->ResultVars()) writes->insert(v);
+      }
+      CollectBlocks(fb->Body(), reads, writes);
+    }
+  }
+}
+
+void AnnotateLoop(const std::vector<ProgramBlockPtr>& body,
+                  const Predicate* predicate, const std::string* loop_var,
+                  const std::vector<std::string>* result_vars,
+                  LoopLiveness* liveness, int* next_id) {
+  liveness->loop_id = (*next_id)++;
+  std::set<std::string> reads, writes;
+  // The predicate re-evaluates every iteration, so its reads/writes are
+  // loop-carried too (a while predicate may read the convergence scalar the
+  // body updates, or even call a function that writes).
+  if (predicate != nullptr) {
+    CollectInstructions(predicate->instructions, &reads, &writes);
+  }
+  CollectBlocks(body, &reads, &writes);
+  if (loop_var != nullptr) writes.insert(*loop_var);
+  if (result_vars != nullptr) {
+    for (const std::string& v : *result_vars) writes.insert(v);
+  }
+  liveness->checkpoint_vars.assign(writes.begin(), writes.end());
+  liveness->invariant_reads.clear();
+  for (const std::string& r : reads) {
+    if (writes.count(r) == 0) liveness->invariant_reads.push_back(r);
+  }
+}
+
+// Pre-order walk: outer loops get smaller ids than the loops nested inside
+// them, and sibling loops are numbered left to right, matching program
+// order. std::set keeps the var lists sorted, so the whole annotation is a
+// deterministic function of the compiled program.
+void AnnotateBlockList(const std::vector<ProgramBlockPtr>& blocks,
+                       int* next_id) {
+  for (const auto& block : blocks) {
+    ProgramBlock* b = block.get();
+    if (auto* ifb = dynamic_cast<IfBlock*>(b)) {
+      AnnotateBlockList(ifb->ThenBlocks(), next_id);
+      AnnotateBlockList(ifb->ElseBlocks(), next_id);
+    } else if (auto* wb = dynamic_cast<WhileBlock*>(b)) {
+      AnnotateLoop(wb->Body(), &wb->GetPredicate(), nullptr, nullptr,
+                   &wb->Liveness(), next_id);
+      AnnotateBlockList(wb->Body(), next_id);
+    } else if (auto* fb = dynamic_cast<ForBlock*>(b)) {
+      auto* pfb = dynamic_cast<ParForBlock*>(b);
+      AnnotateLoop(fb->Body(), nullptr, &fb->LoopVar(),
+                   pfb != nullptr ? &pfb->ResultVars() : nullptr,
+                   &fb->Liveness(), next_id);
+      AnnotateBlockList(fb->Body(), next_id);
+    }
+  }
+}
+
+}  // namespace
+
+void AnnotateLoopLiveness(Program* program) {
+  int next_id = 0;
+  AnnotateBlockList(program->Blocks(), &next_id);
+  // Loops inside functions are annotated too (ids continue the sequence in
+  // the function directory's sorted-name order), but checkpointing itself
+  // only engages for outermost top-level loops — function-body loops never
+  // see a CheckpointManager on their context.
+  for (auto& [name, fn] : program->Functions()) {
+    (void)name;
+    AnnotateBlockList(fn->body, &next_id);
+  }
+}
+
+}  // namespace sysds

@@ -1,0 +1,33 @@
+#ifndef SYSDS_COMPILER_LIVENESS_H_
+#define SYSDS_COMPILER_LIVENESS_H_
+
+#include "runtime/controlprog/program.h"
+
+namespace sysds {
+
+/// Loop-liveness annotation pass for checkpoint/restart (src/runtime/
+/// recovery/). Walks the compiled program's block tree and stamps every
+/// for/parfor/while block with a LoopLiveness record:
+///
+///  - loop_id: a stable sequential id in deterministic pre-order walk
+///    order, so the same DML source compiles to the same ids on every run
+///    (checkpoint manifests key saved state by loop id).
+///  - checkpoint_vars: every variable the loop body (or its predicates /
+///    nested blocks) writes, plus for-loop induction variables and parfor
+///    result variables. These are exactly the loop-carried values a
+///    checkpoint must persist — anything else in scope is either invariant
+///    (validated by lineage) or dead after the iteration.
+///  - invariant_reads: matrix/frame variables the body reads but never
+///    writes. Checkpoints record their lineage hashes instead of their
+///    bytes; resume recomputes them by re-executing the program prefix and
+///    validates the hashes match (a cheap proxy for bit-identity).
+///
+/// Functions called from loop bodies are treated at call granularity: the
+/// call instruction's operands contribute to the read/write sets, which is
+/// conservative but safe (a function cannot mutate a caller variable it
+/// was not passed as an output).
+void AnnotateLoopLiveness(Program* program);
+
+}  // namespace sysds
+
+#endif  // SYSDS_COMPILER_LIVENESS_H_

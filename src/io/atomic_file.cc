@@ -1,0 +1,119 @@
+#include "io/atomic_file.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <streambuf>
+
+#include "common/crc32.h"
+
+namespace sysds {
+namespace io {
+
+namespace {
+
+// Streambuf tee: forwards every byte to the underlying file stream while
+// folding it into the running CRC, so large blocks are checksummed in one
+// pass without a second read or an in-memory copy of the payload.
+class ChecksummingBuf : public std::streambuf {
+ public:
+  explicit ChecksummingBuf(std::ofstream* out) : out_(out) {}
+
+  uint32_t crc() const { return crc_.Value(); }
+  int64_t bytes() const { return bytes_; }
+
+ protected:
+  int overflow(int ch) override {
+    if (ch == traits_type::eof()) return ch;
+    char c = static_cast<char>(ch);
+    crc_.Update(&c, 1);
+    ++bytes_;
+    out_->put(c);
+    return out_->good() ? ch : traits_type::eof();
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    crc_.Update(s, static_cast<size_t>(n));
+    bytes_ += n;
+    out_->write(s, n);
+    return out_->good() ? n : 0;
+  }
+
+ private:
+  std::ofstream* out_;
+  Crc32 crc_;
+  int64_t bytes_ = 0;
+};
+
+}  // namespace
+
+Status WriteAtomic(const std::string& path,
+                   const std::function<Status(std::ostream&)>& write_payload) {
+  const std::string tmp = path + ".tmp";
+  Status result;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return IoError("cannot open '" + tmp + "' for writing");
+    ChecksummingBuf buf(&out);
+    std::ostream payload_stream(&buf);
+    result = write_payload(payload_stream);
+    payload_stream.flush();
+    if (result.ok() && !out) {
+      result = IoError("write failed for '" + tmp + "'");
+    }
+    if (result.ok()) {
+      // Footer bypasses the checksumming buf: it covers the payload only.
+      uint64_t magic = kChecksumFooterMagic;
+      int64_t size = buf.bytes();
+      uint32_t crc = buf.crc(), pad = 0;
+      out.write(reinterpret_cast<const char*>(&magic), 8);
+      out.write(reinterpret_cast<const char*>(&size), 8);
+      out.write(reinterpret_cast<const char*>(&crc), 4);
+      out.write(reinterpret_cast<const char*>(&pad), 4);
+      out.flush();
+      if (!out) result = IoError("footer write failed for '" + tmp + "'");
+    }
+  }
+  if (result.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    result = IoError("atomic rename failed for '" + path + "'");
+  }
+  if (!result.ok()) std::remove(tmp.c_str());
+  return result;
+}
+
+StatusOr<std::string> ReadVerified(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IoError("cannot open '" + path + "' for reading");
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (static_cast<int64_t>(contents.size()) < kChecksumFooterSize) {
+    return CorruptError("'" + path + "': too short for a checksum footer");
+  }
+  const char* footer =
+      contents.data() + contents.size() - static_cast<size_t>(kChecksumFooterSize);
+  uint64_t magic = 0;
+  int64_t size = 0;
+  uint32_t crc = 0;
+  std::memcpy(&magic, footer, 8);
+  std::memcpy(&size, footer + 8, 8);
+  std::memcpy(&crc, footer + 16, 4);
+  if (magic != kChecksumFooterMagic) {
+    return CorruptError("'" + path + "': missing checksum footer (truncated?)");
+  }
+  int64_t payload_size =
+      static_cast<int64_t>(contents.size()) - kChecksumFooterSize;
+  if (size != payload_size) {
+    return CorruptError("'" + path + "': payload size mismatch (recorded " +
+                        std::to_string(size) + ", actual " +
+                        std::to_string(payload_size) + ")");
+  }
+  uint32_t actual = Crc32::Of(contents.data(), static_cast<size_t>(payload_size));
+  if (actual != crc) {
+    return CorruptError("'" + path + "': CRC32 mismatch (file is corrupt)");
+  }
+  contents.resize(static_cast<size_t>(payload_size));
+  return contents;
+}
+
+}  // namespace io
+}  // namespace sysds

@@ -1,0 +1,44 @@
+#ifndef SYSDS_IO_ATOMIC_FILE_H_
+#define SYSDS_IO_ATOMIC_FILE_H_
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "common/status.h"
+
+namespace sysds {
+namespace io {
+
+// Crash-safe durable files: every spill/checkpoint artifact is written
+// through WriteAtomic (payload streamed to `<path>.tmp`, CRC-32 footer
+// appended, then an atomic rename installs the final name) and read back
+// through ReadVerified (footer checked before a single payload byte is
+// parsed). A crash mid-write leaves at worst a stale `.tmp` alongside the
+// previous intact version; a torn or bit-flipped file fails verification
+// with StatusCode::kCorrupt — retryable per the fault-tolerance taxonomy —
+// instead of being deserialized into garbage.
+
+/// Footer magic trailing every checksummed file ("SYSDSCRC", little-endian).
+constexpr uint64_t kChecksumFooterMagic = 0x4352435344535953ULL;
+
+/// Bytes of (magic, payload_size, crc32, pad) appended after the payload.
+constexpr int64_t kChecksumFooterSize = 8 + 8 + 4 + 4;
+
+/// Streams the payload produced by `write_payload` into `path + ".tmp"`,
+/// appends the checksum footer, flushes, and atomically renames onto
+/// `path`. The callback writes the payload to the provided stream and may
+/// fail; on any failure the temp file is removed and `path` is untouched.
+Status WriteAtomic(const std::string& path,
+                   const std::function<Status(std::ostream&)>& write_payload);
+
+/// Reads the whole file, validates the checksum footer, and returns the
+/// payload bytes (footer stripped). kCorrupt when the footer is missing,
+/// the recorded size disagrees, or the CRC does not match; kIoError when
+/// the file cannot be opened.
+StatusOr<std::string> ReadVerified(const std::string& path);
+
+}  // namespace io
+}  // namespace sysds
+
+#endif  // SYSDS_IO_ATOMIC_FILE_H_

@@ -383,6 +383,7 @@ class CsvFormatWriter : public Writer {
 // binary: SystemDS binary block format.
 
 constexpr uint64_t kBinaryMagic = 0x53595344424d4231ULL;  // "SYSDBMB1"
+constexpr uint64_t kBinaryFrameMagic = 0x53595344424d4631ULL;  // "SYSDBMF1"
 
 class BinaryFormatReader : public Reader {
  public:
@@ -392,38 +393,10 @@ class BinaryFormatReader : public Reader {
     (void)desc;
     std::ifstream in(path, std::ios::binary);
     if (!in) return IoError("cannot open '" + path + "' for reading");
-    uint64_t magic = 0;
-    int64_t rows = 0, cols = 0, nnz = 0;
-    uint8_t sparse = 0;
-    in.read(reinterpret_cast<char*>(&magic), 8);
-    if (magic != kBinaryMagic) {
-      return IoError("'" + path + "' is not a SystemDS binary matrix");
+    auto m = ReadMatrixBinaryStream(in);
+    if (!m.ok()) {
+      return Status(m.status().code(), m.status().message() + " ('" + path + "')");
     }
-    in.read(reinterpret_cast<char*>(&rows), 8);
-    in.read(reinterpret_cast<char*>(&cols), 8);
-    in.read(reinterpret_cast<char*>(&nnz), 8);
-    in.read(reinterpret_cast<char*>(&sparse), 1);
-    MatrixBlock m(rows, cols, sparse != 0);
-    if (!sparse) {
-      in.read(reinterpret_cast<char*>(m.DenseData()),
-              static_cast<std::streamsize>(rows * cols * 8));
-    } else {
-      for (int64_t r = 0; r < rows; ++r) {
-        int64_t n = 0;
-        in.read(reinterpret_cast<char*>(&n), 8);
-        SparseRow& row = m.SparseData().Row(r);
-        row.Reserve(n);
-        std::vector<int64_t> idx(static_cast<size_t>(n));
-        std::vector<double> val(static_cast<size_t>(n));
-        in.read(reinterpret_cast<char*>(idx.data()),
-                static_cast<std::streamsize>(n * 8));
-        in.read(reinterpret_cast<char*>(val.data()),
-                static_cast<std::streamsize>(n * 8));
-        for (int64_t p = 0; p < n; ++p) row.Append(idx[p], val[p]);
-      }
-    }
-    if (!in) return IoError("truncated binary matrix '" + path + "'");
-    m.SetNonZeros(nnz);
     return m;
   }
 };
@@ -435,28 +408,7 @@ class BinaryFormatWriter : public Writer {
     (void)desc;
     std::ofstream out(path, std::ios::binary);
     if (!out) return IoError("cannot open '" + path + "' for writing");
-    uint64_t magic = kBinaryMagic;
-    int64_t rows = m.Rows(), cols = m.Cols(), nnz = m.NonZeros();
-    uint8_t sparse = m.IsSparse() ? 1 : 0;
-    out.write(reinterpret_cast<const char*>(&magic), 8);
-    out.write(reinterpret_cast<const char*>(&rows), 8);
-    out.write(reinterpret_cast<const char*>(&cols), 8);
-    out.write(reinterpret_cast<const char*>(&nnz), 8);
-    out.write(reinterpret_cast<const char*>(&sparse), 1);
-    if (!m.IsSparse()) {
-      out.write(reinterpret_cast<const char*>(m.DenseData()),
-                static_cast<std::streamsize>(rows * cols * 8));
-    } else {
-      for (int64_t r = 0; r < rows; ++r) {
-        const SparseRow& row = m.SparseData().Row(r);
-        int64_t n = row.Size();
-        out.write(reinterpret_cast<const char*>(&n), 8);
-        out.write(reinterpret_cast<const char*>(row.Indexes()),
-                  static_cast<std::streamsize>(n * 8));
-        out.write(reinterpret_cast<const char*>(row.Values()),
-                  static_cast<std::streamsize>(n * 8));
-      }
-    }
+    SYSDS_RETURN_IF_ERROR(WriteMatrixBinaryStream(m, out));
     if (!out) return IoError("write failed for '" + path + "'");
     return Status::Ok();
   }
@@ -575,6 +527,172 @@ class GeneratedFormatWriter : public Writer {
 };
 
 }  // namespace
+
+Status WriteMatrixBinaryStream(const MatrixBlock& m, std::ostream& out) {
+  uint64_t magic = kBinaryMagic;
+  int64_t rows = m.Rows(), cols = m.Cols(), nnz = m.NonZeros();
+  uint8_t sparse = m.IsSparse() ? 1 : 0;
+  out.write(reinterpret_cast<const char*>(&magic), 8);
+  out.write(reinterpret_cast<const char*>(&rows), 8);
+  out.write(reinterpret_cast<const char*>(&cols), 8);
+  out.write(reinterpret_cast<const char*>(&nnz), 8);
+  out.write(reinterpret_cast<const char*>(&sparse), 1);
+  if (!m.IsSparse()) {
+    out.write(reinterpret_cast<const char*>(m.DenseData()),
+              static_cast<std::streamsize>(rows * cols * 8));
+  } else {
+    for (int64_t r = 0; r < rows; ++r) {
+      const SparseRow& row = m.SparseData().Row(r);
+      int64_t n = row.Size();
+      out.write(reinterpret_cast<const char*>(&n), 8);
+      out.write(reinterpret_cast<const char*>(row.Indexes()),
+                static_cast<std::streamsize>(n * 8));
+      out.write(reinterpret_cast<const char*>(row.Values()),
+                static_cast<std::streamsize>(n * 8));
+    }
+  }
+  if (!out) return IoError("binary matrix stream write failed");
+  return Status::Ok();
+}
+
+StatusOr<MatrixBlock> ReadMatrixBinaryStream(std::istream& in) {
+  uint64_t magic = 0;
+  int64_t rows = 0, cols = 0, nnz = 0;
+  uint8_t sparse = 0;
+  in.read(reinterpret_cast<char*>(&magic), 8);
+  if (!in || magic != kBinaryMagic) {
+    return CorruptError("not a SystemDS binary matrix");
+  }
+  in.read(reinterpret_cast<char*>(&rows), 8);
+  in.read(reinterpret_cast<char*>(&cols), 8);
+  in.read(reinterpret_cast<char*>(&nnz), 8);
+  in.read(reinterpret_cast<char*>(&sparse), 1);
+  if (!in || rows < 0 || cols < 0) {
+    return CorruptError("malformed binary matrix header");
+  }
+  MatrixBlock m(rows, cols, sparse != 0);
+  if (!sparse) {
+    in.read(reinterpret_cast<char*>(m.DenseData()),
+            static_cast<std::streamsize>(rows * cols * 8));
+  } else {
+    for (int64_t r = 0; r < rows; ++r) {
+      int64_t n = 0;
+      in.read(reinterpret_cast<char*>(&n), 8);
+      if (!in || n < 0 || n > cols) {
+        return CorruptError("malformed sparse row in binary matrix");
+      }
+      SparseRow& row = m.SparseData().Row(r);
+      row.Reserve(n);
+      std::vector<int64_t> idx(static_cast<size_t>(n));
+      std::vector<double> val(static_cast<size_t>(n));
+      in.read(reinterpret_cast<char*>(idx.data()),
+              static_cast<std::streamsize>(n * 8));
+      in.read(reinterpret_cast<char*>(val.data()),
+              static_cast<std::streamsize>(n * 8));
+      for (int64_t p = 0; p < n; ++p) row.Append(idx[p], val[p]);
+    }
+  }
+  if (!in) return IoError("truncated binary matrix");
+  m.SetNonZeros(nnz);
+  return m;
+}
+
+Status WriteFrameBinaryStream(const FrameBlock& f, std::ostream& out) {
+  uint64_t magic = kBinaryFrameMagic;
+  int64_t rows = f.Rows(), cols = f.Cols();
+  out.write(reinterpret_cast<const char*>(&magic), 8);
+  out.write(reinterpret_cast<const char*>(&rows), 8);
+  out.write(reinterpret_cast<const char*>(&cols), 8);
+  auto write_string = [&out](const std::string& s) {
+    int64_t n = static_cast<int64_t>(s.size());
+    out.write(reinterpret_cast<const char*>(&n), 8);
+    out.write(s.data(), static_cast<std::streamsize>(n));
+  };
+  for (int64_t c = 0; c < cols; ++c) {
+    uint8_t type = static_cast<uint8_t>(f.Schema()[static_cast<size_t>(c)]);
+    out.write(reinterpret_cast<const char*>(&type), 1);
+  }
+  uint8_t has_names = f.ColumnNames().empty() ? 0 : 1;
+  out.write(reinterpret_cast<const char*>(&has_names), 1);
+  if (has_names) {
+    for (int64_t c = 0; c < cols; ++c) {
+      write_string(f.ColumnNames()[static_cast<size_t>(c)]);
+    }
+  }
+  for (int64_t c = 0; c < cols; ++c) {
+    if (const double* num = f.NumericData(c)) {
+      out.write(reinterpret_cast<const char*>(num),
+                static_cast<std::streamsize>(rows * 8));
+    } else {
+      const std::string* str = f.StringData(c);
+      for (int64_t r = 0; r < rows; ++r) write_string(str[r]);
+    }
+  }
+  if (!out) return IoError("binary frame stream write failed");
+  return Status::Ok();
+}
+
+StatusOr<FrameBlock> ReadFrameBinaryStream(std::istream& in) {
+  uint64_t magic = 0;
+  int64_t rows = 0, cols = 0;
+  in.read(reinterpret_cast<char*>(&magic), 8);
+  if (!in || magic != kBinaryFrameMagic) {
+    return CorruptError("not a SystemDS binary frame");
+  }
+  in.read(reinterpret_cast<char*>(&rows), 8);
+  in.read(reinterpret_cast<char*>(&cols), 8);
+  if (!in || rows < 0 || cols < 0) {
+    return CorruptError("malformed binary frame header");
+  }
+  auto read_string = [&in](std::string* s) -> bool {
+    int64_t n = 0;
+    in.read(reinterpret_cast<char*>(&n), 8);
+    if (!in || n < 0) return false;
+    s->resize(static_cast<size_t>(n));
+    in.read(s->data(), static_cast<std::streamsize>(n));
+    return static_cast<bool>(in);
+  };
+  std::vector<ValueType> schema(static_cast<size_t>(cols));
+  for (int64_t c = 0; c < cols; ++c) {
+    uint8_t type = 0;
+    in.read(reinterpret_cast<char*>(&type), 1);
+    schema[static_cast<size_t>(c)] = static_cast<ValueType>(type);
+  }
+  uint8_t has_names = 0;
+  in.read(reinterpret_cast<char*>(&has_names), 1);
+  if (!in) return CorruptError("malformed binary frame header");
+  std::vector<std::string> names;
+  if (has_names) {
+    names.resize(static_cast<size_t>(cols));
+    for (int64_t c = 0; c < cols; ++c) {
+      if (!read_string(&names[static_cast<size_t>(c)])) {
+        return CorruptError("malformed binary frame column names");
+      }
+    }
+  }
+  FrameBlock f = has_names ? FrameBlock(rows, schema, names)
+                           : FrameBlock(rows, schema);
+  for (int64_t c = 0; c < cols; ++c) {
+    if (schema[static_cast<size_t>(c)] == ValueType::kString) {
+      std::string cell;
+      for (int64_t r = 0; r < rows; ++r) {
+        if (!read_string(&cell)) {
+          return IoError("truncated binary frame");
+        }
+        f.SetString(r, c, cell);
+      }
+    } else {
+      std::vector<double> col(static_cast<size_t>(rows));
+      in.read(reinterpret_cast<char*>(col.data()),
+              static_cast<std::streamsize>(rows * 8));
+      for (int64_t r = 0; r < rows; ++r) {
+        f.SetDouble(r, c, col[static_cast<size_t>(r)]);
+      }
+    }
+  }
+  if (!in) return IoError("truncated binary frame");
+  return f;
+}
 
 FormatRegistry::FormatRegistry() {
   RegisterFormat("csv", std::make_unique<CsvFormatReader>(),

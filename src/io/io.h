@@ -88,6 +88,25 @@ Status Write(const MatrixBlock& m, const std::string& path,
 Status Write(const FrameBlock& f, const std::string& path,
              const FormatDescriptor& desc);
 
+// ---------------------------------------------------------------------------
+// Stream-based binary serialization. The binary file format, the buffer
+// pool's spill files, and the recovery subsystem's checkpoint files all
+// share these, so a block written by any of them round-trips through the
+// others (and through io::WriteAtomic's checksummed payload stream).
+
+/// Writes `m` in SystemDS binary block layout (magic + header + payload).
+Status WriteMatrixBinaryStream(const MatrixBlock& m, std::ostream& out);
+
+/// Reads a matrix written by WriteMatrixBinaryStream. Fails with kCorrupt
+/// on a bad magic and kIoError on truncation.
+StatusOr<MatrixBlock> ReadMatrixBinaryStream(std::istream& in);
+
+/// Writes `f` (schema, column names, cells) in a binary frame layout.
+Status WriteFrameBinaryStream(const FrameBlock& f, std::ostream& out);
+
+/// Reads a frame written by WriteFrameBinaryStream.
+StatusOr<FrameBlock> ReadFrameBinaryStream(std::istream& in);
+
 }  // namespace io
 }  // namespace sysds
 

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <fstream>
+#include <istream>
+#include <ostream>
 #include <vector>
 
 namespace sysds {
@@ -12,12 +14,12 @@ namespace {
 constexpr uint64_t kCompressedMagic = 0x313030504D435344ULL;
 
 template <typename T>
-void WritePod(std::ofstream& out, const T& v) {
+void WritePod(std::ostream& out, const T& v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(T));
 }
 
 template <typename T>
-void WriteVec(std::ofstream& out, const std::vector<T>& v) {
+void WriteVec(std::ostream& out, const std::vector<T>& v) {
   int64_t n = static_cast<int64_t>(v.size());
   WritePod(out, n);
   if (n > 0) {
@@ -27,13 +29,13 @@ void WriteVec(std::ofstream& out, const std::vector<T>& v) {
 }
 
 template <typename T>
-bool ReadPod(std::ifstream& in, T* v) {
+bool ReadPod(std::istream& in, T* v) {
   in.read(reinterpret_cast<char*>(v), sizeof(T));
   return static_cast<bool>(in);
 }
 
 template <typename T>
-bool ReadVec(std::ifstream& in, std::vector<T>* v) {
+bool ReadVec(std::istream& in, std::vector<T>* v) {
   int64_t n = 0;
   if (!ReadPod(in, &n) || n < 0) return false;
   v->resize(static_cast<size_t>(n));
@@ -46,10 +48,8 @@ bool ReadVec(std::ifstream& in, std::vector<T>* v) {
 
 }  // namespace
 
-Status WriteCompressedBinary(const CompressedMatrixBlock& c,
-                             const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return IoError("cannot open '" + path + "' for writing");
+Status WriteCompressedStream(const CompressedMatrixBlock& c,
+                             std::ostream& out) {
   WritePod(out, kCompressedMagic);
   WritePod(out, c.Rows());
   WritePod(out, c.Cols());
@@ -69,22 +69,19 @@ Status WriteCompressedBinary(const CompressedMatrixBlock& c,
     WriteVec(out, g.values);
     WriteVec(out, g.col_has_nonfinite);
   }
-  out.flush();
-  if (!out) return IoError("failed writing compressed block to '" + path + "'");
+  if (!out) return IoError("compressed block stream write failed");
   return Status::Ok();
 }
 
-StatusOr<CompressedMatrixBlock> ReadCompressedBinary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return IoError("cannot open '" + path + "' for reading");
+StatusOr<CompressedMatrixBlock> ReadCompressedStream(std::istream& in) {
   uint64_t magic = 0;
   int64_t rows = 0, cols = 0, nnz = 0, ngroups = 0;
   if (!ReadPod(in, &magic) || magic != kCompressedMagic) {
-    return IoError("'" + path + "' is not a SystemDS compressed matrix");
+    return CorruptError("not a SystemDS compressed matrix");
   }
   if (!ReadPod(in, &rows) || !ReadPod(in, &cols) || !ReadPod(in, &nnz) ||
       !ReadPod(in, &ngroups) || ngroups < 0) {
-    return IoError("truncated compressed matrix header in '" + path + "'");
+    return CorruptError("truncated compressed matrix header");
   }
   std::vector<ColGroup> groups(static_cast<size_t>(ngroups));
   for (ColGroup& g : groups) {
@@ -96,12 +93,35 @@ StatusOr<CompressedMatrixBlock> ReadCompressedBinary(const std::string& path) {
               ReadVec(in, &g.sdc_rows) && ReadVec(in, &g.sdc_codes) &&
               ReadVec(in, &g.values) && ReadVec(in, &g.col_has_nonfinite);
     if (!ok || enc > static_cast<uint8_t>(ColEncoding::kSDC)) {
-      return CorruptError("truncated compressed matrix group in '" + path +
-                          "'");
+      return CorruptError("truncated compressed matrix group");
     }
     g.encoding = static_cast<ColEncoding>(enc);
   }
   return CompressedMatrixBlock::FromParts(rows, cols, nnz, std::move(groups));
+}
+
+Status WriteCompressedBinary(const CompressedMatrixBlock& c,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return IoError("cannot open '" + path + "' for writing");
+  Status st = WriteCompressedStream(c, out);
+  if (!st.ok()) {
+    return IoError("failed writing compressed block to '" + path + "'");
+  }
+  out.flush();
+  if (!out) return IoError("failed writing compressed block to '" + path + "'");
+  return Status::Ok();
+}
+
+StatusOr<CompressedMatrixBlock> ReadCompressedBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IoError("cannot open '" + path + "' for reading");
+  auto c = ReadCompressedStream(in);
+  if (!c.ok()) {
+    return Status(c.status().code(),
+                  c.status().message() + " ('" + path + "')");
+  }
+  return c;
 }
 
 }  // namespace sysds

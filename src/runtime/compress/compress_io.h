@@ -1,6 +1,7 @@
 #ifndef SYSDS_RUNTIME_COMPRESS_COMPRESS_IO_H_
 #define SYSDS_RUNTIME_COMPRESS_COMPRESS_IO_H_
 
+#include <iosfwd>
 #include <string>
 
 #include "common/status.h"
@@ -17,6 +18,12 @@ Status WriteCompressedBinary(const CompressedMatrixBlock& c,
                              const std::string& path);
 
 StatusOr<CompressedMatrixBlock> ReadCompressedBinary(const std::string& path);
+
+/// Stream variants of the same layout, for embedding compressed blocks in
+/// checksummed containers (checkpoint files, atomic spill writes).
+Status WriteCompressedStream(const CompressedMatrixBlock& c, std::ostream& out);
+
+StatusOr<CompressedMatrixBlock> ReadCompressedStream(std::istream& in);
 
 }  // namespace sysds
 

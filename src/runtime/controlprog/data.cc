@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/faults.h"
+#include "io/atomic_file.h"
 #include "io/io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -261,11 +262,16 @@ StatusOr<bool> MatrixObject::EvictTo(const std::string& path) {
     // Spill in compressed form (§3.4): the file is a fraction of the dense
     // block and a restore skips re-running the planner. The decompressed
     // copy, if any, is discarded — it can be rebuilt from the spill.
-    SYSDS_RETURN_IF_ERROR(WriteCompressedBinary(*compressed_, path));
+    const CompressedMatrixBlock& cb = *compressed_;
+    SYSDS_RETURN_IF_ERROR(io::WriteAtomic(path, [&cb](std::ostream& out) {
+      return WriteCompressedStream(cb, out);
+    }));
     spilled_compressed_ = true;
   } else {
-    SYSDS_RETURN_IF_ERROR(
-        io::Write(*block_, path, FormatDescriptor::Binary()));
+    const MatrixBlock& mb = *block_;
+    SYSDS_RETURN_IF_ERROR(io::WriteAtomic(path, [&mb](std::ostream& out) {
+      return io::WriteMatrixBinaryStream(mb, out);
+    }));
     spilled_compressed_ = false;
   }
   evicted_path_ = path;
@@ -287,8 +293,18 @@ Status MatrixObject::RestoreLocked() {
                      evicted_path_ + ")");
       continue;
     }
+    // Checksum verification first (satellite: crash-safe spill files): a
+    // torn or bit-flipped spill surfaces as kCorrupt — retryable, and the
+    // spill file is kept so a later acquire can retry — never as garbage
+    // deserialized into a block.
+    auto payload = io::ReadVerified(evicted_path_);
+    if (!payload.ok()) {
+      last = payload.status();
+      continue;
+    }
+    std::istringstream in(std::move(payload).value());
     if (spilled_compressed_) {
-      auto restored = ReadCompressedBinary(evicted_path_);
+      auto restored = ReadCompressedStream(in);
       if (!restored.ok()) {
         last = restored.status();
         continue;
@@ -300,7 +316,7 @@ Status MatrixObject::RestoreLocked() {
           std::move(restored).value());
       return Status::Ok();
     }
-    auto restored = io::Read(evicted_path_, FormatDescriptor::Binary());
+    auto restored = io::ReadMatrixBinaryStream(in);
     if (!restored.ok()) {
       last = restored.status();
       continue;

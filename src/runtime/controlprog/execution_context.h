@@ -20,6 +20,7 @@ class BufferPool;
 class LineageMap;
 class LineageCache;
 class FederatedRegistry;
+class CheckpointManager;
 
 /// Cooperative cancellation signal shared between a request submitter and
 /// the executing context tree (root, function scopes, parfor workers). The
@@ -86,6 +87,13 @@ class ExecutionContext {
   FederatedRegistry* Federated() const { return federated_; }
   void SetFederated(FederatedRegistry* fed) { federated_ = fed; }
 
+  // Checkpoint/restart (src/runtime/recovery/): set on the root context
+  // only. Deliberately NOT propagated to children — loops inside function
+  // calls and parfor workers are covered by the outermost loop's checkpoint
+  // (or by prefix re-execution), never checkpointed themselves.
+  CheckpointManager* Checkpoints() const { return checkpoints_; }
+  void SetCheckpoints(CheckpointManager* cm) { checkpoints_ = cm; }
+
   // Script output stream (print/toString); tests redirect it.
   std::ostream& Out() const { return *out_; }
   void SetOut(std::ostream* out) { out_ = out; }
@@ -120,6 +128,7 @@ class ExecutionContext {
   std::unique_ptr<LineageMap> lineage_;
   LineageCache* cache_ = nullptr;
   FederatedRegistry* federated_ = nullptr;
+  CheckpointManager* checkpoints_ = nullptr;
   std::ostream* out_ = &std::cout;
   bool recompile_allowed_ = true;
   bool has_deadline_ = false;

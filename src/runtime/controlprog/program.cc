@@ -11,6 +11,7 @@
 #include "compiler/recompiler.h"
 #include "lineage/lineage.h"
 #include "obs/trace.h"
+#include "runtime/recovery/checkpoint_manager.h"
 
 namespace sysds {
 
@@ -292,8 +293,17 @@ class LoopLineageDedup {
 }  // namespace
 
 Status WhileBlock::Execute(ExecutionContext* ec) {
+  CheckpointScope ckpt(ec, liveness_);
+  int64_t start = 0;
+  if (ckpt.active()) {
+    SYSDS_ASSIGN_OR_RETURN(start, ckpt.TryResume(ec));
+  }
   LoopLineageDedup dedup(ec, this);
-  for (int64_t iteration = 0;; ++iteration) {
+  // On resume the predicate evaluates over the restored loop-carried state,
+  // so no explicit fast-forward is needed; `iteration` starts at the
+  // restored count to keep lineage-dedup numbering identical to an
+  // uninterrupted run.
+  for (int64_t iteration = start;; ++iteration) {
     SYSDS_ASSIGN_OR_RETURN(DataPtr pred, predicate_.Evaluate(ec));
     SYSDS_ASSIGN_OR_RETURN(ScalarObject * s, AsScalar(pred, "while predicate"));
     if (!s->AsBool()) break;
@@ -302,8 +312,9 @@ Status WhileBlock::Execute(ExecutionContext* ec) {
       SYSDS_RETURN_IF_ERROR(b->Execute(ec));
     }
     dedup.EndIteration(static_cast<double>(iteration));
+    SYSDS_RETURN_IF_ERROR(ckpt.AtBoundary(ec, iteration + 1));
   }
-  return Status::Ok();
+  return ckpt.Finish();
 }
 
 StatusOr<std::vector<double>> ForBlock::EvaluateRange(
@@ -330,21 +341,38 @@ StatusOr<std::vector<double>> ForBlock::EvaluateRange(
 
 Status ForBlock::Execute(ExecutionContext* ec) {
   SYSDS_ASSIGN_OR_RETURN(std::vector<double> iterations, EvaluateRange(ec));
+  CheckpointScope ckpt(ec, liveness_);
+  size_t start = 0;
+  if (ckpt.active()) {
+    SYSDS_ASSIGN_OR_RETURN(int64_t done, ckpt.TryResume(ec));
+    start = std::min(iterations.size(), static_cast<size_t>(done));
+  }
   LoopLineageDedup dedup(ec, this);
-  for (double v : iterations) {
+  for (size_t i = start; i < iterations.size(); ++i) {
+    double v = iterations[i];
     ec->Vars().Set(loop_var_, MakeLoopScalar(v));
     dedup.BeginIteration();
     for (const ProgramBlockPtr& b : body_) {
       SYSDS_RETURN_IF_ERROR(b->Execute(ec));
     }
     dedup.EndIteration(v);
+    SYSDS_RETURN_IF_ERROR(ckpt.AtBoundary(ec, static_cast<int64_t>(i) + 1));
   }
-  return Status::Ok();
+  return ckpt.Finish();
 }
 
 Status ParForBlock::Execute(ExecutionContext* ec) {
   SYSDS_ASSIGN_OR_RETURN(std::vector<double> iterations, EvaluateRange(ec));
   if (iterations.empty()) return Status::Ok();
+  // Parfor checkpoints at one boundary — after compare-and-merge — since
+  // workers run in parallel with no consistent mid-flight cut. A crash at
+  // that boundary resumes by restoring the merged result variables and
+  // skipping the whole (already-completed) parfor.
+  CheckpointScope ckpt(ec, liveness_);
+  if (ckpt.active()) {
+    SYSDS_ASSIGN_OR_RETURN(int64_t done, ckpt.TryResume(ec));
+    if (done > 0) return ckpt.Finish();
+  }
   int64_t k = std::min<int64_t>(ec->NumThreads(),
                                 static_cast<int64_t>(iterations.size()));
   Statistics::Get().IncCounter("parfor.executions");
@@ -443,7 +471,9 @@ Status ParForBlock::Execute(ExecutionContext* ec) {
                                   var + "#" + std::to_string(GenerateSeed())));
     }
   }
-  return Status::Ok();
+  SYSDS_RETURN_IF_ERROR(
+      ckpt.AtBoundary(ec, static_cast<int64_t>(iterations.size())));
+  return ckpt.Finish();
 }
 
 Status FunctionBlock::Execute(ExecutionContext* caller,

@@ -26,6 +26,18 @@ class ProgramBlock {
 
 using ProgramBlockPtr = std::unique_ptr<ProgramBlock>;
 
+/// Loop annotations computed by AnnotateLoopLiveness (src/compiler/
+/// liveness.cc) and consumed by the checkpoint/restart subsystem
+/// (src/runtime/recovery/): a stable loop id, the loop-carried variables a
+/// checkpoint must persist (everything the body writes that survives the
+/// iteration), and the read-only matrix/frame inputs whose lineage is
+/// validated on resume instead of being re-saved every checkpoint.
+struct LoopLiveness {
+  int loop_id = -1;  // -1 = not annotated (checkpointing skips the loop)
+  std::vector<std::string> checkpoint_vars;
+  std::vector<std::string> invariant_reads;
+};
+
 /// A straight-line sequence of instructions compiled from one HOP DAG.
 class BasicBlock final : public ProgramBlock {
  public:
@@ -78,11 +90,15 @@ class WhileBlock final : public ProgramBlock {
   Predicate& GetPredicate() { return predicate_; }
   std::vector<ProgramBlockPtr>& Body() { return body_; }
 
+  LoopLiveness& Liveness() { return liveness_; }
+  const LoopLiveness& Liveness() const { return liveness_; }
+
   void Explain(std::ostream& os, int indent) const override;
 
  private:
   Predicate predicate_;
   std::vector<ProgramBlockPtr> body_;
+  LoopLiveness liveness_;
 };
 
 class ForBlock : public ProgramBlock {
@@ -97,12 +113,16 @@ class ForBlock : public ProgramBlock {
   Predicate& Increment() { return increment_; }
   std::vector<ProgramBlockPtr>& Body() { return body_; }
 
+  LoopLiveness& Liveness() { return liveness_; }
+  const LoopLiveness& Liveness() const { return liveness_; }
+
  protected:
   StatusOr<std::vector<double>> EvaluateRange(ExecutionContext* ec) const;
 
   std::string loop_var_;
   Predicate from_, to_, increment_;
   std::vector<ProgramBlockPtr> body_;
+  LoopLiveness liveness_;
 };
 
 /// Parallel for (paper §2.3(4)): local multi-threaded workers over disjoint

@@ -27,6 +27,23 @@ struct PsConfig {
   PsUpdateMode mode = PsUpdateMode::kBSP;
   PsObjective objective = PsObjective::kLinearRegression;
   uint64_t seed = 42;  // shuffling
+
+  // Model-version checkpoints (src/runtime/recovery/): in BSP mode the
+  // model is snapshotted to `<checkpoint_dir>/ps_model.ckpt` (crash-safe:
+  // CRC32 footer + atomic rename) every `checkpoint_every_rounds` completed
+  // rounds. A later run with `resume` set restarts training from the saved
+  // model and round instead of round 0. BSP aggregation is deterministic
+  // (gradients buffered per round, applied in worker-id order at the
+  // barrier), so an uninterrupted run and a crash+resume run produce
+  // bit-identical weights.
+  std::string checkpoint_dir;
+  int64_t checkpoint_every_rounds = 1;
+  bool resume = false;
+  // Rollback on worker-exclusion cascades: when this many workers have been
+  // excluded since the last checkpoint, the model is rolled back to that
+  // checkpoint (discarding rounds that may mix partial pushes from the dead
+  // workers) and training continues with the survivors. 0 disables.
+  int rollback_after_exclusions = 0;
 };
 
 struct PsResult {
@@ -36,6 +53,10 @@ struct PsResult {
   /// Workers dropped from the aggregation after exhausting their retry
   /// budget (chaos mode); the barrier adapts so surviving workers finish.
   int excluded_workers = 0;
+  /// Model rollbacks to the last checkpoint (exclusion cascades).
+  int rollbacks = 0;
+  /// Round training restarted from (0 for a fresh run).
+  int64_t resumed_round = 0;
 };
 
 /// In-process parameter server: the model lives at the "server" (mutex-

@@ -1,0 +1,174 @@
+#ifndef SYSDS_RUNTIME_RECOVERY_CHECKPOINT_MANAGER_H_
+#define SYSDS_RUNTIME_RECOVERY_CHECKPOINT_MANAGER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/util.h"
+#include "runtime/controlprog/program.h"
+
+namespace sysds {
+
+class ExecutionContext;
+
+/// Stable program identity for checkpoint manifests: hashes the runtime
+/// plan rendering (Program::Explain) after renumbering compiler-generated
+/// temporary names (`_mVar<n>`, `__pred<n>`) in first-appearance order —
+/// their process-global counters differ between compiles of identical
+/// source, but the canonicalized plan does not.
+uint64_t ProgramIdentityHash(const std::string& explain_text);
+
+// Lineage-based checkpoint/restart for long-running iterative programs.
+//
+// Model: a crashed run is recovered by RE-EXECUTION, not by core-dump-style
+// state capture. A fresh run with `resume` enabled re-executes the program
+// from the top — that prefix is deterministic (auto-generated RNG seeds are
+// restored from the manifest, everything else is a pure function of the
+// inputs) — until it reaches the loop named in the committed manifest. There
+// it restores the loop-carried variables from the checkpoint files, fast-
+// forwards the iteration counter, and continues. Intermediates that were NOT
+// saved are thereby recomputed from lineage: the manifest records their
+// lineage keys, and the re-executed prefix rebuilds exactly the values those
+// keys describe (invariant reads are validated by comparing the recorded
+// lineage hashes against the re-traced ones).
+//
+// Durability: every file — one per checkpointed variable, plus the manifest
+// — is written via io::WriteAtomic (temp file, CRC32 footer, atomic rename).
+// Variable files are generation-numbered (`loop<id>_g<gen>_<var>.bin`) and
+// the manifest rename is the commit point: a crash mid-checkpoint leaves the
+// previous committed generation intact, and the new generation's orphans are
+// garbage. Only after the manifest commits is the previous generation
+// deleted.
+//
+// Scope: only OUTERMOST annotated loops of the root context checkpoint
+// (BeginLoop's depth guard); loops nested inside a checkpointed loop, loops
+// in function bodies, and parfor-worker loops are covered by their
+// enclosing checkpoint or by prefix re-execution. On successful loop
+// completion the loop's checkpoint state is deleted.
+class CheckpointManager {
+ public:
+  struct Options {
+    std::string dir;
+    /// Checkpoint every N-th completed iteration. <= 0 selects the adaptive
+    /// cost gate: checkpoint when estimated lost work since the last
+    /// checkpoint exceeds cost_factor x the estimated write cost (write
+    /// throughput is calibrated by EMA over completed checkpoints).
+    int64_t interval = 1;
+    double cost_factor = 2.0;
+    bool resume = false;
+  };
+
+  CheckpointManager(Options options, uint64_t program_hash);
+
+  /// Resume mode: scans the checkpoint directory for committed manifests,
+  /// rejects version mismatches (a manifest whose program hash differs from
+  /// this run's program), and restores the run-start RNG seed state so the
+  /// re-executed prefix draws the original run's seeds. Call once, before
+  /// Program::Execute.
+  Status PrepareResume();
+
+  /// Depth guard: true if `loop_id` became the active checkpointed loop
+  /// (no other loop is active). Every BeginLoop(true) must be paired with
+  /// EndLoop.
+  bool BeginLoop(int loop_id);
+
+  /// `completed` = the loop finished normally: its checkpoint state is
+  /// deleted (resume would be wasted work — re-execution is cheaper than
+  /// restoring a finished loop's last iteration).
+  void EndLoop(int loop_id, bool completed);
+
+  /// Restores a committed checkpoint for `loop_id` if one exists: CRC-
+  /// verified variable restore into ec's symbol table, invariant lineage
+  /// validation, lineage leaves for restored variables, RNG seed state
+  /// restore. Returns the number of completed iterations to fast-forward
+  /// past (0 = no checkpoint, start from scratch).
+  StatusOr<int64_t> TryResume(int loop_id, const LoopLiveness& liveness,
+                              ExecutionContext* ec);
+
+  /// Called after every completed iteration of the active loop. Applies the
+  /// cost gate, writes a checkpoint generation when the gate opens, then
+  /// probes the deterministic kCrash kill point — returning kAborted to
+  /// simulate a process crash at this exact boundary.
+  Status AtBoundary(int loop_id, const LoopLiveness& liveness,
+                    int64_t completed, ExecutionContext* ec);
+
+  const Options& options() const { return options_; }
+  int64_t CheckpointsWritten() const { return checkpoints_written_; }
+
+ private:
+  struct ManifestVar {
+    std::string name;
+    std::string file;
+    uint64_t lineage_hash = 0;  // 0 = not traced
+  };
+  struct Manifest {
+    uint64_t program_hash = 0;
+    int loop_id = -1;
+    int64_t generation = 0;
+    int64_t completed = 0;
+    SeedState seed_start;
+    SeedState seed_now;
+    std::vector<ManifestVar> vars;
+    std::vector<std::pair<std::string, uint64_t>> invariants;
+  };
+
+  std::string ManifestPath(int loop_id) const;
+  std::string VarFilePath(int loop_id, int64_t generation,
+                          size_t var_index) const;
+  bool GateOpen(int64_t completed);
+  Status WriteCheckpoint(int loop_id, const LoopLiveness& liveness,
+                         int64_t completed, ExecutionContext* ec);
+  void DeleteLoopState(int loop_id);
+  static std::string SerializeManifest(const Manifest& m);
+  static StatusOr<Manifest> ParseManifest(const std::string& text);
+
+  Options options_;
+  uint64_t program_hash_;
+  SeedState seed_start_;
+  int active_loop_ = -1;
+  int64_t generation_ = 0;
+  int64_t last_checkpoint_iter_ = 0;
+  int64_t checkpoints_written_ = 0;
+  // Adaptive gate state: wall-clock since the last checkpoint and an EMA of
+  // observed write throughput (bytes/second).
+  Timer since_checkpoint_;
+  double write_throughput_ = 200.0 * 1024 * 1024;
+  int64_t last_checkpoint_bytes_ = 0;
+  // Committed manifests discovered by PrepareResume, consumed by TryResume.
+  std::map<int, Manifest> resumable_;
+};
+
+/// RAII wrapper used by the loop Execute methods: activates checkpointing
+/// for the loop when the context carries a manager, this loop is annotated,
+/// and no enclosing loop holds the depth guard. The destructor releases the
+/// guard; Finish() additionally deletes the loop's checkpoint state (call
+/// it only on normal loop completion, so a crash unwind keeps the state).
+class CheckpointScope {
+ public:
+  CheckpointScope(ExecutionContext* ec, const LoopLiveness& liveness);
+  ~CheckpointScope();
+  CheckpointScope(const CheckpointScope&) = delete;
+  CheckpointScope& operator=(const CheckpointScope&) = delete;
+
+  bool active() const { return manager_ != nullptr; }
+
+  /// Fast-forward count from a committed checkpoint (0 = none).
+  StatusOr<int64_t> TryResume(ExecutionContext* ec);
+
+  Status AtBoundary(ExecutionContext* ec, int64_t completed);
+
+  /// Marks normal completion: deletes the loop's checkpoint state.
+  Status Finish();
+
+ private:
+  CheckpointManager* manager_ = nullptr;
+  const LoopLiveness& liveness_;
+  bool finished_ = false;
+};
+
+}  // namespace sysds
+
+#endif  // SYSDS_RUNTIME_RECOVERY_CHECKPOINT_MANAGER_H_
