@@ -161,7 +161,8 @@ StatusOr<MatrixBlock> ReadMatrixCsvImpl(const std::string& path,
             p = line_end + 1;
           }
         }
-      });
+      },
+      "io.read");
   for (const Status& s : chunk_status) SYSDS_RETURN_IF_ERROR(s);
   m.MarkNnzDirty();
   m.ExamSparsity();
@@ -326,7 +327,8 @@ StatusOr<FrameBlock> ReadFrameCsvImpl(const std::string& path,
             p = line_end + 1;
           }
         }
-      });
+      },
+      "io.write");
   for (const Status& s : chunk_status) SYSDS_RETURN_IF_ERROR(s);
   return f;
 }

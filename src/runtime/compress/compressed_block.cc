@@ -416,7 +416,8 @@ CompressedMatrixBlock CompressedMatrixBlock::Compress(
                 BuildGroup(m, plan.groups[static_cast<size_t>(gi)],
                            &group_nnz[static_cast<size_t>(gi)]);
           }
-        });
+        },
+        "compress");
   }
   out.nnz_ = 0;
   for (int64_t n : group_nnz) out.nnz_ += n;
@@ -488,7 +489,8 @@ MatrixBlock CompressedMatrixBlock::Decompress(int num_threads) const {
             }
           }
         }
-      });
+      },
+      "compress");
   out.ExamSparsity(nnz_);
   return out;
 }
@@ -553,7 +555,8 @@ double CompressedMatrixBlock::Sum(int num_threads) const {
           }
           partials[static_cast<size_t>(gi)] = sum;
         }
-      });
+      },
+      "compress");
   double total = 0.0;
   for (double p : partials) total += p;
   return total;
@@ -824,7 +827,8 @@ StatusOr<MatrixBlock> CompressedMatrixBlock::RightMatMult(
             }
           }
         }
-      });
+      },
+      "compress");
   out.MarkNnzDirty();
   out.ExamSparsity();
   return out;
@@ -895,7 +899,8 @@ StatusOr<MatrixBlock> CompressedMatrixBlock::LeftMatMult(
             }
           }
         }
-      });
+      },
+      "compress");
   // Merge chunk partials in chunk order (deterministic for a fixed thread
   // count), then contract the coded buckets with the dictionaries.
   for (size_t gi = 0; gi < ngroups; ++gi) {
@@ -997,7 +1002,8 @@ StatusOr<MatrixBlock> CompressedMatrixBlock::TsmmLeft(int num_threads) const {
             }
           }
         }
-      });
+      },
+      "compress");
   // Integer merge — exact regardless of chunk count, so the whole tsmm is
   // deterministic independent of threading.
   std::vector<std::vector<int64_t>> counts(pairs.size());
@@ -1069,7 +1075,8 @@ StatusOr<MatrixBlock> CompressedMatrixBlock::TsmmLeft(int num_threads) const {
             }
           }
         }
-      });
+      },
+      "compress");
   // Mirror the computed upper triangle into the lower one.
   double* pc = out.DenseData();
   for (int64_t i = 0; i < cols_; ++i) {

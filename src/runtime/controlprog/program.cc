@@ -417,7 +417,8 @@ Status ParForBlock::Execute(ExecutionContext* ec) {
         }
       }
     }
-  });
+  },
+  "parfor");
   for (const Status& s : statuses) SYSDS_RETURN_IF_ERROR(s);
 
   // Result merge: matrices via compare-and-merge against the original

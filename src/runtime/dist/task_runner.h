@@ -72,10 +72,11 @@ void BumpSpeculativeWin();
 /// duplicate.
 ///
 /// When called from a pool worker (parfor bodies execute dist instructions
-/// on pool threads), the stage runs inline on the calling thread —
-/// sequential retry loop, no speculation — because queueing into and then
-/// blocking on the already saturated pool would deadlock (same guard as
-/// ThreadPool::ParallelFor).
+/// on pool threads) — or on a zero-worker pool — the monitor performs a
+/// helping join (same discipline as ThreadPool::ParallelFor): it drains
+/// pending pool tasks on the calling thread instead of sleeping on the
+/// saturated pool, so nested stages keep every core busy and cannot
+/// deadlock. Speculation stays active either way.
 template <typename Compute, typename Commit>
 Status RunRetryableTasks(int64_t num_tasks, Compute&& compute, Commit&& commit,
                          const TaskRunnerOptions& options = {}) {
@@ -165,22 +166,38 @@ Status RunRetryableTasks(int64_t num_tasks, Compute&& compute, Commit&& commit,
     std::lock_guard<std::mutex> lock(mu);
     outstanding = num_tasks;
   }
-  if (ThreadPool::InCurrentWorker()) {
-    // Nested stage on a pool worker: run inline, sequentially.
-    for (int64_t t = 0; t < num_tasks; ++t) run(t, /*speculative=*/false);
-    std::lock_guard<std::mutex> lock(mu);
-    return first_error;
-  }
+  ThreadPool& pool = ThreadPool::Global();
   for (int64_t t = 0; t < num_tasks; ++t) {
-    ThreadPool::Global().Submit([&run, t] { run(t, /*speculative=*/false); });
+    pool.Submit([&run, t] { run(t, /*speculative=*/false); });
   }
 
-  // Wait for the stage, acting as the speculation monitor while we do.
+  // Wait for the stage, acting as the speculation monitor while we do. A
+  // caller that is itself a pool worker — or any caller on a zero-worker
+  // pool — helps: it runs pending pool tasks (this stage's or anyone
+  // else's) instead of sleeping on the saturated pool.
+  const bool help = ThreadPool::InCurrentWorker() || pool.num_threads() == 0;
   std::unique_lock<std::mutex> lock(mu);
+  int64_t last_monitor_ns = now_ns();
   for (;;) {
-    if (cv.wait_for(lock, options.poll, [&] { return outstanding == 0; })) {
+    if (outstanding == 0) break;
+    if (help) {
+      bool ran;
+      lock.unlock();
+      ran = pool.TryRunPendingTask();
+      lock.lock();
+      if (!ran &&
+          cv.wait_for(lock, options.poll, [&] { return outstanding == 0; })) {
+        break;
+      }
+    } else if (cv.wait_for(lock, options.poll,
+                           [&] { return outstanding == 0; })) {
       break;
     }
+    // Throttle the straggler scan to the poll interval — a helping caller
+    // can iterate far faster than the poll clock.
+    int64_t scan_now = now_ns();
+    if (scan_now - last_monitor_ns < options.poll.count() * 1000000) continue;
+    last_monitor_ns = scan_now;
     if (!options.speculation ||
         static_cast<int64_t>(durations_ms.size()) * 2 < num_tasks) {
       continue;
@@ -210,7 +227,7 @@ Status RunRetryableTasks(int64_t num_tasks, Compute&& compute, Commit&& commit,
     lock.unlock();
     for (int64_t t : stragglers) {
       dist_internal::BumpSpeculative();
-      ThreadPool::Global().Submit([&run, t] { run(t, /*speculative=*/true); });
+      pool.Submit([&run, t] { run(t, /*speculative=*/true); });
     }
     lock.lock();
   }

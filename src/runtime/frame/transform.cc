@@ -44,16 +44,20 @@ int64_t NumFitChunks(int64_t rows) {
   return std::max<int64_t>(1, (rows + kFitChunkRows - 1) / kFitChunkRows);
 }
 
-// Runs fn(chunk_index) for every chunk in [0, num_chunks) on up to
-// `threads` workers.
+// Runs fn(chunk_index) for every chunk in [0, num_chunks). Each fit chunk is
+// one schedulable unit (results are indexed by chunk id, so the scheduler's
+// chunk->thread assignment never affects them); the work-stealing pool
+// load-balances the chunks across however many workers are free. `threads`
+// is kept for call-site compatibility.
 void RunChunks(int64_t num_chunks, int threads,
                const std::function<void(int64_t)>& fn) {
-  int64_t par =
-      threads <= 1 ? 1 : std::min<int64_t>(threads, num_chunks);
-  ThreadPool::Global().ParallelFor(0, num_chunks, par,
-                                   [&](int64_t b, int64_t e) {
-                                     for (int64_t i = b; i < e; ++i) fn(i);
-                                   });
+  (void)threads;
+  ThreadPool::Global().ParallelFor(
+      0, num_chunks, num_chunks,
+      [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) fn(i);
+      },
+      "transform");
 }
 
 }  // namespace
@@ -571,7 +575,8 @@ StatusOr<EncodedOutput> MultiColumnEncoder::Apply(
                         });
           }
         }
-      });
+      },
+      "transform");
   m.MarkNnzDirty();
   m.ExamSparsity();
   transform_metrics::DenseOutputs()->Add();
@@ -639,7 +644,8 @@ StatusOr<CompressedMatrixBlock> MultiColumnEncoder::ApplyCompressed(
                               static_cast<uint16_t>(
                                   static_cast<int64_t>(code) - code_shift);
                         });
-          });
+          },
+          "transform");
       SYSDS_ASSIGN_OR_RETURN(
           ColGroup g, BuildDdcGroupFromCodes(std::move(gcols),
                                              std::move(dict), codes.data(),
@@ -670,7 +676,8 @@ StatusOr<CompressedMatrixBlock> MultiColumnEncoder::ApplyCompressed(
                             values[static_cast<size_t>(r)] = code;
                           });
             }
-          });
+          },
+          "transform");
       groups.push_back(BuildUncompressedGroup(std::move(gcols),
                                               std::move(values), rows,
                                               &nnz));
@@ -869,7 +876,8 @@ StatusOr<FrameBlock> MultiColumnEncoder::Decode(const MatrixBlock& m,
             }
           }
         }
-      });
+      },
+      "transform");
   return out;
 }
 

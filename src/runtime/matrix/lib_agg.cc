@@ -138,7 +138,8 @@ StatusOr<MatrixBlock> AggregateRowCol(AggOpCode op, AggDirection dir,
             ScanRow(a, r, &stats, skip);
             c.DenseData()[r] = Finalize(op, stats);
           }
-        });
+        },
+        "agg");
     c.MarkNnzDirty();
     return c;
   }

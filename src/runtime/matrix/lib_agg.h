@@ -150,7 +150,8 @@ CellStats FullAggChunked(int64_t rows, int num_threads,
         auto scan = make_scan();
         CellStats& s = partials[static_cast<size_t>(rb / chunk_rows)];
         for (int64_t r = rb; r < re; ++r) scan(r, &s);
-      });
+      },
+      "agg");
   CellStats total = partials[0];
   for (size_t i = 1; i < partials.size(); ++i) Merge(&total, partials[i]);
   return total;
@@ -171,7 +172,8 @@ Kahan FullSumChunked(int64_t rows, int num_threads, const MakeScan& make_scan) {
         auto scan = make_scan();
         Kahan& k = partials[static_cast<size_t>(rb / chunk_rows)];
         for (int64_t r = rb; r < re; ++r) scan(r, &k);
-      });
+      },
+      "agg");
   Kahan total = partials[0];
   for (size_t i = 1; i < partials.size(); ++i) {
     total.Add(partials[i].sum);
@@ -200,7 +202,8 @@ std::vector<CellStats> ColAggChunked(int64_t rows, int64_t cols,
         std::vector<CellStats>& s = partials[static_cast<size_t>(rb / chunk_rows)];
         s.assign(static_cast<size_t>(cols), CellStats());
         for (int64_t r = rb; r < re; ++r) scan(r, s.data());
-      });
+      },
+      "agg");
   for (std::vector<CellStats>& p : partials) {
     if (p.empty()) continue;
     if (total.empty()) {

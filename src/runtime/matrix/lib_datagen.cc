@@ -59,7 +59,7 @@ StatusOr<MatrixBlock> RandMatrix(int64_t rows, int64_t cols, double min_val,
   ThreadPool::Global().ParallelFor(
       0, num_blocks,
       num_threads <= 1 ? 1 : std::min<int64_t>(num_threads, num_blocks),
-      gen_block);
+      gen_block, "datagen");
   c.MarkNnzDirty();
   return c;
 }

@@ -155,7 +155,8 @@ StatusOr<MatrixBlock> BinaryMatrixMatrix(BinaryOpCode op,
           local += CountRowNnz(crow, cols);
         }
         nnz.fetch_add(local, std::memory_order_relaxed);
-      });
+      },
+      "elementwise");
   c.ExamSparsity(nnz.load(std::memory_order_relaxed));
   return c;
 }
@@ -209,7 +210,8 @@ MatrixBlock BinaryMatrixScalar(BinaryOpCode op, const MatrixBlock& a,
           local += CountRowNnz(crow, cols);
         }
         nnz.fetch_add(local, std::memory_order_relaxed);
-      });
+      },
+      "elementwise");
   c.ExamSparsity(nnz.load(std::memory_order_relaxed));
   return c;
 }
@@ -253,7 +255,8 @@ MatrixBlock UnaryMatrix(UnaryOpCode op, const MatrixBlock& a,
           local += CountRowNnz(crow, cols);
         }
         nnz.fetch_add(local, std::memory_order_relaxed);
-      });
+      },
+      "elementwise");
   c.ExamSparsity(nnz.load(std::memory_order_relaxed));
   return c;
 }
@@ -287,7 +290,8 @@ StatusOr<MatrixBlock> TernaryIfElse(const MatrixBlock& cond,
           local += CountRowNnz(crow, cols);
         }
         nnz.fetch_add(local, std::memory_order_relaxed);
-      });
+      },
+      "elementwise");
   c.ExamSparsity(nnz.load(std::memory_order_relaxed));
   return c;
 }

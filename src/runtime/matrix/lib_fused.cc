@@ -291,7 +291,8 @@ StatusOr<FusedResult> ExecSparseDriver(
             }
           }
           nnz.fetch_add(local, std::memory_order_relaxed);
-        });
+        },
+        "fused");
     c.SetNonZeros(nnz.load(std::memory_order_relaxed));
     FusedResult out;
     out.matrix = std::move(c);
@@ -345,7 +346,8 @@ StatusOr<FusedResult> ExecSparseDriver(
             scan_row(r, tmp.data(), &stats);
             c.DenseData()[r] = agg::Finalize(plan.agg, stats);
           }
-        });
+        },
+        "fused");
     c.MarkNnzDirty();
     FusedResult out;
     out.matrix = std::move(c);
@@ -657,7 +659,8 @@ StatusOr<FusedResult> ExecDenseDriver(
             local += CountRowNnz(row, cols);
           }
           nnz.fetch_add(local, std::memory_order_relaxed);
-        });
+        },
+        "fused");
     // Sparsity re-examination happens only here at the region root, with
     // the inline nonzero count (no extra full scan for the pipeline).
     c.ExamSparsity(nnz.load(std::memory_order_relaxed));
@@ -709,7 +712,8 @@ StatusOr<FusedResult> ExecDenseDriver(
             ScanDenseRow(ev.Eval(r, nullptr), cols, skip, &stats);
             c.DenseData()[r] = agg::Finalize(plan.agg, stats);
           }
-        });
+        },
+        "fused");
     c.MarkNnzDirty();
     FusedResult out;
     out.matrix = std::move(c);

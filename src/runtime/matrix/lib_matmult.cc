@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstring>
 #include <vector>
 
@@ -11,6 +12,13 @@ namespace sysds {
 
 namespace {
 std::atomic<GemmKernel> g_gemm_kernel{GemmKernel::kNative};
+
+inline bool AllFinite(const double* v, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(v[i])) return false;
+  }
+  return true;
+}
 }  // namespace
 
 void SetGemmKernel(GemmKernel kernel) { g_gemm_kernel.store(kernel); }
@@ -40,6 +48,21 @@ void GemmDenseTiled(const double* a, const double* b, double* c, int64_t m,
                     int64_t n, int64_t k) {
   constexpr int64_t kBlockK = 128;
   constexpr int64_t kBlockJ = 512;
+  // Unified zero-skip rule (same as the fused and compressed kernels): a
+  // zero in A may skip B's row l only when that row is finite everywhere,
+  // so 0 * Inf and 0 * NaN still propagate NaN into C exactly like the
+  // non-skipping GemmDensePortable. Row states are memoized lazily — a
+  // zero-free A never pays for the scan.
+  std::vector<int8_t> b_row_finite;  // -1 unknown, 0 has nonfinite, 1 finite
+  auto b_row_all_finite = [&](int64_t l) {
+    if (b_row_finite.empty()) b_row_finite.assign(static_cast<size_t>(k), -1);
+    int8_t st = b_row_finite[static_cast<size_t>(l)];
+    if (st < 0) {
+      st = AllFinite(b + l * n, n) ? 1 : 0;
+      b_row_finite[static_cast<size_t>(l)] = st;
+    }
+    return st == 1;
+  };
   for (int64_t kk = 0; kk < k; kk += kBlockK) {
     int64_t kend = std::min(k, kk + kBlockK);
     for (int64_t jj = 0; jj < n; jj += kBlockJ) {
@@ -49,7 +72,7 @@ void GemmDenseTiled(const double* a, const double* b, double* c, int64_t m,
         double* crow = c + i * n;
         for (int64_t l = kk; l < kend; ++l) {
           double aval = arow[l];
-          if (aval == 0.0) continue;
+          if (aval == 0.0 && b_row_all_finite(l)) continue;
           const double* brow = b + l * n;
           for (int64_t j = jj; j < jend; ++j) crow[j] += aval * brow[j];
         }
@@ -133,6 +156,42 @@ void MirrorLowerTriangle(double* pc, int64_t n, int num_threads) {
       });
 }
 
+// Deterministic pairwise tree reduction over chunk-id-indexed partials:
+// level `stride` adds partials[i + stride] into partials[i] for
+// i = 0, 2*stride, 4*stride, ... — pairs touch disjoint slots, so the
+// levels run chunk-parallel while the addition order stays a pure function
+// of the chunk ids: the reduced result is bit-identical across thread
+// counts, scheduling orders, and repeated runs. Empty slots (chunks that
+// never ran, possible when the geometry leaves a tail chunk empty) are
+// skipped or moved, which is itself determined by the geometry alone.
+void TreeReducePartials(std::vector<std::vector<double>>* partials,
+                        int64_t len) {
+  auto& parts = *partials;
+  int64_t count = static_cast<int64_t>(parts.size());
+  for (int64_t stride = 1; stride < count; stride *= 2) {
+    int64_t pairs = (count - stride + 2 * stride - 1) / (2 * stride);
+    ThreadPool::Global().ParallelFor(
+        0, pairs, pairs,
+        [&](int64_t pb, int64_t pe) {
+          for (int64_t t = pb; t < pe; ++t) {
+            int64_t i = t * 2 * stride;
+            int64_t j = i + stride;
+            if (j >= count) continue;
+            std::vector<double>& dst = parts[static_cast<size_t>(i)];
+            std::vector<double>& src = parts[static_cast<size_t>(j)];
+            if (src.empty()) continue;
+            if (dst.empty()) {
+              dst = std::move(src);
+            } else {
+              for (int64_t x = 0; x < len; ++x) dst[x] += src[x];
+            }
+            std::vector<double>().swap(src);
+          }
+        },
+        "matmult.reduce");
+  }
+}
+
 }  // namespace
 
 StatusOr<MatrixBlock> MatMult(const MatrixBlock& a, const MatrixBlock& b,
@@ -147,16 +206,27 @@ StatusOr<MatrixBlock> MatMult(const MatrixBlock& a, const MatrixBlock& b,
   auto run = [&](auto fn) {
     ThreadPool::Global().ParallelFor(
         0, a.Rows(), chunks,
-        [&](int64_t rb, int64_t re) { fn(a, b, &c, rb, re); });
+        [&](int64_t rb, int64_t re) { fn(a, b, &c, rb, re); }, "matmult");
+  };
+  // Sparse-A paths split on cumulative row nnz instead of row count so a
+  // few dense rows cannot straggle one chunk; output rows stay disjoint, so
+  // the weighted boundaries (a pure function of the nnz structure) keep
+  // results bit-identical at any thread count.
+  auto run_weighted = [&](auto fn) {
+    ThreadPool::Global().ParallelForWeighted(
+        0, a.Rows(), chunks,
+        [&](int64_t i) { return a.SparseData().Row(i).Size() + 1; },
+        [&](int64_t rb, int64_t re, int64_t) { fn(a, b, &c, rb, re); },
+        "matmult");
   };
   if (!a.IsSparse() && !b.IsSparse()) {
     run(GemmDenseRows);
   } else if (a.IsSparse() && !b.IsSparse()) {
-    run(GemmSparseDenseRows);
+    run_weighted(GemmSparseDenseRows);
   } else if (!a.IsSparse() && b.IsSparse()) {
     run(GemmDenseSparseRows);
   } else {
-    run(GemmSparseSparseRows);
+    run_weighted(GemmSparseSparseRows);
   }
   c.MarkNnzDirty();
   c.ExamSparsity();
@@ -170,11 +240,14 @@ StatusOr<MatrixBlock> TransposeSelfMatMult(const MatrixBlock& x, bool left,
   // specialize the (dominant) left case and fall back to TransposeLeftMatMult
   // semantics for the right case via the generic path.
   if (!left) {
-    // X %*% t(X): C[i,j] = dot(row_i, row_j), symmetric m x m.
+    // X %*% t(X): C[i,j] = dot(row_i, row_j), symmetric m x m. Row i costs
+    // ~(m - i) dot products — triangular skew — so chunks split on that
+    // weight rather than on the row count.
     int64_t m = x.Rows(), k = x.Cols();
     MatrixBlock c = MatrixBlock::Dense(m, m);
-    ThreadPool::Global().ParallelFor(
-        0, m, PickChunks(m, num_threads), [&](int64_t rb, int64_t re) {
+    ThreadPool::Global().ParallelForWeighted(
+        0, m, PickChunks(m, num_threads), [m](int64_t i) { return m - i; },
+        [&](int64_t rb, int64_t re, int64_t) {
           for (int64_t i = rb; i < re; ++i) {
             for (int64_t j = i; j < m; ++j) {
               double sum = 0.0;
@@ -196,7 +269,8 @@ StatusOr<MatrixBlock> TransposeSelfMatMult(const MatrixBlock& x, bool left,
               c.DenseRow(i)[j] = sum;
             }
           }
-        });
+        },
+        "tsmm");
     // Mirror the upper triangle.
     MirrorLowerTriangle(c.DenseData(), m, num_threads);
     c.MarkNnzDirty();
@@ -207,14 +281,15 @@ StatusOr<MatrixBlock> TransposeSelfMatMult(const MatrixBlock& x, bool left,
   // Left tsmm: C = t(X) %*% X, n x n symmetric.
   // Portable kernel (§4.2: the non-SIMD Java-style path): per output cell
   // dot products over column-strided accesses — cache-unfriendly like the
-  // unblocked reference implementation.
+  // unblocked reference implementation. Column p costs ~(n - p) cells.
   if (!x.IsSparse() && GetGemmKernel() == GemmKernel::kPortable) {
     int64_t m = x.Rows(), n = x.Cols();
     MatrixBlock c = MatrixBlock::Dense(n, n);
     const double* px = x.DenseData();
     double* pc = c.DenseData();
-    ThreadPool::Global().ParallelFor(
-        0, n, PickChunks(n, num_threads), [&](int64_t pb, int64_t pe) {
+    ThreadPool::Global().ParallelForWeighted(
+        0, n, PickChunks(n, num_threads), [n](int64_t p) { return n - p; },
+        [&](int64_t pb, int64_t pe, int64_t) {
           for (int64_t p = pb; p < pe; ++p) {
             for (int64_t q = p; q < n; ++q) {
               double sum = 0.0;
@@ -224,7 +299,8 @@ StatusOr<MatrixBlock> TransposeSelfMatMult(const MatrixBlock& x, bool left,
               pc[p * n + q] = sum;
             }
           }
-        });
+        },
+        "tsmm");
     MirrorLowerTriangle(pc, n, num_threads);
     c.MarkNnzDirty();
     c.ExamSparsity();
@@ -232,45 +308,63 @@ StatusOr<MatrixBlock> TransposeSelfMatMult(const MatrixBlock& x, bool left,
   }
 
   // Native kernel: accumulated over rows with per-chunk partial results
-  // reduced deterministically in chunk order (vectorizable inner axpy).
+  // reduced deterministically by chunk id (vectorizable inner axpy). The
+  // chunk count is bounded by the n*n scratch each chunk holds.
   int64_t m = x.Rows(), n = x.Cols();
-  int64_t chunks = PickChunks(m, num_threads);
+  int64_t chunks = PickChunksBounded(m, n * n * 8);
   std::vector<std::vector<double>> partials(
       static_cast<size_t>(chunks), std::vector<double>());
-  int64_t chunk_rows = (m + chunks - 1) / chunks;
-  ThreadPool::Global().ParallelFor(
-      0, m, chunks, [&](int64_t rb, int64_t re) {
-        size_t ci = static_cast<size_t>(rb / chunk_rows);
-        std::vector<double>& acc = partials[ci];
-        acc.assign(static_cast<size_t>(n * n), 0.0);
-        if (!x.IsSparse()) {
-          for (int64_t i = rb; i < re; ++i) {
-            const double* row = x.DenseRow(i);
-            for (int64_t p = 0; p < n; ++p) {
-              double v = row[p];
-              if (v == 0.0) continue;
-              double* arow = acc.data() + p * n;
-              for (int64_t q = p; q < n; ++q) arow[q] += v * row[q];
-            }
+  auto accumulate = [&](int64_t rb, int64_t re, int64_t ci) {
+    std::vector<double>& acc = partials[static_cast<size_t>(ci)];
+    acc.assign(static_cast<size_t>(n * n), 0.0);
+    if (!x.IsSparse()) {
+      for (int64_t i = rb; i < re; ++i) {
+        const double* row = x.DenseRow(i);
+        // Skip a zero only when its row is finite everywhere (unified
+        // zero-skip rule: 0 * Inf must stay NaN, matching the portable
+        // kernel). Checked lazily on the first zero in the row.
+        int row_finite = -1;
+        for (int64_t p = 0; p < n; ++p) {
+          double v = row[p];
+          if (v == 0.0) {
+            if (row_finite < 0) row_finite = AllFinite(row, n) ? 1 : 0;
+            if (row_finite == 1) continue;
           }
-        } else {
-          for (int64_t i = rb; i < re; ++i) {
-            const SparseRow& row = x.SparseData().Row(i);
-            for (int64_t p = 0; p < row.Size(); ++p) {
-              double v = row.Values()[p];
-              double* arow = acc.data() + row.Indexes()[p] * n;
-              for (int64_t q = p; q < row.Size(); ++q) {
-                arow[row.Indexes()[q]] += v * row.Values()[q];
-              }
-            }
+          double* arow = acc.data() + p * n;
+          for (int64_t q = p; q < n; ++q) arow[q] += v * row[q];
+        }
+      }
+    } else {
+      for (int64_t i = rb; i < re; ++i) {
+        const SparseRow& row = x.SparseData().Row(i);
+        for (int64_t p = 0; p < row.Size(); ++p) {
+          double v = row.Values()[p];
+          double* arow = acc.data() + row.Indexes()[p] * n;
+          for (int64_t q = p; q < row.Size(); ++q) {
+            arow[row.Indexes()[q]] += v * row.Values()[q];
           }
         }
-      });
+      }
+    }
+  };
+  if (x.IsSparse()) {
+    ThreadPool::Global().ParallelForWeighted(
+        0, m, chunks,
+        [&](int64_t i) { return x.SparseData().Row(i).Size() + 1; },
+        accumulate, "tsmm");
+  } else {
+    int64_t chunk_rows = (m + chunks - 1) / chunks;
+    ThreadPool::Global().ParallelFor(
+        0, m, chunks,
+        [&](int64_t rb, int64_t re) { accumulate(rb, re, rb / chunk_rows); },
+        "tsmm");
+  }
+  TreeReducePartials(&partials, n * n);
   MatrixBlock c = MatrixBlock::Dense(n, n);
   double* pc = c.DenseData();
-  for (const auto& acc : partials) {
-    if (acc.empty()) continue;
-    for (int64_t i = 0; i < n * n; ++i) pc[i] += acc[i];
+  if (!partials.empty() && !partials[0].empty()) {
+    std::memcpy(pc, partials[0].data(),
+                static_cast<size_t>(n * n) * sizeof(double));
   }
   // Mirror upper to lower triangle.
   MirrorLowerTriangle(pc, n, num_threads);
@@ -296,7 +390,8 @@ StatusOr<MatrixBlock> TransposeLeftMatMult(const MatrixBlock& a,
     const double* pb = b.DenseData();
     double* pc = c.DenseData();
     ThreadPool::Global().ParallelFor(
-        0, n, PickChunks(n, num_threads), [&](int64_t qb, int64_t qe) {
+        0, n, PickChunks(n, num_threads),
+        [&](int64_t qb, int64_t qe) {
           for (int64_t p = qb; p < qe; ++p) {
             for (int64_t q = 0; q < l; ++q) {
               double sum = 0.0;
@@ -306,69 +401,88 @@ StatusOr<MatrixBlock> TransposeLeftMatMult(const MatrixBlock& a,
               pc[p * l + q] = sum;
             }
           }
-        });
+        },
+        "tlmm");
     c.MarkNnzDirty();
     c.ExamSparsity();
     return c;
   }
 
-  // Native kernel: C = t(A) %*% B as a sum over shared rows (C += a_i b_i^T).
+  // Native kernel: C = t(A) %*% B as a sum over shared rows (C += a_i b_i^T)
+  // with per-chunk n*l partials reduced deterministically by chunk id.
   int64_t m = a.Rows(), n = a.Cols(), l = b.Cols();
-  int64_t chunks = PickChunks(m, num_threads);
+  int64_t chunks = PickChunksBounded(m, n * l * 8);
   std::vector<std::vector<double>> partials(static_cast<size_t>(chunks));
-  int64_t chunk_rows = (m + chunks - 1) / chunks;
-  ThreadPool::Global().ParallelFor(
-      0, m, chunks, [&](int64_t rb, int64_t re) {
-        size_t ci = static_cast<size_t>(rb / chunk_rows);
-        std::vector<double>& acc = partials[ci];
-        acc.assign(static_cast<size_t>(n * l), 0.0);
-        for (int64_t i = rb; i < re; ++i) {
-          if (!a.IsSparse() && !b.IsSparse()) {
-            const double* arow = a.DenseRow(i);
-            const double* brow = b.DenseRow(i);
-            for (int64_t p = 0; p < n; ++p) {
-              double v = arow[p];
-              if (v == 0.0) continue;
-              double* crow = acc.data() + p * l;
-              for (int64_t q = 0; q < l; ++q) crow[q] += v * brow[q];
-            }
-          } else if (a.IsSparse() && !b.IsSparse()) {
-            const SparseRow& arow = a.SparseData().Row(i);
-            const double* brow = b.DenseRow(i);
-            for (int64_t p = 0; p < arow.Size(); ++p) {
-              double v = arow.Values()[p];
-              double* crow = acc.data() + arow.Indexes()[p] * l;
-              for (int64_t q = 0; q < l; ++q) crow[q] += v * brow[q];
-            }
-          } else if (!a.IsSparse() && b.IsSparse()) {
-            const double* arow = a.DenseRow(i);
-            const SparseRow& brow = b.SparseData().Row(i);
-            for (int64_t p = 0; p < n; ++p) {
-              double v = arow[p];
-              if (v == 0.0) continue;
-              double* crow = acc.data() + p * l;
-              for (int64_t q = 0; q < brow.Size(); ++q) {
-                crow[brow.Indexes()[q]] += v * brow.Values()[q];
-              }
-            }
-          } else {
-            const SparseRow& arow = a.SparseData().Row(i);
-            const SparseRow& brow = b.SparseData().Row(i);
-            for (int64_t p = 0; p < arow.Size(); ++p) {
-              double v = arow.Values()[p];
-              double* crow = acc.data() + arow.Indexes()[p] * l;
-              for (int64_t q = 0; q < brow.Size(); ++q) {
-                crow[brow.Indexes()[q]] += v * brow.Values()[q];
-              }
-            }
+  auto accumulate = [&](int64_t rb, int64_t re, int64_t ci) {
+    std::vector<double>& acc = partials[static_cast<size_t>(ci)];
+    acc.assign(static_cast<size_t>(n * l), 0.0);
+    for (int64_t i = rb; i < re; ++i) {
+      if (!a.IsSparse() && !b.IsSparse()) {
+        const double* arow = a.DenseRow(i);
+        const double* brow = b.DenseRow(i);
+        // Unified zero-skip rule: skip a zero in A only when B's row i is
+        // finite everywhere (0 * Inf must stay NaN, like the portable
+        // kernel). Memoized per shared row.
+        int brow_finite = -1;
+        for (int64_t p = 0; p < n; ++p) {
+          double v = arow[p];
+          if (v == 0.0) {
+            if (brow_finite < 0) brow_finite = AllFinite(brow, l) ? 1 : 0;
+            if (brow_finite == 1) continue;
+          }
+          double* crow = acc.data() + p * l;
+          for (int64_t q = 0; q < l; ++q) crow[q] += v * brow[q];
+        }
+      } else if (a.IsSparse() && !b.IsSparse()) {
+        const SparseRow& arow = a.SparseData().Row(i);
+        const double* brow = b.DenseRow(i);
+        for (int64_t p = 0; p < arow.Size(); ++p) {
+          double v = arow.Values()[p];
+          double* crow = acc.data() + arow.Indexes()[p] * l;
+          for (int64_t q = 0; q < l; ++q) crow[q] += v * brow[q];
+        }
+      } else if (!a.IsSparse() && b.IsSparse()) {
+        const double* arow = a.DenseRow(i);
+        const SparseRow& brow = b.SparseData().Row(i);
+        for (int64_t p = 0; p < n; ++p) {
+          double v = arow[p];
+          if (v == 0.0) continue;
+          double* crow = acc.data() + p * l;
+          for (int64_t q = 0; q < brow.Size(); ++q) {
+            crow[brow.Indexes()[q]] += v * brow.Values()[q];
           }
         }
-      });
+      } else {
+        const SparseRow& arow = a.SparseData().Row(i);
+        const SparseRow& brow = b.SparseData().Row(i);
+        for (int64_t p = 0; p < arow.Size(); ++p) {
+          double v = arow.Values()[p];
+          double* crow = acc.data() + arow.Indexes()[p] * l;
+          for (int64_t q = 0; q < brow.Size(); ++q) {
+            crow[brow.Indexes()[q]] += v * brow.Values()[q];
+          }
+        }
+      }
+    }
+  };
+  if (a.IsSparse()) {
+    ThreadPool::Global().ParallelForWeighted(
+        0, m, chunks,
+        [&](int64_t i) { return a.SparseData().Row(i).Size() + 1; },
+        accumulate, "tlmm");
+  } else {
+    int64_t chunk_rows = (m + chunks - 1) / chunks;
+    ThreadPool::Global().ParallelFor(
+        0, m, chunks,
+        [&](int64_t rb, int64_t re) { accumulate(rb, re, rb / chunk_rows); },
+        "tlmm");
+  }
+  TreeReducePartials(&partials, n * l);
   MatrixBlock c = MatrixBlock::Dense(n, l);
   double* pc = c.DenseData();
-  for (const auto& acc : partials) {
-    if (acc.empty()) continue;
-    for (int64_t i = 0; i < n * l; ++i) pc[i] += acc[i];
+  if (!partials.empty() && !partials[0].empty()) {
+    std::memcpy(pc, partials[0].data(),
+                static_cast<size_t>(n * l) * sizeof(double));
   }
   c.MarkNnzDirty();
   c.ExamSparsity();

@@ -31,7 +31,8 @@ MatrixBlock Transpose(const MatrixBlock& a, int num_threads) {
               }
             }
           }
-        });
+        },
+        "reorg");
   } else {
     // Sparse transpose: counting pass then scatter keeps rows sorted.
     c.AllocateSparse();
