@@ -24,6 +24,20 @@ struct Scale {
   int repetitions;
 };
 
+/// CI smoke support: `--smoke` on a benchmark's command line rewrites
+/// SYSDS_BENCH_SCALE to "tiny" before GetScale() is consulted, so the same
+/// binaries double as a seconds-long pipeline smoke test (the JSON result
+/// file is still written and schema-checked). Returns true when found.
+inline bool ApplySmokeFlag(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      setenv("SYSDS_BENCH_SCALE", "tiny", 1);
+      return true;
+    }
+  }
+  return false;
+}
+
 inline Scale GetScale() {
   const char* env = std::getenv("SYSDS_BENCH_SCALE");
   std::string s = env == nullptr ? "small" : env;

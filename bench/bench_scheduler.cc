@@ -124,8 +124,9 @@ double MinSeconds(int reps, const std::function<void()>& body) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sysds_bench;
+  ApplySmokeFlag(argc, argv);
   Scale scale = GetScale();
   JsonResultWriter out("BENCH_scheduler.json");
   const int hw = DefaultParallelism();

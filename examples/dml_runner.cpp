@@ -21,6 +21,11 @@
 // (default 1; <= 0 selects the adaptive cost gate). After a crash, rerun
 // the same command with --resume to restart from the last committed
 // checkpoint instead of iteration 0 (--metrics reports recovery.*).
+// --mem-limit BYTES caps the buffer pool: matrix data beyond the limit is
+// transparently spilled to temp files and restored on access (results are
+// identical at any limit; --metrics reports the bufferpool.* counters).
+// --no-write-behind / --no-prefetch disable the pool's asynchronous spill
+// writer and loop-hint prefetcher for debugging or benchmarking stalls.
 
 #include <fstream>
 #include <iostream>
@@ -39,7 +44,8 @@ int main(int argc, char** argv) {
                  " [--chaos-seed N] [--no-fusion] [--compress]"
                  " [--transform-compressed] [--transform-threads N]"
                  " [--checkpoint-dir DIR] [--checkpoint-interval N]"
-                 " [--resume]\n";
+                 " [--resume] [--mem-limit BYTES] [--no-write-behind]"
+                 " [--no-prefetch]\n";
     return 2;
   }
 
@@ -90,12 +96,19 @@ int main(int argc, char** argv) {
       config.checkpoint_interval = std::atoll(argv[++i]);
     } else if (arg == "--resume" || arg == "-resume") {
       config.checkpoint_resume = true;
+    } else if ((arg == "--mem-limit" || arg == "-mem-limit") && i + 1 < argc) {
+      config.buffer_pool_limit = std::atoll(argv[++i]);
+    } else if (arg == "--no-write-behind" || arg == "-no-write-behind") {
+      config.buffer_pool_write_behind = false;
+    } else if (arg == "--no-prefetch" || arg == "-no-prefetch") {
+      config.buffer_pool_prefetch = false;
     } else if (arg == "-reuse" || arg == "-threads" || arg == "--trace" ||
                arg == "-trace" || arg == "--metrics" || arg == "-metrics" ||
                arg == "--chaos-seed" || arg == "-chaos-seed" ||
                arg == "--checkpoint-dir" || arg == "-checkpoint-dir" ||
                arg == "--checkpoint-interval" || arg == "-checkpoint-interval" ||
-               arg == "--transform-threads" || arg == "-transform-threads") {
+               arg == "--transform-threads" || arg == "-transform-threads" ||
+               arg == "--mem-limit" || arg == "-mem-limit") {
       std::cerr << arg << " requires a value\n";
       return 2;
     } else if (!arg.empty() && arg[0] != '-') {

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Schema check for BENCH_*.json result files.
+
+Accepts both result formats the repo produces:
+  - JsonResultWriter (bench/bench_common.h custom mains):
+      {"scale": "...", "benchmarks": [{"name": "...", "<metric>": <num>}]}
+  - google-benchmark --benchmark_out JSON:
+      {"context": {...}, "benchmarks": [{"name": "...", "real_time": ...}]}
+
+Fails (exit 1) when a file is unparsable, has no benchmarks, a record is
+missing its name, a record carries no numeric metrics, or any metric is
+NaN/inf — the ways a half-broken bench silently ships garbage to CI.
+
+Usage: check_bench_json.py FILE [FILE...]
+"""
+
+import json
+import math
+import sys
+
+
+def check_record(path: str, rec: dict) -> list[str]:
+    errors = []
+    name = rec.get("name")
+    if not name or not isinstance(name, str):
+        errors.append(f"{path}: benchmark record missing 'name': {rec}")
+        name = "<unnamed>"
+    numeric = 0
+    for key, value in rec.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        numeric += 1
+        if isinstance(value, float) and not math.isfinite(value):
+            errors.append(f"{path}: {name}.{key} is {value!r}")
+    if numeric == 0:
+        errors.append(f"{path}: {name} has no numeric metrics")
+    return errors
+
+
+def check_file(path: str) -> list[str]:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: top-level value is not an object"]
+    if "scale" not in doc and "context" not in doc:
+        return [f"{path}: neither 'scale' (JsonResultWriter) nor "
+                f"'context' (google-benchmark) present"]
+    benchmarks = doc.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        return [f"{path}: 'benchmarks' missing or empty"]
+    errors = []
+    for rec in benchmarks:
+        if not isinstance(rec, dict):
+            errors.append(f"{path}: non-object benchmark record: {rec!r}")
+            continue
+        errors.extend(check_record(path, rec))
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    errors = []
+    for path in argv[1:]:
+        errors.extend(check_file(path))
+    for e in errors:
+        print(f"ERROR: {e}", file=sys.stderr)
+    if not errors:
+        print(f"ok: {len(argv) - 1} file(s) pass the bench JSON schema")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,6 +2,8 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <unordered_set>
@@ -15,47 +17,130 @@ namespace sysds {
 namespace {
 struct PoolMetrics {
   obs::Gauge* cached_bytes;
+  obs::Gauge* pinned_bytes;
+  obs::Gauge* headroom;
   obs::Counter* evictions;
+  obs::Counter* free_drops;
+  obs::Counter* sync_spills;
   obs::Counter* spilled_bytes;
+  obs::Counter* writebacks;
+  obs::Counter* writeback_bytes;
+  obs::Counter* writeback_failures;
+  obs::Counter* prefetch_issued;
   obs::Counter* spill_retries;
   obs::Counter* spill_repins;
+  obs::Histogram* evict_stall_ns;
+  obs::Histogram* spill_ns;
 };
 
 PoolMetrics& Metrics() {
+  auto& r = obs::MetricsRegistry::Get();
   static PoolMetrics m = {
-      obs::MetricsRegistry::Get().GetGauge("bufferpool.cached_bytes"),
-      obs::MetricsRegistry::Get().GetCounter("bufferpool.evictions"),
-      obs::MetricsRegistry::Get().GetCounter("bufferpool.spilled_bytes"),
-      obs::MetricsRegistry::Get().GetCounter("fault.bufferpool.spill_retries"),
-      obs::MetricsRegistry::Get().GetCounter("fault.bufferpool.spill_repins"),
+      r.GetGauge("bufferpool.cached_bytes"),
+      r.GetGauge("bufferpool.pinned_bytes"),
+      r.GetGauge("bufferpool.headroom"),
+      r.GetCounter("bufferpool.evictions"),
+      r.GetCounter("bufferpool.free_drops"),
+      r.GetCounter("bufferpool.sync_spills"),
+      r.GetCounter("bufferpool.spilled_bytes"),
+      r.GetCounter("bufferpool.writebacks"),
+      r.GetCounter("bufferpool.writeback_bytes"),
+      r.GetCounter("fault.bufferpool.writeback_failures"),
+      r.GetCounter("bufferpool.prefetch_issued"),
+      r.GetCounter("fault.bufferpool.spill_retries"),
+      r.GetCounter("fault.bufferpool.spill_repins"),
+      r.GetHistogram("bufferpool.evict_stall_ns"),
+      r.GetHistogram("bufferpool.spill_ns"),
   };
   return m;
 }
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 }  // namespace
 
-BufferPool::BufferPool(int64_t limit_bytes) : limit_bytes_(limit_bytes) {
+BufferPool::BufferPool(int64_t limit_bytes)
+    : BufferPool(Options{.limit_bytes = limit_bytes}) {}
+
+BufferPool::BufferPool(const Options& options)
+    : options_(options), limit_bytes_(options.limit_bytes) {
   spill_dir_ = (std::filesystem::temp_directory_path() /
-                ("sysds_bufferpool_" + std::to_string(::getpid())))
+                ("sysds_bufferpool_" + std::to_string(::getpid()) + "_" +
+                 std::to_string(reinterpret_cast<uintptr_t>(this))))
                    .string();
+  std::error_code ec;
+  std::filesystem::create_directories(spill_dir_, ec);
+  if (options_.write_behind || options_.prefetch) {
+    background_ = std::thread([this] { BackgroundLoop(); });
+  }
 }
 
 BufferPool::~BufferPool() {
+  // If the process-global pool pointer still names this pool, clear it now:
+  // MatrixObjects may outlive their pool (e.g. lineage-cached blocks held by
+  // a PreparedScript whose pool member is destroyed first), and their
+  // destructors must see null rather than call Unregister on freed memory.
+  MatrixObject::ClearBufferPool(this);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    // Abandon queued tasks; the in-flight one (if any) finishes first.
+    for (const Task& t : task_queue_) {
+      auto it = entries_.find(t.obj);
+      if (it == entries_.end()) continue;
+      if (t.kind == TaskKind::kWriteback) it->second.queued_writeback = false;
+      if (t.kind == TaskKind::kPrefetch && it->second.restoring) {
+        it->second.restoring = false;
+        inflight_restore_bytes_ -= it->second.size;
+      }
+    }
+    task_queue_.clear();
+  }
+  work_cv_.notify_all();
+  if (background_.joinable()) background_.join();
   std::error_code ec;
   std::filesystem::remove_all(spill_dir_, ec);
 }
 
+std::string BufferPool::SpillPathFor(const MatrixObject* obj) const {
+  return spill_dir_ + "/m" + std::to_string(obj->ObjectId()) + ".bin";
+}
+
 void BufferPool::Register(MatrixObject* obj, int64_t size_bytes) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
   auto it = entries_.find(obj);
-  if (it != entries_.end()) {
-    cached_bytes_ -= it->second.second;
-    lru_.erase(it->second.first);
-    entries_.erase(it);
+  if (it == entries_.end()) {
+    it = entries_.emplace(obj, Entry{}).first;
   }
-  lru_.push_back(obj);
-  entries_[obj] = {std::prev(lru_.end()), size_bytes};
+  Entry& e = it->second;
+  if (e.resident) {
+    cached_bytes_ -= e.size;
+    queue_bytes_[e.queue] -= e.size;
+    queues_[e.queue].erase(e.pos);
+    e.resident = false;
+  }
+  if (e.restoring) {
+    // A demand restore raced with (and completed before) a scheduled
+    // prefetch of the same object; release the prefetch's headroom claim —
+    // the task itself will find the object resident and bail.
+    inflight_restore_bytes_ -= e.size;
+    e.restoring = false;
+  }
+  e.size = size_bytes;
+  int target = 1;  // Am / the single LRU queue
+  if (options_.policy == EvictionPolicy::k2Q && e.touches < 2) {
+    target = 0;  // probationary A1in until the object proves re-reference
+  }
+  e.queue = target;
+  queues_[target].push_back(obj);
+  e.pos = std::prev(queues_[target].end());
+  e.resident = true;
   cached_bytes_ += size_bytes;
-  EvictIfNeededLocked();
+  queue_bytes_[target] += size_bytes;
+  EvictIfNeededLocked(lock, /*caller_blocking=*/true);
   Metrics().cached_bytes->Set(cached_bytes_);
 }
 
@@ -63,18 +148,146 @@ void BufferPool::Touch(MatrixObject* obj) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(obj);
   if (it == entries_.end()) return;
-  lru_.erase(it->second.first);
-  lru_.push_back(obj);
-  it->second.first = std::prev(lru_.end());
+  Entry& e = it->second;
+  ++e.touches;
+  if (!e.resident) return;  // ghost touch: remembered for re-admission
+  int target = e.queue;
+  if (options_.policy == EvictionPolicy::k2Q && e.queue == 0 &&
+      e.touches >= 2) {
+    target = 1;  // promote probation -> protected on re-reference
+  }
+  if (target != e.queue) {
+    queues_[e.queue].erase(e.pos);
+    queue_bytes_[e.queue] -= e.size;
+    queues_[target].push_back(obj);
+    e.pos = std::prev(queues_[target].end());
+    e.queue = target;
+    queue_bytes_[target] += e.size;
+  } else {
+    // Move most-recently-used within its queue (FIFO order is preserved
+    // for probationary entries: one touch does not reorder A1in).
+    if (e.queue == 1) {
+      queues_[1].splice(queues_[1].end(), queues_[1], e.pos);
+      e.pos = std::prev(queues_[1].end());
+    }
+  }
+}
+
+void BufferPool::PurgeTasksLocked(MatrixObject* obj, Entry* e) {
+  for (auto qit = task_queue_.begin(); qit != task_queue_.end();) {
+    if (qit->obj == obj) {
+      if (e != nullptr) {
+        if (qit->kind == TaskKind::kPrefetch && e->restoring) {
+          e->restoring = false;
+          inflight_restore_bytes_ -= e->size;
+        }
+        if (qit->kind == TaskKind::kWriteback) e->queued_writeback = false;
+      }
+      qit = task_queue_.erase(qit);
+    } else {
+      ++qit;
+    }
+  }
 }
 
 void BufferPool::Unregister(MatrixObject* obj) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = entries_.find(obj);
+  Entry* e = it == entries_.end() ? nullptr : &it->second;
+  // Drop queued background work referencing the object. Done even without
+  // an entry: a queued task must never outlive its object (the queue holds
+  // raw pointers).
+  PurgeTasksLocked(obj, e);
+  if (e == nullptr) return;
+  // Wait out an in-flight writeback/prefetch: the background thread holds a
+  // raw pointer to the object and the caller is about to destroy it. The
+  // entry must be re-looked-up on every wake — while we wait, the writer's
+  // own re-evict pass may free-drop the object and erase the entry.
+  inflight_cv_.wait(lock, [&] {
+    auto wit = entries_.find(obj);
+    return wit == entries_.end() || wit->second.inflight == 0;
+  });
+  it = entries_.find(obj);
+  if (it == entries_.end()) return;
+  e = &it->second;
+  if (e->restoring) {
+    e->restoring = false;
+    inflight_restore_bytes_ -= e->size;
+  }
+  RemoveEntryLocked(e, obj);
+  entries_.erase(it);
+  Metrics().cached_bytes->Set(cached_bytes_);
+  Metrics().pinned_bytes->Set(pinned_bytes_);
+}
+
+void BufferPool::RemoveEntryLocked(Entry* e, MatrixObject* obj) {
+  (void)obj;
+  if (e->resident) {
+    cached_bytes_ -= e->size;
+    queue_bytes_[e->queue] -= e->size;
+    queues_[e->queue].erase(e->pos);
+    e->resident = false;
+  }
+  if (e->pinned) {
+    pinned_bytes_ -= e->size;
+    e->pinned = false;
+  }
+}
+
+void BufferPool::NotePinned(MatrixObject* obj, bool pinned) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(obj);
   if (it == entries_.end()) return;
-  cached_bytes_ -= it->second.second;
-  lru_.erase(it->second.first);
-  entries_.erase(it);
+  Entry& e = it->second;
+  if (e.pinned == pinned) return;
+  e.pinned = pinned;
+  pinned_bytes_ += pinned ? e.size : -e.size;
+  Metrics().pinned_bytes->Set(pinned_bytes_);
+  Metrics().headroom->Set(limit_bytes_ - pinned_bytes_ -
+                          inflight_restore_bytes_);
+}
+
+void BufferPool::Prefetch(MatrixObject* obj) {
+  if (!options_.prefetch || background_.joinable() == false) return;
+  // Sizing the object takes its lock: pool -> object nesting is the
+  // sanctioned order.
+  const bool resident = obj->HasPayload();
+  const int64_t size = obj->EstimateSizeInBytes();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_ || resident) return;
+  auto it = entries_.find(obj);
+  if (it == entries_.end()) {
+    // Evicted objects are not tracked; re-admit a ghost entry so the
+    // restore's headroom claim and single-flight state have a home.
+    it = entries_.emplace(obj, Entry{}).first;
+    it->second.size = size;
+  }
+  Entry& e = it->second;
+  if (e.resident || e.restoring || e.inflight > 0 || e.queued_writeback) {
+    return;
+  }
+  e.restoring = true;
+  inflight_restore_bytes_ += e.size;
+  task_queue_.push_back({TaskKind::kPrefetch, obj});
+  Metrics().prefetch_issued->Add(1);
+  work_cv_.notify_one();
+}
+
+int64_t BufferPool::Headroom() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return limit_bytes_ - pinned_bytes_ - inflight_restore_bytes_;
+}
+
+bool BufferPool::UnderPressure(int64_t upcoming_bytes) const {
+  return Headroom() < upcoming_bytes;
+}
+
+void BufferPool::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  inflight_cv_.wait(lock, [&] {
+    return task_queue_.empty() && inflight_tasks_ == 0;
+  });
+  EvictIfNeededLocked(lock, /*caller_blocking=*/false);
   Metrics().cached_bytes->Set(cached_bytes_);
 }
 
@@ -83,37 +296,108 @@ int64_t BufferPool::CachedBytes() const {
   return cached_bytes_;
 }
 
-void BufferPool::SetLimit(int64_t limit_bytes) {
+int64_t BufferPool::PinnedBytes() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  limit_bytes_ = limit_bytes;
-  EvictIfNeededLocked();
+  return pinned_bytes_;
 }
 
-void BufferPool::EvictIfNeededLocked() {
+int64_t BufferPool::EvictionCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+int64_t BufferPool::limit_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return limit_bytes_;
+}
+
+void BufferPool::SetLimit(int64_t limit_bytes) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  limit_bytes_ = limit_bytes;
+  EvictIfNeededLocked(lock, /*caller_blocking=*/true);
+  Metrics().cached_bytes->Set(cached_bytes_);
+}
+
+MatrixObject* BufferPool::PickVictimLocked(
+    const std::unordered_set<MatrixObject*>& skip, bool protect_am) {
+  auto first_unskipped = [&](std::list<MatrixObject*>& q) -> MatrixObject* {
+    for (MatrixObject* o : q) {
+      if (skip.count(o) == 0) return o;
+    }
+    return nullptr;
+  };
+  if (options_.policy == EvictionPolicy::kLru) {
+    return first_unskipped(queues_[1]);
+  }
+  // 2Q: evict probation first while it holds more than its reservation (or
+  // the protected queue is empty), else the protected LRU head.
+  int64_t a1_target = static_cast<int64_t>(
+      static_cast<double>(limit_bytes_) * options_.probation_fraction);
+  MatrixObject* victim = nullptr;
+  if (queue_bytes_[0] > a1_target || queues_[1].empty()) {
+    victim = first_unskipped(queues_[0]);
+    // Probation holds the overflow but every candidate is waiting on the
+    // background writer: don't let a one-touch scan displace the protected
+    // working set. The writer's own re-evict pass drains probation soon.
+    if (victim == nullptr && protect_am && !queues_[1].empty()) {
+      return nullptr;
+    }
+  }
+  if (victim == nullptr) victim = first_unskipped(queues_[1]);
+  if (victim == nullptr) victim = first_unskipped(queues_[0]);
+  return victim;
+}
+
+void BufferPool::EvictIfNeededLocked(std::unique_lock<std::mutex>& lock,
+                                     bool caller_blocking) {
   if (cached_bytes_ <= limit_bytes_) return;
-  std::error_code ec;
-  std::filesystem::create_directories(spill_dir_, ec);
-  // Objects whose spill failed twice this pass: re-pinned in memory (entry
-  // and byte accounting stay intact) and skipped until the next pass.
-  std::unordered_set<MatrixObject*> repinned;
-  auto it = lru_.begin();
-  while (cached_bytes_ > limit_bytes_ && it != lru_.end()) {
-    MatrixObject* victim = *it;
-    if (victim->PinCount() > 0 || !victim->IsCached() ||
-        repinned.count(victim) > 0) {
-      ++it;
+  const int64_t t0 = caller_blocking ? NowNanos() : 0;
+  const int64_t hard_limit =
+      options_.write_behind
+          ? static_cast<int64_t>(static_cast<double>(limit_bytes_) *
+                                 options_.hard_limit_factor)
+          : limit_bytes_;
+  // Victims that cannot make progress this pass: pinned, mid-writeback,
+  // scheduled for write-behind, or re-pinned after a failed spill.
+  std::unordered_set<MatrixObject*> skip;
+  bool did_sync_spill = false;
+  while (cached_bytes_ > limit_bytes_) {
+    MatrixObject* victim = PickVictimLocked(
+        skip, options_.write_behind && cached_bytes_ <= hard_limit);
+    if (victim == nullptr) break;
+    Entry& e = entries_[victim];
+    if (victim->PinCount() > 0 || !victim->HasPayload() || e.inflight > 0) {
+      skip.insert(victim);
       continue;
     }
-    // Spill first, then account: entry and bytes are only removed once the
-    // block is safely on disk (a failed spill must not strand the object
-    // cached-but-untracked).
+    // Clean blocks drop for free: the spill file already holds the bytes.
+    if (victim->DropIfClean()) {
+      int64_t size = e.size;
+      PurgeTasksLocked(victim, &e);
+      RemoveEntryLocked(&e, victim);
+      entries_.erase(victim);
+      ++evictions_;
+      Metrics().evictions->Add(1);
+      Metrics().free_drops->Add(1);
+      Metrics().spilled_bytes->Add(size);
+      obs::Tracer::Instant("bufferpool", "evict_free");
+      continue;
+    }
+    // Dirty victim. Under the hard limit, hand it to the background writer
+    // and keep scanning for clean blocks; above it, spill synchronously —
+    // the caller eats the write so memory stays bounded.
+    if (options_.write_behind && cached_bytes_ <= hard_limit) {
+      EnqueueLocked({TaskKind::kWriteback, victim}, &e);
+      skip.insert(victim);
+      continue;
+    }
     StatusOr<bool> evicted = false;
     for (int attempt = 0; attempt < 2; ++attempt) {
       if (attempt > 0) Metrics().spill_retries->Add(1);
-      std::string path =
-          spill_dir_ + "/m" + std::to_string(file_counter_++) + ".bin";
       SYSDS_SPAN("bufferpool", "spill");
-      evicted = victim->EvictTo(path);
+      int64_t w0 = NowNanos();
+      evicted = victim->EvictTo(SpillPathFor(victim));
+      Metrics().spill_ns->Observe(NowNanos() - w0);
       if (evicted.ok()) break;
     }
     if (!evicted.ok()) {
@@ -121,25 +405,131 @@ void BufferPool::EvictIfNeededLocked() {
       // over its limit until the spill device recovers.
       Metrics().spill_repins->Add(1);
       obs::Tracer::Instant("bufferpool", "spill_repin");
-      repinned.insert(victim);
-      ++it;
+      skip.insert(victim);
       continue;
     }
-    if (!*evicted) {  // raced with a concurrent pin
-      ++it;
+    if (!*evicted) {  // raced with a concurrent pin or an in-flight write
+      skip.insert(victim);
       continue;
     }
-    auto entry = entries_.find(victim);
-    int64_t size = entry->second.second;
-    it = lru_.erase(it);
-    entries_.erase(entry);
-    cached_bytes_ -= size;
+    int64_t size = e.size;
+    PurgeTasksLocked(victim, &e);
+    RemoveEntryLocked(&e, victim);
+    entries_.erase(victim);
     ++evictions_;
+    did_sync_spill = true;
     Metrics().evictions->Add(1);
+    Metrics().sync_spills->Add(1);
     Metrics().spilled_bytes->Add(size);
     obs::Tracer::Instant("bufferpool", "evict");
   }
+  (void)lock;
+  (void)did_sync_spill;
+  if (caller_blocking) {
+    Metrics().evict_stall_ns->Observe(NowNanos() - t0);
+  }
   Metrics().cached_bytes->Set(cached_bytes_);
+}
+
+void BufferPool::EnqueueLocked(Task task, Entry* e) {
+  if (stopping_) return;
+  if (task.kind == TaskKind::kWriteback) {
+    if (e->queued_writeback || e->inflight > 0) return;
+    e->queued_writeback = true;
+  }
+  task_queue_.push_back(task);
+  work_cv_.notify_one();
+}
+
+void BufferPool::BackgroundLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stopping_ || !task_queue_.empty(); });
+    if (stopping_) break;
+    Task task = task_queue_.front();
+    task_queue_.pop_front();
+    auto it = entries_.find(task.obj);
+    if (it == entries_.end()) continue;  // unregistered while queued
+    Entry& e = it->second;
+    ++e.inflight;
+    ++inflight_tasks_;
+    if (task.kind == TaskKind::kWriteback) {
+      e.queued_writeback = false;
+      RunWriteback(task.obj, lock);
+    } else {
+      RunPrefetch(task.obj, lock);
+    }
+    // `e` stays valid: Unregister cannot erase the entry while
+    // e.inflight > 0 (it waits on inflight_cv_).
+    --e.inflight;
+    --inflight_tasks_;
+    inflight_cv_.notify_all();
+    if (cached_bytes_ > limit_bytes_) {
+      EvictIfNeededLocked(lock, /*caller_blocking=*/false);
+    }
+    Metrics().cached_bytes->Set(cached_bytes_);
+  }
+}
+
+void BufferPool::RunWriteback(MatrixObject* obj,
+                              std::unique_lock<std::mutex>& lock) {
+  const std::string path = SpillPathFor(obj);
+  lock.unlock();
+  std::error_code ec;
+  std::filesystem::create_directories(spill_dir_, ec);
+  SYSDS_SPAN("bufferpool", "writeback");
+  StatusOr<bool> wrote = false;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (attempt > 0) Metrics().spill_retries->Add(1);
+    int64_t w0 = NowNanos();
+    wrote = obj->WriteBack(path);
+    Metrics().spill_ns->Observe(NowNanos() - w0);
+    if (wrote.ok()) break;
+  }
+  lock.lock();
+  auto it = entries_.find(obj);
+  if (!wrote.ok()) {
+    Metrics().writeback_failures->Add(1);
+    obs::Tracer::Instant("bufferpool", "writeback_failed");
+    return;
+  }
+  if (*wrote && it != entries_.end()) {
+    Metrics().writebacks->Add(1);
+    Metrics().writeback_bytes->Add(it->second.size);
+  }
+}
+
+void BufferPool::RunPrefetch(MatrixObject* obj,
+                             std::unique_lock<std::mutex>& lock) {
+  // Claimed size is released here (restore either made the object resident
+  // and accountable as cached bytes, or failed and freed the claim).
+  lock.unlock();
+  SYSDS_SPAN("bufferpool", "prefetch");
+  obj->PrefetchRestore();
+  int64_t size = obj->EstimateSizeInBytes();
+  bool resident = obj->HasPayload();
+  lock.lock();
+  auto it = entries_.find(obj);
+  if (it == entries_.end()) return;
+  Entry& e = it->second;
+  if (e.restoring) {
+    e.restoring = false;
+    inflight_restore_bytes_ -= e.size;
+  }
+  if (!resident || e.resident) {
+    // Restore failed (silently: the next demand acquire surfaces the
+    // error) or a demand restore re-registered the object concurrently.
+    return;
+  }
+  e.size = size;
+  int target = 1;
+  if (options_.policy == EvictionPolicy::k2Q && e.touches < 2) target = 0;
+  e.queue = target;
+  queues_[target].push_back(obj);
+  e.pos = std::prev(queues_[target].end());
+  e.resident = true;
+  cached_bytes_ += size;
+  queue_bytes_[target] += size;
 }
 
 }  // namespace sysds

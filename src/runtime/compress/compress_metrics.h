@@ -36,6 +36,15 @@ inline obs::Counter* SkippedSmall() {
   return c;
 }
 
+/// Buffer-pool pressure overrode the static size gate: the input would be
+/// skipped as small, but headroom is low enough that shrinking it beats
+/// spilling it.
+inline obs::Counter* PressureCompressions() {
+  static obs::Counter* c = obs::MetricsRegistry::Get().GetCounter(
+      "compress.pressure_compressions");
+  return c;
+}
+
 /// An instruction executed a compressed kernel directly.
 inline obs::Counter* DispatchHits() {
   static obs::Counter* c =

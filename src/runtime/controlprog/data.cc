@@ -1,6 +1,7 @@
 #include "runtime/controlprog/data.h"
 
 #include <atomic>
+#include <chrono>
 #include <sstream>
 
 #include "common/faults.h"
@@ -47,6 +48,30 @@ obs::Counter* DecompressFallbacks() {
   static obs::Counter* c = obs::MetricsRegistry::Get().GetCounter(
       "compress.decompress_fallbacks");
   return c;
+}
+
+// An acquire found the payload resident because a prefetch restored it
+// ahead of demand (the prefetcher's success metric).
+obs::Counter* PrefetchHits() {
+  static obs::Counter* c =
+      obs::MetricsRegistry::Get().GetCounter("bufferpool.prefetch_hits");
+  return c;
+}
+obs::Counter* PrefetchFailures() {
+  static obs::Counter* c = obs::MetricsRegistry::Get().GetCounter(
+      "fault.bufferpool.prefetch_failures");
+  return c;
+}
+obs::Histogram* RestoreNs() {
+  static obs::Histogram* h =
+      obs::MetricsRegistry::Get().GetHistogram("bufferpool.restore_ns");
+  return h;
+}
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 }  // namespace
 
@@ -127,6 +152,8 @@ std::string ScalarObject::AsString() const {
 
 void MatrixObject::SetBufferPool(BufferPool* pool) { g_buffer_pool = pool; }
 
+BufferPool* MatrixObject::GetBufferPool() { return g_buffer_pool.load(); }
+
 void MatrixObject::ClearBufferPool(BufferPool* expected) {
   g_buffer_pool.compare_exchange_strong(expected, nullptr);
 }
@@ -165,13 +192,16 @@ StatusOr<const MatrixBlock*> MatrixObject::AcquireRead() {
   // its own victim (returning a dangling reference).
   const MatrixBlock* result;
   bool restored = false;
+  bool prefetch_hit = false;
+  bool first_pin = false;
   int64_t size = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     ++pin_count_;
+    first_pin = pin_count_ == 1;
     if (block_ == nullptr && compressed_ == nullptr) {
       SYSDS_SPAN("bufferpool", "restore");
-      Status s = RestoreLocked();
+      Status s = EnsureRestoredLocked(lock);
       if (!s.ok()) {
         // The acquire failed: undo the pin and surface the error instead
         // of substituting data the script would silently compute with.
@@ -191,7 +221,9 @@ StatusOr<const MatrixBlock*> MatrixObject::AcquireRead() {
       DecompressFallbacks()->Add(1);
       restored = true;
     }
-    if (restored) size = EstimateSizeLocked();
+    prefetch_hit = !restored && prefetched_;
+    prefetched_ = false;
+    if (restored || first_pin) size = EstimateSizeLocked();
     result = block_.get();
   }
   if (restored) {
@@ -199,40 +231,56 @@ StatusOr<const MatrixBlock*> MatrixObject::AcquireRead() {
   } else {
     PoolHits()->Add(1);
   }
+  if (prefetch_hit) PrefetchHits()->Add(1);
   if (BufferPool* pool = g_buffer_pool.load()) {
     if (restored) pool->Register(this, size);
     pool->Touch(this);
+    if (first_pin) pool->NotePinned(this, true);
   }
   return result;
 }
 
 void MatrixObject::Release() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (pin_count_ > 0) --pin_count_;
+  bool last_unpin = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pin_count_ > 0) {
+      --pin_count_;
+      last_unpin = pin_count_ == 0;
+    }
+  }
+  if (last_unpin) {
+    if (BufferPool* pool = g_buffer_pool.load()) pool->NotePinned(this, false);
+  }
 }
 
 StatusOr<const CompressedMatrixBlock*> MatrixObject::AcquireCompressed() {
   const CompressedMatrixBlock* result;
   bool restored = false;
+  bool prefetch_hit = false;
+  bool first_pin = false;
   int64_t size = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     ++pin_count_;
+    first_pin = pin_count_ == 1;
     if (compressed_ == nullptr) {
       if (!spilled_compressed_) {
         --pin_count_;
         return Internal("matrix has no compressed representation");
       }
       SYSDS_SPAN("bufferpool", "restore");
-      Status s = RestoreLocked();
+      Status s = EnsureRestoredLocked(lock);
       if (!s.ok() || compressed_ == nullptr) {
         --pin_count_;
         PoolMisses()->Add(1);
         return s.ok() ? Internal("compressed restore produced no block") : s;
       }
       restored = true;
-      size = EstimateSizeLocked();
     }
+    prefetch_hit = !restored && prefetched_;
+    prefetched_ = false;
+    if (restored || first_pin) size = EstimateSizeLocked();
     result = compressed_.get();
   }
   if (restored) {
@@ -240,9 +288,11 @@ StatusOr<const CompressedMatrixBlock*> MatrixObject::AcquireCompressed() {
   } else {
     PoolHits()->Add(1);
   }
+  if (prefetch_hit) PrefetchHits()->Add(1);
   if (BufferPool* pool = g_buffer_pool.load()) {
     if (restored) pool->Register(this, size);
     pool->Touch(this);
+    if (first_pin) pool->NotePinned(this, true);
   }
   return result;
 }
@@ -251,8 +301,17 @@ StatusOr<bool> MatrixObject::EvictTo(const std::string& path) {
   // Called by the buffer pool (which holds its own lock); the object lock
   // closes the race against a concurrent AcquireRead pinning the block.
   std::lock_guard<std::mutex> lock(mutex_);
-  if ((block_ == nullptr && compressed_ == nullptr) || pin_count_ > 0) {
+  if ((block_ == nullptr && compressed_ == nullptr) || pin_count_ > 0 ||
+      spilling_) {
     return false;
+  }
+  if (clean_spill_ && !evicted_path_.empty()) {
+    // The spill file already holds the payload (write-behind ran, or the
+    // object was restored and kept its file): eviction is a free drop.
+    block_.reset();
+    compressed_.reset();
+    prefetched_ = false;
+    return true;
   }
   if (FaultInjector::Get().ShouldInject(FaultLayer::kBufferPool, 0,
                                         FaultKind::kSpillIoError)) {
@@ -275,61 +334,153 @@ StatusOr<bool> MatrixObject::EvictTo(const std::string& path) {
     spilled_compressed_ = false;
   }
   evicted_path_ = path;
+  clean_spill_ = true;
   block_.reset();
   compressed_.reset();
+  prefetched_ = false;
   return true;
 }
 
-Status MatrixObject::RestoreLocked() {
+StatusOr<bool> MatrixObject::WriteBack(const std::string& path) {
+  // Snapshot the payload under the lock, write outside it: blocks are
+  // immutable, so the shared_ptr copies stay valid while acquires proceed.
+  std::shared_ptr<MatrixBlock> block;
+  std::shared_ptr<const CompressedMatrixBlock> compressed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (clean_spill_ || spilling_ ||
+        (block_ == nullptr && compressed_ == nullptr)) {
+      return false;
+    }
+    spilling_ = true;
+    block = block_;
+    compressed = compressed_;
+  }
+  Status written;
+  if (FaultInjector::Get().ShouldInject(FaultLayer::kBufferPool, 0,
+                                        FaultKind::kSpillIoError)) {
+    written =
+        IoError("bufferpool: injected writeback error (" + path + ")");
+  } else if (compressed != nullptr) {
+    const CompressedMatrixBlock& cb = *compressed;
+    written = io::WriteAtomic(path, [&cb](std::ostream& out) {
+      return WriteCompressedStream(cb, out);
+    });
+  } else {
+    const MatrixBlock& mb = *block;
+    written = io::WriteAtomic(path, [&mb](std::ostream& out) {
+      return io::WriteMatrixBinaryStream(mb, out);
+    });
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  spilling_ = false;
+  if (!written.ok()) return written;  // stays dirty: retried next pass
+  evicted_path_ = path;
+  spilled_compressed_ = compressed != nullptr;
+  clean_spill_ = true;
+  return true;
+}
+
+bool MatrixObject::DropIfClean() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pin_count_ > 0 || !clean_spill_ || evicted_path_.empty() ||
+      (block_ == nullptr && compressed_ == nullptr)) {
+    return false;
+  }
+  block_.reset();
+  compressed_.reset();
+  prefetched_ = false;
+  return true;
+}
+
+void MatrixObject::PrefetchRestore() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (block_ != nullptr || compressed_ != nullptr || restoring_ ||
+      evicted_path_.empty()) {
+    return;
+  }
+  Status s = EnsureRestoredLocked(lock);
+  if (s.ok()) {
+    prefetched_ = true;
+  } else {
+    // Silent by design: the next demand acquire retries the read and
+    // surfaces the error with full context.
+    PrefetchFailures()->Add(1);
+  }
+}
+
+Status MatrixObject::EnsureRestoredLocked(std::unique_lock<std::mutex>& lock) {
+  // Single-flight: if another thread is mid-restore, wait for it instead
+  // of issuing a second disk read for the same bytes.
+  while (restoring_) restore_cv_.wait(lock);
+  if (block_ != nullptr || compressed_ != nullptr) return Status::Ok();
   if (evicted_path_.empty()) {
     return Internal("bufferpool: restore without a spill file");
   }
+  restoring_ = true;
+  const std::string path = evicted_path_;
+  const bool compressed_format = spilled_compressed_;
+  lock.unlock();
+
+  const int64_t t0 = NowNanos();
   Status last;
+  std::shared_ptr<MatrixBlock> new_block;
+  std::shared_ptr<const CompressedMatrixBlock> new_compressed;
   for (int attempt = 0; attempt < 2; ++attempt) {
     if (attempt > 0) RestoreRetries()->Add(1);
     if (FaultInjector::Get().ShouldInject(FaultLayer::kBufferPool, 0,
                                           FaultKind::kSpillIoError)) {
-      last = IoError("bufferpool: injected evict-read error (" +
-                     evicted_path_ + ")");
+      last = IoError("bufferpool: injected evict-read error (" + path + ")");
       continue;
     }
-    // Checksum verification first (satellite: crash-safe spill files): a
-    // torn or bit-flipped spill surfaces as kCorrupt — retryable, and the
-    // spill file is kept so a later acquire can retry — never as garbage
+    // Checksum verification first (crash-safe spill files): a torn or
+    // bit-flipped spill surfaces as kCorrupt — retryable, and the spill
+    // file is kept so a later acquire can retry — never as garbage
     // deserialized into a block.
-    auto payload = io::ReadVerified(evicted_path_);
+    auto payload = io::ReadVerified(path);
     if (!payload.ok()) {
       last = payload.status();
       continue;
     }
     std::istringstream in(std::move(payload).value());
-    if (spilled_compressed_) {
+    if (compressed_format) {
       auto restored = ReadCompressedStream(in);
       if (!restored.ok()) {
         last = restored.status();
         continue;
       }
-      std::remove(evicted_path_.c_str());
-      evicted_path_.clear();
-      spilled_compressed_ = false;
-      compressed_ = std::make_shared<const CompressedMatrixBlock>(
+      new_compressed = std::make_shared<const CompressedMatrixBlock>(
           std::move(restored).value());
-      return Status::Ok();
+    } else {
+      auto restored = io::ReadMatrixBinaryStream(in);
+      if (!restored.ok()) {
+        last = restored.status();
+        continue;
+      }
+      new_block = std::make_shared<MatrixBlock>(std::move(restored).value());
     }
-    auto restored = io::ReadMatrixBinaryStream(in);
-    if (!restored.ok()) {
-      last = restored.status();
-      continue;
-    }
-    std::remove(evicted_path_.c_str());
-    evicted_path_.clear();
-    block_ = std::make_shared<MatrixBlock>(std::move(restored).value());
-    return Status::Ok();
+    break;
   }
-  // Keep the spill file: the data still exists on disk, so the failure is
-  // retryable on the next acquire instead of a permanent loss.
-  RestoreFailures()->Add(1);
-  return last;
+  RestoreNs()->Observe(NowNanos() - t0);
+
+  lock.lock();
+  restoring_ = false;
+  restore_cv_.notify_all();
+  if (new_block == nullptr && new_compressed == nullptr) {
+    // Keep the spill file: the data still exists on disk, so the failure
+    // is retryable on the next acquire instead of a permanent loss.
+    RestoreFailures()->Add(1);
+    return last;
+  }
+  // Keep the spill file on success too — blocks are immutable, so the
+  // file stays a valid copy and the next eviction is a free drop.
+  if (new_compressed != nullptr) {
+    compressed_ = std::move(new_compressed);
+  } else {
+    block_ = std::move(new_block);
+  }
+  clean_spill_ = true;
+  return Status::Ok();
 }
 
 int64_t MatrixObject::EstimateSizeLocked() const {

@@ -1,6 +1,7 @@
 #ifndef SYSDS_RUNTIME_CONTROLPROG_DATA_H_
 #define SYSDS_RUNTIME_CONTROLPROG_DATA_H_
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -114,16 +115,43 @@ class MatrixObject final : public Data {
     std::lock_guard<std::mutex> lock(mutex_);
     return block_ != nullptr;
   }
+  /// True if any in-memory representation (dense or compressed) is present
+  /// — the buffer pool's notion of "resident".
+  bool HasPayload() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return block_ != nullptr || compressed_ != nullptr;
+  }
   int64_t PinCount() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return pin_count_;
   }
 
-  /// Buffer-pool hook: spills the block to `path` and drops it. Returns
-  /// true if the block was evicted, false if eviction was skipped (pinned
-  /// or already evicted), or an error when the spill write failed (the
+  /// Buffer-pool hook: spills the block to `path` and drops it. When the
+  /// object is clean (its spill file already holds the payload — blocks
+  /// are immutable, so a spill file once written stays valid), the drop is
+  /// free and no I/O happens. Returns true if the block was evicted, false
+  /// if eviction was skipped (pinned, already evicted, or a write-behind
+  /// spill is in flight), or an error when the spill write failed (the
   /// block stays safely in memory; the pool retries once, then re-pins).
   StatusOr<bool> EvictTo(const std::string& path);
+
+  /// Write-behind hook: writes the payload to `path` without dropping it,
+  /// marking the object clean so a later eviction is a free drop. Returns
+  /// false when there is nothing to do (already clean, no payload, or a
+  /// concurrent spill of the same file is in flight). The write runs
+  /// outside the object lock — acquires proceed concurrently.
+  StatusOr<bool> WriteBack(const std::string& path);
+
+  /// Drops the in-memory payload iff the object is clean and unpinned
+  /// (free eviction — no I/O). Returns true when the payload was dropped.
+  bool DropIfClean();
+
+  /// Prefetch hook (background thread): restores a spilled payload ahead
+  /// of demand. Failures are silent — the next AcquireRead retries and
+  /// surfaces the error. Single-flight with demand restores: whichever
+  /// starts first reads the file, the other waits or bails.
+  void PrefetchRestore();
+
   int64_t EstimateSizeInBytes() const;
 
   std::string DebugString() const override;
@@ -135,14 +163,23 @@ class MatrixObject final : public Data {
   /// context tearing down must not null out a newer context's pool.
   static void ClearBufferPool(BufferPool* expected);
 
+  /// The process-wide pool (nullptr when disabled). Pressure consumers
+  /// (admission control, the compression rewrite, prefetch hints) use this
+  /// to reach Headroom()/Prefetch().
+  static BufferPool* GetBufferPool();
+
  private:
-  // Restores the block from the spill file, retrying a failed read once
-  // (fault.bufferpool.restore_retries). Caller holds mutex_; performs no
+  // Single-flight restore. Requires `lock` held on entry; drops it around
+  // the disk read and re-acquires before returning. Concurrent callers
+  // coalesce: one performs the read, the rest wait on restore_cv_. Retries
+  // a failed read once (fault.bufferpool.restore_retries). Performs no
   // buffer-pool calls (lock ordering: the pool locks pool->object, the
   // acquire path must never nest object->pool). On final failure the
   // error is returned and the spill file is kept so the next acquire can
-  // retry (fault.bufferpool.restore_failures).
-  Status RestoreLocked();
+  // retry (fault.bufferpool.restore_failures). On success the spill file
+  // is also kept and the object stays clean: blocks are immutable, so the
+  // file remains valid and re-eviction is a free drop.
+  Status EnsureRestoredLocked(std::unique_lock<std::mutex>& lock);
 
   // Sum of the in-memory representations (caller holds mutex_); falls back
   // to the metadata estimate when everything is evicted.
@@ -155,6 +192,18 @@ class MatrixObject final : public Data {
   std::shared_ptr<const CompressedMatrixBlock> compressed_;
   // True while evicted_path_ holds the compressed serialization format.
   bool spilled_compressed_ = false;
+  // True while evicted_path_ holds a valid, current copy of the payload
+  // (written by eviction, write-behind, or a kept file after restore).
+  bool clean_spill_ = false;
+  // True while a thread is reading the spill file (single-flight guard).
+  bool restoring_ = false;
+  // True while a write-behind thread is writing the spill file (prevents
+  // two writers racing on the same temp file).
+  bool spilling_ = false;
+  // Set by a successful PrefetchRestore, cleared by the next acquire:
+  // attributes the avoided miss to the prefetcher (prefetch_hits).
+  bool prefetched_ = false;
+  std::condition_variable restore_cv_;
   std::string evicted_path_;
   int64_t rows_ = 0, cols_ = 0, nnz_ = 0;
   int64_t pin_count_ = 0;

@@ -1,6 +1,7 @@
 #include <algorithm>
 
 #include "obs/trace.h"
+#include "runtime/bufferpool/buffer_pool.h"
 #include "runtime/compress/compress_metrics.h"
 #include "runtime/compress/compressed_block.h"
 #include "runtime/compress/planner.h"
@@ -27,9 +28,19 @@ Status CompressInstr::Execute(ExecutionContext* ec) {
   if (m->HasCompressed()) return pass_through();
 
   const DMLConfig& cfg = ec->Config();
-  if (m->EstimateSizeInBytes() < cfg.compression_min_size_bytes) {
-    compress_metrics::SkippedSmall()->Add(1);
-    return pass_through();
+  const int64_t size = m->EstimateSizeInBytes();
+  if (size < cfg.compression_min_size_bytes) {
+    // Pressure-aware admission (§2.3(3)): under real memory pressure —
+    // pool headroom below a few multiples of this matrix — compress even
+    // below the static size gate; shrinking live data is cheaper than
+    // spilling it.
+    BufferPool* pool = MatrixObject::GetBufferPool();
+    bool pressured = pool != nullptr && pool->UnderPressure(4 * size);
+    if (!pressured) {
+      compress_metrics::SkippedSmall()->Add(1);
+      return pass_through();
+    }
+    compress_metrics::PressureCompressions()->Add(1);
   }
 
   SYSDS_SPAN("compress", "compress_instr");

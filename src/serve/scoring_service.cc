@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/bufferpool/buffer_pool.h"
 #include "runtime/matrix/lib_reorg.h"
 
 namespace sysds {
@@ -123,6 +124,19 @@ std::future<StatusOr<ScriptResult>> ScoringService::Submit(
           OomError("admission queue full (" +
                    std::to_string(options_.max_queue_depth) +
                    " requests); retry with backoff"));
+    }
+    if (options_.admission_headroom_bytes > 0) {
+      if (BufferPool* pool = MatrixObject::GetBufferPool()) {
+        int64_t headroom = pool->Headroom();
+        if (headroom < options_.admission_headroom_bytes) {
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          RejectedCounter().Add(1);
+          return ReadyFuture(OomError(
+              "memory headroom low (" + std::to_string(headroom) + " < " +
+              std::to_string(options_.admission_headroom_bytes) +
+              " bytes); retry with backoff"));
+        }
+      }
     }
     req.model = it->second.get();
     queue_.push_back(std::move(req));

@@ -32,6 +32,12 @@ struct ServiceOptions {
   /// Deadline applied to requests that do not carry their own; zero means
   /// unlimited.
   std::chrono::nanoseconds default_deadline{0};
+  /// Memory-pressure admission (paper §2.3(3)): reject with kOom when the
+  /// buffer pool's real headroom (limit − pinned − in-flight restores)
+  /// drops below this many bytes. Backpressure kicks in before executions
+  /// start thrashing the spill device, and kOom is retryable — clients back
+  /// off exactly as for a full queue. Zero disables the check (default).
+  int64_t admission_headroom_bytes = 0;
 };
 
 /// Per-model execution knobs.

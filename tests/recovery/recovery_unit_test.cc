@@ -387,7 +387,13 @@ TEST(SpillIntegrityTest, IntactSpillRoundTrips) {
   ASSERT_TRUE(read.ok()) << read.status();
   EXPECT_DOUBLE_EQ((*read)->Get(3, 3), 4.0);
   obj.Release();
-  EXPECT_FALSE(fs::exists(path)) << "restore removes the consumed spill file";
+  // Blocks are immutable, so the spill file stays a valid copy after the
+  // restore: the object is clean and its next eviction is a free drop.
+  EXPECT_TRUE(fs::exists(path)) << "restore keeps the still-valid spill file";
+  auto again = obj.EvictTo(path);
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_TRUE(*again) << "clean re-eviction drops without rewriting";
+  EXPECT_FALSE(obj.IsCached());
 }
 
 }  // namespace
